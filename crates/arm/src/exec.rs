@@ -1,0 +1,482 @@
+//! The A64 interpreter with the single-bit write-back fault model.
+
+use std::collections::HashMap;
+
+use crate::inst::{AInst, AluOp, Src2};
+use crate::program::{ArmProgram, ARM_EXIT};
+use crate::reg::Nzcv;
+
+/// A write-back fault: flip `raw_bit` (reduced modulo the destination
+/// width) after the `dyn_index`-th executed instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArmFault {
+    /// Dynamic instruction index.
+    pub dyn_index: u64,
+    /// Raw bit entropy.
+    pub raw_bit: u16,
+}
+
+/// Why the run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArmOutcome {
+    /// `ret` executed.
+    Completed,
+    /// A checker branched to `exit_function`.
+    Detected,
+    /// Out-of-bounds memory access.
+    Crash,
+    /// Step budget exhausted.
+    Timeout,
+}
+
+/// The result of one execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArmRun {
+    /// Why it stopped.
+    pub outcome: ArmOutcome,
+    /// Final contents of `x0` (the kernels' result register).
+    pub x0: i64,
+    /// Final data array (kernels that write memory are checked on it).
+    pub data: Vec<i64>,
+    /// Dynamic instructions executed.
+    pub dyn_insts: u64,
+    /// Simulated cycles (simple per-class model: loads/stores 3,
+    /// multiplies 3, divides 12, branches 2, NEON 1, everything else 1;
+    /// protection-inserted NEON work rides the same co-issue argument
+    /// as on x86 and is charged 1).
+    pub cycles: u64,
+}
+
+/// Dynamic fault sites (indices of injectable instructions).
+#[derive(Debug, Clone, Default)]
+pub struct ArmProfile {
+    /// `dyn_index` of every injectable instruction.
+    pub sites: Vec<u64>,
+}
+
+fn cost(inst: &AInst) -> u64 {
+    match inst {
+        AInst::Ldr { .. } | AInst::LdrIdx { .. } | AInst::Str { .. } | AInst::StrIdx { .. } => 3,
+        AInst::Alu { op: AluOp::Mul, .. } => 3,
+        AInst::Alu {
+            op: AluOp::Sdiv, ..
+        } => 12,
+        AInst::B { .. } | AInst::BCond { .. } | AInst::Cbnz { .. } | AInst::Ret => 2,
+        AInst::Ins { .. } | AInst::EorV { .. } | AInst::MaxToGpr { .. } => 1,
+        _ => 1,
+    }
+}
+
+/// Runs `p`, optionally injecting `fault`, optionally recording sites.
+pub fn run_with_profile(
+    p: &ArmProgram,
+    fault: Option<ArmFault>,
+    mut profile: Option<&mut ArmProfile>,
+) -> ArmRun {
+    let labels: HashMap<&str, usize> = p
+        .blocks
+        .iter()
+        .enumerate()
+        .map(|(i, b)| (b.label.as_str(), i))
+        .collect();
+    let mut x = [0i64; 31];
+    let mut v = [[0u64; 2]; 32];
+    let mut flags = Nzcv::default();
+    let mut data = p.data.clone();
+    let base = ArmProgram::data_base();
+    let (mut bi, mut ii) = (0usize, 0usize);
+    let mut n = 0u64;
+    let mut cycles = 0u64;
+    let step_limit = 2_000_000u64;
+
+    let finish = |outcome, x0, data: Vec<i64>, n, cycles| ArmRun {
+        outcome,
+        x0,
+        data,
+        dyn_insts: n,
+        cycles,
+    };
+
+    loop {
+        if n >= step_limit {
+            return finish(ArmOutcome::Timeout, x[0], data, n, cycles);
+        }
+        let Some(block) = p.blocks.get(bi) else {
+            return finish(ArmOutcome::Crash, x[0], data, n, cycles);
+        };
+        let Some(inst) = block.insts.get(ii) else {
+            // Fall through to the next block.
+            bi += 1;
+            ii = 0;
+            continue;
+        };
+        cycles += cost(inst);
+        if let Some(prof) = profile.as_deref_mut() {
+            if inst.injectable_bits().is_some() {
+                prof.sites.push(n);
+            }
+        }
+        let src2 = |s: &Src2, x: &[i64; 31]| match s {
+            Src2::Reg(r) => x[r.index()],
+            Src2::Imm(i) => *i,
+        };
+        let mut next = (bi, ii + 1);
+        let branch_to = |t: &str| -> Option<(usize, usize)> {
+            if t == ARM_EXIT {
+                None
+            } else {
+                Some((labels[t], 0))
+            }
+        };
+        match inst {
+            AInst::Mov { rd, src } => x[rd.index()] = src2(src, &x),
+            AInst::Alu {
+                op,
+                rd,
+                rn,
+                src2: s2,
+            } => {
+                let a = x[rn.index()];
+                let b = src2(s2, &x);
+                x[rd.index()] = match op {
+                    AluOp::Add => a.wrapping_add(b),
+                    AluOp::Sub => a.wrapping_sub(b),
+                    AluOp::Mul => a.wrapping_mul(b),
+                    AluOp::And => a & b,
+                    AluOp::Orr => a | b,
+                    AluOp::Eor => a ^ b,
+                    // A64 sdiv: no trap; x/0 == 0, MIN/-1 wraps.
+                    AluOp::Sdiv => {
+                        if b == 0 {
+                            0
+                        } else {
+                            a.wrapping_div(b)
+                        }
+                    }
+                    AluOp::Lsl => a.wrapping_shl((b & 63) as u32),
+                    AluOp::Asr => a.wrapping_shr((b & 63) as u32),
+                };
+            }
+            AInst::Ldr { rd, base: rb, off } => {
+                let addr = x[rb.index()] + off;
+                let Some(val) = load(&data, base, addr) else {
+                    return finish(ArmOutcome::Crash, x[0], data, n + 1, cycles);
+                };
+                x[rd.index()] = val;
+            }
+            AInst::LdrIdx { rd, base: rb, idx } => {
+                let addr = x[rb.index()] + x[idx.index()] * 8;
+                let Some(val) = load(&data, base, addr) else {
+                    return finish(ArmOutcome::Crash, x[0], data, n + 1, cycles);
+                };
+                x[rd.index()] = val;
+            }
+            AInst::Str { rs, base: rb, off } => {
+                let addr = x[rb.index()] + off;
+                if !store(&mut data, base, addr, x[rs.index()]) {
+                    return finish(ArmOutcome::Crash, x[0], data, n + 1, cycles);
+                }
+            }
+            AInst::StrIdx { rs, base: rb, idx } => {
+                let addr = x[rb.index()] + x[idx.index()] * 8;
+                if !store(&mut data, base, addr, x[rs.index()]) {
+                    return finish(ArmOutcome::Crash, x[0], data, n + 1, cycles);
+                }
+            }
+            AInst::Cmp { rn, src2: s2 } => {
+                flags = Nzcv::from_cmp(x[rn.index()], src2(s2, &x));
+            }
+            AInst::Cset { rd, cond } => x[rd.index()] = i64::from(cond.eval(flags)),
+            AInst::BCond { cond, target } => {
+                if cond.eval(flags) {
+                    match branch_to(target) {
+                        Some(t) => next = t,
+                        None => return finish(ArmOutcome::Detected, x[0], data, n + 1, cycles),
+                    }
+                }
+            }
+            AInst::B { target } => match branch_to(target) {
+                Some(t) => next = t,
+                None => return finish(ArmOutcome::Detected, x[0], data, n + 1, cycles),
+            },
+            AInst::Cbnz { rn, target } => {
+                if x[rn.index()] != 0 {
+                    match branch_to(target) {
+                        Some(t) => next = t,
+                        None => return finish(ArmOutcome::Detected, x[0], data, n + 1, cycles),
+                    }
+                }
+            }
+            AInst::Ret => return finish(ArmOutcome::Completed, x[0], data, n + 1, cycles),
+            AInst::Ins { vd, lane, rn } => {
+                v[vd.index()][usize::from(*lane)] = x[rn.index()] as u64;
+            }
+            AInst::EorV { vd, vn, vm } => {
+                let a = v[vn.index()];
+                let b = v[vm.index()];
+                v[vd.index()] = [a[0] ^ b[0], a[1] ^ b[1]];
+            }
+            AInst::MaxToGpr { rd, vn } => {
+                let r = v[vn.index()];
+                x[rd.index()] = ((r[0] | r[1]) != 0) as i64;
+            }
+        }
+        // Write-back fault.
+        if let Some(f) = fault {
+            if f.dyn_index == n {
+                match inst {
+                    AInst::Cmp { .. } => flags.flip(f.raw_bit),
+                    AInst::Ins { vd, .. } | AInst::EorV { vd, .. } => {
+                        let bit = u32::from(f.raw_bit) % 128;
+                        v[vd.index()][(bit / 64) as usize] ^= 1 << (bit % 64);
+                    }
+                    _ => {
+                        if let Some(rd) = inst.dest_x() {
+                            x[rd.index()] ^= 1 << (f.raw_bit % 64);
+                        }
+                    }
+                }
+            }
+        }
+        n += 1;
+        (bi, ii) = next;
+    }
+}
+
+fn load(data: &[i64], base: i64, addr: i64) -> Option<i64> {
+    let off = addr - base;
+    if off < 0 || off % 8 != 0 {
+        return None;
+    }
+    data.get((off / 8) as usize).copied()
+}
+
+fn store(data: &mut [i64], base: i64, addr: i64, val: i64) -> bool {
+    let off = addr - base;
+    if off < 0 || off % 8 != 0 {
+        return false;
+    }
+    match data.get_mut((off / 8) as usize) {
+        Some(slot) => {
+            *slot = val;
+            true
+        }
+        None => false,
+    }
+}
+
+/// Runs without profiling.
+pub fn run(p: &ArmProgram, fault: Option<ArmFault>) -> ArmRun {
+    run_with_profile(p, fault, None)
+}
+
+/// Enumerates the injectable dynamic sites of a fault-free run.
+pub fn profile(p: &ArmProgram) -> (ArmProfile, ArmRun) {
+    let mut prof = ArmProfile::default();
+    let run = run_with_profile(p, None, Some(&mut prof));
+    (prof, run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ArmBlock;
+    use crate::reg::{Cond, X};
+
+    fn prog(insts: Vec<AInst>) -> ArmProgram {
+        let mut b = ArmBlock::new("entry");
+        b.insts = insts;
+        if !matches!(b.insts.last(), Some(AInst::Ret)) {
+            b.insts.push(AInst::Ret);
+        }
+        ArmProgram {
+            blocks: vec![b],
+            data: vec![10, 20, 30],
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_loads() {
+        let base = ArmProgram::data_base();
+        let r = run(
+            &prog(vec![
+                AInst::Mov {
+                    rd: X(1),
+                    src: Src2::Imm(base),
+                },
+                AInst::Mov {
+                    rd: X(2),
+                    src: Src2::Imm(2),
+                },
+                AInst::LdrIdx {
+                    rd: X(0),
+                    base: X(1),
+                    idx: X(2),
+                },
+                AInst::Alu {
+                    op: AluOp::Add,
+                    rd: X(0),
+                    rn: X(0),
+                    src2: Src2::Imm(12),
+                },
+            ]),
+            None,
+        );
+        assert_eq!(r.outcome, ArmOutcome::Completed);
+        assert_eq!(r.x0, 42);
+    }
+
+    #[test]
+    fn sdiv_by_zero_yields_zero_like_real_a64() {
+        let r = run(
+            &prog(vec![
+                AInst::Mov {
+                    rd: X(1),
+                    src: Src2::Imm(7),
+                },
+                AInst::Mov {
+                    rd: X(2),
+                    src: Src2::Imm(0),
+                },
+                AInst::Alu {
+                    op: AluOp::Sdiv,
+                    rd: X(0),
+                    rn: X(1),
+                    src2: Src2::Reg(X(2)),
+                },
+            ]),
+            None,
+        );
+        assert_eq!(r.outcome, ArmOutcome::Completed);
+        assert_eq!(r.x0, 0);
+    }
+
+    #[test]
+    fn branches_and_flags() {
+        let mut b0 = ArmBlock::new("entry");
+        b0.insts = vec![
+            AInst::Mov {
+                rd: X(0),
+                src: Src2::Imm(1),
+            },
+            AInst::Cmp {
+                rn: X(0),
+                src2: Src2::Imm(5),
+            },
+            AInst::BCond {
+                cond: Cond::Lt,
+                target: "less".into(),
+            },
+            AInst::Mov {
+                rd: X(0),
+                src: Src2::Imm(100),
+            },
+            AInst::Ret,
+        ];
+        let mut b1 = ArmBlock::new("less");
+        b1.insts = vec![
+            AInst::Mov {
+                rd: X(0),
+                src: Src2::Imm(7),
+            },
+            AInst::Ret,
+        ];
+        let p = ArmProgram {
+            blocks: vec![b0, b1],
+            data: vec![],
+        };
+        assert_eq!(run(&p, None).x0, 7);
+    }
+
+    #[test]
+    fn oob_access_crashes() {
+        let r = run(
+            &prog(vec![
+                AInst::Mov {
+                    rd: X(1),
+                    src: Src2::Imm(0),
+                },
+                AInst::Ldr {
+                    rd: X(0),
+                    base: X(1),
+                    off: 0,
+                },
+            ]),
+            None,
+        );
+        assert_eq!(r.outcome, ArmOutcome::Crash);
+    }
+
+    #[test]
+    fn faults_flip_destination_bits() {
+        let p = prog(vec![AInst::Mov {
+            rd: X(0),
+            src: Src2::Imm(0),
+        }]);
+        let r = run(
+            &p,
+            Some(ArmFault {
+                dyn_index: 0,
+                raw_bit: 5,
+            }),
+        );
+        assert_eq!(r.x0, 32);
+        let clean = run(&p, None);
+        assert_eq!(clean.x0, 0);
+    }
+
+    #[test]
+    fn neon_lane_ops_and_reduction() {
+        let r = run(
+            &prog(vec![
+                AInst::Mov {
+                    rd: X(1),
+                    src: Src2::Imm(9),
+                },
+                AInst::Ins {
+                    vd: crate::reg::V(0),
+                    lane: 0,
+                    rn: X(1),
+                },
+                AInst::Ins {
+                    vd: crate::reg::V(1),
+                    lane: 0,
+                    rn: X(1),
+                },
+                AInst::EorV {
+                    vd: crate::reg::V(0),
+                    vn: crate::reg::V(0),
+                    vm: crate::reg::V(1),
+                },
+                AInst::MaxToGpr {
+                    rd: X(0),
+                    vn: crate::reg::V(0),
+                },
+            ]),
+            None,
+        );
+        assert_eq!(r.x0, 0, "equal lanes xor to zero");
+    }
+
+    #[test]
+    fn profile_counts_sites() {
+        let p = prog(vec![
+            AInst::Mov {
+                rd: X(0),
+                src: Src2::Imm(1),
+            },
+            AInst::Cmp {
+                rn: X(0),
+                src2: Src2::Imm(1),
+            },
+            AInst::Cset {
+                rd: X(2),
+                cond: Cond::Eq,
+            },
+        ]);
+        let (prof, run) = profile(&p);
+        assert_eq!(run.outcome, ArmOutcome::Completed);
+        // mov, cmp, cset are sites; ret is not.
+        assert_eq!(prof.sites, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,273 @@
+//! The A64 instruction subset.
+//!
+//! The load-bearing architectural difference from x86: data-processing
+//! instructions are **three-operand** (`add xd, xn, xm`), so a
+//! duplicate can always re-execute into a spare register without the
+//! pre-copy dance x86's read-modify-write forms need — one of the
+//! reasons §III-B5 expects ARM to take the port well.
+
+use std::fmt;
+
+use crate::reg::{Cond, V, X};
+
+/// Three-operand ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    Add,
+    Sub,
+    Mul,
+    And,
+    Orr,
+    Eor,
+    /// Signed divide.  A64 `sdiv` does **not** trap: divide-by-zero
+    /// yields 0 and `MIN/-1` wraps — modelled faithfully.
+    Sdiv,
+    /// Logical shift left by register.
+    Lsl,
+    /// Arithmetic shift right by register.
+    Asr,
+}
+
+impl AluOp {
+    /// Assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::And => "and",
+            AluOp::Orr => "orr",
+            AluOp::Eor => "eor",
+            AluOp::Sdiv => "sdiv",
+            AluOp::Lsl => "lsl",
+            AluOp::Asr => "asr",
+        }
+    }
+}
+
+/// Second source operand: register or immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Src2 {
+    /// A register.
+    Reg(X),
+    /// An immediate.
+    Imm(i64),
+}
+
+impl fmt::Display for Src2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Src2::Reg(x) => write!(f, "{x}"),
+            Src2::Imm(v) => write!(f, "#{v}"),
+        }
+    }
+}
+
+/// The modelled A64 instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AInst {
+    /// `mov xd, #imm` / `mov xd, xn`.
+    Mov { rd: X, src: Src2 },
+    /// Three-operand ALU: `op xd, xn, <src2>`.
+    Alu { op: AluOp, rd: X, rn: X, src2: Src2 },
+    /// `ldr xd, [xn, #off]` — 64-bit load.
+    Ldr { rd: X, base: X, off: i64 },
+    /// `ldr xd, [xn, xm, lsl #3]` — indexed load of word elements.
+    LdrIdx { rd: X, base: X, idx: X },
+    /// `str xs, [xn, #off]` — 64-bit store.
+    Str { rs: X, base: X, off: i64 },
+    /// `str xs, [xn, xm, lsl #3]`.
+    StrIdx { rs: X, base: X, idx: X },
+    /// `cmp xn, <src2>` — sets NZCV.
+    Cmp { rn: X, src2: Src2 },
+    /// `cset xd, <cond>` — materialise a condition bit (A64's `setcc`).
+    Cset { rd: X, cond: Cond },
+    /// `b.<cond> label`.
+    BCond { cond: Cond, target: String },
+    /// `b label`.
+    B { target: String },
+    /// `cbnz xn, label` — compare-and-branch, *reads no flags* (the
+    /// NEON checker's exit branch).
+    Cbnz { rn: X, target: String },
+    /// `ret`.
+    Ret,
+    /// `ins vd.d[lane], xn` — insert a GPR into a vector lane (the NEON
+    /// duplication capture, §III-B5).
+    Ins { vd: V, lane: u8, rn: X },
+    /// `eor vd.16b, vn.16b, vm.16b` — 128-bit XOR.
+    EorV { vd: V, vn: V, vm: V },
+    /// `umaxp vd.4s, vn.4s, vn.4s` folded with `fmov xd, dn`: reduces a
+    /// vector to a 64-bit "any bit set" value in a GPR.  Real A64 needs
+    /// two instructions; we model the pair as one (documented
+    /// simplification, mirroring the x86 model's fused `vptest`).
+    MaxToGpr { rd: X, vn: V },
+}
+
+impl AInst {
+    /// The general-purpose destination register, if any.
+    pub fn dest_x(&self) -> Option<X> {
+        match self {
+            AInst::Mov { rd, .. }
+            | AInst::Alu { rd, .. }
+            | AInst::Ldr { rd, .. }
+            | AInst::LdrIdx { rd, .. }
+            | AInst::Cset { rd, .. }
+            | AInst::MaxToGpr { rd, .. } => Some(*rd),
+            _ => None,
+        }
+    }
+
+    /// Width in bits of the injectable destination, or `None` for
+    /// non-sites (stores, branches).  `cmp` exposes the four NZCV bits.
+    pub fn injectable_bits(&self) -> Option<u32> {
+        match self {
+            AInst::Cmp { .. } => Some(4),
+            AInst::Ins { .. } | AInst::EorV { .. } => Some(128),
+            _ => self.dest_x().map(|_| 64),
+        }
+    }
+
+    /// True if the instruction writes NZCV.
+    pub fn writes_flags(&self) -> bool {
+        matches!(self, AInst::Cmp { .. })
+    }
+
+    /// True if the instruction reads NZCV.
+    pub fn reads_flags(&self) -> bool {
+        matches!(self, AInst::Cset { .. } | AInst::BCond { .. })
+    }
+
+    /// True for control transfers.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            AInst::B { .. } | AInst::BCond { .. } | AInst::Cbnz { .. } | AInst::Ret
+        )
+    }
+
+    /// Renders the instruction in A64 syntax.
+    pub fn render(&self) -> String {
+        match self {
+            AInst::Mov { rd, src } => format!("mov {rd}, {src}"),
+            AInst::Alu { op, rd, rn, src2 } => {
+                format!("{} {rd}, {rn}, {src2}", op.mnemonic())
+            }
+            AInst::Ldr { rd, base, off } => format!("ldr {rd}, [{base}, #{off}]"),
+            AInst::LdrIdx { rd, base, idx } => format!("ldr {rd}, [{base}, {idx}, lsl #3]"),
+            AInst::Str { rs, base, off } => format!("str {rs}, [{base}, #{off}]"),
+            AInst::StrIdx { rs, base, idx } => format!("str {rs}, [{base}, {idx}, lsl #3]"),
+            AInst::Cmp { rn, src2 } => format!("cmp {rn}, {src2}"),
+            AInst::Cset { rd, cond } => format!("cset {rd}, {}", cond.mnemonic()),
+            AInst::BCond { cond, target } => format!("b.{} {target}", cond.mnemonic()),
+            AInst::B { target } => format!("b {target}"),
+            AInst::Cbnz { rn, target } => format!("cbnz {rn}, {target}"),
+            AInst::Ret => "ret".to_owned(),
+            AInst::Ins { vd, lane, rn } => format!("ins {vd}.d[{lane}], {rn}"),
+            AInst::EorV { vd, vn, vm } => format!("eor {vd}.16b, {vn}.16b, {vm}.16b"),
+            AInst::MaxToGpr { rd, vn } => format!("umaxp+fmov {rd}, {vn}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_classification() {
+        let add = AInst::Alu {
+            op: AluOp::Add,
+            rd: X(0),
+            rn: X(1),
+            src2: Src2::Reg(X(2)),
+        };
+        assert_eq!(add.injectable_bits(), Some(64));
+        assert!(!add.writes_flags());
+        let cmp = AInst::Cmp {
+            rn: X(0),
+            src2: Src2::Imm(4),
+        };
+        assert_eq!(cmp.injectable_bits(), Some(4));
+        assert!(cmp.writes_flags());
+        let st = AInst::Str {
+            rs: X(0),
+            base: X(1),
+            off: 8,
+        };
+        assert_eq!(st.injectable_bits(), None);
+        let ins = AInst::Ins {
+            vd: V(0),
+            lane: 1,
+            rn: X(3),
+        };
+        assert_eq!(ins.injectable_bits(), Some(128));
+        assert!(AInst::Ret.is_control());
+        assert!(AInst::Cbnz {
+            rn: X(9),
+            target: "f".into()
+        }
+        .is_control());
+        assert!(!AInst::Cbnz {
+            rn: X(9),
+            target: "f".into()
+        }
+        .reads_flags());
+    }
+
+    #[test]
+    fn rendering_matches_a64_syntax() {
+        assert_eq!(
+            AInst::Alu {
+                op: AluOp::Add,
+                rd: X(0),
+                rn: X(1),
+                src2: Src2::Imm(8)
+            }
+            .render(),
+            "add x0, x1, #8"
+        );
+        assert_eq!(
+            AInst::LdrIdx {
+                rd: X(2),
+                base: X(0),
+                idx: X(1)
+            }
+            .render(),
+            "ldr x2, [x0, x1, lsl #3]"
+        );
+        assert_eq!(
+            AInst::Ins {
+                vd: V(0),
+                lane: 1,
+                rn: X(9)
+            }
+            .render(),
+            "ins v0.d[1], x9"
+        );
+        assert_eq!(
+            AInst::EorV {
+                vd: V(0),
+                vn: V(0),
+                vm: V(1)
+            }
+            .render(),
+            "eor v0.16b, v0.16b, v1.16b"
+        );
+        assert_eq!(
+            AInst::BCond {
+                cond: Cond::Lt,
+                target: "loop".into()
+            }
+            .render(),
+            "b.lt loop"
+        );
+        assert_eq!(
+            AInst::Cset {
+                rd: X(9),
+                cond: Cond::Eq
+            }
+            .render(),
+            "cset x9, eq"
+        );
+    }
+}

@@ -1,0 +1,314 @@
+//! Hand-built A64 kernels with native oracles — the ARM counterparts of
+//! the workload crate's differential methodology.
+
+use crate::inst::{AInst, AluOp, Src2};
+use crate::program::{ArmBlock, ArmProgram};
+use crate::reg::{Cond, X};
+
+/// `sum_gt(data, t)`: sum of all elements strictly greater than `t`
+/// (loads, a data-dependent branch, and a loop).
+pub fn sum_gt(data: Vec<i64>, threshold: i64) -> ArmProgram {
+    let base = ArmProgram::data_base();
+    let n = data.len() as i64;
+    // x0 acc, x1 base, x2 i, x3 n, x4 elem, x5 threshold
+    let mut entry = ArmBlock::new("entry");
+    entry.insts = vec![
+        AInst::Mov {
+            rd: X(0),
+            src: Src2::Imm(0),
+        },
+        AInst::Mov {
+            rd: X(1),
+            src: Src2::Imm(base),
+        },
+        AInst::Mov {
+            rd: X(2),
+            src: Src2::Imm(0),
+        },
+        AInst::Mov {
+            rd: X(3),
+            src: Src2::Imm(n),
+        },
+        AInst::Mov {
+            rd: X(5),
+            src: Src2::Imm(threshold),
+        },
+    ];
+    let mut header = ArmBlock::new("header");
+    header.insts = vec![
+        AInst::Cmp {
+            rn: X(2),
+            src2: Src2::Reg(X(3)),
+        },
+        AInst::BCond {
+            cond: Cond::Ge,
+            target: "done".into(),
+        },
+    ];
+    let mut body = ArmBlock::new("body");
+    body.insts = vec![
+        AInst::LdrIdx {
+            rd: X(4),
+            base: X(1),
+            idx: X(2),
+        },
+        AInst::Cmp {
+            rn: X(4),
+            src2: Src2::Reg(X(5)),
+        },
+        AInst::BCond {
+            cond: Cond::Le,
+            target: "next".into(),
+        },
+        AInst::Alu {
+            op: AluOp::Add,
+            rd: X(0),
+            rn: X(0),
+            src2: Src2::Reg(X(4)),
+        },
+    ];
+    let mut next = ArmBlock::new("next");
+    next.insts = vec![
+        AInst::Alu {
+            op: AluOp::Add,
+            rd: X(2),
+            rn: X(2),
+            src2: Src2::Imm(1),
+        },
+        AInst::B {
+            target: "header".into(),
+        },
+    ];
+    let mut done = ArmBlock::new("done");
+    done.insts = vec![AInst::Ret];
+    ArmProgram {
+        blocks: vec![entry, header, body, next, done],
+        data,
+    }
+}
+
+/// Native oracle for [`sum_gt`].
+pub fn sum_gt_oracle(data: &[i64], threshold: i64) -> i64 {
+    data.iter().filter(|&&v| v > threshold).sum()
+}
+
+/// `scale_add(x, a)`: `x[i] = a*x[i] + i` in place; returns the final
+/// checksum in `x0` (multiplies, indexed stores, division at the end).
+pub fn scale_add(data: Vec<i64>, a: i64) -> ArmProgram {
+    let base = ArmProgram::data_base();
+    let n = data.len() as i64;
+    // x1 base, x2 i, x3 n, x4 elem, x5 a, x0 acc
+    let mut entry = ArmBlock::new("entry");
+    entry.insts = vec![
+        AInst::Mov {
+            rd: X(0),
+            src: Src2::Imm(0),
+        },
+        AInst::Mov {
+            rd: X(1),
+            src: Src2::Imm(base),
+        },
+        AInst::Mov {
+            rd: X(2),
+            src: Src2::Imm(0),
+        },
+        AInst::Mov {
+            rd: X(3),
+            src: Src2::Imm(n),
+        },
+        AInst::Mov {
+            rd: X(5),
+            src: Src2::Imm(a),
+        },
+    ];
+    let mut header = ArmBlock::new("header");
+    header.insts = vec![
+        AInst::Cmp {
+            rn: X(2),
+            src2: Src2::Reg(X(3)),
+        },
+        AInst::BCond {
+            cond: Cond::Ge,
+            target: "done".into(),
+        },
+    ];
+    let mut body = ArmBlock::new("body");
+    body.insts = vec![
+        AInst::LdrIdx {
+            rd: X(4),
+            base: X(1),
+            idx: X(2),
+        },
+        AInst::Alu {
+            op: AluOp::Mul,
+            rd: X(4),
+            rn: X(4),
+            src2: Src2::Reg(X(5)),
+        },
+        AInst::Alu {
+            op: AluOp::Add,
+            rd: X(4),
+            rn: X(4),
+            src2: Src2::Reg(X(2)),
+        },
+        AInst::StrIdx {
+            rs: X(4),
+            base: X(1),
+            idx: X(2),
+        },
+        AInst::Alu {
+            op: AluOp::Add,
+            rd: X(0),
+            rn: X(0),
+            src2: Src2::Reg(X(4)),
+        },
+        AInst::Alu {
+            op: AluOp::Add,
+            rd: X(2),
+            rn: X(2),
+            src2: Src2::Imm(1),
+        },
+        AInst::B {
+            target: "header".into(),
+        },
+    ];
+    let mut done = ArmBlock::new("done");
+    done.insts = vec![
+        // Fold the checksum: x0 = x0 / (n+1) + x0, exercising sdiv.
+        AInst::Alu {
+            op: AluOp::Sdiv,
+            rd: X(6),
+            rn: X(0),
+            src2: Src2::Reg(X(3)),
+        },
+        AInst::Alu {
+            op: AluOp::Add,
+            rd: X(0),
+            rn: X(0),
+            src2: Src2::Reg(X(6)),
+        },
+        AInst::Ret,
+    ];
+    ArmProgram {
+        blocks: vec![entry, header, body, done],
+        data,
+    }
+}
+
+/// Native oracle for [`scale_add`]: returns `(checksum, final_data)`.
+pub fn scale_add_oracle(data: &[i64], a: i64) -> (i64, Vec<i64>) {
+    let mut out = data.to_vec();
+    let mut acc = 0i64;
+    for (i, v) in out.iter_mut().enumerate() {
+        *v = a * *v + i as i64;
+        acc += *v;
+    }
+    let n = data.len() as i64;
+    (acc + acc / n, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{profile, run, ArmFault, ArmOutcome};
+    use crate::neon::protect_neon;
+
+    const DATA: [i64; 6] = [4, -2, 9, 16, -7, 3];
+
+    #[test]
+    fn kernels_match_their_oracles() {
+        let p = sum_gt(DATA.to_vec(), 3);
+        assert!(p.validate().is_ok());
+        let r = run(&p, None);
+        assert_eq!(r.outcome, ArmOutcome::Completed);
+        assert_eq!(r.x0, sum_gt_oracle(&DATA, 3));
+
+        let p = scale_add(DATA.to_vec(), 5);
+        assert!(p.validate().is_ok());
+        let r = run(&p, None);
+        let (check, final_data) = scale_add_oracle(&DATA, 5);
+        assert_eq!(r.x0, check);
+        assert_eq!(r.data, final_data);
+    }
+
+    #[test]
+    fn protected_kernels_are_transparent() {
+        for p in [sum_gt(DATA.to_vec(), 3), scale_add(DATA.to_vec(), 5)] {
+            let clean = run(&p, None);
+            let prot = protect_neon(&p).expect("protects");
+            assert!(prot.validate().is_ok());
+            let r = run(&prot, None);
+            assert_eq!(r.outcome, ArmOutcome::Completed);
+            assert_eq!(r.x0, clean.x0);
+            assert_eq!(r.data, clean.data);
+        }
+    }
+
+    #[test]
+    fn exhaustive_coverage_on_both_kernels() {
+        for p in [sum_gt(DATA.to_vec(), 3), scale_add(DATA.to_vec(), 5)] {
+            let prot = protect_neon(&p).expect("protects");
+            let (prof, clean) = profile(&prot);
+            for &site in &prof.sites {
+                for bit in [0u16, 2, 5, 31, 63, 101] {
+                    let r = run(
+                        &prot,
+                        Some(ArmFault {
+                            dyn_index: site,
+                            raw_bit: bit,
+                        }),
+                    );
+                    let silent = r.outcome == ArmOutcome::Completed
+                        && (r.x0 != clean.x0 || r.data != clean.data);
+                    assert!(!silent, "A64 SDC at site {site} bit {bit}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn raw_kernels_are_vulnerable_and_protection_closes_the_gap() {
+        let p = sum_gt(DATA.to_vec(), 3);
+        let (prof, clean) = profile(&p);
+        let sdc_raw = prof
+            .sites
+            .iter()
+            .flat_map(|&s| [0u16, 2, 5, 31].map(|b| (s, b)))
+            .filter(|&(s, b)| {
+                let r = run(
+                    &p,
+                    Some(ArmFault {
+                        dyn_index: s,
+                        raw_bit: b,
+                    }),
+                );
+                r.outcome == ArmOutcome::Completed && (r.x0 != clean.x0 || r.data != clean.data)
+            })
+            .count();
+        assert!(sdc_raw > 0, "raw kernel should exhibit SDCs");
+    }
+
+    #[test]
+    fn two_lane_batches_cost_about_as_much_as_scalar_checks() {
+        // A finding worth pinning down: NEON's 128-bit vectors hold only
+        // two 64-bit results, so the per-site capture traffic (2 `ins`)
+        // cancels the amortised check — batch-of-2 is a wash against a
+        // per-site scalar `eor`+`cbnz`.  The port's real savings come
+        // from A64's three-operand form (no pre-copy replays) and
+        // flag-free checkers (no deferred detection machinery), which is
+        // consistent with the paper pointing at *wider* vectors (AVX2's
+        // four lanes, AVX-512's eight) as where SIMD batching pays.
+        let p = scale_add(DATA.to_vec(), 5);
+        let prot = protect_neon(&p).expect("protects");
+        let protected = run(&prot, None).cycles;
+        let (prof, raw_run) = profile(&p);
+        let dup_cost: u64 = raw_run.cycles; // duplicates mirror the originals
+        let scalar_checks = prof.sites.len() as u64 * 3; // eor(1) + cbnz(2)
+        let scalar_total = raw_run.cycles + dup_cost + scalar_checks;
+        let ratio = protected as f64 / scalar_total as f64;
+        assert!(
+            (0.85..=1.25).contains(&ratio),
+            "batch-of-2 should be within ±25% of scalar checking: {ratio:.2}              ({protected} vs {scalar_total})"
+        );
+    }
+}

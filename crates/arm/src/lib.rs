@@ -1,0 +1,36 @@
+//! # ferrum-arm — the AArch64/NEON port of FERRUM
+//!
+//! The paper defers other instruction sets to future work but sketches
+//! the port (§III-B5): "the ARM architecture benefits significantly
+//! from the NEON SIMD instruction sets".  This crate implements that
+//! sketch end to end on a compact A64 model:
+//!
+//! * [`reg`]/[`inst`]/[`program`] — an AArch64 subset: `X0`–`X30` with
+//!   `W` views, the NZCV flags, 128-bit NEON `V` registers, and the
+//!   instructions a protected kernel needs (three-operand ALU, loads
+//!   and stores, `cmp`+`b.cond`, `cset`, and the NEON duplication
+//!   idioms `ins`/`eor`/`umaxp`/`fmov`+`cbnz`),
+//! * [`exec`] — an interpreter with the same single-bit write-back
+//!   fault model as the x86 simulator,
+//! * [`neon`] — the FERRUM-NEON pass: duplicate-first protection of
+//!   data instructions (A64's three-operand form means *no* read-modify-
+//!   write pre-copies are ever needed), NEON-batched checking two
+//!   results at a time (NEON vectors are 128-bit, so batches are
+//!   narrower than AVX2's four — exactly the trade-off the paper
+//!   alludes to), and deferred `cset`-pair detection for `cmp`/`b.cond`,
+//! * [`kernels`] — hand-built A64 kernels with oracles, and exhaustive
+//!   fault campaigns proving the same zero-SDC property as on x86.
+//!
+//! The crate is deliberately self-contained (no dependency on the x86
+//! crates): the point is that the *technique* ports, not the tooling.
+
+pub mod exec;
+pub mod inst;
+pub mod kernels;
+pub mod neon;
+pub mod program;
+pub mod reg;
+
+pub use exec::{run, ArmFault, ArmOutcome, ArmRun};
+pub use neon::protect_neon;
+pub use program::ArmProgram;

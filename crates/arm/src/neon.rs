@@ -1,0 +1,421 @@
+//! FERRUM-NEON: the protection pass, ported per §III-B5.
+//!
+//! Two architectural differences from x86 make the A64 port *simpler*
+//! and are worth calling out (the paper's "other platforms may offer
+//! additional optimization opportunities"):
+//!
+//! 1. **Three-operand data processing.** `add xd, xn, xm` never
+//!    overwrites its own source, so every duplicate is a plain
+//!    re-execution into the scratch register — x86's read-modify-write
+//!    pre-copy scheme and the `idiv` double-execution dance disappear
+//!    (`sdiv` is an ordinary three-operand instruction here, and it
+//!    doesn't even trap).
+//! 2. **Flags are opt-in.** Only `S`-suffixed instructions touch NZCV,
+//!    and the checker idiom (`eor` + `cbnz`) never does — so the
+//!    comparison check can sit *immediately* between the `cmp` and its
+//!    consumer.  The deferred detection of the paper's Fig. 5, which
+//!    exists solely because x86's `xor`/`cmp` checkers destroy EFLAGS,
+//!    is unnecessary on A64.
+//!
+//! NEON vectors are 128-bit, so batches hold **two** results (AVX2
+//! holds four): `ins v0.d[k], x9` captures the duplicate, `ins
+//! v1.d[k], xd` the original, and a flush is `eor v0, v0, v1` +
+//! `umaxp/fmov` + `cbnz x9, exit_function`.
+
+use crate::inst::{AInst, Src2};
+use crate::program::{ArmBlock, ArmProgram, ARM_EXIT};
+use crate::reg::{V, X};
+
+/// Scratch register for duplicates.
+const SCRATCH: X = X(9);
+/// The `cset` pair for comparison protection.
+const PAIR0: X = X(10);
+const PAIR1: X = X(11);
+/// NEON accumulators: duplicates in `v0`, originals in `v1`.
+const VDUP: V = V(0);
+const VORIG: V = V(1);
+
+/// Pass failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NeonPassError {
+    /// The input uses a register the pass reserves.
+    ReservedRegister(String),
+    /// The input contains protection-style NEON instructions.
+    Unsupported(String),
+}
+
+impl std::fmt::Display for NeonPassError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NeonPassError::ReservedRegister(r) => {
+                write!(f, "input uses reserved register {r}")
+            }
+            NeonPassError::Unsupported(w) => write!(f, "unsupported instruction: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for NeonPassError {}
+
+fn uses_reserved(inst: &AInst) -> Option<String> {
+    let mut regs: Vec<X> = Vec::new();
+    match inst {
+        AInst::Mov { rd, src } => {
+            regs.push(*rd);
+            if let Src2::Reg(r) = src {
+                regs.push(*r);
+            }
+        }
+        AInst::Alu { rd, rn, src2, .. } => {
+            regs.push(*rd);
+            regs.push(*rn);
+            if let Src2::Reg(r) = src2 {
+                regs.push(*r);
+            }
+        }
+        AInst::Ldr { rd, base, .. } => regs.extend([*rd, *base]),
+        AInst::LdrIdx { rd, base, idx } => regs.extend([*rd, *base, *idx]),
+        AInst::Str { rs, base, .. } => regs.extend([*rs, *base]),
+        AInst::StrIdx { rs, base, idx } => regs.extend([*rs, *base, *idx]),
+        AInst::Cmp { rn, src2 } => {
+            regs.push(*rn);
+            if let Src2::Reg(r) = src2 {
+                regs.push(*r);
+            }
+        }
+        AInst::Cset { rd, .. } => regs.push(*rd),
+        AInst::Cbnz { rn, .. } => regs.push(*rn),
+        _ => {}
+    }
+    regs.into_iter()
+        .find(|r| [SCRATCH, PAIR0, PAIR1].contains(r))
+        .map(|r| r.to_string())
+}
+
+fn with_dest(inst: &AInst, rd: X) -> Option<AInst> {
+    let mut out = inst.clone();
+    match &mut out {
+        AInst::Mov { rd: d, .. }
+        | AInst::Alu { rd: d, .. }
+        | AInst::Ldr { rd: d, .. }
+        | AInst::LdrIdx { rd: d, .. } => *d = rd,
+        _ => return None,
+    }
+    Some(out)
+}
+
+/// The NEON batch of two (duplicate, original) lanes.
+struct Batch {
+    count: u8,
+}
+
+impl Batch {
+    fn add(&mut self, dup: X, orig: X, out: &mut Vec<AInst>) {
+        out.push(AInst::Ins {
+            vd: VDUP,
+            lane: self.count,
+            rn: dup,
+        });
+        out.push(AInst::Ins {
+            vd: VORIG,
+            lane: self.count,
+            rn: orig,
+        });
+        self.count += 1;
+        if self.count == 2 {
+            self.flush(out);
+        }
+    }
+
+    fn flush(&mut self, out: &mut Vec<AInst>) {
+        if self.count == 0 {
+            return;
+        }
+        if self.count == 1 {
+            // Equalise the unused lane so the 128-bit compare is exact.
+            out.push(AInst::Ins {
+                vd: VDUP,
+                lane: 1,
+                rn: SCRATCH,
+            });
+            out.push(AInst::Ins {
+                vd: VORIG,
+                lane: 1,
+                rn: SCRATCH,
+            });
+        }
+        out.push(AInst::EorV {
+            vd: VDUP,
+            vn: VDUP,
+            vm: VORIG,
+        });
+        out.push(AInst::MaxToGpr {
+            rd: SCRATCH,
+            vn: VDUP,
+        });
+        out.push(AInst::Cbnz {
+            rn: SCRATCH,
+            target: ARM_EXIT.into(),
+        });
+        self.count = 0;
+    }
+}
+
+/// Protects an A64 program with FERRUM-NEON.
+///
+/// # Errors
+///
+/// [`NeonPassError`] if the input uses the reserved registers
+/// (`x9`–`x11`, `v0`–`v1`) or contains NEON instructions.
+pub fn protect_neon(p: &ArmProgram) -> Result<ArmProgram, NeonPassError> {
+    let mut out = ArmProgram {
+        blocks: Vec::new(),
+        data: p.data.clone(),
+    };
+    for b in &p.blocks {
+        let mut nb = ArmBlock::new(b.label.clone());
+        let mut batch = Batch { count: 0 };
+        let mut i = 0usize;
+        while i < b.insts.len() {
+            let inst = &b.insts[i];
+            if let Some(r) = uses_reserved(inst) {
+                return Err(NeonPassError::ReservedRegister(r));
+            }
+            if matches!(
+                inst,
+                AInst::Ins { .. } | AInst::EorV { .. } | AInst::MaxToGpr { .. }
+            ) {
+                return Err(NeonPassError::Unsupported(inst.render()));
+            }
+            if inst.is_control() {
+                batch.flush(&mut nb.insts);
+            }
+            match inst {
+                AInst::Cmp { .. } => {
+                    // Immediate pair check: A64 checkers don't touch
+                    // NZCV, so no deferral is needed (module docs).
+                    let cond = b.insts[i + 1..].iter().find_map(|c| match c {
+                        AInst::BCond { cond, .. } | AInst::Cset { cond, .. } => Some(*cond),
+                        _ => None,
+                    });
+                    nb.insts.push(inst.clone()); // original cmp
+                    if let Some(cond) = cond {
+                        nb.insts.push(AInst::Cset { rd: PAIR0, cond });
+                        nb.insts.push(inst.clone()); // duplicate cmp
+                        nb.insts.push(AInst::Cset { rd: PAIR1, cond });
+                        nb.insts.push(AInst::Alu {
+                            op: crate::inst::AluOp::Eor,
+                            rd: SCRATCH,
+                            rn: PAIR0,
+                            src2: Src2::Reg(PAIR1),
+                        });
+                        nb.insts.push(AInst::Cbnz {
+                            rn: SCRATCH,
+                            target: ARM_EXIT.into(),
+                        });
+                    }
+                    i += 1;
+                }
+                _ if inst.injectable_bits() == Some(64) => {
+                    // Duplicate-first, batch-checked.  `cset` consumes
+                    // NZCV, and its duplicate (reading the same flags)
+                    // is emitted *before* the original like any other
+                    // data instruction.
+                    match with_dest(inst, SCRATCH) {
+                        Some(dup) => {
+                            let orig_dest = inst.dest_x().expect("64-bit site");
+                            nb.insts.push(dup);
+                            nb.insts.push(inst.clone());
+                            batch.add(SCRATCH, orig_dest, &mut nb.insts);
+                        }
+                        None => {
+                            // `cset` has no with_dest arm above; handle
+                            // it explicitly.
+                            if let AInst::Cset { rd, cond } = inst {
+                                nb.insts.push(AInst::Cset {
+                                    rd: SCRATCH,
+                                    cond: *cond,
+                                });
+                                nb.insts.push(inst.clone());
+                                batch.add(SCRATCH, *rd, &mut nb.insts);
+                            } else {
+                                nb.insts.push(inst.clone());
+                            }
+                        }
+                    }
+                    i += 1;
+                }
+                _ => {
+                    nb.insts.push(inst.clone());
+                    i += 1;
+                }
+            }
+        }
+        batch.flush(&mut nb.insts);
+        out.blocks.push(nb);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{profile, run, ArmFault, ArmOutcome};
+    use crate::inst::AluOp;
+    use crate::reg::Cond;
+
+    fn demo() -> ArmProgram {
+        // x0 = data[0] * 3 + data[1]; branch keeps the larger of x0 and 50.
+        let base = ArmProgram::data_base();
+        let mut b0 = ArmBlock::new("entry");
+        b0.insts = vec![
+            AInst::Mov {
+                rd: X(1),
+                src: Src2::Imm(base),
+            },
+            AInst::Ldr {
+                rd: X(2),
+                base: X(1),
+                off: 0,
+            },
+            AInst::Mov {
+                rd: X(3),
+                src: Src2::Imm(3),
+            },
+            AInst::Alu {
+                op: AluOp::Mul,
+                rd: X(4),
+                rn: X(2),
+                src2: Src2::Reg(X(3)),
+            },
+            AInst::Ldr {
+                rd: X(5),
+                base: X(1),
+                off: 8,
+            },
+            AInst::Alu {
+                op: AluOp::Add,
+                rd: X(0),
+                rn: X(4),
+                src2: Src2::Reg(X(5)),
+            },
+            AInst::Cmp {
+                rn: X(0),
+                src2: Src2::Imm(50),
+            },
+            AInst::BCond {
+                cond: Cond::Ge,
+                target: "done".into(),
+            },
+            AInst::Mov {
+                rd: X(0),
+                src: Src2::Imm(50),
+            },
+        ];
+        let mut b1 = ArmBlock::new("done");
+        b1.insts = vec![AInst::Ret];
+        ArmProgram {
+            blocks: vec![b0, b1],
+            data: vec![10, 12],
+        }
+    }
+
+    #[test]
+    fn protection_is_transparent() {
+        let p = demo();
+        let prot = protect_neon(&p).expect("protects");
+        assert!(prot.validate().is_ok());
+        let clean = run(&p, None);
+        let protected = run(&prot, None);
+        assert_eq!(protected.outcome, ArmOutcome::Completed);
+        assert_eq!(protected.x0, clean.x0);
+        assert_eq!(protected.x0, 50, "max(10*3+12, 50)");
+    }
+
+    #[test]
+    fn listing_shows_the_neon_idiom() {
+        let prot = protect_neon(&demo()).expect("protects");
+        let text = prot.render();
+        assert!(text.contains("ins v0.d[0], x9"), "{text}");
+        assert!(text.contains("eor v0.16b, v0.16b, v1.16b"));
+        assert!(text.contains("cbnz x9, exit_function"));
+        assert!(text.contains("cset x10"), "cmp pair capture");
+        assert!(text.contains("cset x11"));
+    }
+
+    #[test]
+    fn exhaustive_faults_never_corrupt_silently() {
+        let p = demo();
+        let prot = protect_neon(&p).expect("protects");
+        let (prof, clean) = profile(&prot);
+        assert_eq!(clean.outcome, ArmOutcome::Completed);
+        let mut detected = 0;
+        for &site in &prof.sites {
+            for bit in [0u16, 1, 3, 7, 33, 63] {
+                let r = run(
+                    &prot,
+                    Some(ArmFault {
+                        dyn_index: site,
+                        raw_bit: bit,
+                    }),
+                );
+                let silent = r.outcome == ArmOutcome::Completed
+                    && (r.x0 != clean.x0 || r.data != clean.data);
+                assert!(!silent, "SDC at site {site} bit {bit}");
+                if r.outcome == ArmOutcome::Detected {
+                    detected += 1;
+                }
+            }
+        }
+        assert!(detected > 0);
+    }
+
+    #[test]
+    fn unprotected_program_is_vulnerable() {
+        let p = demo();
+        let (prof, clean) = profile(&p);
+        let mut sdc = 0;
+        for &site in &prof.sites {
+            for bit in [0u16, 1, 3, 7, 33, 63] {
+                let r = run(
+                    &p,
+                    Some(ArmFault {
+                        dyn_index: site,
+                        raw_bit: bit,
+                    }),
+                );
+                if r.outcome == ArmOutcome::Completed && (r.x0 != clean.x0 || r.data != clean.data)
+                {
+                    sdc += 1;
+                }
+            }
+        }
+        assert!(sdc > 0, "raw A64 program should show SDCs");
+    }
+
+    #[test]
+    fn reserved_register_use_is_rejected() {
+        let mut p = demo();
+        p.blocks[0].insts.push(AInst::Mov {
+            rd: X(10),
+            src: Src2::Imm(1),
+        });
+        assert!(matches!(
+            protect_neon(&p),
+            Err(NeonPassError::ReservedRegister(_))
+        ));
+    }
+
+    #[test]
+    fn overhead_is_moderate() {
+        let p = demo();
+        let prot = protect_neon(&p).expect("protects");
+        let raw = run(&p, None).cycles;
+        let protected = run(&prot, None).cycles;
+        let overhead = protected as f64 / raw as f64 - 1.0;
+        // The A64 demo model charges duplication at full serial price
+        // (no co-issue discount like the x86 cost model), so duplication
+        // roughly triples work on tiny straight-line kernels.
+        assert!(overhead > 0.0 && overhead < 3.5, "overhead {overhead}");
+    }
+}

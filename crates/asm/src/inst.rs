@@ -1,0 +1,679 @@
+//! The instruction AST and its static properties.
+//!
+//! The properties exposed here — destination register, flag effects,
+//! registers read/written — drive the fault-site enumeration (which
+//! dynamic instructions have an injectable destination) and the protection
+//! passes (where checkers may be inserted without clobbering live flags).
+
+use crate::flags::Cc;
+use crate::operand::{MemRef, Operand};
+use crate::program::Label;
+use crate::reg::{Gpr, Reg, Width, Xmm, Ymm, Zmm};
+
+/// Two-operand ALU operations (`dst = dst OP src`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+}
+
+impl AluOp {
+    /// AT&T mnemonic stem (width suffix appended separately).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+        }
+    }
+}
+
+/// Single-operand ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    Neg,
+    Not,
+}
+
+impl UnaryOp {
+    /// AT&T mnemonic stem.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            UnaryOp::Neg => "neg",
+            UnaryOp::Not => "not",
+        }
+    }
+}
+
+/// Shift operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShiftOp {
+    /// Shift left.
+    Shl,
+    /// Logical shift right.
+    Shr,
+    /// Arithmetic shift right.
+    Sar,
+}
+
+impl ShiftOp {
+    /// AT&T mnemonic stem.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            ShiftOp::Shl => "shl",
+            ShiftOp::Shr => "shr",
+            ShiftOp::Sar => "sar",
+        }
+    }
+}
+
+/// Shift amount: an immediate or the `%cl` register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShiftAmount {
+    Imm(u8),
+    Cl,
+}
+
+/// The modelled instruction set.
+///
+/// Operand order follows AT&T syntax: source first, destination last.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Inst {
+    /// `mov{bwlq} src, dst` (at most one memory operand).
+    Mov {
+        w: Width,
+        src: Operand,
+        dst: Operand,
+    },
+    /// Sign-extending move, e.g. `movslq src, dst` (W32 → W64).
+    Movsx {
+        src_w: Width,
+        dst_w: Width,
+        src: Operand,
+        dst: Reg,
+    },
+    /// Zero-extending move, e.g. `movzbl src, dst`.
+    Movzx {
+        src_w: Width,
+        dst_w: Width,
+        src: Operand,
+        dst: Reg,
+    },
+    /// `lea mem, dst` — effective-address computation, no flags.
+    Lea { mem: MemRef, dst: Reg },
+    /// Two-operand ALU: `dst = dst OP src`, writes flags.
+    Alu {
+        op: AluOp,
+        w: Width,
+        src: Operand,
+        dst: Operand,
+    },
+    /// Two-operand signed multiply: `imul src, dst` (register destination).
+    Imul { w: Width, src: Operand, dst: Reg },
+    /// Unary ALU on a register or memory operand, writes flags.
+    Unary { op: UnaryOp, w: Width, dst: Operand },
+    /// Shift by immediate or `%cl`, writes flags.
+    Shift {
+        op: ShiftOp,
+        w: Width,
+        amount: ShiftAmount,
+        dst: Operand,
+    },
+    /// `cqo`/`cdq`: sign-extend `%rax` into `%rdx` (width of the pair).
+    Cqo { w: Width },
+    /// Signed divide of `rdx:rax` by `src`; quotient → `%rax`, remainder →
+    /// `%rdx`.
+    Idiv { w: Width, src: Operand },
+    /// `cmp src, dst`: computes `dst - src`, writes only flags.
+    Cmp {
+        w: Width,
+        src: Operand,
+        dst: Operand,
+    },
+    /// `test src, dst`: computes `dst & src`, writes only flags.
+    Test {
+        w: Width,
+        src: Operand,
+        dst: Operand,
+    },
+    /// `set<cc> dst` — materialise a condition into a byte.
+    Setcc { cc: Cc, dst: Operand },
+    /// Unconditional jump.
+    Jmp { target: Label },
+    /// Conditional jump.
+    Jcc { cc: Cc, target: Label },
+    /// Call a function (or intrinsic) by name.
+    Call { target: Label },
+    /// Return from the current function.
+    Ret,
+    /// Push a 64-bit value.
+    Push { src: Operand },
+    /// Pop a 64-bit value.
+    Pop { dst: Operand },
+    /// `movq src, %xmmN` — move 64 bits from a GPR or memory into lane 0
+    /// of an XMM register, zeroing the rest (the duplication idiom of
+    /// Fig. 6 in the paper).
+    MovqToXmm { src: Operand, dst: Xmm },
+    /// `movq %xmmN, dst` — move lane 0 of an XMM register to a GPR.
+    MovqFromXmm { src: Xmm, dst: Reg },
+    /// `pinsrq $lane, src, %xmmN` — insert 64 bits into lane 0 or 1.
+    Pinsrq { lane: u8, src: Operand, dst: Xmm },
+    /// `pextrq $lane, %xmmN, dst` — extract 64 bits from lane 0 or 1.
+    Pextrq { lane: u8, src: Xmm, dst: Reg },
+    /// `vinserti128 $lane, %xmm, %ymm, %ymm` — widen two XMM halves into
+    /// a YMM register.
+    Vinserti128 {
+        lane: u8,
+        src: Xmm,
+        src2: Ymm,
+        dst: Ymm,
+    },
+    /// `vpxor %ymm, %ymm, %ymm` — 256-bit XOR (three-operand AVX form).
+    Vpxor { a: Ymm, b: Ymm, dst: Ymm },
+    /// `vptest %ymm, %ymm` — sets ZF if `a & b == 0` (the batched
+    /// mismatch check of Fig. 6).
+    Vptest { a: Ymm, b: Ymm },
+    /// `vpxor %xmm, %xmm, %xmm` — 128-bit XOR (zeroes the upper YMM
+    /// half, VEX semantics).  Used when a FERRUM batch flushes with two
+    /// or fewer entries.
+    Vpxor128 { a: Xmm, b: Xmm, dst: Xmm },
+    /// `vptest %xmm, %xmm` — 128-bit mismatch test.
+    Vptest128 { a: Xmm, b: Xmm },
+    /// `vinserti64x4 $lane, %ymm, %zmm, %zmm` — AVX-512: widen two YMM
+    /// halves into a ZMM register (the 512-bit analogue of
+    /// `vinserti128`, paper §III-B3).
+    Vinserti64x4 {
+        lane: u8,
+        src: Ymm,
+        src2: Zmm,
+        dst: Zmm,
+    },
+    /// `vpxorq %zmm, %zmm, %zmm` — 512-bit XOR.
+    Vpxor512 { a: Zmm, b: Zmm, dst: Zmm },
+    /// 512-bit mismatch test, modelled as a fused
+    /// `vptestmq`+`kortestb` setting ZF when `a & b == 0` (AVX-512 has
+    /// no direct `vptest`; the mask-register round trip is folded into
+    /// one modelled instruction — see DESIGN.md).
+    Vptest512 { a: Zmm, b: Zmm },
+    /// No operation.
+    Nop,
+}
+
+/// Architectural destination written by an instruction, as seen by the
+/// fault injector ("destination register" in §IV-A2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DestClass {
+    /// A general-purpose register view.
+    Gpr(Reg),
+    /// Both `%rax` and `%rdx` (division); the injector picks one.
+    RaxRdxPair(Width),
+    /// The RFLAGS register (`cmp`/`test`/`vptest`).
+    Rflags,
+    /// An XMM register (128 bits).
+    Xmm(Xmm),
+    /// A YMM register (256 bits).
+    Ymm(Ymm),
+    /// A ZMM register (512 bits).
+    Zmm(Zmm),
+    /// No injectable destination (stores, branches, pushes, ...).
+    None,
+}
+
+impl Inst {
+    /// The destination the fault injector may corrupt after this
+    /// instruction writes back.
+    ///
+    /// Memory destinations report [`DestClass::None`]: the fault model
+    /// assumes ECC-protected memory (§II-A).  Stack-pointer side effects
+    /// of `push`/`pop`/`call`/`ret` are likewise excluded — stack-pointer
+    /// corruption almost always crashes rather than silently corrupting
+    /// data, and PIN-based injectors target the explicit destination.
+    pub fn dest_class(&self) -> DestClass {
+        match self {
+            Inst::Mov { w, dst, .. } | Inst::Alu { w, dst, .. } => match dst {
+                Operand::Reg(r) => DestClass::Gpr(r.with_width(*w)),
+                _ => DestClass::None,
+            },
+            Inst::Movsx { dst_w, dst, .. } | Inst::Movzx { dst_w, dst, .. } => {
+                DestClass::Gpr(dst.with_width(*dst_w))
+            }
+            Inst::Lea { dst, .. } => DestClass::Gpr(dst.with_width(Width::W64)),
+            Inst::Imul { w, dst, .. } => DestClass::Gpr(dst.with_width(*w)),
+            Inst::Unary { w, dst, .. } | Inst::Shift { w, dst, .. } => match dst {
+                Operand::Reg(r) => DestClass::Gpr(r.with_width(*w)),
+                _ => DestClass::None,
+            },
+            Inst::Cqo { w } => DestClass::Gpr(Reg::gpr(Gpr::Rdx, *w)),
+            Inst::Idiv { w, .. } => DestClass::RaxRdxPair(*w),
+            Inst::Cmp { .. }
+            | Inst::Test { .. }
+            | Inst::Vptest { .. }
+            | Inst::Vptest128 { .. }
+            | Inst::Vptest512 { .. } => DestClass::Rflags,
+            Inst::Setcc { dst, .. } => match dst {
+                Operand::Reg(r) => DestClass::Gpr(r.with_width(Width::W8)),
+                _ => DestClass::None,
+            },
+            Inst::Pop { dst } => match dst {
+                Operand::Reg(r) => DestClass::Gpr(r.with_width(Width::W64)),
+                _ => DestClass::None,
+            },
+            Inst::MovqFromXmm { dst, .. } | Inst::Pextrq { dst, .. } => {
+                DestClass::Gpr(dst.with_width(Width::W64))
+            }
+            Inst::MovqToXmm { dst, .. } | Inst::Pinsrq { dst, .. } | Inst::Vpxor128 { dst, .. } => {
+                DestClass::Xmm(*dst)
+            }
+            Inst::Vinserti128 { dst, .. } | Inst::Vpxor { dst, .. } => DestClass::Ymm(*dst),
+            Inst::Vinserti64x4 { dst, .. } | Inst::Vpxor512 { dst, .. } => DestClass::Zmm(*dst),
+            Inst::Jmp { .. }
+            | Inst::Jcc { .. }
+            | Inst::Call { .. }
+            | Inst::Ret
+            | Inst::Push { .. }
+            | Inst::Nop => DestClass::None,
+        }
+    }
+
+    /// Width in bits of the injectable fault destination, or `None` when
+    /// the instruction is not an eligible fault site.
+    ///
+    /// Frame-register (`%rsp`/`%rbp`) destinations are excluded: faults
+    /// there are overwhelmingly crash-inducing, and PIN-style samplers
+    /// target data destinations (see the fault-model discussion in
+    /// DESIGN.md).  The protection passes and the fault injector share
+    /// this single definition, which is what makes the 100%-coverage
+    /// claim checkable.
+    pub fn injectable_bits(&self) -> Option<u32> {
+        match self.dest_class() {
+            DestClass::Gpr(r) if !r.gpr.is_frame() => Some(r.width.bits()),
+            DestClass::Gpr(_) => None,
+            DestClass::RaxRdxPair(w) => Some(2 * w.bits()),
+            DestClass::Rflags => Some(4),
+            DestClass::Xmm(_) => Some(128),
+            DestClass::Ymm(_) => Some(256),
+            DestClass::Zmm(_) => Some(512),
+            DestClass::None => None,
+        }
+    }
+
+    /// The general-purpose register written, if any (convenience over
+    /// [`Inst::dest_class`]).
+    pub fn dest_gpr(&self) -> Option<Reg> {
+        match self.dest_class() {
+            DestClass::Gpr(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// True if executing this instruction overwrites RFLAGS.
+    pub fn writes_flags(&self) -> bool {
+        matches!(
+            self,
+            Inst::Alu { .. }
+                | Inst::Imul { .. }
+                | Inst::Unary { .. }
+                | Inst::Shift { .. }
+                | Inst::Cmp { .. }
+                | Inst::Test { .. }
+                | Inst::Vptest { .. }
+                | Inst::Vptest128 { .. }
+                | Inst::Vptest512 { .. }
+        )
+    }
+
+    /// True if this instruction reads RFLAGS.
+    pub fn reads_flags(&self) -> bool {
+        matches!(self, Inst::Jcc { .. } | Inst::Setcc { .. })
+    }
+
+    /// True if this instruction ends a basic block (terminator).
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, Inst::Jmp { .. } | Inst::Ret)
+    }
+
+    /// True for control-transfer instructions of any kind.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Inst::Jmp { .. } | Inst::Jcc { .. } | Inst::Call { .. } | Inst::Ret
+        )
+    }
+
+    /// The branch/call target label, if any.
+    pub fn target(&self) -> Option<&Label> {
+        match self {
+            Inst::Jmp { target } | Inst::Jcc { target, .. } | Inst::Call { target } => Some(target),
+            _ => None,
+        }
+    }
+
+    /// All general-purpose registers *read* by the instruction (including
+    /// address registers of memory operands and implicit operands).
+    pub fn gprs_read(&self) -> Vec<Gpr> {
+        fn op_read_into(out: &mut Vec<Gpr>, op: &Operand) {
+            match op {
+                Operand::Reg(r) => out.push(r.gpr),
+                Operand::Mem(m) => out.extend(m.regs_read()),
+                Operand::Imm(_) => {}
+            }
+        }
+        let mut out = Vec::new();
+        match self {
+            Inst::Mov { src, dst, .. } => {
+                op_read_into(&mut out, src);
+                if let Operand::Mem(m) = dst {
+                    out.extend(m.regs_read());
+                }
+            }
+            Inst::Movsx { src, .. } | Inst::Movzx { src, .. } => op_read_into(&mut out, src),
+            Inst::Lea { mem, .. } => out.extend(mem.regs_read()),
+            Inst::Alu { src, dst, .. } => {
+                op_read_into(&mut out, src);
+                op_read_into(&mut out, dst); // read-modify-write
+            }
+            Inst::Imul { src, dst, .. } => {
+                op_read_into(&mut out, src);
+                out.push(dst.gpr);
+            }
+            Inst::Unary { dst, .. } => op_read_into(&mut out, dst),
+            Inst::Shift { amount, dst, .. } => {
+                if matches!(amount, ShiftAmount::Cl) {
+                    out.push(Gpr::Rcx);
+                }
+                op_read_into(&mut out, dst);
+            }
+            Inst::Cqo { .. } => out.push(Gpr::Rax),
+            Inst::Idiv { src, .. } => {
+                out.push(Gpr::Rax);
+                out.push(Gpr::Rdx);
+                op_read_into(&mut out, src);
+            }
+            Inst::Cmp { src, dst, .. } | Inst::Test { src, dst, .. } => {
+                op_read_into(&mut out, src);
+                op_read_into(&mut out, dst);
+            }
+            Inst::Setcc { dst, .. } => {
+                if let Operand::Mem(m) = dst {
+                    out.extend(m.regs_read());
+                }
+            }
+            Inst::Push { src } => {
+                op_read_into(&mut out, src);
+                out.push(Gpr::Rsp);
+            }
+            Inst::Pop { dst } => {
+                if let Operand::Mem(m) = dst {
+                    out.extend(m.regs_read());
+                }
+                out.push(Gpr::Rsp);
+            }
+            Inst::MovqToXmm { src, .. } | Inst::Pinsrq { src, .. } => op_read_into(&mut out, src),
+            Inst::Jmp { .. }
+            | Inst::Jcc { .. }
+            | Inst::Call { .. }
+            | Inst::Ret
+            | Inst::MovqFromXmm { .. }
+            | Inst::Pextrq { .. }
+            | Inst::Vinserti128 { .. }
+            | Inst::Vpxor { .. }
+            | Inst::Vptest { .. }
+            | Inst::Vpxor128 { .. }
+            | Inst::Vptest128 { .. }
+            | Inst::Vinserti64x4 { .. }
+            | Inst::Vpxor512 { .. }
+            | Inst::Vptest512 { .. }
+            | Inst::Nop => {}
+        }
+        out
+    }
+
+    /// All general-purpose registers *written* by the instruction,
+    /// including implicit ones (`%rsp` for push/pop, `%rax`/`%rdx` for
+    /// division).  Used by the spare-register scanner (§III-B1).
+    pub fn gprs_written(&self) -> Vec<Gpr> {
+        let mut out = Vec::new();
+        match self.dest_class() {
+            DestClass::Gpr(r) => out.push(r.gpr),
+            DestClass::RaxRdxPair(_) => {
+                out.push(Gpr::Rax);
+                out.push(Gpr::Rdx);
+            }
+            _ => {}
+        }
+        match self {
+            Inst::Push { .. } | Inst::Pop { .. } | Inst::Call { .. } | Inst::Ret => {
+                out.push(Gpr::Rsp);
+            }
+            _ => {}
+        }
+        out
+    }
+
+    /// XMM/YMM registers read (by index; a YMM read covers its XMM alias).
+    pub fn simd_read(&self) -> Vec<u8> {
+        match self {
+            Inst::MovqFromXmm { src, .. } | Inst::Pextrq { src, .. } => vec![src.0],
+            Inst::Pinsrq { dst, .. } => vec![dst.0], // read-modify-write
+            Inst::Vinserti128 { src, src2, .. } => vec![src.0, src2.0],
+            Inst::Vpxor { a, b, .. } => vec![a.0, b.0],
+            Inst::Vptest { a, b } => vec![a.0, b.0],
+            Inst::Vpxor128 { a, b, .. } => vec![a.0, b.0],
+            Inst::Vptest128 { a, b } => vec![a.0, b.0],
+            Inst::Vinserti64x4 { src, src2, .. } => vec![src.0, src2.0],
+            Inst::Vpxor512 { a, b, .. } => vec![a.0, b.0],
+            Inst::Vptest512 { a, b } => vec![a.0, b.0],
+            _ => Vec::new(),
+        }
+    }
+
+    /// XMM/YMM registers written (by index).
+    pub fn simd_written(&self) -> Vec<u8> {
+        match self {
+            Inst::MovqToXmm { dst, .. } | Inst::Pinsrq { dst, .. } => vec![dst.0],
+            Inst::Vinserti128 { dst, .. } | Inst::Vpxor { dst, .. } => vec![dst.0],
+            Inst::Vpxor128 { dst, .. } => vec![dst.0],
+            Inst::Vinserti64x4 { dst, .. } | Inst::Vpxor512 { dst, .. } => vec![dst.0],
+            _ => Vec::new(),
+        }
+    }
+
+    /// True if the instruction touches memory (data access, not stack
+    /// bookkeeping by push/pop).
+    pub fn touches_memory(&self) -> bool {
+        let op_mem = |op: &Operand| op.is_mem();
+        match self {
+            Inst::Mov { src, dst, .. }
+            | Inst::Alu { src, dst, .. }
+            | Inst::Cmp { src, dst, .. }
+            | Inst::Test { src, dst, .. } => op_mem(src) || op_mem(dst),
+            Inst::Movsx { src, .. } | Inst::Movzx { src, .. } | Inst::Idiv { src, .. } => {
+                op_mem(src)
+            }
+            Inst::Unary { dst, .. } | Inst::Shift { dst, .. } | Inst::Setcc { dst, .. } => {
+                op_mem(dst)
+            }
+            Inst::Imul { src, .. } => op_mem(src),
+            Inst::Push { .. } | Inst::Pop { .. } => true,
+            Inst::MovqToXmm { src, .. } | Inst::Pinsrq { src, .. } => op_mem(src),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operand::MemRef;
+
+    fn mov_rr(src: Gpr, dst: Gpr) -> Inst {
+        Inst::Mov {
+            w: Width::W64,
+            src: Operand::Reg(Reg::q(src)),
+            dst: Operand::Reg(Reg::q(dst)),
+        }
+    }
+
+    #[test]
+    fn dest_class_of_register_mov() {
+        assert_eq!(
+            mov_rr(Gpr::Rax, Gpr::Rcx).dest_class(),
+            DestClass::Gpr(Reg::q(Gpr::Rcx))
+        );
+    }
+
+    #[test]
+    fn dest_class_of_store_is_none() {
+        let store = Inst::Mov {
+            w: Width::W32,
+            src: Operand::Reg(Reg::l(Gpr::Rax)),
+            dst: Operand::Mem(MemRef::base_disp(Gpr::Rbp, -8)),
+        };
+        assert_eq!(store.dest_class(), DestClass::None);
+        assert!(store.touches_memory());
+    }
+
+    #[test]
+    fn cmp_and_test_target_rflags() {
+        let cmp = Inst::Cmp {
+            w: Width::W32,
+            src: Operand::Imm(0),
+            dst: Operand::Mem(MemRef::base_disp(Gpr::Rbp, -4)),
+        };
+        assert_eq!(cmp.dest_class(), DestClass::Rflags);
+        assert!(cmp.writes_flags());
+        assert!(!cmp.reads_flags());
+    }
+
+    #[test]
+    fn idiv_writes_both_halves() {
+        let idiv = Inst::Idiv {
+            w: Width::W32,
+            src: Operand::Reg(Reg::l(Gpr::Rcx)),
+        };
+        assert_eq!(idiv.dest_class(), DestClass::RaxRdxPair(Width::W32));
+        let written = idiv.gprs_written();
+        assert!(written.contains(&Gpr::Rax) && written.contains(&Gpr::Rdx));
+        let read = idiv.gprs_read();
+        assert!(read.contains(&Gpr::Rax) && read.contains(&Gpr::Rdx) && read.contains(&Gpr::Rcx));
+    }
+
+    #[test]
+    fn setcc_reads_flags_writes_byte() {
+        let s = Inst::Setcc {
+            cc: Cc::E,
+            dst: Operand::Reg(Reg::b(Gpr::R11)),
+        };
+        assert!(s.reads_flags());
+        assert_eq!(s.dest_class(), DestClass::Gpr(Reg::b(Gpr::R11)));
+    }
+
+    #[test]
+    fn push_pop_track_rsp() {
+        let push = Inst::Push {
+            src: Operand::Reg(Reg::q(Gpr::R10)),
+        };
+        assert!(push.gprs_written().contains(&Gpr::Rsp));
+        assert!(push.gprs_read().contains(&Gpr::R10));
+        assert_eq!(push.dest_class(), DestClass::None);
+        let pop = Inst::Pop {
+            dst: Operand::Reg(Reg::q(Gpr::R10)),
+        };
+        assert_eq!(pop.dest_class(), DestClass::Gpr(Reg::q(Gpr::R10)));
+        assert!(pop.gprs_written().contains(&Gpr::Rsp));
+    }
+
+    #[test]
+    fn memory_operand_address_registers_are_read() {
+        let load = Inst::Mov {
+            w: Width::W64,
+            src: Operand::Mem(MemRef::indexed(
+                Gpr::Rax,
+                Gpr::Rcx,
+                crate::operand::Scale::S8,
+                8,
+            )),
+            dst: Operand::Reg(Reg::q(Gpr::Rdx)),
+        };
+        let read = load.gprs_read();
+        assert!(read.contains(&Gpr::Rax) && read.contains(&Gpr::Rcx));
+        assert!(!read.contains(&Gpr::Rdx));
+    }
+
+    #[test]
+    fn alu_reads_its_destination() {
+        let add = Inst::Alu {
+            op: AluOp::Add,
+            w: Width::W64,
+            src: Operand::Reg(Reg::q(Gpr::Rbx)),
+            dst: Operand::Reg(Reg::q(Gpr::Rax)),
+        };
+        let read = add.gprs_read();
+        assert!(read.contains(&Gpr::Rax) && read.contains(&Gpr::Rbx));
+        assert!(add.writes_flags());
+    }
+
+    #[test]
+    fn simd_reads_and_writes() {
+        let ins = Inst::Vinserti128 {
+            lane: 1,
+            src: Xmm::new(2),
+            src2: Ymm::new(0),
+            dst: Ymm::new(0),
+        };
+        assert_eq!(ins.simd_read(), vec![2, 0]);
+        assert_eq!(ins.simd_written(), vec![0]);
+        let x = Inst::Vpxor {
+            a: Ymm::new(1),
+            b: Ymm::new(0),
+            dst: Ymm::new(0),
+        };
+        assert_eq!(x.simd_read(), vec![1, 0]);
+        let t = Inst::Vptest {
+            a: Ymm::new(0),
+            b: Ymm::new(0),
+        };
+        assert!(t.writes_flags());
+        assert_eq!(t.dest_class(), DestClass::Rflags);
+        let pinsr = Inst::Pinsrq {
+            lane: 1,
+            src: Operand::Reg(Reg::q(Gpr::Rdi)),
+            dst: Xmm::new(1),
+        };
+        assert_eq!(pinsr.simd_read(), vec![1]);
+        assert_eq!(pinsr.simd_written(), vec![1]);
+    }
+
+    #[test]
+    fn control_flow_properties() {
+        let jmp = Inst::Jmp {
+            target: "bb1".into(),
+        };
+        assert!(jmp.is_terminator() && jmp.is_control());
+        assert_eq!(jmp.target().map(String::as_str), Some("bb1"));
+        let jcc = Inst::Jcc {
+            cc: Cc::Ne,
+            target: "exit".into(),
+        };
+        assert!(!jcc.is_terminator());
+        assert!(jcc.is_control() && jcc.reads_flags());
+        assert!(Inst::Ret.is_terminator());
+        assert_eq!(Inst::Ret.target(), None);
+    }
+
+    #[test]
+    fn shift_by_cl_reads_rcx() {
+        let s = Inst::Shift {
+            op: ShiftOp::Shl,
+            w: Width::W64,
+            amount: ShiftAmount::Cl,
+            dst: Operand::Reg(Reg::q(Gpr::Rax)),
+        };
+        assert!(s.gprs_read().contains(&Gpr::Rcx));
+    }
+}

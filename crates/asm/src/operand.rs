@@ -1,0 +1,240 @@
+//! Instruction operands: registers, immediates, and memory references.
+
+use std::fmt;
+
+use crate::reg::{Gpr, Reg};
+
+/// Scale factor of a memory reference's index register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    S1,
+    S2,
+    S4,
+    S8,
+}
+
+impl Scale {
+    /// The numeric multiplier.
+    pub fn factor(self) -> u64 {
+        match self {
+            Scale::S1 => 1,
+            Scale::S2 => 2,
+            Scale::S4 => 4,
+            Scale::S8 => 8,
+        }
+    }
+
+    /// Builds a scale from a multiplier.
+    pub fn from_factor(f: u64) -> Option<Scale> {
+        match f {
+            1 => Some(Scale::S1),
+            2 => Some(Scale::S2),
+            4 => Some(Scale::S4),
+            8 => Some(Scale::S8),
+            _ => None,
+        }
+    }
+}
+
+/// An x86 memory reference: `disp(base, index, scale)` in AT&T syntax,
+/// optionally anchored at a named global symbol.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MemRef {
+    /// Displacement added to the effective address.
+    pub disp: i64,
+    /// Optional base register (always the 64-bit view).
+    pub base: Option<Gpr>,
+    /// Optional scaled index register.
+    pub index: Option<(Gpr, Scale)>,
+    /// Optional global symbol whose address anchors the reference
+    /// (RIP-relative addressing of program data).
+    pub symbol: Option<String>,
+}
+
+impl MemRef {
+    /// `disp(%base)` — the common frame-slot form, e.g. `-24(%rbp)`.
+    pub fn base_disp(base: Gpr, disp: i64) -> MemRef {
+        MemRef {
+            disp,
+            base: Some(base),
+            index: None,
+            symbol: None,
+        }
+    }
+
+    /// `disp(%base, %index, scale)` — an indexed reference.
+    pub fn indexed(base: Gpr, index: Gpr, scale: Scale, disp: i64) -> MemRef {
+        MemRef {
+            disp,
+            base: Some(base),
+            index: Some((index, scale)),
+            symbol: None,
+        }
+    }
+
+    /// `symbol(%rip)`-style reference to a global, with optional register
+    /// index added by the address computation.
+    pub fn global(symbol: impl Into<String>, disp: i64) -> MemRef {
+        MemRef {
+            disp,
+            base: None,
+            index: None,
+            symbol: Some(symbol.into()),
+        }
+    }
+
+    /// Registers read when computing this effective address.
+    pub fn regs_read(&self) -> impl Iterator<Item = Gpr> + '_ {
+        self.base.into_iter().chain(self.index.map(|(g, _)| g))
+    }
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(sym) = &self.symbol {
+            write!(f, "{sym}")?;
+            if self.disp != 0 {
+                write!(f, "+{}", self.disp)?;
+            }
+            if self.base.is_none() && self.index.is_none() {
+                write!(f, "(%rip)")?;
+            }
+        } else if self.disp != 0 || (self.base.is_none() && self.index.is_none()) {
+            write!(f, "{}", self.disp)?;
+        }
+        if self.base.is_some() || self.index.is_some() {
+            write!(f, "(")?;
+            if let Some(b) = self.base {
+                write!(f, "%{}", b.name64())?;
+            }
+            if let Some((i, s)) = self.index {
+                write!(f, ", %{}, {}", i.name64(), s.factor())?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// A generic instruction operand.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A general-purpose register view.
+    Reg(Reg),
+    /// An immediate value.
+    Imm(i64),
+    /// A memory reference.
+    Mem(MemRef),
+}
+
+impl Operand {
+    /// Convenience constructor for a register operand.
+    pub fn reg(r: Reg) -> Operand {
+        Operand::Reg(r)
+    }
+
+    /// Convenience constructor for an immediate operand.
+    pub fn imm(v: i64) -> Operand {
+        Operand::Imm(v)
+    }
+
+    /// Convenience constructor for a memory operand.
+    pub fn mem(m: MemRef) -> Operand {
+        Operand::Mem(m)
+    }
+
+    /// Returns the register if this is a register operand.
+    pub fn as_reg(&self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// Returns the memory reference if this is a memory operand.
+    pub fn as_mem(&self) -> Option<&MemRef> {
+        match self {
+            Operand::Mem(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// True if this operand touches memory.
+    pub fn is_mem(&self) -> bool {
+        matches!(self, Operand::Mem(_))
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Operand {
+        Operand::Reg(r)
+    }
+}
+
+impl From<MemRef> for Operand {
+    fn from(m: MemRef) -> Operand {
+        Operand::Mem(m)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "${v}"),
+            Operand::Mem(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Width;
+
+    #[test]
+    fn memref_display_forms() {
+        assert_eq!(MemRef::base_disp(Gpr::Rbp, -24).to_string(), "-24(%rbp)");
+        assert_eq!(MemRef::base_disp(Gpr::Rax, 0).to_string(), "(%rax)");
+        assert_eq!(MemRef::base_disp(Gpr::Rax, 8).to_string(), "8(%rax)");
+        assert_eq!(
+            MemRef::indexed(Gpr::Rax, Gpr::Rcx, Scale::S8, 16).to_string(),
+            "16(%rax, %rcx, 8)"
+        );
+        assert_eq!(MemRef::global("table", 0).to_string(), "table(%rip)");
+        let mut g = MemRef::global("table", 4);
+        assert_eq!(g.to_string(), "table+4(%rip)");
+        g.base = Some(Gpr::Rdx);
+        assert_eq!(g.to_string(), "table+4(%rdx)");
+    }
+
+    #[test]
+    fn memref_regs_read() {
+        let m = MemRef::indexed(Gpr::Rax, Gpr::Rcx, Scale::S4, 0);
+        let regs: Vec<Gpr> = m.regs_read().collect();
+        assert_eq!(regs, vec![Gpr::Rax, Gpr::Rcx]);
+        assert_eq!(MemRef::global("g", 0).regs_read().count(), 0);
+    }
+
+    #[test]
+    fn scale_round_trips() {
+        for s in [Scale::S1, Scale::S2, Scale::S4, Scale::S8] {
+            assert_eq!(Scale::from_factor(s.factor()), Some(s));
+        }
+        assert_eq!(Scale::from_factor(3), None);
+    }
+
+    #[test]
+    fn operand_display_and_accessors() {
+        let r = Operand::reg(Reg::gpr(Gpr::Rcx, Width::W32));
+        assert_eq!(r.to_string(), "%ecx");
+        assert!(r.as_reg().is_some());
+        assert!(!r.is_mem());
+        let i = Operand::imm(-7);
+        assert_eq!(i.to_string(), "$-7");
+        assert_eq!(i.as_reg(), None);
+        let m = Operand::mem(MemRef::base_disp(Gpr::Rbp, -8));
+        assert!(m.is_mem());
+        assert!(m.as_mem().is_some());
+    }
+}

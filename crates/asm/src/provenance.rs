@@ -1,0 +1,159 @@
+//! Cross-layer provenance of assembly instructions.
+//!
+//! The paper's root-cause analysis (§IV-B1) attributes IR-level EDDI's
+//! coverage loss to instructions that only exist after backend lowering.
+//! We make that attribution queryable by tagging every emitted assembly
+//! instruction with where it came from.
+
+use std::fmt;
+
+/// Classes of backend-generated instructions that have no one-to-one IR
+/// counterpart and are therefore invisible to IR-level protection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GlueKind {
+    /// Branch materialisation: the `cmp`/`test` reloading a stored
+    /// condition byte before a conditional jump (Figs. 8–9).
+    BranchMaterialize,
+    /// Value/address staging for a store sync point.
+    StoreStaging,
+    /// Argument and return-value marshalling around calls.
+    CallGlue,
+    /// Return-value staging for `ret`.
+    RetGlue,
+    /// Function prologue/epilogue (frame setup, callee-saved saves).
+    FrameSetup,
+    /// Spill/reload traffic between frame slots and registers that the
+    /// -O0-style backend emits inside lowered computations.
+    SlotTraffic,
+    /// Address computation for array/global accesses.
+    AddressCalc,
+}
+
+impl GlueKind {
+    /// All glue kinds (for reporting tables).
+    pub const ALL: [GlueKind; 7] = [
+        GlueKind::BranchMaterialize,
+        GlueKind::StoreStaging,
+        GlueKind::CallGlue,
+        GlueKind::RetGlue,
+        GlueKind::FrameSetup,
+        GlueKind::SlotTraffic,
+        GlueKind::AddressCalc,
+    ];
+
+    /// Human-readable label used in the root-cause report.
+    pub fn label(self) -> &'static str {
+        match self {
+            GlueKind::BranchMaterialize => "branch-materialize",
+            GlueKind::StoreStaging => "store-staging",
+            GlueKind::CallGlue => "call-glue",
+            GlueKind::RetGlue => "ret-glue",
+            GlueKind::FrameSetup => "frame-setup",
+            GlueKind::SlotTraffic => "slot-traffic",
+            GlueKind::AddressCalc => "address-calc",
+        }
+    }
+}
+
+impl fmt::Display for GlueKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Which protection technique inserted an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TechniqueTag {
+    /// IR-level EDDI (duplicates and checks appear in the IR and are
+    /// lowered like ordinary code; this tag marks the *lowered* result).
+    IrEddi,
+    /// The replicated plain assembly-level EDDI baseline.
+    HybridAsmEddi,
+    /// FERRUM.
+    Ferrum,
+}
+
+impl fmt::Display for TechniqueTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TechniqueTag::IrEddi => "ir-eddi",
+            TechniqueTag::HybridAsmEddi => "hybrid-asm-eddi",
+            TechniqueTag::Ferrum => "ferrum",
+        })
+    }
+}
+
+/// Where an assembly instruction came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Provenance {
+    /// Lowered from the MIR instruction with this id, in the function
+    /// named by the enclosing [`crate::program::AsmFunction`].
+    FromIr(u32),
+    /// Backend-generated footprint with no IR counterpart.
+    Glue(GlueKind),
+    /// Inserted by a protection pass (duplicates, checkers, requisition
+    /// pushes/pops).
+    Protection(TechniqueTag),
+    /// Hand-written or synthetic (tests, examples).
+    Synthetic,
+}
+
+impl Provenance {
+    /// True if the instruction was created by a protection pass.
+    pub fn is_protection(self) -> bool {
+        matches!(self, Provenance::Protection(_))
+    }
+
+    /// True if the instruction is backend glue (the unprotected residue
+    /// under IR-level EDDI).
+    pub fn is_glue(self) -> bool {
+        matches!(self, Provenance::Glue(_))
+    }
+}
+
+impl fmt::Display for Provenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Provenance::FromIr(id) => write!(f, "ir:{id}"),
+            Provenance::Glue(k) => write!(f, "glue:{k}"),
+            Provenance::Protection(t) => write!(f, "prot:{t}"),
+            Provenance::Synthetic => write!(f, "synthetic"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_helpers() {
+        assert!(Provenance::Protection(TechniqueTag::Ferrum).is_protection());
+        assert!(!Provenance::Protection(TechniqueTag::Ferrum).is_glue());
+        assert!(Provenance::Glue(GlueKind::CallGlue).is_glue());
+        assert!(!Provenance::FromIr(3).is_glue());
+        assert!(!Provenance::Synthetic.is_protection());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Provenance::FromIr(7).to_string(), "ir:7");
+        assert_eq!(
+            Provenance::Glue(GlueKind::BranchMaterialize).to_string(),
+            "glue:branch-materialize"
+        );
+        assert_eq!(
+            Provenance::Protection(TechniqueTag::HybridAsmEddi).to_string(),
+            "prot:hybrid-asm-eddi"
+        );
+        assert_eq!(Provenance::Synthetic.to_string(), "synthetic");
+    }
+
+    #[test]
+    fn glue_kinds_have_unique_labels() {
+        let mut labels: Vec<&str> = GlueKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), GlueKind::ALL.len());
+    }
+}

@@ -1,0 +1,487 @@
+//! Register model: general-purpose registers with sub-register views, and
+//! the XMM/YMM SIMD register files.
+
+use std::fmt;
+
+/// The sixteen x86-64 general-purpose registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Gpr {
+    Rax = 0,
+    Rbx,
+    Rcx,
+    Rdx,
+    Rsi,
+    Rdi,
+    Rbp,
+    Rsp,
+    R8,
+    R9,
+    R10,
+    R11,
+    R12,
+    R13,
+    R14,
+    R15,
+}
+
+/// All sixteen general-purpose registers, in encoding order.
+pub const ALL_GPRS: [Gpr; 16] = [
+    Gpr::Rax,
+    Gpr::Rbx,
+    Gpr::Rcx,
+    Gpr::Rdx,
+    Gpr::Rsi,
+    Gpr::Rdi,
+    Gpr::Rbp,
+    Gpr::Rsp,
+    Gpr::R8,
+    Gpr::R9,
+    Gpr::R10,
+    Gpr::R11,
+    Gpr::R12,
+    Gpr::R13,
+    Gpr::R14,
+    Gpr::R15,
+];
+
+/// The System-V integer argument registers, in order.
+pub const ARG_GPRS: [Gpr; 6] = [Gpr::Rdi, Gpr::Rsi, Gpr::Rdx, Gpr::Rcx, Gpr::R8, Gpr::R9];
+
+/// Registers that a called function must preserve under the System-V ABI.
+pub const CALLEE_SAVED: [Gpr; 6] = [Gpr::Rbx, Gpr::Rbp, Gpr::R12, Gpr::R13, Gpr::R14, Gpr::R15];
+
+impl Gpr {
+    /// Returns the register's dense index in `0..16`.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Builds a register from its dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 16`.
+    pub fn from_index(idx: usize) -> Gpr {
+        ALL_GPRS[idx]
+    }
+
+    /// True for `%rsp`/`%rbp`, which the backend reserves for the frame.
+    pub fn is_frame(self) -> bool {
+        matches!(self, Gpr::Rsp | Gpr::Rbp)
+    }
+
+    /// The AT&T name of the 64-bit view, without the `%` sigil.
+    pub fn name64(self) -> &'static str {
+        match self {
+            Gpr::Rax => "rax",
+            Gpr::Rbx => "rbx",
+            Gpr::Rcx => "rcx",
+            Gpr::Rdx => "rdx",
+            Gpr::Rsi => "rsi",
+            Gpr::Rdi => "rdi",
+            Gpr::Rbp => "rbp",
+            Gpr::Rsp => "rsp",
+            Gpr::R8 => "r8",
+            Gpr::R9 => "r9",
+            Gpr::R10 => "r10",
+            Gpr::R11 => "r11",
+            Gpr::R12 => "r12",
+            Gpr::R13 => "r13",
+            Gpr::R14 => "r14",
+            Gpr::R15 => "r15",
+        }
+    }
+
+    /// The AT&T name of the register at width `w`, without the `%` sigil.
+    pub fn name(self, w: Width) -> String {
+        match w {
+            Width::W64 => self.name64().to_owned(),
+            Width::W32 => match self {
+                Gpr::Rax => "eax".into(),
+                Gpr::Rbx => "ebx".into(),
+                Gpr::Rcx => "ecx".into(),
+                Gpr::Rdx => "edx".into(),
+                Gpr::Rsi => "esi".into(),
+                Gpr::Rdi => "edi".into(),
+                Gpr::Rbp => "ebp".into(),
+                Gpr::Rsp => "esp".into(),
+                _ => format!("{}d", self.name64()),
+            },
+            Width::W16 => match self {
+                Gpr::Rax => "ax".into(),
+                Gpr::Rbx => "bx".into(),
+                Gpr::Rcx => "cx".into(),
+                Gpr::Rdx => "dx".into(),
+                Gpr::Rsi => "si".into(),
+                Gpr::Rdi => "di".into(),
+                Gpr::Rbp => "bp".into(),
+                Gpr::Rsp => "sp".into(),
+                _ => format!("{}w", self.name64()),
+            },
+            Width::W8 => match self {
+                Gpr::Rax => "al".into(),
+                Gpr::Rbx => "bl".into(),
+                Gpr::Rcx => "cl".into(),
+                Gpr::Rdx => "dl".into(),
+                Gpr::Rsi => "sil".into(),
+                Gpr::Rdi => "dil".into(),
+                Gpr::Rbp => "bpl".into(),
+                Gpr::Rsp => "spl".into(),
+                _ => format!("{}b", self.name64()),
+            },
+        }
+    }
+
+    /// Parses a register name (any width view, without `%`), returning the
+    /// register and the view width.
+    pub fn parse(name: &str) -> Option<(Gpr, Width)> {
+        for g in ALL_GPRS {
+            for w in Width::ALL {
+                if g.name(w) == name {
+                    return Some((g, w));
+                }
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Display for Gpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.name64())
+    }
+}
+
+/// Access width of a register view or memory operand, in bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Width {
+    W8,
+    W16,
+    W32,
+    W64,
+}
+
+impl Width {
+    /// All widths, narrowest first.
+    pub const ALL: [Width; 4] = [Width::W8, Width::W16, Width::W32, Width::W64];
+
+    /// Width in bits.
+    pub fn bits(self) -> u32 {
+        match self {
+            Width::W8 => 8,
+            Width::W16 => 16,
+            Width::W32 => 32,
+            Width::W64 => 64,
+        }
+    }
+
+    /// Width in bytes.
+    pub fn bytes(self) -> u64 {
+        u64::from(self.bits()) / 8
+    }
+
+    /// Bit mask selecting the low `bits()` bits of a `u64`.
+    pub fn mask(self) -> u64 {
+        match self {
+            Width::W64 => u64::MAX,
+            _ => (1u64 << self.bits()) - 1,
+        }
+    }
+
+    /// The AT&T mnemonic suffix letter (`b`, `w`, `l`, `q`).
+    pub fn suffix(self) -> char {
+        match self {
+            Width::W8 => 'b',
+            Width::W16 => 'w',
+            Width::W32 => 'l',
+            Width::W64 => 'q',
+        }
+    }
+
+    /// Parses a suffix letter back into a width.
+    pub fn from_suffix(c: char) -> Option<Width> {
+        match c {
+            'b' => Some(Width::W8),
+            'w' => Some(Width::W16),
+            'l' => Some(Width::W32),
+            'q' => Some(Width::W64),
+            _ => None,
+        }
+    }
+
+    /// Sign-extends the low `bits()` bits of `raw` to a full `i64`.
+    pub fn sext(self, raw: u64) -> i64 {
+        let b = self.bits();
+        if b == 64 {
+            raw as i64
+        } else {
+            let shift = 64 - b;
+            (((raw & self.mask()) << shift) as i64) >> shift
+        }
+    }
+}
+
+impl fmt::Display for Width {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.bits())
+    }
+}
+
+/// An XMM (128-bit) SIMD register, `%xmm0` through `%xmm15`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Xmm(pub u8);
+
+impl Xmm {
+    /// Constructs `%xmmN`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 16`.
+    pub fn new(n: u8) -> Xmm {
+        assert!(n < 16, "xmm register index out of range: {n}");
+        Xmm(n)
+    }
+
+    /// The register index in `0..16`.
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+impl fmt::Display for Xmm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%xmm{}", self.0)
+    }
+}
+
+/// A YMM (256-bit) SIMD register.  `%ymmN` aliases `%xmmN` in its low
+/// 128 bits, exactly as on real hardware — FERRUM's checker relies on this
+/// aliasing when it fills two XMM halves and widens with `vinserti128`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ymm(pub u8);
+
+impl Ymm {
+    /// Constructs `%ymmN`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 16`.
+    pub fn new(n: u8) -> Ymm {
+        assert!(n < 16, "ymm register index out of range: {n}");
+        Ymm(n)
+    }
+
+    /// The register index in `0..16`.
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+
+    /// The XMM register aliased by this YMM register's low half.
+    pub fn low_xmm(self) -> Xmm {
+        Xmm(self.0)
+    }
+}
+
+impl fmt::Display for Ymm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%ymm{}", self.0)
+    }
+}
+
+/// A ZMM (512-bit) SIMD register.  `%zmmN` aliases `%ymmN`/`%xmmN` in
+/// its low lanes.  Only part of Intel's processor line implements them
+/// (paper §III-B3), which is why FERRUM's ZMM batching is opt-in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Zmm(pub u8);
+
+impl Zmm {
+    /// Constructs `%zmmN`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 16`.
+    pub fn new(n: u8) -> Zmm {
+        assert!(n < 16, "zmm register index out of range: {n}");
+        Zmm(n)
+    }
+
+    /// The register index in `0..16`.
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+
+    /// The YMM register aliased by this ZMM register's low half.
+    pub fn low_ymm(self) -> Ymm {
+        Ymm(self.0)
+    }
+}
+
+impl fmt::Display for Zmm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%zmm{}", self.0)
+    }
+}
+
+/// A general-purpose register viewed at a particular width, e.g. `%eax`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Reg {
+    /// The underlying 64-bit register.
+    pub gpr: Gpr,
+    /// The width of this view.
+    pub width: Width,
+}
+
+impl Reg {
+    /// Creates a view of `gpr` at width `w`.
+    pub fn gpr(gpr: Gpr, w: Width) -> Reg {
+        Reg { gpr, width: w }
+    }
+
+    /// The 64-bit view of a register.
+    pub fn q(gpr: Gpr) -> Reg {
+        Reg::gpr(gpr, Width::W64)
+    }
+
+    /// The 32-bit view of a register.
+    pub fn l(gpr: Gpr) -> Reg {
+        Reg::gpr(gpr, Width::W32)
+    }
+
+    /// The 8-bit view of a register.
+    pub fn b(gpr: Gpr) -> Reg {
+        Reg::gpr(gpr, Width::W8)
+    }
+
+    /// Re-views this register at another width.
+    pub fn with_width(self, w: Width) -> Reg {
+        Reg::gpr(self.gpr, w)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.gpr.name(self.width))
+    }
+}
+
+/// Applies x86-64 sub-register write semantics: writing a 32-bit view
+/// zero-extends into the full register; writing an 8- or 16-bit view
+/// merges into the low bits and preserves the rest.
+///
+/// ```
+/// use ferrum_asm::reg::{merge_write, Width};
+/// assert_eq!(merge_write(0xffff_ffff_ffff_ffff, Width::W32, 0x1), 0x1);
+/// assert_eq!(merge_write(0xffff_ffff_ffff_ff00, Width::W8, 0x7f), 0xffff_ffff_ffff_ff7f);
+/// ```
+pub fn merge_write(old: u64, w: Width, value: u64) -> u64 {
+    match w {
+        Width::W64 => value,
+        Width::W32 => value & Width::W32.mask(),
+        Width::W16 | Width::W8 => (old & !w.mask()) | (value & w.mask()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpr_names_round_trip_at_every_width() {
+        for g in ALL_GPRS {
+            for w in Width::ALL {
+                let name = g.name(w);
+                assert_eq!(Gpr::parse(&name), Some((g, w)), "register {name}");
+            }
+        }
+    }
+
+    #[test]
+    fn gpr_index_round_trips() {
+        for (i, g) in ALL_GPRS.iter().enumerate() {
+            assert_eq!(g.index(), i);
+            assert_eq!(Gpr::from_index(i), *g);
+        }
+    }
+
+    #[test]
+    fn legacy_low_byte_names() {
+        assert_eq!(Gpr::Rax.name(Width::W8), "al");
+        assert_eq!(Gpr::Rsi.name(Width::W8), "sil");
+        assert_eq!(Gpr::R11.name(Width::W8), "r11b");
+        assert_eq!(Gpr::R12.name(Width::W8), "r12b");
+    }
+
+    #[test]
+    fn extended_register_width_suffixes() {
+        assert_eq!(Gpr::R10.name(Width::W32), "r10d");
+        assert_eq!(Gpr::R10.name(Width::W16), "r10w");
+        assert_eq!(Gpr::R10.name(Width::W64), "r10");
+    }
+
+    #[test]
+    fn width_masks_and_suffixes() {
+        assert_eq!(Width::W8.mask(), 0xff);
+        assert_eq!(Width::W16.mask(), 0xffff);
+        assert_eq!(Width::W32.mask(), 0xffff_ffff);
+        assert_eq!(Width::W64.mask(), u64::MAX);
+        for w in Width::ALL {
+            assert_eq!(Width::from_suffix(w.suffix()), Some(w));
+        }
+        assert_eq!(Width::from_suffix('x'), None);
+    }
+
+    #[test]
+    fn sign_extension() {
+        assert_eq!(Width::W8.sext(0x80), -128);
+        assert_eq!(Width::W8.sext(0x7f), 127);
+        assert_eq!(Width::W32.sext(0xffff_ffff), -1);
+        assert_eq!(Width::W32.sext(0x7fff_ffff), i64::from(i32::MAX));
+        assert_eq!(Width::W64.sext(u64::MAX), -1);
+    }
+
+    #[test]
+    fn write_semantics_32_bit_zero_extends() {
+        assert_eq!(merge_write(u64::MAX, Width::W32, 0xdead_beef), 0xdead_beef);
+    }
+
+    #[test]
+    fn write_semantics_8_and_16_bit_merge() {
+        assert_eq!(
+            merge_write(0x1111_2222_3333_4444, Width::W8, 0xff),
+            0x1111_2222_3333_44ff
+        );
+        assert_eq!(
+            merge_write(0x1111_2222_3333_4444, Width::W16, 0xbeef),
+            0x1111_2222_3333_beef
+        );
+    }
+
+    #[test]
+    fn write_semantics_64_bit_replaces() {
+        assert_eq!(merge_write(1, Width::W64, u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn ymm_aliases_xmm() {
+        assert_eq!(Ymm::new(3).low_xmm(), Xmm::new(3));
+        assert_eq!(Zmm::new(3).low_ymm(), Ymm::new(3));
+        assert_eq!(Zmm::new(9).to_string(), "%zmm9");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn xmm_index_validated() {
+        let _ = Xmm::new(16);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Reg::q(Gpr::R10).to_string(), "%r10");
+        assert_eq!(Reg::l(Gpr::Rax).to_string(), "%eax");
+        assert_eq!(Reg::b(Gpr::R11).to_string(), "%r11b");
+        assert_eq!(Xmm::new(0).to_string(), "%xmm0");
+        assert_eq!(Ymm::new(15).to_string(), "%ymm15");
+        assert_eq!(Gpr::Rdi.to_string(), "%rdi");
+    }
+}

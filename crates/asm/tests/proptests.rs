@@ -1,0 +1,85 @@
+//! Crate-level property tests for the assembly model.
+
+use proptest::prelude::*;
+
+use ferrum_asm::analysis::regscan::{RegUsage, SpareReport};
+use ferrum_asm::inst::{AluOp, Inst};
+use ferrum_asm::operand::Operand;
+use ferrum_asm::program::{AsmBlock, AsmFunction, AsmInst};
+use ferrum_asm::reg::{Gpr, Reg, Width, ALL_GPRS};
+
+fn gpr() -> impl Strategy<Value = Gpr> {
+    (0usize..16).prop_map(|i| ALL_GPRS[i])
+}
+
+fn simple_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (gpr(), gpr()).prop_map(|(s, d)| Inst::Mov {
+            w: Width::W64,
+            src: Operand::Reg(Reg::q(s)),
+            dst: Operand::Reg(Reg::q(d)),
+        }),
+        (gpr(), gpr()).prop_map(|(s, d)| Inst::Alu {
+            op: AluOp::Add,
+            w: Width::W64,
+            src: Operand::Reg(Reg::q(s)),
+            dst: Operand::Reg(Reg::q(d)),
+        }),
+        gpr().prop_map(|g| Inst::Push {
+            src: Operand::Reg(Reg::q(g))
+        }),
+        Just(Inst::Nop),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn function_usage_is_union_of_block_usages(
+        blocks in proptest::collection::vec(
+            proptest::collection::vec(simple_inst(), 0..8), 1..5)
+    ) {
+        let mut f = AsmFunction::new("main");
+        for (i, insts) in blocks.iter().enumerate() {
+            let mut b = AsmBlock::new(format!("b{i}"));
+            for inst in insts {
+                b.insts.push(AsmInst::synthetic(inst.clone()));
+            }
+            f.blocks.push(b);
+        }
+        let rep = SpareReport::scan(&f);
+        let mut union = RegUsage::new();
+        for u in &rep.per_block {
+            union.merge(*u);
+        }
+        for g in ALL_GPRS {
+            prop_assert_eq!(rep.function.uses_gpr(g), union.uses_gpr(g), "{}", g);
+        }
+    }
+
+    #[test]
+    fn gprs_written_is_consistent_with_injectability(inst in simple_inst()) {
+        // An instruction with an injectable GPR destination must report
+        // that register as written.
+        if let Some(r) = inst.dest_gpr() {
+            prop_assert!(inst.gprs_written().contains(&r.gpr));
+        }
+    }
+
+    #[test]
+    fn program_listing_round_trips(
+        insts in proptest::collection::vec(simple_inst(), 0..12)
+    ) {
+        let mut p = ferrum_asm::program::single_block_main(insts);
+        p.data.push(ferrum_asm::program::DataObject::new("blob", vec![1, -2, 3]));
+        let text = ferrum_asm::printer::print_program(&p);
+        let back = ferrum_asm::parser::parse_program(&text).expect("parses");
+        prop_assert_eq!(back, p);
+    }
+
+    #[test]
+    fn parser_never_panics_on_noise(s in "[ -~]{0,40}") {
+        // Arbitrary printable junk must produce Ok or Err, never a panic.
+        let _ = ferrum_asm::parser::parse_inst(&s);
+        let _ = ferrum_asm::parser::parse_program(&s);
+    }
+}

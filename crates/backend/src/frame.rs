@@ -1,0 +1,171 @@
+//! Stack-frame layout: one 8-byte slot per MIR value, alloca storage,
+//! and argument spill slots, all addressed relative to `%rbp`.
+
+use std::collections::HashMap;
+
+use ferrum_mir::func::Function;
+use ferrum_mir::inst::{InstId, MirInst};
+
+/// Where a MIR value lives in the frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotKind {
+    /// An ordinary result slot (holds the value).
+    Result(i64),
+    /// An alloca: the offset is the base of its storage; the value of the
+    /// alloca is the *address* `%rbp + offset`.
+    AllocaBase(i64),
+}
+
+/// Frame layout for one function.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    slots: HashMap<u32, SlotKind>,
+    arg_slots: Vec<i64>,
+    /// Total frame size in bytes (16-byte aligned).
+    pub size: i64,
+}
+
+impl Frame {
+    /// Computes the layout for `f`.
+    ///
+    /// Slot assignment is deterministic: argument spill slots first, then
+    /// one result slot per value-producing instruction, then alloca
+    /// storage, growing downward from `%rbp`.
+    pub fn layout(f: &Function) -> Frame {
+        let mut next = 0i64;
+        let mut take = |words: i64| {
+            next -= 8 * words;
+            next
+        };
+        let arg_slots: Vec<i64> = f.params.iter().map(|_| take(1)).collect();
+        let mut slots = HashMap::new();
+        for inst in f.insts() {
+            match inst {
+                MirInst::Alloca { id, count, .. } => {
+                    let base = take(i64::from(*count));
+                    slots.insert(id.0, SlotKind::AllocaBase(base));
+                }
+                _ => {
+                    if let Some(id) = inst.result() {
+                        slots.insert(id.0, SlotKind::Result(take(1)));
+                    }
+                }
+            }
+        }
+        let mut size = -next;
+        if size % 16 != 0 {
+            size += 16 - size % 16;
+        }
+        Frame {
+            slots,
+            arg_slots,
+            size,
+        }
+    }
+
+    /// The slot of an instruction result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` has no slot (verification should prevent this).
+    pub fn slot(&self, id: InstId) -> SlotKind {
+        *self
+            .slots
+            .get(&id.0)
+            .unwrap_or_else(|| panic!("no slot for %{}", id.0))
+    }
+
+    /// The `%rbp`-relative offset of a result slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` names an alloca (use [`Frame::slot`]).
+    pub fn result_offset(&self, id: InstId) -> i64 {
+        match self.slot(id) {
+            SlotKind::Result(o) => o,
+            SlotKind::AllocaBase(_) => panic!("%{} is an alloca, not a result slot", id.0),
+        }
+    }
+
+    /// The spill slot of argument `i`.
+    pub fn arg_offset(&self, i: u32) -> i64 {
+        self.arg_slots[i as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ferrum_mir::builder::FunctionBuilder;
+    use ferrum_mir::types::Ty;
+
+    #[test]
+    fn layout_is_disjoint_and_aligned() {
+        let mut b = FunctionBuilder::new("f", &[Ty::I64, Ty::I64], Some(Ty::I64));
+        let p = b.alloca_array(Ty::I64, 4);
+        let x = b.load(Ty::I64, p);
+        let y = b.add(Ty::I64, x, x);
+        b.ret(Some(y));
+        let f = b.finish();
+        let fr = Frame::layout(&f);
+        assert_eq!(fr.size % 16, 0);
+        // 2 args + alloca result + 4 alloca words + load + add = 2+1(base within 4)+...
+        // args at -8, -16; alloca base 4 words; load slot; add slot.
+        assert_eq!(fr.arg_offset(0), -8);
+        assert_eq!(fr.arg_offset(1), -16);
+        // All offsets distinct and within the frame.
+        let mut offs = vec![fr.arg_offset(0), fr.arg_offset(1)];
+        for id in 0..f.next_id {
+            match fr.slot(ferrum_mir::inst::InstId(id)) {
+                SlotKind::Result(o) => offs.push(o),
+                SlotKind::AllocaBase(o) => offs.push(o),
+            }
+        }
+        let mut sorted = offs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), offs.len(), "slots overlap: {offs:?}");
+        for o in offs {
+            assert!(o < 0 && -o <= fr.size);
+        }
+    }
+
+    #[test]
+    fn alloca_reserves_count_words() {
+        let mut b = FunctionBuilder::new("f", &[], None);
+        let p1 = b.alloca_array(Ty::I64, 3);
+        let p2 = b.alloca(Ty::I64);
+        b.ret(None);
+        let f = b.finish();
+        let fr = Frame::layout(&f);
+        let o1 = match fr.slot(p1.as_inst().unwrap()) {
+            SlotKind::AllocaBase(o) => o,
+            _ => panic!(),
+        };
+        let o2 = match fr.slot(p2.as_inst().unwrap()) {
+            SlotKind::AllocaBase(o) => o,
+            _ => panic!(),
+        };
+        // p2's single word must not fall inside p1's three words.
+        assert!(o2 <= o1 - 8 || o2 >= o1 + 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "no slot")]
+    fn missing_slot_panics() {
+        let mut b = FunctionBuilder::new("f", &[], None);
+        b.ret(None);
+        let fr = Frame::layout(&b.finish());
+        let _ = fr.slot(ferrum_mir::inst::InstId(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "is an alloca")]
+    fn result_offset_rejects_alloca() {
+        let mut b = FunctionBuilder::new("f", &[], None);
+        let p = b.alloca(Ty::I64);
+        b.ret(None);
+        let fr = Frame::layout(&b.finish());
+        let _ = fr.result_offset(p.as_inst().unwrap());
+    }
+}

@@ -1,0 +1,53 @@
+//! # ferrum-backend — the MIR → assembly compiler
+//!
+//! A deliberately `-O0`-flavoured backend in the style of Clang without
+//! optimisations, matching the code shapes in the FERRUM paper's
+//! listings: every MIR value lives in an `%rbp`-relative 8-byte frame
+//! slot, every instruction reloads its operands, and synchronisation
+//! points (stores, branches, calls, returns) are lowered with explicit
+//! *glue* instructions that have no IR counterpart:
+//!
+//! * branch materialisation: `cmpq $0, slot` + `jne`/`jmp` (Figs. 8–9 of
+//!   the paper — the flags written here are invisible at IR level),
+//! * store staging: reloading the value and address into registers after
+//!   any IR-level check has already run,
+//! * call glue: argument and return-value marshalling,
+//! * frame setup: prologue/epilogue.
+//!
+//! Each emitted instruction carries a [`ferrum_asm::Provenance`] tag, so
+//! fault-injection campaigns can attribute silent data corruptions to
+//! backend-generated code — reproducing the paper's root-cause analysis
+//! of why IR-level EDDI loses ~28% coverage (§IV-B1).
+//!
+//! The backend intentionally allocates from a small register set
+//! (`%rax`, `%rcx`, `%rdx`, `%rdi`, plus argument registers around
+//! calls), leaving `%rbx` and `%r10`–`%r15` and all XMM registers spare:
+//! exactly the resource slack FERRUM's scanner discovers and exploits
+//! (§III-B1).
+//!
+//! [`peephole`] implements the "other compiler-level transformations"
+//! the paper folds into FERRUM: redundant-reload elimination and jump
+//! threading, run on assembly before protection.
+//!
+//! ## Example
+//!
+//! ```
+//! use ferrum_mir::builder::FunctionBuilder;
+//! use ferrum_mir::module::Module;
+//! use ferrum_mir::types::Ty;
+//!
+//! let mut b = FunctionBuilder::new("main", &[], None);
+//! let v = b.iconst(Ty::I64, 7);
+//! b.print(v);
+//! b.ret(None);
+//! let module = Module::from_functions(vec![b.finish()]);
+//! let asm = ferrum_backend::compile(&module).expect("compiles");
+//! assert!(asm.function("main").is_some());
+//! ```
+
+pub mod frame;
+pub mod lower;
+pub mod peephole;
+
+pub use frame::Frame;
+pub use lower::{compile, CompileError};

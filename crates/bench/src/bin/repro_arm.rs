@@ -1,0 +1,75 @@
+//! Extension: the AArch64/NEON port (paper §III-B5 future work).
+//! Runs the two A64 kernels raw and FERRUM-NEON-protected, with an
+//! exhaustive single-bit fault sweep over every dynamic site.
+
+use ferrum_arm::exec::{profile, run, ArmFault, ArmOutcome};
+use ferrum_arm::kernels::{scale_add, sum_gt};
+use ferrum_arm::neon::protect_neon;
+use ferrum_arm::program::ArmProgram;
+
+const BITS: [u16; 8] = [0, 1, 3, 7, 15, 31, 47, 63];
+
+fn sweep(p: &ArmProgram) -> (usize, usize, usize, usize) {
+    let (prof, clean) = profile(p);
+    let (mut sdc, mut detected, mut crash, mut benign) = (0, 0, 0, 0);
+    for &site in &prof.sites {
+        for bit in BITS {
+            let r = run(
+                p,
+                Some(ArmFault {
+                    dyn_index: site,
+                    raw_bit: bit,
+                }),
+            );
+            match r.outcome {
+                ArmOutcome::Detected => detected += 1,
+                ArmOutcome::Crash | ArmOutcome::Timeout => crash += 1,
+                ArmOutcome::Completed => {
+                    if r.x0 != clean.x0 || r.data != clean.data {
+                        sdc += 1;
+                    } else {
+                        benign += 1;
+                    }
+                }
+            }
+        }
+    }
+    (sdc, detected, crash, benign)
+}
+
+fn main() {
+    println!(
+        "AArch64/NEON port — exhaustive single-bit sweep ({} bits/site)",
+        BITS.len()
+    );
+    println!(
+        "{:<22}{:>8}{:>10}{:>8}{:>8}{:>12}{:>12}",
+        "kernel", "SDC", "detected", "crash", "benign", "raw cycles", "prot cycles"
+    );
+    let data = vec![12, -5, 33, 7, -19, 4, 28, 1];
+    for (name, p) in [
+        ("sum_gt", sum_gt(data.clone(), 5)),
+        ("scale_add", scale_add(data.clone(), 3)),
+    ] {
+        let raw_cycles = run(&p, None).cycles;
+        let (sdc_raw, _, _, _) = sweep(&p);
+        let prot = protect_neon(&p).expect("protects");
+        let prot_cycles = run(&prot, None).cycles;
+        let (sdc, detected, crash, benign) = sweep(&prot);
+        println!(
+            "{:<22}{:>8}{:>10}{:>8}{:>8}{:>12}{:>12}",
+            format!("{name} (raw SDC {sdc_raw})"),
+            sdc,
+            detected,
+            crash,
+            benign,
+            raw_cycles,
+            prot_cycles
+        );
+        assert_eq!(sdc, 0, "{name}: the NEON port must keep full coverage");
+    }
+    println!();
+    println!("A64 notes: three-operand data processing removes every pre-copy replay;");
+    println!("flag-free checkers (eor+cbnz) make deferred detection unnecessary;");
+    println!("two-lane NEON batches tie with scalar checks (wider vectors are the win).");
+}

@@ -1,0 +1,11 @@
+//! Regenerates Table I: which instruction classes each technique
+//! protects, and at which layer (`IR`, `AS_1` scalar assembly, `AS_2`
+//! SIMD assembly).
+
+fn main() {
+    println!("Table I — technique capability matrix");
+    print!("{}", ferrum_eddi::capability::render_table());
+    println!();
+    println!("legend: IR = protected at IR level, AS_1 = assembly without SIMD,");
+    println!("        AS_2 = assembly with SIMD, / = not covered");
+}

@@ -1,0 +1,70 @@
+//! # ferrum-bench — regenerating the paper's tables and figures
+//!
+//! One binary per artifact of the evaluation section:
+//!
+//! | Binary            | Artifact |
+//! |-------------------|----------|
+//! | `repro_fig10`     | Fig. 10 — SDC coverage per benchmark × technique |
+//! | `repro_fig11`     | Fig. 11 — runtime performance overhead |
+//! | `repro_table1`    | Table I — technique capability matrix |
+//! | `repro_table2`    | Table II — benchmark details |
+//! | `repro_exectime`  | §IV-B3 — FERRUM pass execution time vs static size |
+//! | `repro_rootcause` | §IV-B1 — provenance attribution of IR-EDDI's SDCs |
+//! | `repro_ablation`  | design-choice ablations (SIMD / deferred flags / peephole / requisition) |
+//!
+//! Each prints an aligned text table; `--samples N`, `--seed S`, and
+//! `--scale test|paper` tune campaign size where applicable.
+//! The Criterion benches (`cargo bench`) measure the infrastructure
+//! itself: pass throughput, simulator speed, and checker costs.
+
+use ferrum::{EvalConfig, Scale};
+
+/// Parses the common `--samples`, `--seed`, `--scale` flags.
+pub fn parse_eval_config(args: &[String]) -> EvalConfig {
+    let mut cfg = EvalConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--samples" => {
+                if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                    cfg.samples = v;
+                }
+            }
+            "--seed" => {
+                if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                    cfg.seed = v;
+                }
+            }
+            "--scale" => {
+                if let Some(v) = it.next() {
+                    cfg.scale = match v.as_str() {
+                        "test" => Scale::Test,
+                        _ => Scale::Paper,
+                    };
+                }
+            }
+            _ => {}
+        }
+    }
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_parsing() {
+        let args: Vec<String> = ["--samples", "250", "--seed", "7", "--scale", "test"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let cfg = parse_eval_config(&args);
+        assert_eq!(cfg.samples, 250);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.scale, Scale::Test);
+        let cfg = parse_eval_config(&[]);
+        assert_eq!(cfg.samples, 1000);
+        assert_eq!(cfg.scale, Scale::Paper);
+    }
+}

@@ -1,0 +1,139 @@
+//! `ferrum-protect` — apply assembly-level EDDI to an assembly listing.
+//!
+//! ```text
+//! usage: ferrum-protect <input.s | -> [options]
+//!   -o <file>            write the protected listing (default: stdout)
+//!   --technique <t>      ferrum | ferrum-zmm | scalar   (default: ferrum)
+//!   --run                simulate the protected program and print its output
+//!   --campaign <n>       run an n-fault campaign and print the outcome counts
+//!   --stats              print static instruction counts before/after
+//!   --emit-gnu           write GNU-assembler output (assemble with
+//!                        `gcc -no-pie out.s` and run on real x86-64)
+//! ```
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use ferrum_cli::{protect_listing, CliTechnique};
+use ferrum_faultsim::campaign::{run_campaign, CampaignConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        eprintln!(
+            "usage: ferrum-protect <input.s | -> [-o out.s] [--technique ferrum|ferrum-zmm|scalar] [--run] [--campaign N] [--stats]"
+        );
+        return ExitCode::from(2);
+    }
+    let input = &args[0];
+    let mut out_path: Option<String> = None;
+    let mut technique = CliTechnique::Ferrum;
+    let mut do_run = false;
+    let mut campaign: Option<usize> = None;
+    let mut stats = false;
+    let mut emit_gnu = false;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" => out_path = it.next().cloned(),
+            "--technique" => {
+                let Some(t) = it.next().and_then(|s| CliTechnique::parse(s)) else {
+                    eprintln!("unknown technique (ferrum | ferrum-zmm | scalar)");
+                    return ExitCode::from(2);
+                };
+                technique = t;
+            }
+            "--run" => do_run = true,
+            "--emit-gnu" => emit_gnu = true,
+            "--campaign" => campaign = it.next().and_then(|s| s.parse().ok()),
+            "--stats" => stats = true,
+            other => {
+                eprintln!("unknown option `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let text = if input == "-" {
+        let mut buf = String::new();
+        if std::io::stdin().read_to_string(&mut buf).is_err() {
+            eprintln!("failed to read stdin");
+            return ExitCode::FAILURE;
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(input) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read `{input}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let before = ferrum_asm::parser::parse_program(&text)
+        .map(|p| p.static_inst_count())
+        .unwrap_or(0);
+    let prot = match protect_listing(&text, technique) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("ferrum-protect: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if stats {
+        eprintln!(
+            "{technique}: {before} -> {} static instructions",
+            prot.static_inst_count()
+        );
+    }
+    if do_run || campaign.is_some() {
+        let cpu = match ferrum_cpu::run::Cpu::load(&prot) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("load error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if do_run {
+            let r = cpu.run(None);
+            println!("stop: {}", r.stop);
+            println!("output: {:?}", r.output);
+            println!(
+                "cycles: {}  dynamic instructions: {}",
+                r.cycles, r.dyn_insts
+            );
+        }
+        if let Some(n) = campaign {
+            let profile = cpu.profile();
+            let res = run_campaign(
+                &cpu,
+                &profile,
+                CampaignConfig {
+                    samples: n,
+                    seed: 7,
+                },
+            );
+            println!(
+                "campaign ({n} faults): SDC {}  detected {}  crash {}  timeout {}  benign {}",
+                res.sdc, res.detected, res.crash, res.timeout, res.benign
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+    let listing = if emit_gnu {
+        ferrum_asm::gnu::emit_gnu(&prot)
+    } else {
+        ferrum_asm::printer::print_program(&prot)
+    };
+    match out_path {
+        Some(p) => {
+            if let Err(e) = std::fs::write(&p, listing) {
+                eprintln!("cannot write `{p}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        None => print!("{listing}"),
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,152 @@
+//! Compile → protect → load.
+
+use ferrum_asm::program::AsmProgram;
+use ferrum_cpu::cost::CostModel;
+use ferrum_cpu::run::Cpu;
+use ferrum_eddi::ferrum::{Ferrum, FerrumConfig};
+use ferrum_eddi::hybrid::HybridAsmEddi;
+use ferrum_eddi::ir_eddi::IrEddi;
+use ferrum_eddi::Technique;
+use ferrum_mir::module::Module;
+
+use crate::Error;
+
+/// The compile-protect-load pipeline with shared simulation settings.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    cost: CostModel,
+    step_limit: u64,
+    ferrum_cfg: FerrumConfig,
+}
+
+impl Default for Pipeline {
+    fn default() -> Pipeline {
+        Pipeline::new()
+    }
+}
+
+impl Pipeline {
+    /// Default cost model, 50 M-step limit, full FERRUM configuration.
+    pub fn new() -> Pipeline {
+        Pipeline {
+            cost: CostModel::default(),
+            step_limit: 50_000_000,
+            ferrum_cfg: FerrumConfig::default(),
+        }
+    }
+
+    /// Overrides the cycle cost model used by [`Pipeline::load`].
+    pub fn with_cost_model(mut self, cost: CostModel) -> Pipeline {
+        self.cost = cost;
+        self
+    }
+
+    /// Overrides the step limit (timeout bound) for simulations.
+    pub fn with_step_limit(mut self, limit: u64) -> Pipeline {
+        self.step_limit = limit;
+        self
+    }
+
+    /// Overrides FERRUM's configuration (for ablations).
+    pub fn with_ferrum_config(mut self, cfg: FerrumConfig) -> Pipeline {
+        self.ferrum_cfg = cfg;
+        self
+    }
+
+    /// Compiles `module` and applies `technique`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation and protection failures.
+    pub fn protect(&self, module: &Module, technique: Technique) -> Result<AsmProgram, Error> {
+        Ok(match technique {
+            Technique::None => ferrum_backend::compile(module)?,
+            Technique::IrEddi => {
+                let (protected, shadows) = IrEddi::new().protect_tracked(module);
+                let mut asm = ferrum_backend::compile(&protected)?;
+                ferrum_eddi::ir_eddi::retag_shadows(
+                    &mut asm,
+                    &shadows,
+                    ferrum_asm::provenance::TechniqueTag::IrEddi,
+                );
+                asm
+            }
+            Technique::HybridAsmEddi => HybridAsmEddi::new().protect(module)?,
+            Technique::Ferrum => {
+                let asm = ferrum_backend::compile(module)?;
+                Ferrum::with_config(self.ferrum_cfg).protect(&asm)?
+            }
+        })
+    }
+
+    /// Loads a program for simulation with this pipeline's settings.
+    ///
+    /// # Errors
+    ///
+    /// Propagates image-construction failures.
+    pub fn load(&self, program: &AsmProgram) -> Result<Cpu, Error> {
+        Ok(Cpu::load(program)?
+            .with_cost_model(self.cost)
+            .with_step_limit(self.step_limit))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ferrum_cpu::outcome::StopReason;
+    use ferrum_workloads::{workload, Scale};
+
+    #[test]
+    fn all_techniques_preserve_output_on_a_workload() {
+        let w = workload("pathfinder").expect("exists");
+        let module = w.build(Scale::Test);
+        let golden = w.oracle(Scale::Test);
+        let pipeline = Pipeline::new();
+        for t in [
+            Technique::None,
+            Technique::IrEddi,
+            Technique::HybridAsmEddi,
+            Technique::Ferrum,
+        ] {
+            let p = pipeline
+                .protect(&module, t)
+                .unwrap_or_else(|e| panic!("{t}: {e}"));
+            assert!(p.validate().is_ok(), "{t}");
+            let r = pipeline.load(&p).expect("loads").run(None);
+            assert_eq!(r.stop, StopReason::MainReturned, "{t}");
+            assert_eq!(r.output, golden, "{t}");
+        }
+    }
+
+    #[test]
+    fn protected_programs_are_larger_and_slower() {
+        let w = workload("needle").expect("exists");
+        let module = w.build(Scale::Test);
+        let pipeline = Pipeline::new();
+        let raw = pipeline.protect(&module, Technique::None).unwrap();
+        let raw_cycles = pipeline.load(&raw).unwrap().run(None).cycles;
+        for t in Technique::PROTECTED {
+            let p = pipeline.protect(&module, t).unwrap();
+            let cycles = pipeline.load(&p).unwrap().run(None).cycles;
+            assert!(cycles > raw_cycles, "{t}: {cycles} vs raw {raw_cycles}");
+        }
+    }
+
+    #[test]
+    fn ferrum_config_reaches_the_pass() {
+        let w = workload("knn").expect("exists");
+        let module = w.build(Scale::Test);
+        let cfg = FerrumConfig {
+            simd: false,
+            ..FerrumConfig::default()
+        };
+        let pipeline = Pipeline::new().with_ferrum_config(cfg);
+        let p = pipeline.protect(&module, Technique::Ferrum).unwrap();
+        assert!(!p
+            .function("main")
+            .unwrap()
+            .insts()
+            .any(|a| matches!(a.inst, ferrum_asm::inst::Inst::Vptest { .. })));
+    }
+}

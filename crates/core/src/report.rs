@@ -1,0 +1,189 @@
+//! Text rendering of evaluation results in the shape of the paper's
+//! figures.
+
+use ferrum_eddi::Technique;
+
+use crate::experiment::WorkloadReport;
+
+/// Renders Fig. 10's data: SDC coverage per benchmark × technique.
+pub fn render_coverage_table(reports: &[WorkloadReport]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<16}{:>16}{:>16}{:>16}\n",
+        "benchmark", "IR-EDDI", "HYBRID-ASM", "FERRUM"
+    ));
+    let mut sums = [0.0f64; 3];
+    for r in reports {
+        out.push_str(&format!("{:<16}", r.name));
+        for (i, t) in Technique::PROTECTED.into_iter().enumerate() {
+            let c = r.technique(t).map_or(0.0, |x| x.coverage);
+            sums[i] += c;
+            out.push_str(&format!("{:>15.1}%", c * 100.0));
+        }
+        out.push('\n');
+    }
+    if !reports.is_empty() {
+        out.push_str(&format!("{:<16}", "average"));
+        for s in sums {
+            out.push_str(&format!("{:>15.1}%", s / reports.len() as f64 * 100.0));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders Fig. 11's data: runtime overhead per benchmark × technique.
+pub fn render_overhead_table(reports: &[WorkloadReport]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<16}{:>16}{:>16}{:>16}\n",
+        "benchmark", "IR-EDDI", "HYBRID-ASM", "FERRUM"
+    ));
+    let mut sums = [0.0f64; 3];
+    for r in reports {
+        out.push_str(&format!("{:<16}", r.name));
+        for (i, t) in Technique::PROTECTED.into_iter().enumerate() {
+            let o = r.technique(t).map_or(0.0, |x| x.overhead);
+            sums[i] += o;
+            out.push_str(&format!("{:>15.1}%", o * 100.0));
+        }
+        out.push('\n');
+    }
+    if !reports.is_empty() {
+        out.push_str(&format!("{:<16}", "average"));
+        for s in sums {
+            out.push_str(&format!("{:>15.1}%", s / reports.len() as f64 * 100.0));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a grouped horizontal bar chart (the shape of the paper's
+/// Figs. 10–11) in plain text.  `max` sets the full-bar scale.
+pub fn render_bars(
+    title: &str,
+    reports: &[WorkloadReport],
+    value: impl Fn(&crate::experiment::TechniqueReport) -> f64,
+    max: f64,
+) -> String {
+    const WIDTH: usize = 40;
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for r in reports {
+        out.push_str(&format!(
+            "{}
+",
+            r.name
+        ));
+        for t in Technique::PROTECTED {
+            let Some(tr) = r.technique(t) else { continue };
+            let v = value(tr);
+            let filled = ((v / max) * WIDTH as f64).round().clamp(0.0, WIDTH as f64) as usize;
+            let short = match t {
+                Technique::IrEddi => "IR    ",
+                Technique::HybridAsmEddi => "HYBRID",
+                Technique::Ferrum => "FERRUM",
+                Technique::None => "RAW   ",
+            };
+            out.push_str(&format!(
+                "  {short} |{}{}| {:5.1}%
+",
+                "█".repeat(filled),
+                " ".repeat(WIDTH - filled),
+                v * 100.0
+            ));
+        }
+    }
+    out
+}
+
+/// Serialises the full evaluation to pretty JSON (machine-readable
+/// artifact for downstream analysis; the campaign `records` are
+/// omitted via the type's fields being aggregate counts plus records —
+/// callers who want compact output can clear `campaign.records`).
+///
+/// # Panics
+///
+/// Never panics for reports produced by
+/// [`crate::experiment::evaluate_workload`].
+pub fn to_json(reports: &[WorkloadReport]) -> String {
+    serde_json::to_string_pretty(reports).expect("reports serialise")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{evaluate_workload, EvalConfig};
+    use crate::Pipeline;
+    use ferrum_workloads::{workload, Scale};
+
+    #[test]
+    fn tables_render_with_averages() {
+        let pipeline = Pipeline::new();
+        let w = workload("knn").expect("exists");
+        let cfg = EvalConfig {
+            samples: 150,
+            seed: 5,
+            scale: Scale::Test,
+        };
+        let report = evaluate_workload(&pipeline, &w, cfg).expect("evaluates");
+        let cov = render_coverage_table(std::slice::from_ref(&report));
+        assert!(cov.contains("knn"));
+        assert!(cov.contains("average"));
+        assert!(cov.contains('%'));
+        let ovh = render_overhead_table(std::slice::from_ref(&report));
+        assert!(ovh.contains("FERRUM"));
+        assert!(ovh.lines().count() == 3);
+    }
+
+    #[test]
+    fn bar_chart_renders_scaled_bars() {
+        let pipeline = Pipeline::new();
+        let w = workload("knn").expect("exists");
+        let cfg = EvalConfig {
+            samples: 120,
+            seed: 5,
+            scale: Scale::Test,
+        };
+        let report = evaluate_workload(&pipeline, &w, cfg).expect("evaluates");
+        let chart = render_bars(
+            "coverage",
+            std::slice::from_ref(&report),
+            |t| t.coverage,
+            1.0,
+        );
+        assert!(chart.contains("knn"));
+        assert!(chart.contains("FERRUM"));
+        assert!(chart.contains('█'));
+        // FERRUM's coverage bar is full (100%).
+        let full_bar = "█".repeat(40);
+        assert!(chart.contains(&full_bar), "{chart}");
+    }
+
+    #[test]
+    fn json_export_round_trips_key_fields() {
+        let pipeline = Pipeline::new();
+        let w = workload("bfs").expect("exists");
+        let cfg = EvalConfig {
+            samples: 100,
+            seed: 6,
+            scale: Scale::Test,
+        };
+        let report = evaluate_workload(&pipeline, &w, cfg).expect("evaluates");
+        let json = to_json(std::slice::from_ref(&report));
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid json");
+        assert_eq!(v[0]["name"], "bfs");
+        assert!(v[0]["raw_cycles"].as_u64().unwrap() > 0);
+        assert_eq!(v[0]["techniques"].as_array().unwrap().len(), 3);
+        assert_eq!(v[0]["techniques"][2]["technique"], "Ferrum");
+        assert!(v[0]["techniques"][2]["coverage"].as_f64().unwrap() >= 0.99);
+    }
+
+    #[test]
+    fn empty_reports_render_header_only() {
+        assert_eq!(render_coverage_table(&[]).lines().count(), 1);
+        assert_eq!(render_overhead_table(&[]).lines().count(), 1);
+    }
+}

@@ -1,0 +1,58 @@
+//! Fault specification: a single bit flip at a chosen dynamic
+//! instruction's write-back.
+//!
+//! This mirrors the paper's methodology (§IV-A2): sample one dynamically
+//! executed instruction, flip one random bit in its destination register
+//! (or, for `cmp`/`test`, in the RFLAGS bits they produce — the "New FI
+//! Site" of Fig. 9), one fault per run.
+
+/// A single-bit write-back fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FaultSpec {
+    /// Zero-based index into the dynamic instruction stream: the fault
+    /// corrupts the destination of the `dyn_index`-th executed
+    /// instruction, immediately after it writes back.
+    pub dyn_index: u64,
+    /// Raw entropy for choosing the bit; reduced modulo the destination
+    /// width (64/32/16/8 for GPR views, 128/256 for SIMD, 4 for flags).
+    /// Using a raw value keeps the spec independent of the destination's
+    /// width, which the sampler may not know.
+    pub raw_bit: u16,
+}
+
+impl FaultSpec {
+    /// Creates a fault spec.
+    pub fn new(dyn_index: u64, raw_bit: u16) -> FaultSpec {
+        FaultSpec { dyn_index, raw_bit }
+    }
+
+    /// The bit to flip for a destination of `bits` width.
+    pub fn bit_for(&self, bits: u32) -> u32 {
+        u32::from(self.raw_bit) % bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_reduction_is_uniform_for_power_of_two_widths() {
+        // 65536 raw values distribute evenly over widths dividing 65536.
+        for bits in [4u32, 8, 16, 32, 64, 128, 256] {
+            let mut counts = vec![0u32; bits as usize];
+            for raw in 0..=u16::MAX {
+                counts[FaultSpec::new(0, raw).bit_for(bits) as usize] += 1;
+            }
+            let expect = 65536 / bits;
+            assert!(counts.iter().all(|&c| c == expect), "width {bits}");
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let f = FaultSpec::new(42, 7);
+        assert_eq!(f.dyn_index, 42);
+        assert_eq!(f.bit_for(4), 3);
+    }
+}

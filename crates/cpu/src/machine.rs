@@ -1,0 +1,200 @@
+//! The architectural register file.
+
+use ferrum_asm::flags::Flags;
+use ferrum_asm::reg::{merge_write, Reg, Xmm, Ymm, Zmm};
+
+/// General-purpose, SIMD, and flags state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegFile {
+    gprs: [u64; 16],
+    simd: [[u64; 8]; 16],
+    /// Condition flags.
+    pub flags: Flags,
+}
+
+impl Default for RegFile {
+    fn default() -> RegFile {
+        RegFile::new()
+    }
+}
+
+impl RegFile {
+    /// All registers zeroed, flags cleared.
+    pub fn new() -> RegFile {
+        RegFile {
+            gprs: [0; 16],
+            simd: [[0; 8]; 16],
+            flags: Flags::default(),
+        }
+    }
+
+    /// Reads a register view, returning the raw bits in the low
+    /// `width.bits()` of the result.
+    pub fn read(&self, r: Reg) -> u64 {
+        self.gprs[r.gpr.index()] & r.width.mask()
+    }
+
+    /// Reads the full 64-bit register.
+    pub fn read64(&self, g: ferrum_asm::reg::Gpr) -> u64 {
+        self.gprs[g.index()]
+    }
+
+    /// Writes a register view with architectural merge semantics
+    /// (32-bit writes zero-extend, 8/16-bit writes merge).
+    pub fn write(&mut self, r: Reg, value: u64) {
+        let old = self.gprs[r.gpr.index()];
+        self.gprs[r.gpr.index()] = merge_write(old, r.width, value);
+    }
+
+    /// Writes the full 64-bit register.
+    pub fn write64(&mut self, g: ferrum_asm::reg::Gpr, value: u64) {
+        self.gprs[g.index()] = value;
+    }
+
+    /// Reads one 64-bit lane (0–1) of an XMM register.
+    pub fn read_xmm_lane(&self, x: Xmm, lane: u8) -> u64 {
+        self.simd[x.index()][usize::from(lane)]
+    }
+
+    /// Writes one 64-bit lane (0–1) of an XMM register, leaving all other
+    /// lanes (including the upper YMM half) unchanged — legacy-SSE
+    /// semantics, as used by `pinsrq`.
+    pub fn write_xmm_lane(&mut self, x: Xmm, lane: u8, value: u64) {
+        self.simd[x.index()][usize::from(lane)] = value;
+    }
+
+    /// `movq src, %xmm` semantics: lane 0 = value, lane 1 = 0, upper YMM
+    /// half unchanged (legacy SSE).
+    pub fn write_xmm_movq(&mut self, x: Xmm, value: u64) {
+        self.simd[x.index()][0] = value;
+        self.simd[x.index()][1] = 0;
+    }
+
+    /// Reads all four 64-bit lanes of a YMM register.
+    pub fn read_ymm(&self, y: Ymm) -> [u64; 4] {
+        let r = &self.simd[y.index()];
+        [r[0], r[1], r[2], r[3]]
+    }
+
+    /// Writes all four 64-bit lanes of a YMM register and zeroes the
+    /// upper ZMM half (EVEX/VEX.256 semantics).
+    pub fn write_ymm(&mut self, y: Ymm, value: [u64; 4]) {
+        let r = &mut self.simd[y.index()];
+        r[..4].copy_from_slice(&value);
+        r[4..].fill(0);
+    }
+
+    /// Reads all eight 64-bit lanes of a ZMM register.
+    pub fn read_zmm(&self, z: Zmm) -> [u64; 8] {
+        self.simd[z.index()]
+    }
+
+    /// Writes all eight 64-bit lanes of a ZMM register.
+    pub fn write_zmm(&mut self, z: Zmm, value: [u64; 8]) {
+        self.simd[z.index()] = value;
+    }
+
+    /// Reads the low 128 bits of a register as two lanes.
+    pub fn read_xmm(&self, x: Xmm) -> [u64; 2] {
+        [self.simd[x.index()][0], self.simd[x.index()][1]]
+    }
+
+    /// Writes the low 128 bits and zeroes the upper half (VEX semantics,
+    /// used by `vpxor` on XMM operands).
+    pub fn write_xmm_vex(&mut self, x: Xmm, value: [u64; 2]) {
+        self.simd[x.index()] = [value[0], value[1], 0, 0, 0, 0, 0, 0];
+    }
+
+    /// Flips bit `bit` of a register view (fault injection).
+    pub fn flip_gpr_bit(&mut self, r: Reg, bit: u32) {
+        let raw = self.read(r);
+        self.write(r, raw ^ (1u64 << (bit % r.width.bits())));
+    }
+
+    /// Flips bit `bit` (0–511) of a SIMD register.
+    pub fn flip_simd_bit(&mut self, idx: u8, bit: u32) {
+        let lane = (bit / 64) as usize % 8;
+        self.simd[usize::from(idx)][lane] ^= 1u64 << (bit % 64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ferrum_asm::reg::{Gpr, Zmm};
+
+    #[test]
+    fn gpr_read_write_views() {
+        let mut rf = RegFile::new();
+        rf.write(Reg::q(Gpr::Rax), 0xffff_ffff_ffff_ffff);
+        rf.write(Reg::l(Gpr::Rax), 0x1234_5678);
+        assert_eq!(rf.read64(Gpr::Rax), 0x1234_5678); // zero-extended
+        rf.write(Reg::b(Gpr::Rax), 0xff);
+        assert_eq!(rf.read64(Gpr::Rax), 0x1234_56ff); // merged
+        assert_eq!(rf.read(Reg::b(Gpr::Rax)), 0xff);
+        assert_eq!(rf.read(Reg::l(Gpr::Rax)), 0x1234_56ff);
+    }
+
+    #[test]
+    fn movq_to_xmm_zeroes_lane1_keeps_upper() {
+        let mut rf = RegFile::new();
+        rf.write_ymm(Ymm::new(0), [1, 2, 3, 4]);
+        rf.write_xmm_movq(Xmm::new(0), 99);
+        assert_eq!(rf.read_ymm(Ymm::new(0)), [99, 0, 3, 4]);
+    }
+
+    #[test]
+    fn pinsrq_preserves_other_lanes() {
+        let mut rf = RegFile::new();
+        rf.write_ymm(Ymm::new(2), [1, 2, 3, 4]);
+        rf.write_xmm_lane(Xmm::new(2), 1, 77);
+        assert_eq!(rf.read_ymm(Ymm::new(2)), [1, 77, 3, 4]);
+    }
+
+    #[test]
+    fn vex_write_zeroes_upper_half() {
+        let mut rf = RegFile::new();
+        rf.write_ymm(Ymm::new(1), [1, 2, 3, 4]);
+        rf.write_xmm_vex(Xmm::new(1), [9, 8]);
+        assert_eq!(rf.read_ymm(Ymm::new(1)), [9, 8, 0, 0]);
+    }
+
+    #[test]
+    fn ymm_aliases_xmm_low_half() {
+        let mut rf = RegFile::new();
+        rf.write_xmm_movq(Xmm::new(5), 42);
+        assert_eq!(rf.read_ymm(Ymm::new(5))[0], 42);
+    }
+
+    #[test]
+    fn bit_flip_respects_view_width() {
+        let mut rf = RegFile::new();
+        rf.write(Reg::l(Gpr::Rcx), 0);
+        rf.flip_gpr_bit(Reg::l(Gpr::Rcx), 31);
+        assert_eq!(rf.read64(Gpr::Rcx), 0x8000_0000);
+        // Bit index wraps modulo the view width.
+        rf.flip_gpr_bit(Reg::l(Gpr::Rcx), 63);
+        assert_eq!(rf.read64(Gpr::Rcx), 0); // 63 % 32 == 31 → flipped back
+    }
+
+    #[test]
+    fn zmm_reads_writes_and_ymm_zeroing() {
+        let mut rf = RegFile::new();
+        rf.write_zmm(Zmm::new(2), [1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(rf.read_zmm(Zmm::new(2)), [1, 2, 3, 4, 5, 6, 7, 8]);
+        // YMM read sees the low half; YMM write zeroes the upper half
+        // (EVEX/VEX.256 semantics).
+        assert_eq!(rf.read_ymm(Ymm::new(2)), [1, 2, 3, 4]);
+        rf.write_ymm(Ymm::new(2), [9, 9, 9, 9]);
+        assert_eq!(rf.read_zmm(Zmm::new(2)), [9, 9, 9, 9, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn simd_bit_flip() {
+        let mut rf = RegFile::new();
+        rf.flip_simd_bit(3, 64);
+        assert_eq!(rf.read_ymm(Ymm::new(3)), [0, 1, 0, 0]);
+        rf.flip_simd_bit(3, 255);
+        assert_eq!(rf.read_ymm(Ymm::new(3))[3], 1u64 << 63);
+    }
+}

@@ -1,0 +1,177 @@
+//! Simulated memory: a global data segment plus a downward-growing stack.
+//!
+//! Addresses match the layout constants in `ferrum-mir`'s interpreter so
+//! that pointer values printed by either executor would agree.  Memory is
+//! byte-addressable and little-endian; accesses outside the two mapped
+//! regions fault.
+
+use ferrum_asm::reg::Width;
+
+/// Base address of the global data segment.
+pub const GLOBALS_BASE: u64 = 0x0001_0000;
+/// Top of the stack (exclusive); the stack grows downward from here.
+pub const STACK_TOP: u64 = 0x0800_0000;
+/// Stack size in bytes.
+pub const STACK_SIZE: u64 = 512 * 1024;
+
+/// Byte-addressable little-endian memory.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    globals: Vec<u8>,
+    stack: Vec<u8>,
+}
+
+/// A faulting access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessFault {
+    /// The offending address.
+    pub addr: u64,
+}
+
+impl Memory {
+    /// Creates memory with the given global segment image.
+    pub fn new(globals: Vec<u8>) -> Memory {
+        Memory {
+            globals,
+            stack: vec![0; STACK_SIZE as usize],
+        }
+    }
+
+    /// Size of the global segment in bytes.
+    pub fn globals_len(&self) -> u64 {
+        self.globals.len() as u64
+    }
+
+    fn locate(&self, addr: u64, len: u64) -> Result<(bool, usize), AccessFault> {
+        let gend = GLOBALS_BASE + self.globals.len() as u64;
+        if addr >= GLOBALS_BASE && addr.saturating_add(len) <= gend {
+            return Ok((true, (addr - GLOBALS_BASE) as usize));
+        }
+        let sbase = STACK_TOP - STACK_SIZE;
+        if addr >= sbase && addr.saturating_add(len) <= STACK_TOP {
+            return Ok((false, (addr - sbase) as usize));
+        }
+        Err(AccessFault { addr })
+    }
+
+    /// Loads `w.bytes()` little-endian bytes at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Faults when the access leaves the mapped regions.
+    pub fn load(&self, addr: u64, w: Width) -> Result<u64, AccessFault> {
+        let n = w.bytes();
+        let (is_g, off) = self.locate(addr, n)?;
+        let buf = if is_g { &self.globals } else { &self.stack };
+        let mut v = 0u64;
+        for i in (0..n as usize).rev() {
+            v = (v << 8) | u64::from(buf[off + i]);
+        }
+        Ok(v)
+    }
+
+    /// Stores the low `w.bytes()` bytes of `value` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Faults when the access leaves the mapped regions.
+    pub fn store(&mut self, addr: u64, w: Width, value: u64) -> Result<(), AccessFault> {
+        let n = w.bytes();
+        let (is_g, off) = self.locate(addr, n)?;
+        let buf = if is_g {
+            &mut self.globals
+        } else {
+            &mut self.stack
+        };
+        for i in 0..n as usize {
+            buf[off + i] = (value >> (8 * i)) as u8;
+        }
+        Ok(())
+    }
+}
+
+/// Builds the global segment image from data objects, returning the
+/// image and each object's base address in declaration order.
+pub fn build_globals(data: &[ferrum_asm::program::DataObject]) -> (Vec<u8>, Vec<(String, u64)>) {
+    let mut image = Vec::new();
+    let mut bases = Vec::new();
+    for d in data {
+        bases.push((d.name.clone(), GLOBALS_BASE + image.len() as u64));
+        for w in &d.words {
+            image.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+    (image, bases)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ferrum_asm::program::DataObject;
+
+    #[test]
+    fn round_trip_at_all_widths() {
+        let mut m = Memory::new(vec![0; 64]);
+        for (w, val) in [
+            (Width::W8, 0xabu64),
+            (Width::W16, 0xbeefu64),
+            (Width::W32, 0xdead_beefu64),
+            (Width::W64, 0x0123_4567_89ab_cdefu64),
+        ] {
+            m.store(GLOBALS_BASE + 8, w, val).unwrap();
+            assert_eq!(m.load(GLOBALS_BASE + 8, w).unwrap(), val);
+        }
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = Memory::new(vec![0; 16]);
+        m.store(GLOBALS_BASE, Width::W64, 0x0807_0605_0403_0201)
+            .unwrap();
+        assert_eq!(m.load(GLOBALS_BASE, Width::W8).unwrap(), 0x01);
+        assert_eq!(m.load(GLOBALS_BASE + 7, Width::W8).unwrap(), 0x08);
+        assert_eq!(m.load(GLOBALS_BASE, Width::W32).unwrap(), 0x0403_0201);
+    }
+
+    #[test]
+    fn stack_region_is_mapped() {
+        let mut m = Memory::new(vec![]);
+        let addr = STACK_TOP - 8;
+        m.store(addr, Width::W64, 77).unwrap();
+        assert_eq!(m.load(addr, Width::W64).unwrap(), 77);
+        let low = STACK_TOP - STACK_SIZE;
+        m.store(low, Width::W64, 1).unwrap();
+        assert!(m.store(low - 8, Width::W64, 1).is_err());
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let m = Memory::new(vec![0; 8]);
+        assert!(m.load(0, Width::W64).is_err());
+        assert!(m.load(GLOBALS_BASE + 8, Width::W64).is_err()); // past end
+        assert!(m.load(GLOBALS_BASE + 4, Width::W64).is_err()); // straddles end
+        assert_eq!(m.load(GLOBALS_BASE, Width::W64).unwrap(), 0);
+    }
+
+    #[test]
+    fn unaligned_access_is_allowed_like_x86() {
+        let mut m = Memory::new(vec![0; 32]);
+        m.store(GLOBALS_BASE + 3, Width::W32, 0xaabb_ccdd).unwrap();
+        assert_eq!(m.load(GLOBALS_BASE + 3, Width::W32).unwrap(), 0xaabb_ccdd);
+    }
+
+    #[test]
+    fn globals_image_layout() {
+        let data = vec![
+            DataObject::new("a", vec![1, 2]),
+            DataObject::new("b", vec![-1]),
+        ];
+        let (image, bases) = build_globals(&data);
+        assert_eq!(image.len(), 24);
+        assert_eq!(bases[0], ("a".into(), GLOBALS_BASE));
+        assert_eq!(bases[1], ("b".into(), GLOBALS_BASE + 16));
+        let m = Memory::new(image);
+        assert_eq!(m.load(GLOBALS_BASE + 8, Width::W64).unwrap(), 2);
+        assert_eq!(m.load(GLOBALS_BASE + 16, Width::W64).unwrap(), u64::MAX);
+    }
+}

@@ -1,0 +1,92 @@
+//! Run results and stop reasons.
+
+use std::fmt;
+
+/// Why a simulated crash occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum CrashKind {
+    /// Memory access outside the mapped regions.
+    OutOfBounds(u64),
+    /// `idiv` by zero or quotient overflow (#DE).
+    DivideError,
+    /// Stack pointer left the stack region during push/pop/call.
+    StackFault(u64),
+}
+
+impl fmt::Display for CrashKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrashKind::OutOfBounds(a) => write!(f, "segmentation fault at {a:#x}"),
+            CrashKind::DivideError => write!(f, "integer divide error"),
+            CrashKind::StackFault(a) => write!(f, "stack fault at {a:#x}"),
+        }
+    }
+}
+
+/// Why the simulation stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum StopReason {
+    /// `main` returned normally.
+    MainReturned,
+    /// Control reached `exit_function`: a checker detected a mismatch.
+    Detected,
+    /// A hardware-style exception.
+    Crash(CrashKind),
+    /// The dynamic step budget was exhausted.
+    Timeout,
+}
+
+impl StopReason {
+    /// True if the run completed normally (output is meaningful).
+    pub fn completed(self) -> bool {
+        self == StopReason::MainReturned
+    }
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StopReason::MainReturned => write!(f, "completed"),
+            StopReason::Detected => write!(f, "detected"),
+            StopReason::Crash(k) => write!(f, "crash: {k}"),
+            StopReason::Timeout => write!(f, "timeout"),
+        }
+    }
+}
+
+/// The result of one simulated execution.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RunResult {
+    /// Why the run stopped.
+    pub stop: StopReason,
+    /// Values printed via `print_i64`, in order.
+    pub output: Vec<i64>,
+    /// Simulated cycles consumed.
+    pub cycles: u64,
+    /// Dynamic instructions executed.
+    pub dyn_insts: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completion_predicate() {
+        assert!(StopReason::MainReturned.completed());
+        assert!(!StopReason::Detected.completed());
+        assert!(!StopReason::Crash(CrashKind::DivideError).completed());
+        assert!(!StopReason::Timeout.completed());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(StopReason::MainReturned.to_string(), "completed");
+        assert_eq!(StopReason::Detected.to_string(), "detected");
+        assert_eq!(
+            StopReason::Crash(CrashKind::OutOfBounds(0x10)).to_string(),
+            "crash: segmentation fault at 0x10"
+        );
+        assert_eq!(StopReason::Timeout.to_string(), "timeout");
+    }
+}

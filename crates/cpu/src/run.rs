@@ -1,0 +1,409 @@
+//! The top-level simulator: load once, run many times (optionally with a
+//! fault), and profile to enumerate injectable sites.
+
+use ferrum_asm::program::AsmProgram;
+use ferrum_asm::provenance::Provenance;
+
+use crate::cost::CostModel;
+use crate::exec::{apply_fault, eligible_dest_bits, step, State, StepEvent};
+use crate::fault::FaultSpec;
+use crate::image::{Image, LoadError};
+use crate::outcome::{RunResult, StopReason};
+
+/// A loaded program ready for repeated simulation.
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    image: Image,
+    cost: CostModel,
+    step_limit: u64,
+}
+
+/// One injectable dynamic fault site discovered by profiling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiteInfo {
+    /// Dynamic index of the instruction.
+    pub dyn_index: u64,
+    /// Provenance of the instruction (for root-cause attribution).
+    pub prov: Provenance,
+    /// True when the injectable destination is RFLAGS.
+    pub is_flags: bool,
+}
+
+/// Dynamic instruction counts by provenance class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProvCounts {
+    /// Instructions lowered from IR instructions.
+    pub from_ir: u64,
+    /// Backend glue (store staging, branch materialisation, ...).
+    pub glue: u64,
+    /// Protection-inserted code.
+    pub protection: u64,
+    /// Synthetic/hand-written code.
+    pub synthetic: u64,
+}
+
+impl ProvCounts {
+    /// Total dynamic instructions.
+    pub fn total(&self) -> u64 {
+        self.from_ir + self.glue + self.protection + self.synthetic
+    }
+}
+
+/// Result of a profiling run.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// Every injectable dynamic site, in execution order.
+    pub sites: Vec<SiteInfo>,
+    /// Dynamic instruction counts by provenance class.
+    pub prov_counts: ProvCounts,
+    /// The fault-free run result (golden output, baseline cycles).
+    pub result: RunResult,
+}
+
+impl Cpu {
+    /// Loads `p` with the default cost model and step limit (50 M).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LoadError`] from image construction.
+    pub fn load(p: &AsmProgram) -> Result<Cpu, LoadError> {
+        Ok(Cpu {
+            image: Image::load(p)?,
+            cost: CostModel::default(),
+            step_limit: 50_000_000,
+        })
+    }
+
+    /// Replaces the cost model.
+    pub fn with_cost_model(mut self, cost: CostModel) -> Cpu {
+        self.cost = cost;
+        self
+    }
+
+    /// Replaces the dynamic step limit (timeout detection).
+    pub fn with_step_limit(mut self, limit: u64) -> Cpu {
+        self.step_limit = limit;
+        self
+    }
+
+    /// The loaded image.
+    pub fn image(&self) -> &Image {
+        &self.image
+    }
+
+    /// The active cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The active step limit.
+    pub fn step_limit(&self) -> u64 {
+        self.step_limit
+    }
+
+    /// Runs the program, optionally injecting one fault.
+    pub fn run(&self, fault: Option<FaultSpec>) -> RunResult {
+        match fault {
+            Some(f) => self.run_multi(&[f]),
+            None => self.run_multi(&[]),
+        }
+    }
+
+    /// Runs the program injecting every fault in `faults` (each at its
+    /// own dynamic index).  The paper's evaluation uses a single fault
+    /// per run (§II-A); multi-fault campaigns are the paper's stated
+    /// future work, reproduced by `repro_multibit`.
+    pub fn run_multi(&self, faults: &[FaultSpec]) -> RunResult {
+        let mut st = State::new(&self.image);
+        let mut cycles = 0u64;
+        let mut n = 0u64;
+        loop {
+            if n >= self.step_limit {
+                return RunResult {
+                    stop: StopReason::Timeout,
+                    output: st.output,
+                    cycles,
+                    dyn_insts: n,
+                };
+            }
+            let pc = st.pc;
+            let ev = step(&self.image, &mut st);
+            let li = &self.image.insts[pc];
+            cycles += self.cost.cost_tagged(&li.inst, li.prov);
+            for f in faults {
+                if f.dyn_index == n {
+                    apply_fault(&li.inst, f.raw_bit, &mut st);
+                }
+            }
+            n += 1;
+            if let StepEvent::Stop(stop) = ev {
+                return RunResult {
+                    stop,
+                    output: st.output,
+                    cycles,
+                    dyn_insts: n,
+                };
+            }
+        }
+    }
+
+    /// Runs fault-free while recording every injectable dynamic site.
+    pub fn profile(&self) -> Profile {
+        let mut st = State::new(&self.image);
+        let mut cycles = 0u64;
+        let mut n = 0u64;
+        let mut sites = Vec::new();
+        let mut prov_counts = ProvCounts::default();
+        loop {
+            if n >= self.step_limit {
+                return Profile {
+                    sites,
+                    prov_counts,
+                    result: RunResult {
+                        stop: StopReason::Timeout,
+                        output: st.output,
+                        cycles,
+                        dyn_insts: n,
+                    },
+                };
+            }
+            let pc = st.pc;
+            let li = &self.image.insts[pc];
+            match li.prov {
+                Provenance::FromIr(_) => prov_counts.from_ir += 1,
+                Provenance::Glue(_) => prov_counts.glue += 1,
+                Provenance::Protection(_) => prov_counts.protection += 1,
+                Provenance::Synthetic => prov_counts.synthetic += 1,
+            }
+            if eligible_dest_bits(&li.inst).is_some() {
+                sites.push(SiteInfo {
+                    dyn_index: n,
+                    prov: li.prov,
+                    is_flags: matches!(li.inst.dest_class(), ferrum_asm::inst::DestClass::Rflags),
+                });
+            }
+            let ev = step(&self.image, &mut st);
+            cycles += self.cost.cost_tagged(&li.inst, li.prov);
+            n += 1;
+            if let StepEvent::Stop(stop) = ev {
+                return Profile {
+                    sites,
+                    prov_counts,
+                    result: RunResult {
+                        stop,
+                        output: st.output,
+                        cycles,
+                        dyn_insts: n,
+                    },
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ferrum_mir::builder::FunctionBuilder;
+    use ferrum_mir::module::{Global, Module};
+    use ferrum_mir::types::Ty;
+
+    fn compile_and_load(m: &Module) -> Cpu {
+        let asm = ferrum_backend::compile(m).expect("compiles");
+        Cpu::load(&asm).expect("loads")
+    }
+
+    fn simple_sum_module() -> Module {
+        // print(tab[0] + tab[1] + tab[2])
+        let mut module = Module::new();
+        let g = module.add_global(Global::new("tab", vec![10, 20, 12]));
+        let mut b = FunctionBuilder::new("main", &[], None);
+        let base = b.global(g);
+        let mut acc = b.iconst(Ty::I64, 0);
+        for i in 0..3 {
+            let idx = b.iconst(Ty::I64, i);
+            let p = b.gep(base, idx);
+            let v = b.load(Ty::I64, p);
+            acc = b.add(Ty::I64, acc, v);
+        }
+        b.print(acc);
+        b.ret(None);
+        module.functions.push(b.finish());
+        module
+    }
+
+    #[test]
+    fn compiled_program_matches_interpreter() {
+        let m = simple_sum_module();
+        let golden = ferrum_mir::interp::Interp::new(&m).run().unwrap();
+        let cpu = compile_and_load(&m);
+        let r = cpu.run(None);
+        assert_eq!(r.stop, StopReason::MainReturned);
+        assert_eq!(r.output, golden.output);
+        assert_eq!(r.output, vec![42]);
+        assert!(r.cycles > 0 && r.dyn_insts > 0);
+    }
+
+    #[test]
+    fn loops_and_branches_execute() {
+        // print(sum of 0..10)
+        let mut b = FunctionBuilder::new("main", &[], None);
+        let header = b.create_block("header");
+        let body = b.create_block("body");
+        let exit = b.create_block("exit");
+        let pi = b.alloca(Ty::I64);
+        let ps = b.alloca(Ty::I64);
+        let zero = b.iconst(Ty::I64, 0);
+        b.store(Ty::I64, zero, pi);
+        b.store(Ty::I64, zero, ps);
+        b.jmp(header);
+        b.switch_to(header);
+        let i = b.load(Ty::I64, pi);
+        let ten = b.iconst(Ty::I64, 10);
+        let c = b.icmp(ferrum_mir::inst::ICmpPred::Slt, Ty::I64, i, ten);
+        b.br(c, body, exit);
+        b.switch_to(body);
+        let i2 = b.load(Ty::I64, pi);
+        let s = b.load(Ty::I64, ps);
+        let s2 = b.add(Ty::I64, s, i2);
+        b.store(Ty::I64, s2, ps);
+        let one = b.iconst(Ty::I64, 1);
+        let i3 = b.add(Ty::I64, i2, one);
+        b.store(Ty::I64, i3, pi);
+        b.jmp(header);
+        b.switch_to(exit);
+        let r = b.load(Ty::I64, ps);
+        b.print(r);
+        b.ret(None);
+        let m = Module::from_functions(vec![b.finish()]);
+        let cpu = compile_and_load(&m);
+        let result = cpu.run(None);
+        assert_eq!(result.output, vec![45]);
+    }
+
+    #[test]
+    fn function_calls_work_in_simulation() {
+        let mut callee = FunctionBuilder::new("mul3", &[Ty::I64], Some(Ty::I64));
+        let three = callee.iconst(Ty::I64, 3);
+        let r = callee.mul(Ty::I64, callee.arg(0), three);
+        callee.ret(Some(r));
+        let mut main = FunctionBuilder::new("main", &[], None);
+        let x = main.iconst(Ty::I64, 14);
+        let r = main.call("mul3", vec![x], Some(Ty::I64)).unwrap();
+        main.print(r);
+        main.ret(None);
+        let m = Module::from_functions(vec![main.finish(), callee.finish()]);
+        let cpu = compile_and_load(&m);
+        assert_eq!(cpu.run(None).output, vec![42]);
+    }
+
+    #[test]
+    fn infinite_loop_times_out() {
+        let mut b = FunctionBuilder::new("main", &[], None);
+        let lp = b.create_block("lp");
+        b.jmp(lp);
+        b.switch_to(lp);
+        b.jmp(lp);
+        let m = Module::from_functions(vec![b.finish()]);
+        let asm = ferrum_backend::compile(&m).unwrap();
+        let cpu = Cpu::load(&asm).unwrap().with_step_limit(1000);
+        assert_eq!(cpu.run(None).stop, StopReason::Timeout);
+    }
+
+    #[test]
+    fn profile_enumerates_sites_and_matches_run() {
+        let m = simple_sum_module();
+        let cpu = compile_and_load(&m);
+        let prof = cpu.profile();
+        let run = cpu.run(None);
+        assert_eq!(prof.result, run);
+        assert!(!prof.sites.is_empty());
+        // All site indices are within the dynamic stream and increasing.
+        let mut prev = None;
+        for s in &prof.sites {
+            assert!(s.dyn_index < run.dyn_insts);
+            if let Some(p) = prev {
+                assert!(s.dyn_index > p);
+            }
+            prev = Some(s.dyn_index);
+        }
+        // Flag sites exist only if a cmp/test executed; this program has
+        // no branches, so none are flagged... the icmp-free sum has no
+        // cmp at all.
+        assert!(prof.sites.iter().all(|s| !s.is_flags));
+    }
+
+    #[test]
+    fn profile_prov_counts_sum_to_dynamic_length() {
+        let m = simple_sum_module();
+        let cpu = compile_and_load(&m);
+        let prof = cpu.profile();
+        assert_eq!(prof.prov_counts.total(), prof.result.dyn_insts);
+        assert!(prof.prov_counts.from_ir > 0);
+        assert!(prof.prov_counts.glue > 0, "prologue/store glue expected");
+        assert_eq!(prof.prov_counts.protection, 0, "unprotected program");
+    }
+
+    #[test]
+    fn fault_injection_changes_output_or_more() {
+        let m = simple_sum_module();
+        let cpu = compile_and_load(&m);
+        let prof = cpu.profile();
+        // Inject into every site with bit 0 and observe at least one SDC
+        // (silent wrong output) across the campaign, plus determinism.
+        let golden = prof.result.output.clone();
+        let mut sdc = 0;
+        for s in &prof.sites {
+            let r1 = cpu.run(Some(FaultSpec::new(s.dyn_index, 0)));
+            let r2 = cpu.run(Some(FaultSpec::new(s.dyn_index, 0)));
+            assert_eq!(r1, r2, "simulation must be deterministic");
+            if r1.stop == StopReason::MainReturned && r1.output != golden {
+                sdc += 1;
+            }
+        }
+        assert!(sdc > 0, "an unprotected program must show SDCs");
+    }
+
+    #[test]
+    fn fault_free_run_has_no_detection() {
+        let m = simple_sum_module();
+        let cpu = compile_and_load(&m);
+        assert_eq!(cpu.run(None).stop, StopReason::MainReturned);
+    }
+
+    #[test]
+    fn multi_fault_injection_applies_both_faults() {
+        let m = simple_sum_module();
+        let cpu = compile_and_load(&m);
+        let prof = cpu.profile();
+        let a = prof.sites[2];
+        let b = prof.sites[5];
+        let single_a = cpu.run(Some(FaultSpec::new(a.dyn_index, 1)));
+        let single_b = cpu.run(Some(FaultSpec::new(b.dyn_index, 1)));
+        let both = cpu.run_multi(&[
+            FaultSpec::new(a.dyn_index, 1),
+            FaultSpec::new(b.dyn_index, 1),
+        ]);
+        // Injecting both cannot equal a fault-free run unless each alone
+        // was benign with identical output.
+        let golden = cpu.run(None);
+        if single_a.output != golden.output || single_b.output != golden.output {
+            assert_ne!(both.output, golden.output);
+        }
+        assert_eq!(cpu.run_multi(&[]), golden);
+    }
+
+    #[test]
+    fn cost_model_is_configurable() {
+        let m = simple_sum_module();
+        let asm = ferrum_backend::compile(&m).unwrap();
+        let cheap = Cpu::load(&asm).unwrap();
+        let model = CostModel {
+            mem_load: 30,
+            mem_store: 30,
+            ..CostModel::default()
+        };
+        let expensive = Cpu::load(&asm).unwrap().with_cost_model(model);
+        assert!(expensive.run(None).cycles > cheap.run(None).cycles);
+    }
+}

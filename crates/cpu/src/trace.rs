@@ -1,0 +1,188 @@
+//! Execution tracing: a bounded per-instruction record of what ran and
+//! what it wrote — the tool you want when a protection pass misbehaves
+//! ("which check fired, and what did the duplicate hold?").
+
+use ferrum_asm::inst::DestClass;
+use ferrum_asm::printer::print_inst;
+use ferrum_asm::provenance::Provenance;
+
+use crate::exec::{step, State, StepEvent};
+use crate::fault::FaultSpec;
+use crate::outcome::{RunResult, StopReason};
+use crate::run::Cpu;
+
+/// One executed instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Position in the dynamic stream.
+    pub dyn_index: u64,
+    /// Static instruction index in the loaded image.
+    pub pc: usize,
+    /// Rendered instruction text.
+    pub text: String,
+    /// Provenance of the instruction.
+    pub prov: Provenance,
+    /// The 64-bit value left in the destination register, when the
+    /// instruction has a plain GPR destination.
+    pub wrote: Option<u64>,
+}
+
+/// A bounded execution trace plus the run's result.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// The recorded entries (at most the configured limit, from the
+    /// start of execution).
+    pub entries: Vec<TraceEntry>,
+    /// The run result.
+    pub result: RunResult,
+}
+
+impl Trace {
+    /// Renders the trace as an annotated listing.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            let wrote = match e.wrote {
+                Some(v) => format!(" ; -> {v:#x}"),
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                "{:>6}  {:<40} # {}{}\n",
+                e.dyn_index, e.text, e.prov, wrote
+            ));
+        }
+        out.push_str(&format!("stop: {}\n", self.result.stop));
+        out
+    }
+}
+
+impl Cpu {
+    /// Runs like [`Cpu::run`] while recording up to `limit` trace
+    /// entries (from the start of execution; later instructions still
+    /// execute, untraced).
+    pub fn run_traced(&self, fault: Option<FaultSpec>, limit: usize) -> Trace {
+        let image = self.image();
+        let mut st = State::new(image);
+        let mut entries = Vec::with_capacity(limit.min(4096));
+        let mut cycles = 0u64;
+        let mut n = 0u64;
+        let cost = self.cost_model();
+        let step_limit = self.step_limit();
+        loop {
+            if n >= step_limit {
+                return Trace {
+                    entries,
+                    result: RunResult {
+                        stop: StopReason::Timeout,
+                        output: st.output,
+                        cycles,
+                        dyn_insts: n,
+                    },
+                };
+            }
+            let pc = st.pc;
+            let li = &image.insts[pc];
+            let ev = step(image, &mut st);
+            cycles += cost.cost_tagged(&li.inst, li.prov);
+            if let Some(f) = fault {
+                if f.dyn_index == n {
+                    crate::exec::apply_fault(&li.inst, f.raw_bit, &mut st);
+                }
+            }
+            if entries.len() < limit {
+                let wrote = match li.inst.dest_class() {
+                    DestClass::Gpr(r) => Some(st.regs.read64(r.gpr)),
+                    _ => None,
+                };
+                entries.push(TraceEntry {
+                    dyn_index: n,
+                    pc,
+                    text: print_inst(&li.inst),
+                    prov: li.prov,
+                    wrote,
+                });
+            }
+            n += 1;
+            if let StepEvent::Stop(stop) = ev {
+                return Trace {
+                    entries,
+                    result: RunResult {
+                        stop,
+                        output: st.output,
+                        cycles,
+                        dyn_insts: n,
+                    },
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ferrum_asm::inst::Inst;
+    use ferrum_asm::operand::Operand;
+    use ferrum_asm::program::single_block_main;
+    use ferrum_asm::reg::{Gpr, Reg, Width};
+
+    fn demo_cpu() -> Cpu {
+        let p = single_block_main(vec![
+            Inst::Mov {
+                w: Width::W64,
+                src: Operand::Imm(7),
+                dst: Operand::Reg(Reg::q(Gpr::Rax)),
+            },
+            Inst::Mov {
+                w: Width::W64,
+                src: Operand::Reg(Reg::q(Gpr::Rax)),
+                dst: Operand::Reg(Reg::q(Gpr::Rdi)),
+            },
+            Inst::Call {
+                target: "print_i64".into(),
+            },
+        ]);
+        Cpu::load(&p).unwrap()
+    }
+
+    #[test]
+    fn trace_records_writes_and_matches_run() {
+        let cpu = demo_cpu();
+        let trace = cpu.run_traced(None, 100);
+        assert_eq!(trace.result, cpu.run(None));
+        assert_eq!(trace.entries.len(), trace.result.dyn_insts as usize);
+        assert_eq!(trace.entries[0].wrote, Some(7));
+        assert_eq!(trace.entries[0].text, "movq $7, %rax");
+        assert!(trace.entries.iter().any(|e| e.text.starts_with("call")));
+    }
+
+    #[test]
+    fn trace_limit_is_respected() {
+        let cpu = demo_cpu();
+        let trace = cpu.run_traced(None, 2);
+        assert_eq!(trace.entries.len(), 2);
+        // Execution still ran to completion.
+        assert_eq!(trace.result.output, vec![7]);
+    }
+
+    #[test]
+    fn traced_fault_shows_the_corrupted_value() {
+        let cpu = demo_cpu();
+        let trace = cpu.run_traced(Some(FaultSpec::new(0, 3)), 100);
+        assert_eq!(
+            trace.entries[0].wrote,
+            Some(7 ^ 8),
+            "bit 3 flipped at write-back"
+        );
+        assert_eq!(trace.result.output, vec![7 ^ 8], "corruption propagates");
+    }
+
+    #[test]
+    fn render_is_human_readable() {
+        let cpu = demo_cpu();
+        let text = cpu.run_traced(None, 10).render();
+        assert!(text.contains("movq $7, %rax"));
+        assert!(text.contains("stop: completed"));
+        assert!(text.contains("-> 0x7"));
+    }
+}

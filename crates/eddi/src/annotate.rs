@@ -1,0 +1,205 @@
+//! Instruction annotation (§III-B1 of the paper) and flags liveness.
+//!
+//! FERRUM classifies every injectable instruction as either
+//! SIMD-ENABLED (the duplicate can be produced by a *single* move into
+//! an XMM register) or GENERAL (everything else, protected by the scalar
+//! idiom of Fig. 4).  The paper's stated rule — an instruction whose
+//! source is also its destination cannot use SIMD — falls out of the
+//! single-move requirement: a read-modify-write has no one-instruction
+//! XMM equivalent.
+
+use ferrum_asm::inst::Inst;
+use ferrum_asm::operand::Operand;
+use ferrum_asm::program::AsmBlock;
+use ferrum_asm::reg::Width;
+
+/// Protection class of one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Annotation {
+    /// Duplicate with a single `movq`/`pinsrq` into an XMM register and
+    /// check in a SIMD batch (Fig. 6).
+    SimdEnabled,
+    /// Duplicate into a spare GPR and check scalar-ly (Fig. 4).
+    General,
+    /// A flags-producing comparison protected by deferred detection
+    /// (Fig. 5).
+    Compare,
+    /// Not an injectable fault site: nothing to protect.
+    NotASite,
+}
+
+/// Classifies `inst` for the FERRUM pass.
+pub fn annotate(inst: &Inst) -> Annotation {
+    if inst.injectable_bits().is_none() {
+        return Annotation::NotASite;
+    }
+    match inst {
+        Inst::Cmp { .. } | Inst::Test { .. } => Annotation::Compare,
+        // A 64-bit move whose source is a register or memory location can
+        // be re-executed as one `movq`/`pinsrq` into an XMM lane.  An
+        // immediate source has no single-instruction XMM form, and a
+        // source that aliases the destination is the paper's excluded
+        // src==dst case (covered automatically because the duplicate
+        // must run *before* the original).
+        Inst::Mov {
+            w: Width::W64,
+            src,
+            dst: Operand::Reg(_),
+        } => match src {
+            Operand::Reg(_) | Operand::Mem(_) => Annotation::SimdEnabled,
+            Operand::Imm(_) => Annotation::General,
+        },
+        _ => Annotation::General,
+    }
+}
+
+/// True if the RFLAGS value produced before instruction `idx` is
+/// consumed at or after `idx` within the block — i.e. a checker that
+/// clobbers flags must not be inserted *before* position `idx`.
+///
+/// Scans forward from `idx`: a flags reader before the next flags writer
+/// means live.  Flags never survive a block boundary in backend-emitted
+/// code (branch conditions are re-materialised per Fig. 9), so the scan
+/// stops at the end of the block.
+pub fn flags_live_at(block: &AsmBlock, idx: usize) -> bool {
+    for ai in &block.insts[idx..] {
+        if ai.inst.reads_flags() {
+            return true;
+        }
+        if ai.inst.writes_flags() {
+            return false;
+        }
+    }
+    false
+}
+
+/// Finds the flags consumer of the `cmp`/`test` at `idx`: the next
+/// `setcc`/`jcc` before any other flags writer.  Returns its index.
+pub fn flags_consumer(block: &AsmBlock, idx: usize) -> Option<usize> {
+    for (off, ai) in block.insts[idx + 1..].iter().enumerate() {
+        if ai.inst.reads_flags() {
+            return Some(idx + 1 + off);
+        }
+        if ai.inst.writes_flags() {
+            return None;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ferrum_asm::flags::Cc;
+    use ferrum_asm::inst::AluOp;
+    use ferrum_asm::operand::MemRef;
+    use ferrum_asm::program::AsmInst;
+    use ferrum_asm::reg::{Gpr, Reg};
+
+    fn block_of(insts: Vec<Inst>) -> AsmBlock {
+        let mut b = AsmBlock::new("b");
+        for i in insts {
+            b.insts.push(AsmInst::synthetic(i));
+        }
+        b
+    }
+
+    #[test]
+    fn wide_loads_and_reg_moves_are_simd_enabled() {
+        let load = Inst::Mov {
+            w: Width::W64,
+            src: Operand::Mem(MemRef::base_disp(Gpr::Rbp, -24)),
+            dst: Operand::Reg(Reg::q(Gpr::Rax)),
+        };
+        assert_eq!(annotate(&load), Annotation::SimdEnabled);
+        let mv = Inst::Mov {
+            w: Width::W64,
+            src: Operand::Reg(Reg::q(Gpr::Rcx)),
+            dst: Operand::Reg(Reg::q(Gpr::Rax)),
+        };
+        assert_eq!(annotate(&mv), Annotation::SimdEnabled);
+    }
+
+    #[test]
+    fn immediates_narrow_moves_and_rmw_are_general() {
+        let imm = Inst::Mov {
+            w: Width::W64,
+            src: Operand::Imm(7),
+            dst: Operand::Reg(Reg::q(Gpr::Rax)),
+        };
+        assert_eq!(annotate(&imm), Annotation::General);
+        let narrow = Inst::Mov {
+            w: Width::W32,
+            src: Operand::Reg(Reg::l(Gpr::Rcx)),
+            dst: Operand::Reg(Reg::l(Gpr::Rax)),
+        };
+        assert_eq!(annotate(&narrow), Annotation::General);
+        let add = Inst::Alu {
+            op: AluOp::Add,
+            w: Width::W64,
+            src: Operand::Reg(Reg::q(Gpr::Rcx)),
+            dst: Operand::Reg(Reg::q(Gpr::Rax)),
+        };
+        assert_eq!(annotate(&add), Annotation::General);
+        let movslq = Inst::Movsx {
+            src_w: Width::W32,
+            dst_w: Width::W64,
+            src: Operand::Reg(Reg::l(Gpr::Rcx)),
+            dst: Reg::q(Gpr::R10),
+        };
+        assert_eq!(annotate(&movslq), Annotation::General);
+    }
+
+    #[test]
+    fn comparisons_and_non_sites_classified() {
+        let cmp = Inst::Cmp {
+            w: Width::W64,
+            src: Operand::Imm(0),
+            dst: Operand::Mem(MemRef::base_disp(Gpr::Rbp, -8)),
+        };
+        assert_eq!(annotate(&cmp), Annotation::Compare);
+        let store = Inst::Mov {
+            w: Width::W64,
+            src: Operand::Reg(Reg::q(Gpr::Rax)),
+            dst: Operand::Mem(MemRef::base_disp(Gpr::Rbp, -8)),
+        };
+        assert_eq!(annotate(&store), Annotation::NotASite);
+        assert_eq!(annotate(&Inst::Ret), Annotation::NotASite);
+        // Frame-register destinations are not sites.
+        let to_rsp = Inst::Mov {
+            w: Width::W64,
+            src: Operand::Reg(Reg::q(Gpr::Rbp)),
+            dst: Operand::Reg(Reg::q(Gpr::Rsp)),
+        };
+        assert_eq!(annotate(&to_rsp), Annotation::NotASite);
+    }
+
+    #[test]
+    fn flags_liveness_scan() {
+        let cmp = Inst::Cmp {
+            w: Width::W64,
+            src: Operand::Imm(0),
+            dst: Operand::Reg(Reg::q(Gpr::Rax)),
+        };
+        let jcc = Inst::Jcc {
+            cc: Cc::Ne,
+            target: "t".into(),
+        };
+        let mov = Inst::Mov {
+            w: Width::W64,
+            src: Operand::Imm(1),
+            dst: Operand::Reg(Reg::q(Gpr::Rcx)),
+        };
+        let b = block_of(vec![cmp.clone(), mov.clone(), jcc.clone(), mov.clone()]);
+        assert!(flags_live_at(&b, 1), "jcc still ahead");
+        assert!(!flags_live_at(&b, 3), "flags dead after the jcc");
+        assert_eq!(flags_consumer(&b, 0), Some(2));
+        // A flags writer in between kills the chain.
+        let b2 = block_of(vec![cmp.clone(), cmp.clone(), jcc.clone()]);
+        assert_eq!(flags_consumer(&b2, 0), None);
+        assert_eq!(flags_consumer(&b2, 1), Some(2));
+        // No consumer at all.
+        let b3 = block_of(vec![cmp, mov]);
+        assert_eq!(flags_consumer(&b3, 0), None);
+    }
+}

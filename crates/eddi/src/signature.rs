@@ -1,0 +1,217 @@
+//! IR-level signature protection of comparisons and branches — the
+//! component HYBRID-ASSEMBLY-LEVEL-EDDI keeps at IR level (paper
+//! §IV-A1, following the signature scheme of the paper's reference
+//! \[13\]).
+//!
+//! Two mechanisms:
+//!
+//! 1. every `icmp` is duplicated and immediately checked, so a flags
+//!    fault inside a lowered comparison corrupts only one of the two
+//!    stored condition bytes and is caught;
+//! 2. every conditional branch is routed through per-edge *recheck*
+//!    blocks that re-test the duplicated condition: taking the wrong
+//!    direction (a fault in the branch-materialisation flags, Fig. 9)
+//!    lands in an edge block whose recheck disagrees and detects.
+
+use std::collections::HashMap;
+
+use ferrum_mir::func::Function;
+use ferrum_mir::inst::MirInst;
+use ferrum_mir::module::Module;
+use ferrum_mir::value::Value;
+
+use crate::ir_eddi::{Rewriter, ShadowMap};
+
+/// The signature-protection prepass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SignaturePass;
+
+impl SignaturePass {
+    /// Creates the pass.
+    pub fn new() -> SignaturePass {
+        SignaturePass
+    }
+
+    /// Returns a copy of `m` with comparisons and branches protected.
+    pub fn protect(&self, m: &Module) -> Module {
+        self.protect_tracked(m).0
+    }
+
+    /// As [`SignaturePass::protect`], also returning the shadow-id map
+    /// for provenance retagging after lowering.
+    pub fn protect_tracked(&self, m: &Module) -> (Module, ShadowMap) {
+        let mut out = m.clone();
+        let mut shadows = ShadowMap::new();
+        for f in &mut out.functions {
+            let first_new = f.next_id;
+            protect_function(f);
+            shadows.insert(f.name.clone(), (first_new..f.next_id).collect());
+        }
+        (out, shadows)
+    }
+}
+
+fn protect_function(f: &mut Function) {
+    let blocks = std::mem::take(&mut f.blocks);
+    let snapshot = Function {
+        blocks,
+        ..f.clone()
+    };
+    let mut rw = Rewriter::new(&snapshot);
+    let mut dup: HashMap<u32, Value> = HashMap::new();
+
+    for (bi, b) in snapshot.blocks.iter().enumerate() {
+        rw.start_block(bi);
+        for inst in &b.insts {
+            match inst {
+                MirInst::ICmp { id, .. } => {
+                    rw.emit(inst.clone());
+                    let new_id = f.fresh_id();
+                    let mut shadow = inst.clone();
+                    super::ir_eddi::set_result_pub(&mut shadow, new_id);
+                    rw.emit(shadow);
+                    dup.insert(id.0, Value::Inst(new_id));
+                    // Immediate check of the two condition bytes.
+                    rw.split_check(f, Value::Inst(*id), Value::Inst(new_id));
+                }
+                MirInst::Br {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    match cond.as_inst().and_then(|id| dup.get(&id.0)).copied() {
+                        Some(d) => {
+                            // Route both edges through recheck blocks.
+                            let detect = rw.detect_bb();
+                            let then_chk = rw.fresh_block("sig_then_chk");
+                            let else_chk = rw.fresh_block("sig_else_chk");
+                            rw.emit(MirInst::Br {
+                                cond: *cond,
+                                then_bb: then_chk,
+                                else_bb: else_chk,
+                            });
+                            rw.emit_into(
+                                then_chk,
+                                MirInst::Br {
+                                    cond: d,
+                                    then_bb: *then_bb,
+                                    else_bb: detect,
+                                },
+                            );
+                            rw.emit_into(
+                                else_chk,
+                                MirInst::Br {
+                                    cond: d,
+                                    then_bb: detect,
+                                    else_bb: *else_bb,
+                                },
+                            );
+                        }
+                        None => rw.emit(inst.clone()),
+                    }
+                }
+                _ => rw.emit(inst.clone()),
+            }
+        }
+    }
+    f.blocks = rw.finish(f.ret);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ferrum_mir::builder::FunctionBuilder;
+    use ferrum_mir::inst::ICmpPred;
+    use ferrum_mir::interp::Interp;
+    use ferrum_mir::types::Ty;
+    use ferrum_mir::verify::verify_module;
+
+    fn branchy_module() -> Module {
+        // print(|a - b|) via a branch.
+        let mut b = FunctionBuilder::new("main", &[], None);
+        let t = b.create_block("t");
+        let e = b.create_block("e");
+        let a = b.iconst(Ty::I64, 3);
+        let c = b.iconst(Ty::I64, 8);
+        let cond = b.icmp(ICmpPred::Sgt, Ty::I64, a, c);
+        b.br(cond, t, e);
+        b.switch_to(t);
+        let d1 = b.sub(Ty::I64, a, c);
+        b.print(d1);
+        b.ret(None);
+        b.switch_to(e);
+        let d2 = b.sub(Ty::I64, c, a);
+        b.print(d2);
+        b.ret(None);
+        Module::from_functions(vec![b.finish()])
+    }
+
+    #[test]
+    fn signature_pass_preserves_semantics() {
+        let m = branchy_module();
+        let p = SignaturePass::new().protect(&m);
+        verify_module(&p).expect("verifies");
+        assert_eq!(Interp::new(&p).run().unwrap().output, vec![5]);
+    }
+
+    #[test]
+    fn icmps_are_duplicated_and_branches_routed() {
+        let m = branchy_module();
+        let p = SignaturePass::new().protect(&m);
+        let icmps = |f: &Function| {
+            f.insts()
+                .filter(|i| matches!(i, MirInst::ICmp { .. }))
+                .count()
+        };
+        // 1 original + 1 shadow + 1 immediate check.
+        assert_eq!(icmps(&p.functions[0]), icmps(&m.functions[0]) + 2);
+        let brs = p.functions[0]
+            .insts()
+            .filter(|i| matches!(i, MirInst::Br { .. }))
+            .count();
+        // original br (re-routed) + 2 edge rechecks + 1 immediate check br.
+        assert_eq!(brs, 4);
+    }
+
+    #[test]
+    fn compiled_signature_protected_program_runs() {
+        let m = branchy_module();
+        let p = SignaturePass::new().protect(&m);
+        let asm = ferrum_backend::compile(&p).expect("compiles");
+        let cpu = ferrum_cpu::run::Cpu::load(&asm).expect("loads");
+        let r = cpu.run(None);
+        assert_eq!(r.stop, ferrum_cpu::outcome::StopReason::MainReturned);
+        assert_eq!(r.output, vec![5]);
+    }
+
+    #[test]
+    fn loop_backedges_survive() {
+        let mut b = FunctionBuilder::new("main", &[], None);
+        let header = b.create_block("h");
+        let body = b.create_block("b");
+        let exit = b.create_block("x");
+        let pi = b.alloca(Ty::I64);
+        let zero = b.iconst(Ty::I64, 0);
+        b.store(Ty::I64, zero, pi);
+        b.jmp(header);
+        b.switch_to(header);
+        let i = b.load(Ty::I64, pi);
+        let five = b.iconst(Ty::I64, 5);
+        let c = b.icmp(ICmpPred::Slt, Ty::I64, i, five);
+        b.br(c, body, exit);
+        b.switch_to(body);
+        let i2 = b.load(Ty::I64, pi);
+        let one = b.iconst(Ty::I64, 1);
+        let i3 = b.add(Ty::I64, i2, one);
+        b.store(Ty::I64, i3, pi);
+        b.jmp(header);
+        b.switch_to(exit);
+        let i4 = b.load(Ty::I64, pi);
+        b.print(i4);
+        b.ret(None);
+        let m = Module::from_functions(vec![b.finish()]);
+        let p = SignaturePass::new().protect(&m);
+        verify_module(&p).expect("verifies");
+        assert_eq!(Interp::new(&p).run().unwrap().output, vec![5]);
+    }
+}

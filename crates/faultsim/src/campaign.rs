@@ -1,0 +1,384 @@
+//! Sampled and exhaustive fault-injection campaigns.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ferrum_cpu::fault::FaultSpec;
+use ferrum_cpu::outcome::StopReason;
+use ferrum_cpu::run::{Cpu, Profile};
+
+/// Classified result of one injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Outcome {
+    /// Completed with wrong output: silent data corruption.
+    Sdc,
+    /// A checker fired.
+    Detected,
+    /// Hardware-style exception.
+    Crash,
+    /// Step budget exhausted.
+    Timeout,
+    /// Completed with the correct output.
+    Benign,
+}
+
+impl Outcome {
+    /// All outcome classes.
+    pub const ALL: [Outcome; 5] = [
+        Outcome::Sdc,
+        Outcome::Detected,
+        Outcome::Crash,
+        Outcome::Timeout,
+        Outcome::Benign,
+    ];
+
+    /// Label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Outcome::Sdc => "SDC",
+            Outcome::Detected => "detected",
+            Outcome::Crash => "crash",
+            Outcome::Timeout => "timeout",
+            Outcome::Benign => "benign",
+        }
+    }
+}
+
+/// Campaign parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignConfig {
+    /// Number of sampled faults (the paper uses 1000 per benchmark).
+    pub samples: usize,
+    /// RNG seed (campaigns are fully reproducible).
+    pub seed: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> CampaignConfig {
+        CampaignConfig {
+            samples: 1000,
+            seed: 0xFE44_0001,
+        }
+    }
+}
+
+/// Aggregated campaign outcome counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CampaignResult {
+    /// Silent data corruptions.
+    pub sdc: usize,
+    /// Detections.
+    pub detected: usize,
+    /// Crashes.
+    pub crash: usize,
+    /// Timeouts.
+    pub timeout: usize,
+    /// Benign completions.
+    pub benign: usize,
+    /// Every injected fault with its outcome (for root-cause analysis).
+    pub records: Vec<(FaultSpec, Outcome)>,
+}
+
+impl CampaignResult {
+    /// Total injections.
+    pub fn total(&self) -> usize {
+        self.sdc + self.detected + self.crash + self.timeout + self.benign
+    }
+
+    /// SDC probability over the campaign.
+    pub fn sdc_prob(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.sdc as f64 / self.total() as f64
+        }
+    }
+
+    fn record(&mut self, f: FaultSpec, o: Outcome) {
+        match o {
+            Outcome::Sdc => self.sdc += 1,
+            Outcome::Detected => self.detected += 1,
+            Outcome::Crash => self.crash += 1,
+            Outcome::Timeout => self.timeout += 1,
+            Outcome::Benign => self.benign += 1,
+        }
+        self.records.push((f, o));
+    }
+}
+
+/// Classifies one faulted run against the golden output.
+pub fn classify(stop: StopReason, output: &[i64], golden: &[i64]) -> Outcome {
+    match stop {
+        StopReason::Detected => Outcome::Detected,
+        StopReason::Crash(_) => Outcome::Crash,
+        StopReason::Timeout => Outcome::Timeout,
+        StopReason::MainReturned => {
+            if output == golden {
+                Outcome::Benign
+            } else {
+                Outcome::Sdc
+            }
+        }
+    }
+}
+
+/// Runs a sampled campaign: `cfg.samples` single-bit faults at sites
+/// drawn uniformly from `profile.sites`.
+///
+/// # Panics
+///
+/// Panics if the profile has no injectable sites.
+pub fn run_campaign(cpu: &Cpu, profile: &Profile, cfg: CampaignConfig) -> CampaignResult {
+    assert!(!profile.sites.is_empty(), "no injectable sites");
+    let golden = &profile.result.output;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut result = CampaignResult::default();
+    for _ in 0..cfg.samples {
+        let site = profile.sites[rng.gen_range(0..profile.sites.len())];
+        let fault = FaultSpec::new(site.dyn_index, rng.gen());
+        let run = cpu.run(Some(fault));
+        result.record(fault, classify(run.stop, &run.output, golden));
+    }
+    result
+}
+
+/// As [`run_campaign`], but fans the injections out over `threads`
+/// worker threads.  Produces byte-identical results to the serial
+/// version: the fault list is pre-sampled with the seeded RNG, split
+/// into chunks, and outcomes are stitched back in order.
+pub fn run_campaign_parallel(
+    cpu: &Cpu,
+    profile: &Profile,
+    cfg: CampaignConfig,
+    threads: usize,
+) -> CampaignResult {
+    assert!(!profile.sites.is_empty(), "no injectable sites");
+    let golden = &profile.result.output;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let faults: Vec<FaultSpec> = (0..cfg.samples)
+        .map(|_| {
+            let site = profile.sites[rng.gen_range(0..profile.sites.len())];
+            FaultSpec::new(site.dyn_index, rng.gen())
+        })
+        .collect();
+    let threads = threads.max(1);
+    let chunk = faults.len().div_ceil(threads);
+    let mut outcomes: Vec<Option<Outcome>> = vec![None; faults.len()];
+    std::thread::scope(|scope| {
+        for (slot_chunk, fault_chunk) in outcomes.chunks_mut(chunk).zip(faults.chunks(chunk)) {
+            scope.spawn(move || {
+                for (slot, fault) in slot_chunk.iter_mut().zip(fault_chunk) {
+                    let run = cpu.run(Some(*fault));
+                    *slot = Some(classify(run.stop, &run.output, golden));
+                }
+            });
+        }
+    });
+    let mut result = CampaignResult::default();
+    for (fault, outcome) in faults.into_iter().zip(outcomes) {
+        result.record(fault, outcome.expect("all chunks processed"));
+    }
+    result
+}
+
+/// Runs a **double-fault** campaign: two independent single-bit faults
+/// per execution, at two distinct sampled sites.  Single-fault coverage
+/// guarantees do not carry over — duplication-based detection can in
+/// principle be defeated when both a value and its shadow are corrupted
+/// consistently — which is exactly why the paper defers multi-bit
+/// faults to future work (§II-A).  `records` stores the first fault of
+/// each pair.
+pub fn run_double_campaign(cpu: &Cpu, profile: &Profile, cfg: CampaignConfig) -> CampaignResult {
+    assert!(!profile.sites.is_empty(), "no injectable sites");
+    let golden = &profile.result.output;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut result = CampaignResult::default();
+    for _ in 0..cfg.samples {
+        let a = profile.sites[rng.gen_range(0..profile.sites.len())];
+        let b = profile.sites[rng.gen_range(0..profile.sites.len())];
+        let fa = FaultSpec::new(a.dyn_index, rng.gen());
+        let fb = FaultSpec::new(b.dyn_index, rng.gen());
+        let run = cpu.run_multi(&[fa, fb]);
+        result.record(fa, classify(run.stop, &run.output, golden));
+    }
+    result
+}
+
+/// Injects into *every* site with `bits_per_site` evenly spread bit
+/// positions — the exhaustive sweep used to prove coverage claims on
+/// small kernels.
+pub fn exhaustive_campaign(cpu: &Cpu, profile: &Profile, bits_per_site: u16) -> CampaignResult {
+    let golden = &profile.result.output;
+    let mut result = CampaignResult::default();
+    for site in &profile.sites {
+        for k in 0..bits_per_site {
+            // Spread raw bits across the largest width (256); the CPU
+            // reduces modulo the actual destination width.
+            let raw = k.wrapping_mul(257) % 256;
+            let fault = FaultSpec::new(site.dyn_index, raw);
+            let run = cpu.run(Some(fault));
+            result.record(fault, classify(run.stop, &run.output, golden));
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ferrum_mir::builder::FunctionBuilder;
+    use ferrum_mir::module::{Global, Module};
+    use ferrum_mir::types::Ty;
+
+    fn sum_cpu() -> Cpu {
+        let mut module = Module::new();
+        let g = module.add_global(Global::new("tab", vec![1, 2, 3, 4]));
+        let mut b = FunctionBuilder::new("main", &[], None);
+        let base = b.global(g);
+        let mut acc = b.iconst(Ty::I64, 0);
+        for i in 0..4 {
+            let idx = b.iconst(Ty::I64, i);
+            let p = b.gep(base, idx);
+            let v = b.load(Ty::I64, p);
+            acc = b.add(Ty::I64, acc, v);
+        }
+        b.print(acc);
+        b.ret(None);
+        module.functions.push(b.finish());
+        let asm = ferrum_backend::compile(&module).unwrap();
+        Cpu::load(&asm).unwrap()
+    }
+
+    #[test]
+    fn classification_rules() {
+        use ferrum_cpu::outcome::CrashKind;
+        assert_eq!(classify(StopReason::Detected, &[], &[]), Outcome::Detected);
+        assert_eq!(
+            classify(StopReason::Crash(CrashKind::DivideError), &[], &[]),
+            Outcome::Crash
+        );
+        assert_eq!(classify(StopReason::Timeout, &[], &[]), Outcome::Timeout);
+        assert_eq!(
+            classify(StopReason::MainReturned, &[1], &[1]),
+            Outcome::Benign
+        );
+        assert_eq!(classify(StopReason::MainReturned, &[2], &[1]), Outcome::Sdc);
+        assert_eq!(classify(StopReason::MainReturned, &[], &[1]), Outcome::Sdc);
+    }
+
+    #[test]
+    fn unprotected_program_shows_sdcs() {
+        let cpu = sum_cpu();
+        let profile = cpu.profile();
+        let res = run_campaign(
+            &cpu,
+            &profile,
+            CampaignConfig {
+                samples: 300,
+                seed: 7,
+            },
+        );
+        assert_eq!(res.total(), 300);
+        assert!(
+            res.sdc > 0,
+            "unprotected program must exhibit SDCs: {res:?}"
+        );
+        assert_eq!(
+            res.detected, 0,
+            "nothing can detect in an unprotected program"
+        );
+    }
+
+    #[test]
+    fn campaigns_are_reproducible() {
+        let cpu = sum_cpu();
+        let profile = cpu.profile();
+        let cfg = CampaignConfig {
+            samples: 100,
+            seed: 42,
+        };
+        let a = run_campaign(&cpu, &profile, cfg);
+        let b = run_campaign(&cpu, &profile, cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cpu = sum_cpu();
+        let profile = cpu.profile();
+        let a = run_campaign(
+            &cpu,
+            &profile,
+            CampaignConfig {
+                samples: 100,
+                seed: 1,
+            },
+        );
+        let b = run_campaign(
+            &cpu,
+            &profile,
+            CampaignConfig {
+                samples: 100,
+                seed: 2,
+            },
+        );
+        assert_ne!(a.records, b.records);
+    }
+
+    #[test]
+    fn exhaustive_covers_every_site() {
+        let cpu = sum_cpu();
+        let profile = cpu.profile();
+        let res = exhaustive_campaign(&cpu, &profile, 3);
+        assert_eq!(res.total(), profile.sites.len() * 3);
+    }
+
+    #[test]
+    fn parallel_campaign_matches_serial_exactly() {
+        let cpu = sum_cpu();
+        let profile = cpu.profile();
+        let cfg = CampaignConfig {
+            samples: 240,
+            seed: 77,
+        };
+        let serial = run_campaign(&cpu, &profile, cfg);
+        for threads in [1, 3, 8] {
+            let par = run_campaign_parallel(&cpu, &profile, cfg, threads);
+            assert_eq!(par, serial, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn double_fault_campaign_runs_and_counts() {
+        let cpu = sum_cpu();
+        let profile = cpu.profile();
+        let cfg = CampaignConfig {
+            samples: 150,
+            seed: 21,
+        };
+        let res = run_double_campaign(&cpu, &profile, cfg);
+        assert_eq!(res.total(), 150);
+        assert!(res.sdc > 0, "two faults in an unprotected program: {res:?}");
+        let res2 = run_double_campaign(&cpu, &profile, cfg);
+        assert_eq!(res, res2, "reproducible");
+    }
+
+    #[test]
+    fn outcome_counts_sum_to_total() {
+        let cpu = sum_cpu();
+        let profile = cpu.profile();
+        let res = run_campaign(
+            &cpu,
+            &profile,
+            CampaignConfig {
+                samples: 250,
+                seed: 3,
+            },
+        );
+        assert_eq!(
+            res.sdc + res.detected + res.crash + res.timeout + res.benign,
+            res.records.len()
+        );
+        assert!((res.sdc_prob() - res.sdc as f64 / 250.0).abs() < 1e-12);
+    }
+}

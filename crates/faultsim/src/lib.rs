@@ -1,0 +1,33 @@
+//! # ferrum-faultsim — assembly-level fault-injection campaigns
+//!
+//! Implements the paper's evaluation methodology (§IV-A2): sample a
+//! dynamically executed instruction uniformly from the injectable
+//! sites, flip one random bit in its destination register (or RFLAGS
+//! for `cmp`/`test`), one fault per program execution, and classify the
+//! outcome:
+//!
+//! * **SDC** — the program completed but printed the wrong output,
+//! * **Detected** — a checker transferred control to `exit_function`,
+//! * **Crash** — a hardware-style exception (segfault, divide error),
+//! * **Timeout** — the fault sent the program into a non-terminating
+//!   path,
+//! * **Benign** — the program completed with the correct output.
+//!
+//! [`campaign`] runs sampled campaigns (the paper uses 1000 faults per
+//! benchmark) and exhaustive sweeps (used by the soundness tests that
+//! prove the 100%-coverage claim on small kernels).  [`stats`] computes
+//! SDC probability and the paper's SDC-coverage metric with
+//! binomial confidence intervals, and [`rootcause`] attributes SDCs to
+//! the provenance of the faulted instruction, reproducing the paper's
+//! root-cause analysis of IR-level EDDI's coverage loss (§IV-B1).
+
+pub mod campaign;
+pub mod rootcause;
+pub mod stats;
+
+pub use campaign::{
+    exhaustive_campaign, run_campaign, run_campaign_parallel, run_double_campaign, CampaignConfig,
+    CampaignResult, Outcome,
+};
+pub use rootcause::{attribute_sdcs, breakdown_by_kind, KindBreakdown, RootCauseReport};
+pub use stats::{sdc_coverage, wilson_interval};

@@ -1,0 +1,80 @@
+//! SDC-coverage statistics.
+
+/// The paper's SDC-coverage metric (§IV-A3):
+/// `(SDC_raw − SDC_prot) / SDC_raw`.
+///
+/// Returns 1.0 when the unprotected program has no SDCs at all (nothing
+/// to cover), and clamps below at 0.0 (a protection that *increases*
+/// SDC probability would otherwise report negative coverage; the clamp
+/// matches how such results are reported in practice).
+pub fn sdc_coverage(sdc_raw: f64, sdc_prot: f64) -> f64 {
+    if sdc_raw <= 0.0 {
+        return 1.0;
+    }
+    ((sdc_raw - sdc_prot) / sdc_raw).clamp(0.0, 1.0)
+}
+
+/// 95% Wilson score interval for a binomial proportion — the standard
+/// way to put error bars on fault-injection estimates.
+pub fn wilson_interval(successes: usize, trials: usize) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z = 1.96f64;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let centre = (p + z2 / (2.0 * n)) / denom;
+    let margin = (z / denom) * ((p * (1.0 - p) / n) + z2 / (4.0 * n * n)).sqrt();
+    ((centre - margin).max(0.0), (centre + margin).min(1.0))
+}
+
+/// Runtime performance overhead (§IV-A3):
+/// `(runtime_prot − runtime_raw) / runtime_raw`.
+pub fn runtime_overhead(raw: u64, prot: u64) -> f64 {
+    (prot as f64 - raw as f64) / raw as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_formula() {
+        assert!((sdc_coverage(0.2, 0.0) - 1.0).abs() < 1e-12);
+        assert!((sdc_coverage(0.2, 0.1) - 0.5).abs() < 1e-12);
+        assert!((sdc_coverage(0.2, 0.2)).abs() < 1e-12);
+        // Degenerate cases.
+        assert_eq!(sdc_coverage(0.0, 0.0), 1.0);
+        assert_eq!(sdc_coverage(0.1, 0.3), 0.0); // clamped
+    }
+
+    #[test]
+    fn wilson_basic_properties() {
+        let (lo, hi) = wilson_interval(50, 100);
+        assert!(lo < 0.5 && 0.5 < hi);
+        assert!(hi - lo < 0.25);
+        // Extremes stay in [0, 1].
+        let (lo, hi) = wilson_interval(0, 100);
+        assert!(lo >= 0.0 && hi > 0.0 && hi < 0.1);
+        let (lo, hi) = wilson_interval(100, 100);
+        assert!(lo > 0.9 && hi <= 1.0);
+        // Degenerate.
+        assert_eq!(wilson_interval(0, 0), (0.0, 1.0));
+    }
+
+    #[test]
+    fn interval_narrows_with_samples() {
+        let (lo1, hi1) = wilson_interval(10, 100);
+        let (lo2, hi2) = wilson_interval(100, 1000);
+        assert!(hi2 - lo2 < hi1 - lo1);
+    }
+
+    #[test]
+    fn overhead_formula() {
+        assert!((runtime_overhead(100, 162) - 0.62).abs() < 1e-12);
+        assert!((runtime_overhead(100, 100)).abs() < 1e-12);
+        assert!(runtime_overhead(100, 90) < 0.0);
+    }
+}

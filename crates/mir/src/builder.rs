@@ -1,0 +1,287 @@
+//! Ergonomic construction of MIR functions.
+//!
+//! The builder keeps a current insertion block and hands out [`Value`]s,
+//! letting the workload kernels read like the pseudo-code of the original
+//! Rodinia sources.
+
+use crate::func::{BlockId, Function, MirBlock};
+use crate::inst::{BinOp, ICmpPred, InstId, MirInst};
+use crate::types::Ty;
+use crate::value::Value;
+
+/// Builds one [`Function`] incrementally.
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    f: Function,
+    cur: BlockId,
+}
+
+impl FunctionBuilder {
+    /// Starts a function with an `entry` block selected for insertion.
+    pub fn new(name: impl Into<String>, params: &[Ty], ret: Option<Ty>) -> FunctionBuilder {
+        let mut f = Function::new(name, params, ret);
+        f.blocks.push(MirBlock::new("entry"));
+        FunctionBuilder { f, cur: BlockId(0) }
+    }
+
+    /// The `i`-th parameter as a value.
+    pub fn arg(&self, i: u32) -> Value {
+        Value::Arg(i)
+    }
+
+    /// An integer constant.
+    pub fn iconst(&self, ty: Ty, v: i64) -> Value {
+        Value::const_int(ty, v)
+    }
+
+    /// The address of a module global.
+    pub fn global(&self, id: crate::value::GlobalId) -> Value {
+        Value::Global(id)
+    }
+
+    /// Creates (but does not select) a new block.
+    pub fn create_block(&mut self, name: impl Into<String>) -> BlockId {
+        let id = BlockId(self.f.blocks.len() as u32);
+        self.f.blocks.push(MirBlock::new(name));
+        id
+    }
+
+    /// Selects the insertion block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bb` does not exist.
+    pub fn switch_to(&mut self, bb: BlockId) {
+        assert!(bb.index() < self.f.blocks.len(), "no such block {bb}");
+        self.cur = bb;
+    }
+
+    /// The currently selected block.
+    pub fn current_block(&self) -> BlockId {
+        self.cur
+    }
+
+    fn push(&mut self, inst: MirInst) {
+        self.f.blocks[self.cur.index()].insts.push(inst);
+    }
+
+    fn push_with_id(&mut self, make: impl FnOnce(InstId) -> MirInst) -> Value {
+        let id = self.f.fresh_id();
+        self.push(make(id));
+        Value::Inst(id)
+    }
+
+    /// `alloca` of a single word.
+    pub fn alloca(&mut self, ty: Ty) -> Value {
+        self.push_with_id(|id| MirInst::Alloca { id, ty, count: 1 })
+    }
+
+    /// `alloca` of `count` words (a local array).
+    pub fn alloca_array(&mut self, ty: Ty, count: u32) -> Value {
+        self.push_with_id(|id| MirInst::Alloca { id, ty, count })
+    }
+
+    /// Loads a `ty` from `ptr`.
+    pub fn load(&mut self, ty: Ty, ptr: Value) -> Value {
+        self.push_with_id(|id| MirInst::Load { id, ty, ptr })
+    }
+
+    /// Stores `val` to `ptr`.
+    pub fn store(&mut self, ty: Ty, val: Value, ptr: Value) {
+        self.push(MirInst::Store { ty, val, ptr });
+    }
+
+    /// Generic binary operation.
+    pub fn bin(&mut self, op: BinOp, ty: Ty, a: Value, b: Value) -> Value {
+        self.push_with_id(|id| MirInst::Bin { id, op, ty, a, b })
+    }
+
+    /// `a + b`.
+    pub fn add(&mut self, ty: Ty, a: Value, b: Value) -> Value {
+        self.bin(BinOp::Add, ty, a, b)
+    }
+
+    /// `a - b`.
+    pub fn sub(&mut self, ty: Ty, a: Value, b: Value) -> Value {
+        self.bin(BinOp::Sub, ty, a, b)
+    }
+
+    /// `a * b`.
+    pub fn mul(&mut self, ty: Ty, a: Value, b: Value) -> Value {
+        self.bin(BinOp::Mul, ty, a, b)
+    }
+
+    /// Signed `a / b`.
+    pub fn sdiv(&mut self, ty: Ty, a: Value, b: Value) -> Value {
+        self.bin(BinOp::SDiv, ty, a, b)
+    }
+
+    /// Signed `a % b`.
+    pub fn srem(&mut self, ty: Ty, a: Value, b: Value) -> Value {
+        self.bin(BinOp::SRem, ty, a, b)
+    }
+
+    /// Bitwise and/or/xor and shifts.
+    pub fn and(&mut self, ty: Ty, a: Value, b: Value) -> Value {
+        self.bin(BinOp::And, ty, a, b)
+    }
+
+    /// `a | b`.
+    pub fn or(&mut self, ty: Ty, a: Value, b: Value) -> Value {
+        self.bin(BinOp::Or, ty, a, b)
+    }
+
+    /// `a ^ b`.
+    pub fn xor(&mut self, ty: Ty, a: Value, b: Value) -> Value {
+        self.bin(BinOp::Xor, ty, a, b)
+    }
+
+    /// `a << b`.
+    pub fn shl(&mut self, ty: Ty, a: Value, b: Value) -> Value {
+        self.bin(BinOp::Shl, ty, a, b)
+    }
+
+    /// Arithmetic `a >> b`.
+    pub fn ashr(&mut self, ty: Ty, a: Value, b: Value) -> Value {
+        self.bin(BinOp::AShr, ty, a, b)
+    }
+
+    /// Comparison producing an `i1`.
+    pub fn icmp(&mut self, pred: ICmpPred, ty: Ty, a: Value, b: Value) -> Value {
+        self.push_with_id(|id| MirInst::ICmp { id, pred, ty, a, b })
+    }
+
+    /// Pointer arithmetic: `base + index * 8`.
+    pub fn gep(&mut self, base: Value, index: Value) -> Value {
+        self.push_with_id(|id| MirInst::Gep { id, base, index })
+    }
+
+    /// Sign extension.
+    pub fn sext(&mut self, from: Ty, to: Ty, v: Value) -> Value {
+        self.push_with_id(|id| MirInst::Sext { id, from, to, v })
+    }
+
+    /// Zero extension.
+    pub fn zext(&mut self, from: Ty, to: Ty, v: Value) -> Value {
+        self.push_with_id(|id| MirInst::Zext { id, from, to, v })
+    }
+
+    /// Truncation.
+    pub fn trunc(&mut self, from: Ty, to: Ty, v: Value) -> Value {
+        self.push_with_id(|id| MirInst::Trunc { id, from, to, v })
+    }
+
+    /// Calls `callee`; returns the result value when `ret_ty` is given.
+    pub fn call(
+        &mut self,
+        callee: impl Into<String>,
+        args: Vec<Value>,
+        ret_ty: Option<Ty>,
+    ) -> Option<Value> {
+        if ret_ty.is_some() {
+            let id = self.f.fresh_id();
+            self.push(MirInst::Call {
+                id: Some(id),
+                callee: callee.into(),
+                args,
+            });
+            Some(Value::Inst(id))
+        } else {
+            self.push(MirInst::Call {
+                id: None,
+                callee: callee.into(),
+                args,
+            });
+            None
+        }
+    }
+
+    /// Prints a value via the `print_i64` intrinsic.
+    pub fn print(&mut self, v: Value) {
+        self.push(MirInst::Call {
+            id: None,
+            callee: crate::PRINT_I64.into(),
+            args: vec![v],
+        });
+    }
+
+    /// Conditional branch terminator.
+    pub fn br(&mut self, cond: Value, then_bb: BlockId, else_bb: BlockId) {
+        self.push(MirInst::Br {
+            cond,
+            then_bb,
+            else_bb,
+        });
+    }
+
+    /// Unconditional branch terminator.
+    pub fn jmp(&mut self, target: BlockId) {
+        self.push(MirInst::Jmp { target });
+    }
+
+    /// Return terminator.
+    pub fn ret(&mut self, val: Option<Value>) {
+        self.push(MirInst::Ret { val });
+    }
+
+    /// Finishes the function.
+    pub fn finish(self) -> Function {
+        self.f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_expected_structure() {
+        let mut b = FunctionBuilder::new("f", &[Ty::I64], Some(Ty::I64));
+        let p = b.alloca(Ty::I64);
+        b.store(Ty::I64, b.arg(0), p);
+        let v = b.load(Ty::I64, p);
+        let one = b.iconst(Ty::I64, 1);
+        let sum = b.add(Ty::I64, v, one);
+        b.ret(Some(sum));
+        let f = b.finish();
+        assert_eq!(f.blocks.len(), 1);
+        assert_eq!(f.inst_count(), 5);
+        assert_eq!(f.next_id, 3); // alloca, load, add have results
+    }
+
+    #[test]
+    fn blocks_and_branches() {
+        let mut b = FunctionBuilder::new("f", &[], None);
+        let then_bb = b.create_block("then");
+        let else_bb = b.create_block("else");
+        let c = b.iconst(Ty::I1, 1);
+        b.br(c, then_bb, else_bb);
+        b.switch_to(then_bb);
+        b.ret(None);
+        b.switch_to(else_bb);
+        b.ret(None);
+        let f = b.finish();
+        assert_eq!(f.blocks.len(), 3);
+        assert_eq!(f.successors(BlockId(0)), vec![then_bb, else_bb]);
+    }
+
+    #[test]
+    fn call_with_and_without_result() {
+        let mut b = FunctionBuilder::new("f", &[], None);
+        let r = b.call("g", vec![], Some(Ty::I64));
+        assert!(r.is_some());
+        let none = b.call("h", vec![], None);
+        assert!(none.is_none());
+        b.print(r.unwrap());
+        b.ret(None);
+        let f = b.finish();
+        assert_eq!(f.inst_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "no such block")]
+    fn switching_to_missing_block_panics() {
+        let mut b = FunctionBuilder::new("f", &[], None);
+        b.switch_to(BlockId(5));
+    }
+}

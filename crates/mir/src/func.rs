@@ -1,0 +1,183 @@
+//! Functions and basic blocks.
+
+use std::fmt;
+
+use crate::inst::{InstId, MirInst};
+use crate::types::Ty;
+
+/// Identifier of a basic block within a function (index into
+/// [`Function::blocks`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// The block's index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// A basic block: a label and its instructions, the last of which must be
+/// a terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MirBlock {
+    /// Human-readable name (unique within the function).
+    pub name: String,
+    /// Instructions; the final one is the terminator.
+    pub insts: Vec<MirInst>,
+}
+
+impl MirBlock {
+    /// Creates an empty block.
+    pub fn new(name: impl Into<String>) -> MirBlock {
+        MirBlock {
+            name: name.into(),
+            insts: Vec::new(),
+        }
+    }
+
+    /// The terminator, if the block is complete.
+    pub fn terminator(&self) -> Option<&MirInst> {
+        self.insts.last().filter(|i| i.is_terminator())
+    }
+}
+
+/// A MIR function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// The function name (`main` is the entry point).
+    pub name: String,
+    /// Parameter types.
+    pub params: Vec<Ty>,
+    /// Return type (`None` = void).
+    pub ret: Option<Ty>,
+    /// Basic blocks; entry is block 0.
+    pub blocks: Vec<MirBlock>,
+    /// The next unallocated instruction id (ids are function-scoped).
+    pub next_id: u32,
+}
+
+impl Function {
+    /// Creates an empty function (no blocks yet).
+    pub fn new(name: impl Into<String>, params: &[Ty], ret: Option<Ty>) -> Function {
+        Function {
+            name: name.into(),
+            params: params.to_vec(),
+            ret,
+            blocks: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Allocates a fresh instruction id.
+    pub fn fresh_id(&mut self) -> InstId {
+        let id = InstId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Total number of instructions.
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    /// Iterates over all instructions in block order.
+    pub fn insts(&self) -> impl Iterator<Item = &MirInst> {
+        self.blocks.iter().flat_map(|b| b.insts.iter())
+    }
+
+    /// Looks up the instruction producing `id`.
+    pub fn inst_by_id(&self, id: InstId) -> Option<&MirInst> {
+        self.insts().find(|i| i.result() == Some(id))
+    }
+
+    /// Block ids of all successors of `bb`.
+    pub fn successors(&self, bb: BlockId) -> Vec<BlockId> {
+        match self.blocks[bb.index()].terminator() {
+            Some(MirInst::Br {
+                then_bb, else_bb, ..
+            }) => vec![*then_bb, *else_bb],
+            Some(MirInst::Jmp { target }) => vec![*target],
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn ret_block() -> MirBlock {
+        let mut b = MirBlock::new("entry");
+        b.insts.push(MirInst::Ret { val: None });
+        b
+    }
+
+    #[test]
+    fn fresh_ids_are_sequential() {
+        let mut f = Function::new("f", &[], None);
+        assert_eq!(f.fresh_id(), InstId(0));
+        assert_eq!(f.fresh_id(), InstId(1));
+        assert_eq!(f.next_id, 2);
+    }
+
+    #[test]
+    fn terminator_detection() {
+        let b = ret_block();
+        assert!(b.terminator().is_some());
+        let empty = MirBlock::new("x");
+        assert!(empty.terminator().is_none());
+        let mut unterminated = MirBlock::new("y");
+        unterminated.insts.push(MirInst::Store {
+            ty: Ty::I64,
+            val: Value::Arg(0),
+            ptr: Value::Arg(1),
+        });
+        assert!(unterminated.terminator().is_none());
+    }
+
+    #[test]
+    fn successors() {
+        let mut f = Function::new("f", &[], None);
+        let mut b0 = MirBlock::new("b0");
+        b0.insts.push(MirInst::Br {
+            cond: Value::Arg(0),
+            then_bb: BlockId(1),
+            else_bb: BlockId(2),
+        });
+        let mut b1 = MirBlock::new("b1");
+        b1.insts.push(MirInst::Jmp { target: BlockId(2) });
+        f.blocks.push(b0);
+        f.blocks.push(b1);
+        f.blocks.push(ret_block());
+        assert_eq!(f.successors(BlockId(0)), vec![BlockId(1), BlockId(2)]);
+        assert_eq!(f.successors(BlockId(1)), vec![BlockId(2)]);
+        assert!(f.successors(BlockId(2)).is_empty());
+    }
+
+    #[test]
+    fn inst_lookup() {
+        let mut f = Function::new("f", &[], Some(Ty::I64));
+        let id = f.fresh_id();
+        let mut b = MirBlock::new("entry");
+        b.insts.push(MirInst::Alloca {
+            id,
+            ty: Ty::I64,
+            count: 1,
+        });
+        b.insts.push(MirInst::Ret {
+            val: Some(Value::Inst(id)),
+        });
+        f.blocks.push(b);
+        assert!(matches!(f.inst_by_id(id), Some(MirInst::Alloca { .. })));
+        assert!(f.inst_by_id(InstId(99)).is_none());
+        assert_eq!(f.inst_count(), 2);
+    }
+}

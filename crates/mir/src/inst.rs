@@ -1,0 +1,376 @@
+//! MIR instructions.
+
+use std::fmt;
+
+use crate::func::BlockId;
+use crate::types::Ty;
+use crate::value::Value;
+
+/// Identifier of an instruction result within a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InstId(pub u32);
+
+impl fmt::Display for InstId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// Binary integer operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    /// Signed division (traps on divide-by-zero and overflow).
+    SDiv,
+    /// Signed remainder.
+    SRem,
+    And,
+    Or,
+    Xor,
+    /// Shift left (amount masked to the type width).
+    Shl,
+    /// Arithmetic shift right.
+    AShr,
+    /// Logical shift right.
+    LShr,
+}
+
+impl BinOp {
+    /// Textual mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::SDiv => "sdiv",
+            BinOp::SRem => "srem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::AShr => "ashr",
+            BinOp::LShr => "lshr",
+        }
+    }
+}
+
+/// Integer comparison predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ICmpPred {
+    Eq,
+    Ne,
+    Slt,
+    Sle,
+    Sgt,
+    Sge,
+    Ult,
+    Ule,
+    Ugt,
+    Uge,
+}
+
+impl ICmpPred {
+    /// Textual mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            ICmpPred::Eq => "eq",
+            ICmpPred::Ne => "ne",
+            ICmpPred::Slt => "slt",
+            ICmpPred::Sle => "sle",
+            ICmpPred::Sgt => "sgt",
+            ICmpPred::Sge => "sge",
+            ICmpPred::Ult => "ult",
+            ICmpPred::Ule => "ule",
+            ICmpPred::Ugt => "ugt",
+            ICmpPred::Uge => "uge",
+        }
+    }
+
+    /// Evaluates the predicate on canonical (sign-extended) operands of
+    /// type `ty`.
+    pub fn eval(self, ty: Ty, a: i64, b: i64) -> bool {
+        let (ua, ub) = (a as u64 & mask(ty), b as u64 & mask(ty));
+        match self {
+            ICmpPred::Eq => a == b,
+            ICmpPred::Ne => a != b,
+            ICmpPred::Slt => a < b,
+            ICmpPred::Sle => a <= b,
+            ICmpPred::Sgt => a > b,
+            ICmpPred::Sge => a >= b,
+            ICmpPred::Ult => ua < ub,
+            ICmpPred::Ule => ua <= ub,
+            ICmpPred::Ugt => ua > ub,
+            ICmpPred::Uge => ua >= ub,
+        }
+    }
+}
+
+fn mask(ty: Ty) -> u64 {
+    match ty.bits() {
+        64 => u64::MAX,
+        b => (1u64 << b) - 1,
+    }
+}
+
+/// A MIR instruction.
+///
+/// Instructions with results carry their [`InstId`]; terminators
+/// (`br`, `jmp`, `ret`) must appear only as the final instruction of a
+/// block (enforced by [`crate::verify`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MirInst {
+    /// Reserve `count` 8-byte stack words; the result is their address.
+    Alloca { id: InstId, ty: Ty, count: u32 },
+    /// Load a `ty` value from the word at `ptr`.
+    Load { id: InstId, ty: Ty, ptr: Value },
+    /// Store `val` (of type `ty`) to the word at `ptr`.
+    Store { ty: Ty, val: Value, ptr: Value },
+    /// Binary arithmetic.
+    Bin {
+        id: InstId,
+        op: BinOp,
+        ty: Ty,
+        a: Value,
+        b: Value,
+    },
+    /// Integer comparison producing an `i1`.
+    ICmp {
+        id: InstId,
+        pred: ICmpPred,
+        ty: Ty,
+        a: Value,
+        b: Value,
+    },
+    /// Pointer arithmetic: `base + index * 8` (word-sized elements).
+    Gep {
+        id: InstId,
+        base: Value,
+        index: Value,
+    },
+    /// Sign-extension between integer types.
+    Sext {
+        id: InstId,
+        from: Ty,
+        to: Ty,
+        v: Value,
+    },
+    /// Zero-extension between integer types.
+    Zext {
+        id: InstId,
+        from: Ty,
+        to: Ty,
+        v: Value,
+    },
+    /// Truncation between integer types.
+    Trunc {
+        id: InstId,
+        from: Ty,
+        to: Ty,
+        v: Value,
+    },
+    /// Call a function (or the print intrinsic).  `id` is the result if
+    /// the callee returns a value.
+    Call {
+        id: Option<InstId>,
+        callee: String,
+        args: Vec<Value>,
+    },
+    /// Conditional branch on an `i1`.
+    Br {
+        cond: Value,
+        then_bb: BlockId,
+        else_bb: BlockId,
+    },
+    /// Unconditional branch.
+    Jmp { target: BlockId },
+    /// Return, with a value for non-void functions.
+    Ret { val: Option<Value> },
+}
+
+impl MirInst {
+    /// The result id, if the instruction produces a value.
+    pub fn result(&self) -> Option<InstId> {
+        match self {
+            MirInst::Alloca { id, .. }
+            | MirInst::Load { id, .. }
+            | MirInst::Bin { id, .. }
+            | MirInst::ICmp { id, .. }
+            | MirInst::Gep { id, .. }
+            | MirInst::Sext { id, .. }
+            | MirInst::Zext { id, .. }
+            | MirInst::Trunc { id, .. } => Some(*id),
+            MirInst::Call { id, .. } => *id,
+            _ => None,
+        }
+    }
+
+    /// True for block terminators.
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self,
+            MirInst::Br { .. } | MirInst::Jmp { .. } | MirInst::Ret { .. }
+        )
+    }
+
+    /// True for the synchronisation points EDDI checks before: stores,
+    /// branches, calls, and returns (§II-C of the paper).
+    pub fn is_sync_point(&self) -> bool {
+        matches!(
+            self,
+            MirInst::Store { .. } | MirInst::Br { .. } | MirInst::Call { .. } | MirInst::Ret { .. }
+        )
+    }
+
+    /// True for the computational instructions IR-level EDDI duplicates.
+    pub fn is_duplicable(&self) -> bool {
+        matches!(
+            self,
+            MirInst::Load { .. }
+                | MirInst::Bin { .. }
+                | MirInst::ICmp { .. }
+                | MirInst::Gep { .. }
+                | MirInst::Sext { .. }
+                | MirInst::Zext { .. }
+                | MirInst::Trunc { .. }
+        )
+    }
+
+    /// The operand values read by the instruction.
+    pub fn operands(&self) -> Vec<&Value> {
+        match self {
+            MirInst::Alloca { .. } => Vec::new(),
+            MirInst::Load { ptr, .. } => vec![ptr],
+            MirInst::Store { val, ptr, .. } => vec![val, ptr],
+            MirInst::Bin { a, b, .. } | MirInst::ICmp { a, b, .. } => vec![a, b],
+            MirInst::Gep { base, index, .. } => vec![base, index],
+            MirInst::Sext { v, .. } | MirInst::Zext { v, .. } | MirInst::Trunc { v, .. } => {
+                vec![v]
+            }
+            MirInst::Call { args, .. } => args.iter().collect(),
+            MirInst::Br { cond, .. } => vec![cond],
+            MirInst::Jmp { .. } => Vec::new(),
+            MirInst::Ret { val } => val.iter().collect(),
+        }
+    }
+
+    /// Mutable references to the operand values (used by the IR-level
+    /// EDDI pass when it redirects duplicated operands).
+    pub fn operands_mut(&mut self) -> Vec<&mut Value> {
+        match self {
+            MirInst::Alloca { .. } => Vec::new(),
+            MirInst::Load { ptr, .. } => vec![ptr],
+            MirInst::Store { val, ptr, .. } => vec![val, ptr],
+            MirInst::Bin { a, b, .. } | MirInst::ICmp { a, b, .. } => vec![a, b],
+            MirInst::Sext { v, .. } | MirInst::Zext { v, .. } | MirInst::Trunc { v, .. } => {
+                vec![v]
+            }
+            MirInst::Gep { base, index, .. } => vec![base, index],
+            MirInst::Call { args, .. } => args.iter_mut().collect(),
+            MirInst::Br { cond, .. } => vec![cond],
+            MirInst::Jmp { .. } => Vec::new(),
+            MirInst::Ret { val } => val.iter_mut().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_ids() {
+        let load = MirInst::Load {
+            id: InstId(1),
+            ty: Ty::I64,
+            ptr: Value::Arg(0),
+        };
+        assert_eq!(load.result(), Some(InstId(1)));
+        let store = MirInst::Store {
+            ty: Ty::I64,
+            val: Value::Arg(0),
+            ptr: Value::Arg(1),
+        };
+        assert_eq!(store.result(), None);
+        let call = MirInst::Call {
+            id: None,
+            callee: "print_i64".into(),
+            args: vec![],
+        };
+        assert_eq!(call.result(), None);
+    }
+
+    #[test]
+    fn classification() {
+        let store = MirInst::Store {
+            ty: Ty::I64,
+            val: Value::Arg(0),
+            ptr: Value::Arg(1),
+        };
+        assert!(store.is_sync_point() && !store.is_duplicable() && !store.is_terminator());
+        let br = MirInst::Br {
+            cond: Value::Arg(0),
+            then_bb: BlockId(0),
+            else_bb: BlockId(1),
+        };
+        assert!(br.is_sync_point() && br.is_terminator());
+        let load = MirInst::Load {
+            id: InstId(0),
+            ty: Ty::I64,
+            ptr: Value::Arg(0),
+        };
+        assert!(load.is_duplicable() && !load.is_sync_point());
+        let ret = MirInst::Ret { val: None };
+        assert!(ret.is_terminator() && ret.is_sync_point());
+    }
+
+    #[test]
+    fn operands_cover_all_reads() {
+        let bin = MirInst::Bin {
+            id: InstId(2),
+            op: BinOp::Add,
+            ty: Ty::I32,
+            a: Value::Arg(0),
+            b: Value::Const(Ty::I32, 1),
+        };
+        assert_eq!(bin.operands().len(), 2);
+        let mut bin = bin;
+        for op in bin.operands_mut() {
+            *op = Value::Arg(9);
+        }
+        assert_eq!(bin.operands(), vec![&Value::Arg(9), &Value::Arg(9)]);
+    }
+
+    #[test]
+    fn icmp_eval_signed_vs_unsigned() {
+        assert!(ICmpPred::Slt.eval(Ty::I32, -1, 0));
+        assert!(!ICmpPred::Ult.eval(Ty::I32, -1, 0)); // -1 is 0xffffffff unsigned
+        assert!(ICmpPred::Ugt.eval(Ty::I32, -1, 0));
+        assert!(ICmpPred::Eq.eval(Ty::I64, 5, 5));
+        assert!(ICmpPred::Ne.eval(Ty::I8, 1, 2));
+        assert!(ICmpPred::Sge.eval(Ty::I64, i64::MAX, i64::MIN));
+        assert!(ICmpPred::Ule.eval(Ty::I64, 3, 3));
+    }
+
+    #[test]
+    fn mnemonics_unique() {
+        let ops = [
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::SDiv,
+            BinOp::SRem,
+            BinOp::And,
+            BinOp::Or,
+            BinOp::Xor,
+            BinOp::Shl,
+            BinOp::AShr,
+            BinOp::LShr,
+        ];
+        let mut names: Vec<_> = ops.iter().map(|o| o.mnemonic()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ops.len());
+    }
+}

@@ -1,0 +1,612 @@
+//! Reference interpreter — the fault-free golden oracle.
+//!
+//! The interpreter executes a [`Module`] with the same word-addressed
+//! memory model the backend and CPU simulator use, so a fault-free
+//! compiled run must print exactly what the interpreter prints.  The
+//! differential tests in the workspace root enforce this for every
+//! workload.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::func::Function;
+use crate::inst::{BinOp, MirInst};
+use crate::module::Module;
+use crate::types::Ty;
+use crate::value::Value;
+
+/// Base address of the global data segment (matches the CPU simulator).
+pub const GLOBALS_BASE: u64 = 0x0001_0000;
+/// Base address of the interpreter's alloca region.
+pub const ALLOCA_BASE: u64 = 0x0100_0000;
+
+/// Why interpretation stopped abnormally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Trap {
+    /// Integer division by zero or `i32::MIN / -1`-style overflow.
+    DivideError,
+    /// Access to an unmapped or freed address.
+    OutOfBounds(u64),
+    /// Access not aligned to the 8-byte word size.
+    Misaligned(u64),
+    /// The step budget was exhausted (likely an infinite loop).
+    StepLimit,
+    /// Call to an unknown function.
+    UnknownFunction(String),
+    /// Host call-depth limit exceeded.
+    CallDepth,
+    /// An IR-level error detector fired (only possible under fault
+    /// injection or a buggy protection pass).
+    DetectorFired,
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::DivideError => write!(f, "integer divide error"),
+            Trap::OutOfBounds(a) => write!(f, "out-of-bounds access at {a:#x}"),
+            Trap::Misaligned(a) => write!(f, "misaligned access at {a:#x}"),
+            Trap::StepLimit => write!(f, "step limit exhausted"),
+            Trap::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
+            Trap::CallDepth => write!(f, "call depth limit exceeded"),
+            Trap::DetectorFired => write!(f, "IR-level error detector fired"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+/// Result of a successful interpretation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterpResult {
+    /// Values printed through `print_i64`, in order.
+    pub output: Vec<i64>,
+    /// `main`'s return value, if it returns one.
+    pub ret: Option<i64>,
+    /// Dynamic MIR instructions executed.
+    pub steps: u64,
+}
+
+struct Memory {
+    words: HashMap<u64, i64>,
+    globals_end: u64,
+    alloca_top: u64,
+    global_bases: Vec<u64>,
+}
+
+impl Memory {
+    fn new(m: &Module) -> Memory {
+        let mut words = HashMap::new();
+        let mut global_bases = Vec::new();
+        let mut addr = GLOBALS_BASE;
+        for g in &m.globals {
+            global_bases.push(addr);
+            for (i, w) in g.words.iter().enumerate() {
+                words.insert(addr + i as u64 * 8, *w);
+            }
+            addr += g.words.len() as u64 * 8;
+        }
+        Memory {
+            words,
+            globals_end: addr,
+            alloca_top: ALLOCA_BASE,
+            global_bases,
+        }
+    }
+
+    fn check(&self, addr: u64) -> Result<(), Trap> {
+        if !addr.is_multiple_of(8) {
+            return Err(Trap::Misaligned(addr));
+        }
+        let in_globals = (GLOBALS_BASE..self.globals_end).contains(&addr);
+        let in_allocas = (ALLOCA_BASE..self.alloca_top).contains(&addr);
+        if in_globals || in_allocas {
+            Ok(())
+        } else {
+            Err(Trap::OutOfBounds(addr))
+        }
+    }
+
+    fn load(&self, addr: u64) -> Result<i64, Trap> {
+        self.check(addr)?;
+        Ok(self.words.get(&addr).copied().unwrap_or(0))
+    }
+
+    fn store(&mut self, addr: u64, v: i64) -> Result<(), Trap> {
+        self.check(addr)?;
+        self.words.insert(addr, v);
+        Ok(())
+    }
+
+    fn alloca(&mut self, count: u32) -> u64 {
+        let base = self.alloca_top;
+        self.alloca_top += u64::from(count) * 8;
+        base
+    }
+}
+
+/// The interpreter.  Construct with [`Interp::new`], configure limits,
+/// then [`Interp::run`].
+pub struct Interp<'m> {
+    m: &'m Module,
+    step_limit: u64,
+    max_depth: usize,
+}
+
+impl<'m> Interp<'m> {
+    /// Creates an interpreter for `m` with default limits (100 M steps,
+    /// depth 128).
+    pub fn new(m: &'m Module) -> Interp<'m> {
+        Interp {
+            m,
+            step_limit: 100_000_000,
+            max_depth: 128,
+        }
+    }
+
+    /// Overrides the dynamic step limit.
+    pub fn with_step_limit(mut self, limit: u64) -> Interp<'m> {
+        self.step_limit = limit;
+        self
+    }
+
+    /// Runs `main`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] on memory violations, divide errors, unknown
+    /// callees, or exhausted limits.
+    pub fn run(&self) -> Result<InterpResult, Trap> {
+        let main = self
+            .m
+            .function("main")
+            .ok_or_else(|| Trap::UnknownFunction("main".into()))?;
+        let mut st = State {
+            m: self.m,
+            mem: Memory::new(self.m),
+            output: Vec::new(),
+            steps: 0,
+            step_limit: self.step_limit,
+            max_depth: self.max_depth,
+        };
+        let ret = st.call(main, &[], 0)?;
+        Ok(InterpResult {
+            output: st.output,
+            ret,
+            steps: st.steps,
+        })
+    }
+}
+
+struct State<'m> {
+    m: &'m Module,
+    mem: Memory,
+    output: Vec<i64>,
+    steps: u64,
+    step_limit: u64,
+    max_depth: usize,
+}
+
+impl<'m> State<'m> {
+    fn resolve(&self, v: &Value, args: &[i64], locals: &HashMap<u32, i64>) -> Result<i64, Trap> {
+        match v {
+            Value::Inst(id) => Ok(*locals.get(&id.0).expect("verified value")),
+            Value::Arg(i) => Ok(args[*i as usize]),
+            Value::Const(_, c) => Ok(*c),
+            Value::Global(g) => Ok(self.mem.global_bases[g.index()] as i64),
+        }
+    }
+
+    fn call(&mut self, f: &Function, args: &[i64], depth: usize) -> Result<Option<i64>, Trap> {
+        if depth >= self.max_depth {
+            return Err(Trap::CallDepth);
+        }
+        let alloca_mark = self.mem.alloca_top;
+        let mut locals: HashMap<u32, i64> = HashMap::new();
+        let mut bb = 0usize;
+        let mut idx = 0usize;
+        loop {
+            let inst = &f.blocks[bb].insts[idx];
+            self.steps += 1;
+            if self.steps > self.step_limit {
+                return Err(Trap::StepLimit);
+            }
+            macro_rules! resolve {
+                ($v:expr, $locals:expr) => {
+                    self.resolve($v, args, $locals)
+                };
+            }
+            match inst {
+                MirInst::Alloca { id, count, .. } => {
+                    let addr = self.mem.alloca(*count);
+                    locals.insert(id.0, addr as i64);
+                }
+                MirInst::Load { id, ty, ptr } => {
+                    let addr = resolve!(ptr, &locals)? as u64;
+                    let w = self.mem.load(addr)?;
+                    locals.insert(id.0, ty.wrap(w));
+                }
+                MirInst::Store { ty, val, ptr } => {
+                    let v = ty.wrap(resolve!(val, &locals)?);
+                    let addr = resolve!(ptr, &locals)? as u64;
+                    self.mem.store(addr, v)?;
+                }
+                MirInst::Bin { id, op, ty, a, b } => {
+                    let va = resolve!(a, &locals)?;
+                    let vb = resolve!(b, &locals)?;
+                    let r = eval_bin(*op, *ty, va, vb)?;
+                    locals.insert(id.0, r);
+                }
+                MirInst::ICmp { id, pred, ty, a, b } => {
+                    let va = resolve!(a, &locals)?;
+                    let vb = resolve!(b, &locals)?;
+                    locals.insert(id.0, i64::from(pred.eval(*ty, va, vb)));
+                }
+                MirInst::Gep { id, base, index } => {
+                    let b0 = resolve!(base, &locals)?;
+                    let i0 = resolve!(index, &locals)?;
+                    locals.insert(id.0, b0.wrapping_add(i0.wrapping_mul(8)));
+                }
+                MirInst::Sext { id, to, v, .. } => {
+                    // Values are already stored sign-extended; re-wrap to
+                    // the destination type.
+                    let x = resolve!(v, &locals)?;
+                    locals.insert(id.0, to.wrap(x));
+                }
+                MirInst::Zext { id, from, v, .. } => {
+                    let x = resolve!(v, &locals)?;
+                    let masked = (x as u64)
+                        & match from.bits() {
+                            64 => u64::MAX,
+                            b => (1u64 << b) - 1,
+                        };
+                    locals.insert(id.0, masked as i64);
+                }
+                MirInst::Trunc { id, to, v, .. } => {
+                    let x = resolve!(v, &locals)?;
+                    locals.insert(id.0, to.wrap(x));
+                }
+                MirInst::Call {
+                    id,
+                    callee,
+                    args: call_args,
+                } => {
+                    let mut vals = Vec::with_capacity(call_args.len());
+                    for a in call_args {
+                        vals.push(resolve!(a, &locals)?);
+                    }
+                    if callee == crate::PRINT_I64 {
+                        self.output.push(vals[0]);
+                    } else if callee == crate::DETECT {
+                        return Err(Trap::DetectorFired);
+                    } else {
+                        let g = self
+                            .m
+                            .function(callee)
+                            .ok_or_else(|| Trap::UnknownFunction(callee.clone()))?;
+                        let r = self.call(g, &vals, depth + 1)?;
+                        if let (Some(id), Some(r)) = (id, r) {
+                            locals.insert(id.0, r);
+                        }
+                    }
+                }
+                MirInst::Br {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    let c = resolve!(cond, &locals)?;
+                    bb = if c & 1 == 1 {
+                        then_bb.index()
+                    } else {
+                        else_bb.index()
+                    };
+                    idx = 0;
+                    continue;
+                }
+                MirInst::Jmp { target } => {
+                    bb = target.index();
+                    idx = 0;
+                    continue;
+                }
+                MirInst::Ret { val } => {
+                    let r = match val {
+                        Some(v) => Some(resolve!(v, &locals)?),
+                        None => None,
+                    };
+                    self.mem.alloca_top = alloca_mark;
+                    return Ok(r);
+                }
+            }
+            idx += 1;
+        }
+    }
+}
+
+fn eval_bin(op: BinOp, ty: Ty, a: i64, b: i64) -> Result<i64, Trap> {
+    let r = match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::SDiv | BinOp::SRem => {
+            if b == 0 {
+                return Err(Trap::DivideError);
+            }
+            // Overflow (MIN / -1) traps on x86; mirror that.
+            let (min, a_w, b_w) = (
+                match ty {
+                    Ty::I32 => i64::from(i32::MIN),
+                    _ => i64::MIN,
+                },
+                ty.wrap(a),
+                ty.wrap(b),
+            );
+            if a_w == min && b_w == -1 {
+                return Err(Trap::DivideError);
+            }
+            if op == BinOp::SDiv {
+                a_w.wrapping_div(b_w)
+            } else {
+                a_w.wrapping_rem(b_w)
+            }
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => {
+            let amt = (b as u32) & (ty.bits().max(8) - 1);
+            ty.wrap(a).wrapping_shl(amt)
+        }
+        BinOp::AShr => {
+            let amt = (b as u32) & (ty.bits().max(8) - 1);
+            ty.wrap(a).wrapping_shr(amt)
+        }
+        BinOp::LShr => {
+            let amt = (b as u32) & (ty.bits().max(8) - 1);
+            let mask = match ty.bits() {
+                64 => u64::MAX,
+                bits => (1u64 << bits) - 1,
+            };
+            (((a as u64) & mask) >> amt) as i64
+        }
+    };
+    Ok(ty.wrap(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::ICmpPred;
+    use crate::module::Global;
+
+    fn run(m: &Module) -> InterpResult {
+        Interp::new(m).run().expect("runs")
+    }
+
+    #[test]
+    fn arithmetic_and_print() {
+        let mut b = FunctionBuilder::new("main", &[], None);
+        let x = b.iconst(Ty::I64, 6);
+        let y = b.iconst(Ty::I64, 7);
+        let p = b.mul(Ty::I64, x, y);
+        b.print(p);
+        b.ret(None);
+        let m = Module::from_functions(vec![b.finish()]);
+        assert_eq!(run(&m).output, vec![42]);
+    }
+
+    #[test]
+    fn alloca_store_load_round_trip() {
+        let mut b = FunctionBuilder::new("main", &[], None);
+        let p = b.alloca(Ty::I32);
+        let c = b.iconst(Ty::I32, -3);
+        b.store(Ty::I32, c, p);
+        let v = b.load(Ty::I32, p);
+        b.print(v);
+        b.ret(None);
+        let m = Module::from_functions(vec![b.finish()]);
+        assert_eq!(run(&m).output, vec![-3]);
+    }
+
+    #[test]
+    fn loop_sums_global_array() {
+        // for i in 0..5 { sum += tab[i] } ; print sum
+        let mut b = FunctionBuilder::new("main", &[], None);
+        let header = b.create_block("header");
+        let body = b.create_block("body");
+        let exit = b.create_block("exit");
+        let pi = b.alloca(Ty::I64);
+        let psum = b.alloca(Ty::I64);
+        let zero = b.iconst(Ty::I64, 0);
+        b.store(Ty::I64, zero, pi);
+        b.store(Ty::I64, zero, psum);
+        b.jmp(header);
+
+        b.switch_to(header);
+        let i = b.load(Ty::I64, pi);
+        let five = b.iconst(Ty::I64, 5);
+        let c = b.icmp(ICmpPred::Slt, Ty::I64, i, five);
+        b.br(c, body, exit);
+
+        b.switch_to(body);
+        let i2 = b.load(Ty::I64, pi);
+        let base = b.global(crate::value::GlobalId(0));
+        let elem = b.gep(base, i2);
+        let v = b.load(Ty::I64, elem);
+        let s = b.load(Ty::I64, psum);
+        let s2 = b.add(Ty::I64, s, v);
+        b.store(Ty::I64, s2, psum);
+        let one = b.iconst(Ty::I64, 1);
+        let i3 = b.add(Ty::I64, i2, one);
+        b.store(Ty::I64, i3, pi);
+        b.jmp(header);
+
+        b.switch_to(exit);
+        let r = b.load(Ty::I64, psum);
+        b.print(r);
+        b.ret(None);
+
+        let m = Module::from_functions(vec![b.finish()])
+            .with_global(Global::new("tab", vec![1, 2, 3, 4, 5]));
+        assert_eq!(run(&m).output, vec![15]);
+    }
+
+    #[test]
+    fn function_call_with_result() {
+        let mut callee = FunctionBuilder::new("square", &[Ty::I64], Some(Ty::I64));
+        let a = callee.arg(0);
+        let sq = callee.mul(Ty::I64, a, a);
+        callee.ret(Some(sq));
+
+        let mut main = FunctionBuilder::new("main", &[], None);
+        let nine = main.iconst(Ty::I64, 9);
+        let r = main.call("square", vec![nine], Some(Ty::I64)).unwrap();
+        main.print(r);
+        main.ret(None);
+        let m = Module::from_functions(vec![main.finish(), callee.finish()]);
+        assert_eq!(run(&m).output, vec![81]);
+    }
+
+    #[test]
+    fn i32_arithmetic_wraps() {
+        let mut b = FunctionBuilder::new("main", &[], None);
+        let max = b.iconst(Ty::I32, i64::from(i32::MAX));
+        let one = b.iconst(Ty::I32, 1);
+        let s = b.add(Ty::I32, max, one);
+        b.print(s);
+        b.ret(None);
+        let m = Module::from_functions(vec![b.finish()]);
+        assert_eq!(run(&m).output, vec![i64::from(i32::MIN)]);
+    }
+
+    #[test]
+    fn divide_by_zero_traps() {
+        let mut b = FunctionBuilder::new("main", &[], None);
+        let one = b.iconst(Ty::I64, 1);
+        let zero = b.iconst(Ty::I64, 0);
+        let q = b.sdiv(Ty::I64, one, zero);
+        b.print(q);
+        b.ret(None);
+        let m = Module::from_functions(vec![b.finish()]);
+        assert_eq!(Interp::new(&m).run().unwrap_err(), Trap::DivideError);
+    }
+
+    #[test]
+    fn signed_division_overflow_traps() {
+        let mut b = FunctionBuilder::new("main", &[], None);
+        let min = b.iconst(Ty::I32, i64::from(i32::MIN));
+        let neg1 = b.iconst(Ty::I32, -1);
+        let q = b.sdiv(Ty::I32, min, neg1);
+        b.print(q);
+        b.ret(None);
+        let m = Module::from_functions(vec![b.finish()]);
+        assert_eq!(Interp::new(&m).run().unwrap_err(), Trap::DivideError);
+    }
+
+    #[test]
+    fn out_of_bounds_traps() {
+        let mut b = FunctionBuilder::new("main", &[], None);
+        let base = b.global(crate::value::GlobalId(0));
+        let idx = b.iconst(Ty::I64, 100);
+        let p = b.gep(base, idx);
+        let v = b.load(Ty::I64, p);
+        b.print(v);
+        b.ret(None);
+        let m =
+            Module::from_functions(vec![b.finish()]).with_global(Global::new("tab", vec![0; 4]));
+        assert!(matches!(
+            Interp::new(&m).run().unwrap_err(),
+            Trap::OutOfBounds(_)
+        ));
+    }
+
+    #[test]
+    fn step_limit_catches_infinite_loop() {
+        let mut b = FunctionBuilder::new("main", &[], None);
+        let lp = b.create_block("loop");
+        b.jmp(lp);
+        b.switch_to(lp);
+        b.jmp(lp);
+        let m = Module::from_functions(vec![b.finish()]);
+        assert_eq!(
+            Interp::new(&m).with_step_limit(1000).run().unwrap_err(),
+            Trap::StepLimit
+        );
+    }
+
+    #[test]
+    fn allocas_freed_on_return() {
+        // Callee allocates, returns the pointer; dereferencing it in the
+        // caller traps because the frame is gone.
+        let mut callee = FunctionBuilder::new("leak", &[], Some(Ty::Ptr));
+        let p = callee.alloca(Ty::I64);
+        callee.ret(Some(p));
+        let mut main = FunctionBuilder::new("main", &[], None);
+        let p = main.call("leak", vec![], Some(Ty::Ptr)).unwrap();
+        let v = main.load(Ty::I64, p);
+        main.print(v);
+        main.ret(None);
+        let m = Module::from_functions(vec![main.finish(), callee.finish()]);
+        assert!(matches!(
+            Interp::new(&m).run().unwrap_err(),
+            Trap::OutOfBounds(_)
+        ));
+    }
+
+    #[test]
+    fn shifts_and_logic() {
+        let mut b = FunctionBuilder::new("main", &[], None);
+        let x = b.iconst(Ty::I64, -16);
+        let two = b.iconst(Ty::I64, 2);
+        let sh = b.ashr(Ty::I64, x, two);
+        b.print(sh); // -4
+        let y = b.iconst(Ty::I64, 0b1100);
+        let z = b.iconst(Ty::I64, 0b1010);
+        let a = b.and(Ty::I64, y, z);
+        b.print(a); // 0b1000
+        let o = b.or(Ty::I64, y, z);
+        b.print(o); // 0b1110
+        let e = b.xor(Ty::I64, y, z);
+        b.print(e); // 0b0110
+        let one = b.iconst(Ty::I64, 1);
+        let six = b.iconst(Ty::I64, 6);
+        let sl = b.shl(Ty::I64, one, six);
+        b.print(sl); // 64
+        let l = b.bin(BinOp::LShr, Ty::I64, x, two);
+        b.print(l); // logical shift of -16
+        b.ret(None);
+        let m = Module::from_functions(vec![b.finish()]);
+        assert_eq!(
+            run(&m).output,
+            vec![
+                -4,
+                0b1000,
+                0b1110,
+                0b0110,
+                64,
+                ((-16i64 as u64) >> 2) as i64
+            ]
+        );
+    }
+
+    #[test]
+    fn srem_matches_rust_semantics() {
+        let mut b = FunctionBuilder::new("main", &[], None);
+        let a = b.iconst(Ty::I64, -7);
+        let three = b.iconst(Ty::I64, 3);
+        let r = b.srem(Ty::I64, a, three);
+        b.print(r);
+        b.ret(None);
+        let m = Module::from_functions(vec![b.finish()]);
+        assert_eq!(run(&m).output, vec![-1]);
+    }
+
+    #[test]
+    fn steps_are_counted() {
+        let mut b = FunctionBuilder::new("main", &[], None);
+        b.ret(None);
+        let m = Module::from_functions(vec![b.finish()]);
+        assert_eq!(run(&m).steps, 1);
+    }
+}

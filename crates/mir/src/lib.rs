@@ -1,0 +1,87 @@
+//! # ferrum-mir — a mini intermediate representation
+//!
+//! A small, typed, LLVM-flavoured IR in the `-O0` alloca/load/store style
+//! that the FERRUM paper's code listings use (Fig. 2).  It exists so the
+//! reproduction can implement *IR-level* EDDI exactly as the literature
+//! describes — duplicate computational IR instructions, insert checks
+//! before synchronisation points — and then lower the protected IR through
+//! `ferrum-backend` to observe the cross-layer coverage loss the paper
+//! measures.
+//!
+//! The crate provides:
+//!
+//! * the IR itself ([`inst::MirInst`], [`func::Function`],
+//!   [`module::Module`]) with explicit basic blocks and terminators,
+//! * an ergonomic [`builder::FunctionBuilder`] used by the workload crate
+//!   to express the Rodinia-style kernels,
+//! * a structural [`verify`] pass,
+//! * a textual [`printer`],
+//! * a reference [`interp`] interpreter that serves as the golden oracle
+//!   for differential testing against the compiled simulation.
+//!
+//! ## Value and memory model
+//!
+//! All integers are two's complement.  Memory is word-addressed in
+//! 8-byte units: every array element and every `alloca` slot occupies a
+//! full 64-bit word, and narrower values are stored sign-extended.  This
+//! mirrors the backend's 8-byte frame slots and keeps IR-level and
+//! assembly-level executions bit-identical, which the differential tests
+//! rely on.
+//!
+//! ## Example
+//!
+//! ```
+//! use ferrum_mir::builder::FunctionBuilder;
+//! use ferrum_mir::module::Module;
+//! use ferrum_mir::types::Ty;
+//! use ferrum_mir::interp::Interp;
+//!
+//! // int add(a, b) { return a + b; } — the paper's Fig. 2 example.
+//! let mut b = FunctionBuilder::new("add", &[Ty::I32, Ty::I32], Some(Ty::I32));
+//! let pa = b.alloca(Ty::I32);
+//! let pb = b.alloca(Ty::I32);
+//! b.store(Ty::I32, b.arg(0), pa);
+//! b.store(Ty::I32, b.arg(1), pb);
+//! let va = b.load(Ty::I32, pa);
+//! let vb = b.load(Ty::I32, pb);
+//! let sum = b.add(Ty::I32, va, vb);
+//! b.ret(Some(sum));
+//! let add = b.finish();
+//!
+//! let mut main = FunctionBuilder::new("main", &[], None);
+//! let two = main.iconst(Ty::I32, 2);
+//! let forty = main.iconst(Ty::I32, 40);
+//! let r = main.call("add", vec![two, forty], Some(Ty::I32));
+//! main.print(r.unwrap());
+//! main.ret(None);
+//!
+//! let module = Module::from_functions(vec![main.finish(), add]);
+//! let out = Interp::new(&module).run().unwrap();
+//! assert_eq!(out.output, vec![42]);
+//! ```
+
+pub mod builder;
+pub mod func;
+pub mod inst;
+pub mod interp;
+pub mod module;
+pub mod printer;
+pub mod types;
+pub mod value;
+pub mod verify;
+
+pub use func::{BlockId, Function, MirBlock};
+pub use inst::{BinOp, ICmpPred, InstId, MirInst};
+pub use module::{Global, Module};
+pub use types::Ty;
+pub use value::Value;
+
+/// Name of the printing intrinsic understood by the interpreter, the
+/// backend, and the CPU simulator alike.
+pub const PRINT_I64: &str = "print_i64";
+
+/// Name of the error-detection intrinsic inserted by IR-level protection
+/// passes (the paper's `check_flag()` in Fig. 2).  The backend lowers a
+/// call to it as a jump to `exit_function`; the interpreter reports
+/// [`interp::Trap::DetectorFired`].
+pub const DETECT: &str = "eddi_detect";

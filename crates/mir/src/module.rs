@@ -1,0 +1,102 @@
+//! Modules: functions plus global data.
+
+use crate::func::Function;
+
+/// A mutable global array of 64-bit words in the simulated data segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Global {
+    /// Symbol name.
+    pub name: String,
+    /// Initial contents.
+    pub words: Vec<i64>,
+}
+
+impl Global {
+    /// Creates a global from its initial words.
+    pub fn new(name: impl Into<String>, words: Vec<i64>) -> Global {
+        Global {
+            name: name.into(),
+            words,
+        }
+    }
+
+    /// Creates a zero-initialised global of `len` words.
+    pub fn zeroed(name: impl Into<String>, len: usize) -> Global {
+        Global {
+            name: name.into(),
+            words: vec![0; len],
+        }
+    }
+}
+
+/// A whole MIR program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Module {
+    /// Functions; the entry point is the one named `main`.
+    pub functions: Vec<Function>,
+    /// Global data, laid out in declaration order.
+    pub globals: Vec<Global>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new() -> Module {
+        Module::default()
+    }
+
+    /// Creates a module from functions only.
+    pub fn from_functions(functions: Vec<Function>) -> Module {
+        Module {
+            functions,
+            globals: Vec::new(),
+        }
+    }
+
+    /// Adds a global, returning `self` for chaining.
+    pub fn with_global(mut self, g: Global) -> Module {
+        self.globals.push(g);
+        self
+    }
+
+    /// Adds a global and returns its id for use with
+    /// [`crate::value::Value::Global`].
+    pub fn add_global(&mut self, g: Global) -> crate::value::GlobalId {
+        let id = crate::value::GlobalId(self.globals.len() as u32);
+        self.globals.push(g);
+        id
+    }
+
+    /// Finds a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Finds a global by name.
+    pub fn global(&self, name: &str) -> Option<&Global> {
+        self.globals.iter().find(|g| g.name == name)
+    }
+
+    /// Total static MIR instruction count.
+    pub fn inst_count(&self) -> usize {
+        self.functions.iter().map(Function::inst_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Ty;
+
+    #[test]
+    fn lookup_and_counts() {
+        let m = Module::from_functions(vec![Function::new("main", &[], None)])
+            .with_global(Global::new("a", vec![1, 2]))
+            .with_global(Global::zeroed("b", 3));
+        assert!(m.function("main").is_some());
+        assert!(m.function("nope").is_none());
+        assert_eq!(m.global("a").unwrap().words, vec![1, 2]);
+        assert_eq!(m.global("b").unwrap().words, vec![0, 0, 0]);
+        assert_eq!(m.inst_count(), 0);
+        let _ = Ty::I64;
+    }
+}

@@ -1,0 +1,125 @@
+//! Textual MIR output (for debugging and documentation; there is no MIR
+//! parser — programs are constructed with the builder).
+
+use std::fmt::Write as _;
+
+use crate::func::Function;
+use crate::inst::MirInst;
+use crate::module::Module;
+
+/// Renders one instruction.
+pub fn print_inst(inst: &MirInst) -> String {
+    match inst {
+        MirInst::Alloca { id, ty, count } => format!("{id} = alloca {ty} x {count}"),
+        MirInst::Load { id, ty, ptr } => format!("{id} = load {ty}, {ptr}"),
+        MirInst::Store { ty, val, ptr } => format!("store {ty} {val}, {ptr}"),
+        MirInst::Bin { id, op, ty, a, b } => {
+            format!("{id} = {} {ty} {a}, {b}", op.mnemonic())
+        }
+        MirInst::ICmp { id, pred, ty, a, b } => {
+            format!("{id} = icmp {} {ty} {a}, {b}", pred.mnemonic())
+        }
+        MirInst::Gep { id, base, index } => format!("{id} = gep {base}, {index}"),
+        MirInst::Sext { id, from, to, v } => format!("{id} = sext {from} {v} to {to}"),
+        MirInst::Zext { id, from, to, v } => format!("{id} = zext {from} {v} to {to}"),
+        MirInst::Trunc { id, from, to, v } => format!("{id} = trunc {from} {v} to {to}"),
+        MirInst::Call { id, callee, args } => {
+            let args: Vec<String> = args.iter().map(ToString::to_string).collect();
+            match id {
+                Some(id) => format!("{id} = call @{callee}({})", args.join(", ")),
+                None => format!("call @{callee}({})", args.join(", ")),
+            }
+        }
+        MirInst::Br {
+            cond,
+            then_bb,
+            else_bb,
+        } => {
+            format!("br {cond}, {then_bb}, {else_bb}")
+        }
+        MirInst::Jmp { target } => format!("jmp {target}"),
+        MirInst::Ret { val } => match val {
+            Some(v) => format!("ret {v}"),
+            None => "ret void".to_owned(),
+        },
+    }
+}
+
+/// Renders a function.
+pub fn print_function(f: &Function) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = f.params.iter().map(ToString::to_string).collect();
+    let ret = f.ret.map_or("void".to_owned(), |t| t.to_string());
+    let _ = writeln!(out, "define {ret} @{}({}) {{", f.name, params.join(", "));
+    for (i, b) in f.blocks.iter().enumerate() {
+        let _ = writeln!(out, "bb{i}:  ; {}", b.name);
+        for inst in &b.insts {
+            let _ = writeln!(out, "  {}", print_inst(inst));
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders a whole module.
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    for (i, g) in m.globals.iter().enumerate() {
+        let _ = writeln!(out, "@g{i} = global [{} x i64] ; {}", g.words.len(), g.name);
+    }
+    for f in &m.functions {
+        out.push_str(&print_function(f));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::module::Global;
+    use crate::types::Ty;
+
+    #[test]
+    fn listing_mentions_key_constructs() {
+        let mut b = FunctionBuilder::new("main", &[], None);
+        let p = b.alloca(Ty::I32);
+        let c = b.iconst(Ty::I32, 7);
+        b.store(Ty::I32, c, p);
+        let v = b.load(Ty::I32, p);
+        let s = b.add(Ty::I32, v, v);
+        b.print(s);
+        b.ret(None);
+        let m =
+            Module::from_functions(vec![b.finish()]).with_global(Global::new("tab", vec![0; 4]));
+        let text = print_module(&m);
+        assert!(text.contains("@g0 = global [4 x i64] ; tab"));
+        assert!(text.contains("define void @main()"));
+        assert!(text.contains("alloca i32"));
+        assert!(text.contains("store i32"));
+        assert!(text.contains("load i32"));
+        assert!(text.contains("add i32"));
+        assert!(text.contains("call @print_i64"));
+        assert!(text.contains("ret void"));
+    }
+
+    #[test]
+    fn branch_and_cmp_forms() {
+        use crate::inst::ICmpPred;
+        let mut b = FunctionBuilder::new("main", &[], None);
+        let t = b.create_block("t");
+        let e = b.create_block("e");
+        let zero = b.iconst(Ty::I64, 0);
+        let one = b.iconst(Ty::I64, 1);
+        let c = b.icmp(ICmpPred::Slt, Ty::I64, zero, one);
+        b.br(c, t, e);
+        b.switch_to(t);
+        b.ret(None);
+        b.switch_to(e);
+        b.ret(None);
+        let text = print_function(&b.finish());
+        assert!(text.contains("icmp slt i64"));
+        assert!(text.contains("br %0, bb1, bb2"));
+    }
+}

@@ -1,0 +1,93 @@
+//! The MIR type system.
+
+use std::fmt;
+
+/// Primitive MIR types.
+///
+/// `I1` is the boolean result of `icmp`; `Ptr` is a 64-bit address.
+/// Floating point is intentionally absent: the workload kernels use
+/// fixed-point arithmetic (see DESIGN.md), which keeps the fault model —
+/// single bit flips in integer registers — uniform across benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// 1-bit boolean.
+    I1,
+    /// 8-bit integer.
+    I8,
+    /// 32-bit integer.
+    I32,
+    /// 64-bit integer.
+    I64,
+    /// 64-bit pointer.
+    Ptr,
+}
+
+impl Ty {
+    /// Width in bits as materialised in a register.
+    pub fn bits(self) -> u32 {
+        match self {
+            Ty::I1 => 1,
+            Ty::I8 => 8,
+            Ty::I32 => 32,
+            Ty::I64 | Ty::Ptr => 64,
+        }
+    }
+
+    /// True for `I64`/`Ptr`, which occupy a full register.
+    pub fn is_wide(self) -> bool {
+        matches!(self, Ty::I64 | Ty::Ptr)
+    }
+
+    /// Wraps an `i64` to this type's range (sign-extended two's
+    /// complement), i.e. the canonical in-memory representation.
+    pub fn wrap(self, v: i64) -> i64 {
+        match self {
+            Ty::I1 => v & 1,
+            Ty::I8 => v as i8 as i64,
+            Ty::I32 => v as i32 as i64,
+            Ty::I64 | Ty::Ptr => v,
+        }
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Ty::I1 => "i1",
+            Ty::I8 => "i8",
+            Ty::I32 => "i32",
+            Ty::I64 => "i64",
+            Ty::Ptr => "ptr",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths() {
+        assert_eq!(Ty::I1.bits(), 1);
+        assert_eq!(Ty::I8.bits(), 8);
+        assert_eq!(Ty::I32.bits(), 32);
+        assert_eq!(Ty::I64.bits(), 64);
+        assert_eq!(Ty::Ptr.bits(), 64);
+        assert!(Ty::Ptr.is_wide() && Ty::I64.is_wide() && !Ty::I32.is_wide());
+    }
+
+    #[test]
+    fn wrapping_is_sign_extended() {
+        assert_eq!(Ty::I32.wrap(i64::from(i32::MAX) + 1), i64::from(i32::MIN));
+        assert_eq!(Ty::I8.wrap(255), -1);
+        assert_eq!(Ty::I1.wrap(3), 1);
+        assert_eq!(Ty::I1.wrap(2), 0);
+        assert_eq!(Ty::I64.wrap(i64::MIN), i64::MIN);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Ty::I32.to_string(), "i32");
+        assert_eq!(Ty::Ptr.to_string(), "ptr");
+    }
+}

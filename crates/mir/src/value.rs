@@ -1,0 +1,110 @@
+//! SSA-ish values: instruction results, arguments, constants, globals.
+
+use std::fmt;
+
+use crate::inst::InstId;
+use crate::types::Ty;
+
+/// Identifier of a module global (index into
+/// [`crate::module::Module::globals`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GlobalId(pub u32);
+
+impl GlobalId {
+    /// The global's index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GlobalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@g{}", self.0)
+    }
+}
+
+/// An operand of a MIR instruction.
+///
+/// `Value` is `Copy`, so kernels can reuse handles freely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// The result of the instruction with this id.
+    Inst(InstId),
+    /// The `i`-th function argument.
+    Arg(u32),
+    /// An integer constant of the given type.
+    Const(Ty, i64),
+    /// The address of a module global.
+    Global(GlobalId),
+}
+
+impl Value {
+    /// Shorthand for an integer constant.
+    pub fn const_int(ty: Ty, v: i64) -> Value {
+        Value::Const(ty, ty.wrap(v))
+    }
+
+    /// Returns the instruction id if this value is an instruction result.
+    pub fn as_inst(&self) -> Option<InstId> {
+        match self {
+            Value::Inst(id) => Some(*id),
+            _ => None,
+        }
+    }
+
+    /// True if this value is a constant.
+    pub fn is_const(&self) -> bool {
+        matches!(self, Value::Const(..))
+    }
+}
+
+impl From<InstId> for Value {
+    fn from(id: InstId) -> Value {
+        Value::Inst(id)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Inst(id) => write!(f, "%{}", id.0),
+            Value::Arg(i) => write!(f, "%arg{i}"),
+            Value::Const(ty, v) => write!(f, "{ty} {v}"),
+            Value::Global(g) => write!(f, "{g}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_int_wraps_to_type() {
+        assert_eq!(Value::const_int(Ty::I8, 300), Value::Const(Ty::I8, 44));
+        assert_eq!(Value::const_int(Ty::I32, -1), Value::Const(Ty::I32, -1));
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Value::Inst(InstId(4));
+        assert_eq!(v.as_inst(), Some(InstId(4)));
+        assert!(!v.is_const());
+        assert!(Value::const_int(Ty::I64, 0).is_const());
+        assert_eq!(Value::Arg(0).as_inst(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Inst(InstId(3)).to_string(), "%3");
+        assert_eq!(Value::Arg(1).to_string(), "%arg1");
+        assert_eq!(Value::Const(Ty::I32, -5).to_string(), "i32 -5");
+        assert_eq!(Value::Global(GlobalId(2)).to_string(), "@g2");
+    }
+
+    #[test]
+    fn value_is_copy() {
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<Value>();
+    }
+}

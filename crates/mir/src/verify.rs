@@ -1,0 +1,311 @@
+//! Structural verification of MIR modules.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::func::Function;
+use crate::inst::MirInst;
+use crate::module::Module;
+use crate::value::Value;
+
+/// A structural defect found by [`verify_module`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A block is empty or does not end in a terminator.
+    BadTerminator { function: String, block: String },
+    /// A terminator appears before the end of a block.
+    EarlyTerminator { function: String, block: String },
+    /// A branch targets a nonexistent block.
+    BadBlockTarget { function: String, block: String },
+    /// Two instructions share a result id.
+    DuplicateId { function: String, id: u32 },
+    /// An operand references an id never defined.
+    UndefinedValue { function: String, id: u32 },
+    /// An operand references an argument index out of range.
+    BadArgIndex { function: String, index: u32 },
+    /// A call names a function that does not exist.
+    UnknownCallee { function: String, callee: String },
+    /// A value names a global index that does not exist.
+    UnknownGlobal { function: String, global: u32 },
+    /// The module has no `main`.
+    NoMain,
+    /// `main` must take no parameters.
+    MainHasParams,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::BadTerminator { function, block } => {
+                write!(f, "block `{block}` in `{function}` lacks a terminator")
+            }
+            VerifyError::EarlyTerminator { function, block } => {
+                write!(
+                    f,
+                    "terminator before end of block `{block}` in `{function}`"
+                )
+            }
+            VerifyError::BadBlockTarget { function, block } => {
+                write!(
+                    f,
+                    "branch to nonexistent block from `{block}` in `{function}`"
+                )
+            }
+            VerifyError::DuplicateId { function, id } => {
+                write!(f, "duplicate result id %{id} in `{function}`")
+            }
+            VerifyError::UndefinedValue { function, id } => {
+                write!(f, "use of undefined value %{id} in `{function}`")
+            }
+            VerifyError::BadArgIndex { function, index } => {
+                write!(f, "argument index {index} out of range in `{function}`")
+            }
+            VerifyError::UnknownCallee { function, callee } => {
+                write!(f, "call to unknown function `{callee}` in `{function}`")
+            }
+            VerifyError::UnknownGlobal { function, global } => {
+                write!(f, "reference to unknown global `{global}` in `{function}`")
+            }
+            VerifyError::NoMain => write!(f, "module has no `main` function"),
+            VerifyError::MainHasParams => write!(f, "`main` must take no parameters"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies a whole module.
+///
+/// # Errors
+///
+/// Returns every defect found.
+pub fn verify_module(m: &Module) -> Result<(), Vec<VerifyError>> {
+    let mut errors = Vec::new();
+    match m.function("main") {
+        None => errors.push(VerifyError::NoMain),
+        Some(f) if !f.params.is_empty() => errors.push(VerifyError::MainHasParams),
+        _ => {}
+    }
+    for f in &m.functions {
+        verify_function(m, f, &mut errors);
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+fn verify_function(m: &Module, f: &Function, errors: &mut Vec<VerifyError>) {
+    let mut defined: HashSet<u32> = HashSet::new();
+    for inst in f.insts() {
+        if let Some(id) = inst.result() {
+            if !defined.insert(id.0) {
+                errors.push(VerifyError::DuplicateId {
+                    function: f.name.clone(),
+                    id: id.0,
+                });
+            }
+        }
+    }
+    for b in &f.blocks {
+        match b.insts.last() {
+            Some(t) if t.is_terminator() => {}
+            _ => errors.push(VerifyError::BadTerminator {
+                function: f.name.clone(),
+                block: b.name.clone(),
+            }),
+        }
+        for (i, inst) in b.insts.iter().enumerate() {
+            if inst.is_terminator() && i + 1 != b.insts.len() {
+                errors.push(VerifyError::EarlyTerminator {
+                    function: f.name.clone(),
+                    block: b.name.clone(),
+                });
+            }
+            match inst {
+                MirInst::Br {
+                    then_bb, else_bb, ..
+                } => {
+                    for t in [then_bb, else_bb] {
+                        if t.index() >= f.blocks.len() {
+                            errors.push(VerifyError::BadBlockTarget {
+                                function: f.name.clone(),
+                                block: b.name.clone(),
+                            });
+                        }
+                    }
+                }
+                MirInst::Jmp { target } if target.index() >= f.blocks.len() => {
+                    errors.push(VerifyError::BadBlockTarget {
+                        function: f.name.clone(),
+                        block: b.name.clone(),
+                    });
+                }
+                MirInst::Call { callee, .. }
+                    if callee != crate::PRINT_I64
+                        && callee != crate::DETECT
+                        && m.function(callee).is_none() =>
+                {
+                    errors.push(VerifyError::UnknownCallee {
+                        function: f.name.clone(),
+                        callee: callee.clone(),
+                    });
+                }
+                _ => {}
+            }
+            for v in inst.operands() {
+                match v {
+                    Value::Inst(id) => {
+                        if !defined.contains(&id.0) {
+                            errors.push(VerifyError::UndefinedValue {
+                                function: f.name.clone(),
+                                id: id.0,
+                            });
+                        }
+                    }
+                    Value::Arg(i) => {
+                        if *i as usize >= f.params.len() {
+                            errors.push(VerifyError::BadArgIndex {
+                                function: f.name.clone(),
+                                index: *i,
+                            });
+                        }
+                    }
+                    Value::Global(g) => {
+                        if g.index() >= m.globals.len() {
+                            errors.push(VerifyError::UnknownGlobal {
+                                function: f.name.clone(),
+                                global: g.0,
+                            });
+                        }
+                    }
+                    Value::Const(..) => {}
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::func::BlockId;
+    use crate::module::Global;
+    use crate::types::Ty;
+
+    fn trivial_main() -> Function {
+        let mut b = FunctionBuilder::new("main", &[], None);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn valid_module_passes() {
+        let m = Module::from_functions(vec![trivial_main()]);
+        assert!(verify_module(&m).is_ok());
+    }
+
+    #[test]
+    fn missing_main_rejected() {
+        let mut b = FunctionBuilder::new("f", &[], None);
+        b.ret(None);
+        let m = Module::from_functions(vec![b.finish()]);
+        assert!(verify_module(&m)
+            .unwrap_err()
+            .contains(&VerifyError::NoMain));
+    }
+
+    #[test]
+    fn main_with_params_rejected() {
+        let mut b = FunctionBuilder::new("main", &[Ty::I64], None);
+        b.ret(None);
+        let m = Module::from_functions(vec![b.finish()]);
+        assert!(verify_module(&m)
+            .unwrap_err()
+            .contains(&VerifyError::MainHasParams));
+    }
+
+    #[test]
+    fn unterminated_block_rejected() {
+        let b = FunctionBuilder::new("main", &[], None);
+        let m = Module::from_functions(vec![b.finish()]);
+        let errs = verify_module(&m).unwrap_err();
+        assert!(matches!(errs[0], VerifyError::BadTerminator { .. }));
+    }
+
+    #[test]
+    fn bad_block_target_rejected() {
+        let mut b = FunctionBuilder::new("main", &[], None);
+        b.jmp(BlockId(7));
+        let m = Module::from_functions(vec![b.finish()]);
+        let errs = verify_module(&m).unwrap_err();
+        assert!(matches!(errs[0], VerifyError::BadBlockTarget { .. }));
+    }
+
+    #[test]
+    fn undefined_value_rejected() {
+        let mut b = FunctionBuilder::new("main", &[], None);
+        b.print(Value::Inst(crate::inst::InstId(42)));
+        b.ret(None);
+        let m = Module::from_functions(vec![b.finish()]);
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, VerifyError::UndefinedValue { id: 42, .. })));
+    }
+
+    #[test]
+    fn unknown_callee_and_global_rejected() {
+        let mut b = FunctionBuilder::new("main", &[], None);
+        b.call("ghost", vec![], None);
+        let g = b.global(crate::value::GlobalId(9));
+        b.print(g);
+        b.ret(None);
+        let m = Module::from_functions(vec![b.finish()]);
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, VerifyError::UnknownCallee { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, VerifyError::UnknownGlobal { .. })));
+    }
+
+    #[test]
+    fn known_global_accepted() {
+        let mut b = FunctionBuilder::new("main", &[], None);
+        let g = b.global(crate::value::GlobalId(0));
+        let v = b.load(Ty::I64, g);
+        b.print(v);
+        b.ret(None);
+        let m = Module::from_functions(vec![b.finish()]).with_global(Global::new("tab", vec![9]));
+        assert!(verify_module(&m).is_ok());
+    }
+
+    #[test]
+    fn bad_arg_index_rejected() {
+        let mut b = FunctionBuilder::new("main", &[], None);
+        let a = b.arg(0);
+        b.print(a);
+        b.ret(None);
+        let m = Module::from_functions(vec![b.finish()]);
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, VerifyError::BadArgIndex { index: 0, .. })));
+    }
+
+    #[test]
+    fn early_terminator_rejected() {
+        let mut b = FunctionBuilder::new("main", &[], None);
+        b.ret(None);
+        b.ret(None);
+        let m = Module::from_functions(vec![b.finish()]);
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, VerifyError::EarlyTerminator { .. })));
+    }
+}

@@ -1,0 +1,144 @@
+//! The benchmark catalog (paper Table II).
+
+use ferrum_mir::module::Module;
+
+use crate::kernels;
+
+/// Problem-size scale: `Test` keeps unit tests and exhaustive campaigns
+/// fast; `Paper` is used by the figure-regeneration harnesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Small sizes for debug-build tests.
+    Test,
+    /// Evaluation sizes for the campaign harnesses.
+    Paper,
+}
+
+/// One benchmark: metadata plus its MIR builder and native oracle.
+#[derive(Clone)]
+pub struct Workload {
+    /// Benchmark name (lower-case, as used on the paper's x-axes).
+    pub name: &'static str,
+    /// Suite of origin.
+    pub suite: &'static str,
+    /// Application domain (Table II).
+    pub domain: &'static str,
+    build: fn(Scale) -> Module,
+    oracle: fn(Scale) -> Vec<i64>,
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload")
+            .field("name", &self.name)
+            .field("domain", &self.domain)
+            .finish()
+    }
+}
+
+impl Workload {
+    /// Builds the benchmark as a MIR module.
+    pub fn build(&self, scale: Scale) -> Module {
+        (self.build)(scale)
+    }
+
+    /// The expected program output, computed natively in Rust.
+    pub fn oracle(&self, scale: Scale) -> Vec<i64> {
+        (self.oracle)(scale)
+    }
+}
+
+/// All eight benchmarks, in the paper's order.
+pub fn all_workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "backprop",
+            suite: "Rodinia",
+            domain: "Machine Learning",
+            build: kernels::backprop::build,
+            oracle: kernels::backprop::oracle,
+        },
+        Workload {
+            name: "bfs",
+            suite: "Rodinia",
+            domain: "Graph Algorithm",
+            build: kernels::bfs::build,
+            oracle: kernels::bfs::oracle,
+        },
+        Workload {
+            name: "pathfinder",
+            suite: "Rodinia",
+            domain: "Dynamic Programming",
+            build: kernels::pathfinder::build,
+            oracle: kernels::pathfinder::oracle,
+        },
+        Workload {
+            name: "lud",
+            suite: "Rodinia",
+            domain: "Linear Algebra",
+            build: kernels::lud::build,
+            oracle: kernels::lud::oracle,
+        },
+        Workload {
+            name: "needle",
+            suite: "Rodinia",
+            domain: "Dynamic Programming",
+            build: kernels::needle::build,
+            oracle: kernels::needle::oracle,
+        },
+        Workload {
+            name: "knn",
+            suite: "Rodinia",
+            domain: "Machine Learning",
+            build: kernels::knn::build,
+            oracle: kernels::knn::oracle,
+        },
+        Workload {
+            name: "kmeans",
+            suite: "Rodinia",
+            domain: "Data Mining",
+            build: kernels::kmeans::build,
+            oracle: kernels::kmeans::oracle,
+        },
+        Workload {
+            name: "particlefilter",
+            suite: "Rodinia",
+            domain: "Noise estimator",
+            build: kernels::particlefilter::build,
+            oracle: kernels::particlefilter::oracle,
+        },
+    ]
+}
+
+/// Looks up a benchmark by name.
+pub fn workload(name: &str) -> Option<Workload> {
+    all_workloads().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_matches_table_2() {
+        let all = all_workloads();
+        assert_eq!(all.len(), 8);
+        let names: Vec<&str> = all.iter().map(|w| w.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "backprop",
+                "bfs",
+                "pathfinder",
+                "lud",
+                "needle",
+                "knn",
+                "kmeans",
+                "particlefilter"
+            ]
+        );
+        assert!(all.iter().all(|w| w.suite == "Rodinia"));
+        assert_eq!(workload("kmeans").unwrap().domain, "Data Mining");
+        assert!(workload("nonesuch").is_none());
+    }
+}

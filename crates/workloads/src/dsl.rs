@@ -1,0 +1,283 @@
+//! Small helpers that make the MIR kernels read like their C sources:
+//! mutable stack variables, counted loops, and fixed-point arithmetic.
+
+use ferrum_mir::builder::FunctionBuilder;
+use ferrum_mir::inst::ICmpPred;
+use ferrum_mir::types::Ty;
+use ferrum_mir::value::Value;
+
+/// Fixed-point fractional bits (Q8).
+pub const FX_SHIFT: i64 = 8;
+/// Fixed-point scale factor.
+pub const FX_ONE: i64 = 1 << FX_SHIFT;
+
+/// A mutable stack variable (an alloca slot).
+#[derive(Debug, Clone, Copy)]
+pub struct Var {
+    ptr: Value,
+    ty: Ty,
+}
+
+impl Var {
+    /// Declares a variable initialised to `init`.
+    pub fn new(b: &mut FunctionBuilder, ty: Ty, init: Value) -> Var {
+        let ptr = b.alloca(ty);
+        b.store(ty, init, ptr);
+        Var { ptr, ty }
+    }
+
+    /// Declares a zero-initialised variable.
+    pub fn zero(b: &mut FunctionBuilder, ty: Ty) -> Var {
+        let z = b.iconst(ty, 0);
+        Var::new(b, ty, z)
+    }
+
+    /// Current value.
+    pub fn get(self, b: &mut FunctionBuilder) -> Value {
+        b.load(self.ty, self.ptr)
+    }
+
+    /// Overwrites the value.
+    pub fn set(self, b: &mut FunctionBuilder, v: Value) {
+        b.store(self.ty, v, self.ptr);
+    }
+
+    /// `var += v`.
+    pub fn add_assign(self, b: &mut FunctionBuilder, v: Value) {
+        let cur = self.get(b);
+        let next = b.add(self.ty, cur, v);
+        self.set(b, next);
+    }
+}
+
+/// Emits `for i in lo..hi { body(i) }`; on return the builder sits in
+/// the loop's exit block.
+pub fn for_loop(
+    b: &mut FunctionBuilder,
+    lo: Value,
+    hi: Value,
+    body: impl FnOnce(&mut FunctionBuilder, Value),
+) {
+    let header = b.create_block("for_header");
+    let body_bb = b.create_block("for_body");
+    let exit = b.create_block("for_exit");
+    let i = Var::new(b, Ty::I64, lo);
+    b.jmp(header);
+
+    b.switch_to(header);
+    let iv = i.get(b);
+    let c = b.icmp(ICmpPred::Slt, Ty::I64, iv, hi);
+    b.br(c, body_bb, exit);
+
+    b.switch_to(body_bb);
+    let iv = i.get(b);
+    body(b, iv);
+    let one = b.iconst(Ty::I64, 1);
+    let iv2 = i.get(b);
+    let next = b.add(Ty::I64, iv2, one);
+    i.set(b, next);
+    b.jmp(header);
+
+    b.switch_to(exit);
+}
+
+/// Emits `if cond { then_body }`; the builder ends in the join block.
+pub fn if_then(b: &mut FunctionBuilder, cond: Value, then_body: impl FnOnce(&mut FunctionBuilder)) {
+    let then_bb = b.create_block("if_then");
+    let join = b.create_block("if_join");
+    b.br(cond, then_bb, join);
+    b.switch_to(then_bb);
+    then_body(b);
+    b.jmp(join);
+    b.switch_to(join);
+}
+
+/// Emits `if cond { then_body } else { else_body }`.
+pub fn if_else(
+    b: &mut FunctionBuilder,
+    cond: Value,
+    then_body: impl FnOnce(&mut FunctionBuilder),
+    else_body: impl FnOnce(&mut FunctionBuilder),
+) {
+    let then_bb = b.create_block("ie_then");
+    let else_bb = b.create_block("ie_else");
+    let join = b.create_block("ie_join");
+    b.br(cond, then_bb, else_bb);
+    b.switch_to(then_bb);
+    then_body(b);
+    b.jmp(join);
+    b.switch_to(else_bb);
+    else_body(b);
+    b.jmp(join);
+    b.switch_to(join);
+}
+
+/// `min(a, b)` via a branch (Rodinia kernels branch rather than cmov).
+pub fn min_branch(b: &mut FunctionBuilder, a: Value, v: Value) -> Value {
+    let out = Var::new(b, Ty::I64, a);
+    let c = b.icmp(ICmpPred::Slt, Ty::I64, v, a);
+    if_then(b, c, |b| out.set(b, v));
+    out.get(b)
+}
+
+/// `max(a, b)` via a branch.
+pub fn max_branch(b: &mut FunctionBuilder, a: Value, v: Value) -> Value {
+    let out = Var::new(b, Ty::I64, a);
+    let c = b.icmp(ICmpPred::Sgt, Ty::I64, v, a);
+    if_then(b, c, |b| out.set(b, v));
+    out.get(b)
+}
+
+/// `|v|` via a branch.
+pub fn abs_branch(b: &mut FunctionBuilder, v: Value) -> Value {
+    let out = Var::new(b, Ty::I64, v);
+    let zero = b.iconst(Ty::I64, 0);
+    let c = b.icmp(ICmpPred::Slt, Ty::I64, v, zero);
+    if_then(b, c, |b| {
+        let zero = b.iconst(Ty::I64, 0);
+        let n = b.sub(Ty::I64, zero, v);
+        out.set(b, n);
+    });
+    out.get(b)
+}
+
+/// Fixed-point multiply: `(a * b) >> FX_SHIFT`.
+pub fn fx_mul(b: &mut FunctionBuilder, a: Value, v: Value) -> Value {
+    let p = b.mul(Ty::I64, a, v);
+    let sh = b.iconst(Ty::I64, FX_SHIFT);
+    b.ashr(Ty::I64, p, sh)
+}
+
+/// Fixed-point divide: `(a << FX_SHIFT) / b`.
+pub fn fx_div(b: &mut FunctionBuilder, a: Value, v: Value) -> Value {
+    let sh = b.iconst(Ty::I64, FX_SHIFT);
+    let num = b.shl(Ty::I64, a, sh);
+    b.sdiv(Ty::I64, num, v)
+}
+
+/// Loads `base[idx]` (64-bit word elements).
+pub fn load_elem(b: &mut FunctionBuilder, base: Value, idx: Value) -> Value {
+    let p = b.gep(base, idx);
+    b.load(Ty::I64, p)
+}
+
+/// Stores `v` to `base[idx]`.
+pub fn store_elem(b: &mut FunctionBuilder, base: Value, idx: Value, v: Value) {
+    let p = b.gep(base, idx);
+    b.store(Ty::I64, v, p);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ferrum_mir::interp::Interp;
+    use ferrum_mir::module::Module;
+
+    fn run_main(build: impl FnOnce(&mut FunctionBuilder)) -> Vec<i64> {
+        let mut b = FunctionBuilder::new("main", &[], None);
+        build(&mut b);
+        b.ret(None);
+        let m = Module::from_functions(vec![b.finish()]);
+        ferrum_mir::verify::verify_module(&m).expect("verifies");
+        Interp::new(&m).run().expect("runs").output
+    }
+
+    #[test]
+    fn for_loop_counts() {
+        let out = run_main(|b| {
+            let acc = Var::zero(b, Ty::I64);
+            let lo = b.iconst(Ty::I64, 2);
+            let hi = b.iconst(Ty::I64, 7);
+            for_loop(b, lo, hi, |b, i| acc.add_assign(b, i));
+            let v = acc.get(b);
+            b.print(v);
+        });
+        assert_eq!(out, vec![2 + 3 + 4 + 5 + 6]);
+    }
+
+    #[test]
+    fn nested_loops() {
+        let out = run_main(|b| {
+            let acc = Var::zero(b, Ty::I64);
+            let lo = b.iconst(Ty::I64, 0);
+            let hi = b.iconst(Ty::I64, 4);
+            for_loop(b, lo, hi, |b, i| {
+                let lo2 = b.iconst(Ty::I64, 0);
+                let hi2 = b.iconst(Ty::I64, 3);
+                for_loop(b, lo2, hi2, |b, j| {
+                    let p = b.mul(Ty::I64, i, j);
+                    acc.add_assign(b, p);
+                });
+            });
+            let v = acc.get(b);
+            b.print(v);
+        });
+        assert_eq!(out, vec![(1 + 2 + 3) * (1 + 2)]);
+    }
+
+    #[test]
+    fn branches_and_minmax_abs() {
+        let out = run_main(|b| {
+            let three = b.iconst(Ty::I64, 3);
+            let neg5 = b.iconst(Ty::I64, -5);
+            let m = min_branch(b, three, neg5);
+            b.print(m);
+            let m = max_branch(b, three, neg5);
+            b.print(m);
+            let a = abs_branch(b, neg5);
+            b.print(a);
+            let a = abs_branch(b, three);
+            b.print(a);
+        });
+        assert_eq!(out, vec![-5, 3, 5, 3]);
+    }
+
+    #[test]
+    fn if_else_paths() {
+        let out = run_main(|b| {
+            let r = Var::zero(b, Ty::I64);
+            let one = b.iconst(Ty::I1, 1);
+            if_else(
+                b,
+                one,
+                |b| {
+                    let v = b.iconst(Ty::I64, 10);
+                    r.set(b, v);
+                },
+                |b| {
+                    let v = b.iconst(Ty::I64, 20);
+                    r.set(b, v);
+                },
+            );
+            let v = r.get(b);
+            b.print(v);
+        });
+        assert_eq!(out, vec![10]);
+    }
+
+    #[test]
+    fn fixed_point_arithmetic() {
+        let out = run_main(|b| {
+            let a = b.iconst(Ty::I64, 3 * FX_ONE / 2); // 1.5
+            let c = b.iconst(Ty::I64, FX_ONE / 2); // 0.5
+            let p = fx_mul(b, a, c); // 0.75
+            b.print(p);
+            let q = fx_div(b, a, c); // 3.0
+            b.print(q);
+        });
+        assert_eq!(out, vec![3 * FX_ONE / 4, 3 * FX_ONE]);
+    }
+
+    #[test]
+    fn var_accumulation() {
+        let out = run_main(|b| {
+            let v = Var::zero(b, Ty::I64);
+            let seven = b.iconst(Ty::I64, 7);
+            v.add_assign(b, seven);
+            v.add_assign(b, seven);
+            let got = v.get(b);
+            b.print(got);
+        });
+        assert_eq!(out, vec![14]);
+    }
+}

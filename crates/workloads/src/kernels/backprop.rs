@@ -1,0 +1,251 @@
+//! `backprop` — a fixed-point multilayer-perceptron training step
+//! (Rodinia's backpropagation kernel, Table II: Machine Learning).
+//!
+//! Forward pass through one hidden layer with a clamped activation
+//! (factored into a real `activate` helper function, so the benchmark
+//! exercises call/return protection — Table I's "call" column),
+//! output-error computation, and weight updates for both layers over a
+//! few epochs.  Prints the network output per epoch and a final weight
+//! checksum.
+
+use ferrum_mir::builder::FunctionBuilder;
+use ferrum_mir::module::{Global, Module};
+use ferrum_mir::types::Ty;
+
+use crate::catalog::Scale;
+use crate::dsl::{for_loop, fx_mul, load_elem, max_branch, min_branch, store_elem, Var, FX_ONE};
+use crate::kernels::{rand_vec, rng_for};
+
+/// Problem size.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Input-layer width.
+    pub input: usize,
+    /// Hidden-layer width.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+}
+
+/// Sizes per scale.
+pub fn params(scale: Scale) -> Params {
+    match scale {
+        Scale::Test => Params {
+            input: 4,
+            hidden: 4,
+            epochs: 2,
+        },
+        Scale::Paper => Params {
+            input: 12,
+            hidden: 8,
+            epochs: 3,
+        },
+    }
+}
+
+struct Inputs {
+    x: Vec<i64>,
+    w1: Vec<i64>,
+    w2: Vec<i64>,
+    target: i64,
+}
+
+fn inputs(p: Params) -> Inputs {
+    let mut rng = rng_for("backprop");
+    Inputs {
+        x: rand_vec(&mut rng, p.input, -2 * FX_ONE, 2 * FX_ONE),
+        w1: rand_vec(&mut rng, p.input * p.hidden, -FX_ONE, FX_ONE),
+        w2: rand_vec(&mut rng, p.hidden, -FX_ONE, FX_ONE),
+        target: rand_vec(&mut rng, 1, FX_ONE, 2 * FX_ONE)[0],
+    }
+}
+
+const LR: i64 = FX_ONE / 4;
+
+/// Builds the clamped-activation helper: `activate(x) = clamp(x, ±1.0)`.
+fn build_activate() -> ferrum_mir::func::Function {
+    let mut f = FunctionBuilder::new("activate", &[Ty::I64], Some(Ty::I64));
+    let one_fx = f.iconst(Ty::I64, FX_ONE);
+    let neg_one_fx = f.iconst(Ty::I64, -FX_ONE);
+    let a0 = f.arg(0);
+    let a1 = min_branch(&mut f, a0, one_fx);
+    let a2 = max_branch(&mut f, a1, neg_one_fx);
+    f.ret(Some(a2));
+    f.finish()
+}
+
+/// Builds the benchmark module.
+pub fn build(scale: Scale) -> Module {
+    let p = params(scale);
+    let inp = inputs(p);
+    let mut m = Module::new();
+    let gx = m.add_global(Global::new("bp_x", inp.x));
+    let gw1 = m.add_global(Global::new("bp_w1", inp.w1));
+    let gw2 = m.add_global(Global::new("bp_w2", inp.w2));
+    let ghid = m.add_global(Global::zeroed("bp_hid", p.hidden));
+    m.functions.push(build_activate());
+
+    let mut b = FunctionBuilder::new("main", &[], None);
+    let x = b.global(gx);
+    let w1 = b.global(gw1);
+    let w2 = b.global(gw2);
+    let hid = b.global(ghid);
+    let h = b.iconst(Ty::I64, p.hidden as i64);
+    let n_in = b.iconst(Ty::I64, p.input as i64);
+    let zero = b.iconst(Ty::I64, 0);
+    let epochs = b.iconst(Ty::I64, p.epochs as i64);
+    let target = b.iconst(Ty::I64, inp.target);
+    let lr = b.iconst(Ty::I64, LR);
+
+    for_loop(&mut b, zero, epochs, |b, _e| {
+        // Forward: hidden activations.
+        let zero = b.iconst(Ty::I64, 0);
+        for_loop(b, zero, h, |b, j| {
+            let acc = Var::zero(b, Ty::I64);
+            let zero = b.iconst(Ty::I64, 0);
+            for_loop(b, zero, n_in, |b, i| {
+                let xi = load_elem(b, x, i);
+                let row = b.mul(Ty::I64, i, h);
+                let idx = b.add(Ty::I64, row, j);
+                let wij = load_elem(b, w1, idx);
+                let prod = fx_mul(b, xi, wij);
+                acc.add_assign(b, prod);
+            });
+            // Clamped activation via the helper function.
+            let a0 = acc.get(b);
+            let act = b
+                .call("activate", vec![a0], Some(Ty::I64))
+                .expect("returns");
+            store_elem(b, hid, j, act);
+        });
+        // Output neuron.
+        let out = Var::zero(b, Ty::I64);
+        let zero = b.iconst(Ty::I64, 0);
+        for_loop(b, zero, h, |b, j| {
+            let hj = load_elem(b, hid, j);
+            let wj = load_elem(b, w2, j);
+            let prod = fx_mul(b, hj, wj);
+            out.add_assign(b, prod);
+        });
+        let outv = out.get(b);
+        b.print(outv);
+        // Backward: weight updates.
+        let err = b.sub(Ty::I64, target, outv);
+        let delta = fx_mul(b, err, lr);
+        let zero = b.iconst(Ty::I64, 0);
+        for_loop(b, zero, h, |b, j| {
+            let hj = load_elem(b, hid, j);
+            let upd = fx_mul(b, delta, hj);
+            let wj = load_elem(b, w2, j);
+            let nw = b.add(Ty::I64, wj, upd);
+            store_elem(b, w2, j, nw);
+        });
+        let zero = b.iconst(Ty::I64, 0);
+        for_loop(b, zero, h, |b, j| {
+            let wj = load_elem(b, w2, j);
+            let dj = fx_mul(b, delta, wj);
+            let zero = b.iconst(Ty::I64, 0);
+            for_loop(b, zero, n_in, |b, i| {
+                let xi = load_elem(b, x, i);
+                let g = fx_mul(b, dj, xi);
+                let two = b.iconst(Ty::I64, 2);
+                let g2 = b.ashr(Ty::I64, g, two);
+                let row = b.mul(Ty::I64, i, h);
+                let idx = b.add(Ty::I64, row, j);
+                let w = load_elem(b, w1, idx);
+                let nw = b.add(Ty::I64, w, g2);
+                store_elem(b, w1, idx, nw);
+            });
+        });
+    });
+    // Weight checksum.
+    let check = Var::zero(&mut b, Ty::I64);
+    let zero2 = b.iconst(Ty::I64, 0);
+    for_loop(&mut b, zero2, h, |b, j| {
+        let wj = load_elem(b, w2, j);
+        let one = b.iconst(Ty::I64, 1);
+        let j1 = b.add(Ty::I64, j, one);
+        let t = b.mul(Ty::I64, wj, j1);
+        check.add_assign(b, t);
+    });
+    let zero2 = b.iconst(Ty::I64, 0);
+    let total = b.iconst(Ty::I64, (p.input * p.hidden) as i64);
+    for_loop(&mut b, zero2, total, |b, k| {
+        let w = load_elem(b, w1, k);
+        let seven = b.iconst(Ty::I64, 7);
+        let r = b.srem(Ty::I64, k, seven);
+        let one = b.iconst(Ty::I64, 1);
+        let f = b.add(Ty::I64, r, one);
+        let t = b.mul(Ty::I64, w, f);
+        check.add_assign(b, t);
+    });
+    let c = check.get(&mut b);
+    b.print(c);
+    b.ret(None);
+    m.functions.push(b.finish());
+    m
+}
+
+/// Native oracle: the exact same computation in Rust.
+pub fn oracle(scale: Scale) -> Vec<i64> {
+    let p = params(scale);
+    let inp = inputs(p);
+    let (mut w1, mut w2) = (inp.w1.clone(), inp.w2.clone());
+    let mut hid = vec![0i64; p.hidden];
+    let mut out_stream = Vec::new();
+    let fx = |a: i64, b: i64| (a * b) >> 8;
+    for _ in 0..p.epochs {
+        for (j, hj) in hid.iter_mut().enumerate() {
+            let mut acc = 0i64;
+            for i in 0..p.input {
+                acc += fx(inp.x[i], w1[i * p.hidden + j]);
+            }
+            *hj = acc.clamp(-FX_ONE, FX_ONE);
+        }
+        let out: i64 = (0..p.hidden).map(|j| fx(hid[j], w2[j])).sum();
+        out_stream.push(out);
+        let err = inp.target - out;
+        let delta = fx(err, LR);
+        for j in 0..p.hidden {
+            w2[j] += fx(delta, hid[j]);
+        }
+        for j in 0..p.hidden {
+            let dj = fx(delta, w2[j]);
+            for i in 0..p.input {
+                w1[i * p.hidden + j] += fx(dj, inp.x[i]) >> 2;
+            }
+        }
+    }
+    let mut check = 0i64;
+    for (j, w) in w2.iter().enumerate() {
+        check += w * (j as i64 + 1);
+    }
+    for (k, w) in w1.iter().enumerate() {
+        check += w * (k as i64 % 7 + 1);
+    }
+    out_stream.push(check);
+    out_stream
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ferrum_mir::interp::Interp;
+
+    #[test]
+    fn interpreter_matches_oracle() {
+        for scale in [Scale::Test, Scale::Paper] {
+            let m = build(scale);
+            ferrum_mir::verify::verify_module(&m).expect("verifies");
+            let out = Interp::new(&m).run().expect("runs").output;
+            assert_eq!(out, oracle(scale), "{scale:?}");
+        }
+    }
+
+    #[test]
+    fn output_shape() {
+        let p = params(Scale::Test);
+        let out = oracle(Scale::Test);
+        assert_eq!(out.len(), p.epochs + 1);
+    }
+}

@@ -1,0 +1,263 @@
+//! `kmeans` — Lloyd's algorithm with integer centroids (Rodinia's
+//! k-means, Table II: Data Mining).
+//!
+//! Assignment (nearest-centroid search with branches) and update
+//! (per-cluster sums with integer division) over a fixed number of
+//! iterations; prints the final centroids and the total inertia.
+
+use ferrum_mir::builder::FunctionBuilder;
+use ferrum_mir::inst::ICmpPred;
+use ferrum_mir::module::{Global, Module};
+use ferrum_mir::types::Ty;
+
+use crate::catalog::Scale;
+use crate::dsl::{for_loop, if_then, load_elem, store_elem, Var};
+use crate::kernels::{rand_vec, rng_for};
+
+/// Problem size.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Number of points.
+    pub n: usize,
+    /// Number of clusters.
+    pub k: usize,
+    /// Lloyd iterations.
+    pub iters: usize,
+}
+
+/// Sizes per scale.
+pub fn params(scale: Scale) -> Params {
+    match scale {
+        Scale::Test => Params {
+            n: 18,
+            k: 3,
+            iters: 2,
+        },
+        Scale::Paper => Params {
+            n: 56,
+            k: 4,
+            iters: 3,
+        },
+    }
+}
+
+struct Inputs {
+    xs: Vec<i64>,
+    ys: Vec<i64>,
+}
+
+fn inputs(p: Params) -> Inputs {
+    let mut rng = rng_for("kmeans");
+    Inputs {
+        xs: rand_vec(&mut rng, p.n, 0, 200),
+        ys: rand_vec(&mut rng, p.n, 0, 200),
+    }
+}
+
+/// Builds the benchmark module.
+pub fn build(scale: Scale) -> Module {
+    let p = params(scale);
+    let inp = inputs(p);
+    let (cx0, cy0): (Vec<i64>, Vec<i64>) = ((inp.xs[..p.k]).to_vec(), (inp.ys[..p.k]).to_vec());
+    let mut m = Module::new();
+    let g_xs = m.add_global(Global::new("km_xs", inp.xs));
+    let g_ys = m.add_global(Global::new("km_ys", inp.ys));
+    let g_cx = m.add_global(Global::new("km_cx", cx0));
+    let g_cy = m.add_global(Global::new("km_cy", cy0));
+    let g_sx = m.add_global(Global::zeroed("km_sx", p.k));
+    let g_sy = m.add_global(Global::zeroed("km_sy", p.k));
+    let g_cnt = m.add_global(Global::zeroed("km_cnt", p.k));
+
+    let mut b = FunctionBuilder::new("main", &[], None);
+    let xs = b.global(g_xs);
+    let ys = b.global(g_ys);
+    let cx = b.global(g_cx);
+    let cy = b.global(g_cy);
+    let sx = b.global(g_sx);
+    let sy = b.global(g_sy);
+    let cnt = b.global(g_cnt);
+    let n = b.iconst(Ty::I64, p.n as i64);
+    let kv = b.iconst(Ty::I64, p.k as i64);
+    let zero = b.iconst(Ty::I64, 0);
+    let iters = b.iconst(Ty::I64, p.iters as i64);
+
+    for_loop(&mut b, zero, iters, |b, _it| {
+        // Reset accumulators.
+        let zero = b.iconst(Ty::I64, 0);
+        for_loop(b, zero, kv, |b, c| {
+            let zero = b.iconst(Ty::I64, 0);
+            store_elem(b, sx, c, zero);
+            store_elem(b, sy, c, zero);
+            store_elem(b, cnt, c, zero);
+        });
+        // Assignment.
+        let zero = b.iconst(Ty::I64, 0);
+        for_loop(b, zero, n, |b, i| {
+            let x = load_elem(b, xs, i);
+            let y = load_elem(b, ys, i);
+            let big = b.iconst(Ty::I64, i64::MAX / 4);
+            let best = Var::new(b, Ty::I64, big);
+            let zero = b.iconst(Ty::I64, 0);
+            let best_c = Var::new(b, Ty::I64, zero);
+            for_loop(b, zero, kv, |b, c| {
+                let cxv = load_elem(b, cx, c);
+                let cyv = load_elem(b, cy, c);
+                let dx = b.sub(Ty::I64, x, cxv);
+                let dy = b.sub(Ty::I64, y, cyv);
+                let dx2 = b.mul(Ty::I64, dx, dx);
+                let dy2 = b.mul(Ty::I64, dy, dy);
+                let d = b.add(Ty::I64, dx2, dy2);
+                let cur = best.get(b);
+                let better = b.icmp(ICmpPred::Slt, Ty::I64, d, cur);
+                if_then(b, better, |b| {
+                    best.set(b, d);
+                    best_c.set(b, c);
+                });
+            });
+            let c = best_c.get(b);
+            let psx = b.gep(sx, c);
+            let old = b.load(Ty::I64, psx);
+            let nx = b.add(Ty::I64, old, x);
+            b.store(Ty::I64, nx, psx);
+            let psy = b.gep(sy, c);
+            let old = b.load(Ty::I64, psy);
+            let ny = b.add(Ty::I64, old, y);
+            b.store(Ty::I64, ny, psy);
+            let pc = b.gep(cnt, c);
+            let old = b.load(Ty::I64, pc);
+            let one = b.iconst(Ty::I64, 1);
+            let nc = b.add(Ty::I64, old, one);
+            b.store(Ty::I64, nc, pc);
+        });
+        // Update (integer mean).
+        let zero = b.iconst(Ty::I64, 0);
+        for_loop(b, zero, kv, |b, c| {
+            let count = load_elem(b, cnt, c);
+            let zero = b.iconst(Ty::I64, 0);
+            let nonempty = b.icmp(ICmpPred::Sgt, Ty::I64, count, zero);
+            if_then(b, nonempty, |b| {
+                let count = load_elem(b, cnt, c);
+                let sxv = load_elem(b, sx, c);
+                let mx = b.sdiv(Ty::I64, sxv, count);
+                store_elem(b, cx, c, mx);
+                let syv = load_elem(b, sy, c);
+                let my = b.sdiv(Ty::I64, syv, count);
+                store_elem(b, cy, c, my);
+            });
+        });
+    });
+
+    // Output: centroids and inertia.
+    for_loop(&mut b, zero, kv, |b, c| {
+        let x = load_elem(b, cx, c);
+        b.print(x);
+        let y = load_elem(b, cy, c);
+        b.print(y);
+    });
+    let inertia = Var::zero(&mut b, Ty::I64);
+    for_loop(&mut b, zero, n, |b, i| {
+        let x = load_elem(b, xs, i);
+        let y = load_elem(b, ys, i);
+        let big = b.iconst(Ty::I64, i64::MAX / 4);
+        let best = Var::new(b, Ty::I64, big);
+        let zero = b.iconst(Ty::I64, 0);
+        for_loop(b, zero, kv, |b, c| {
+            let cxv = load_elem(b, cx, c);
+            let cyv = load_elem(b, cy, c);
+            let dx = b.sub(Ty::I64, x, cxv);
+            let dy = b.sub(Ty::I64, y, cyv);
+            let dx2 = b.mul(Ty::I64, dx, dx);
+            let dy2 = b.mul(Ty::I64, dy, dy);
+            let d = b.add(Ty::I64, dx2, dy2);
+            let cur = best.get(b);
+            let better = b.icmp(ICmpPred::Slt, Ty::I64, d, cur);
+            if_then(b, better, |b| best.set(b, d));
+        });
+        let bv = best.get(b);
+        inertia.add_assign(b, bv);
+    });
+    let iv = inertia.get(&mut b);
+    b.print(iv);
+    b.ret(None);
+    m.functions.push(b.finish());
+    m
+}
+
+/// Native oracle.
+pub fn oracle(scale: Scale) -> Vec<i64> {
+    let p = params(scale);
+    let inp = inputs(p);
+    let mut cx: Vec<i64> = inp.xs[..p.k].to_vec();
+    let mut cy: Vec<i64> = inp.ys[..p.k].to_vec();
+    for _ in 0..p.iters {
+        let mut sx = vec![0i64; p.k];
+        let mut sy = vec![0i64; p.k];
+        let mut cnt = vec![0i64; p.k];
+        for i in 0..p.n {
+            let mut best = i64::MAX / 4;
+            let mut best_c = 0usize;
+            for c in 0..p.k {
+                let dx = inp.xs[i] - cx[c];
+                let dy = inp.ys[i] - cy[c];
+                let d = dx * dx + dy * dy;
+                if d < best {
+                    best = d;
+                    best_c = c;
+                }
+            }
+            sx[best_c] += inp.xs[i];
+            sy[best_c] += inp.ys[i];
+            cnt[best_c] += 1;
+        }
+        for c in 0..p.k {
+            if cnt[c] > 0 {
+                cx[c] = sx[c] / cnt[c];
+                cy[c] = sy[c] / cnt[c];
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for c in 0..p.k {
+        out.push(cx[c]);
+        out.push(cy[c]);
+    }
+    let inertia: i64 = (0..p.n)
+        .map(|i| {
+            (0..p.k)
+                .map(|c| {
+                    let dx = inp.xs[i] - cx[c];
+                    let dy = inp.ys[i] - cy[c];
+                    dx * dx + dy * dy
+                })
+                .min()
+                .expect("k > 0")
+        })
+        .sum();
+    out.push(inertia);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ferrum_mir::interp::Interp;
+
+    #[test]
+    fn interpreter_matches_oracle() {
+        for scale in [Scale::Test, Scale::Paper] {
+            let m = build(scale);
+            ferrum_mir::verify::verify_module(&m).expect("verifies");
+            let out = Interp::new(&m).run().expect("runs").output;
+            assert_eq!(out, oracle(scale), "{scale:?}");
+        }
+    }
+
+    #[test]
+    fn centroids_within_data_range() {
+        let p = params(Scale::Paper);
+        let out = oracle(Scale::Paper);
+        for &c in &out[..2 * p.k] {
+            assert!((0..200).contains(&c), "centroid {c}");
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! `knn` — k-nearest-neighbour selection (Rodinia's kNN/NN, Table II:
+//! Machine Learning).
+//!
+//! Squared Euclidean distances from a query point to a point cloud,
+//! followed by k rounds of minimum selection with a used-mark array —
+//! heavy on data-dependent branches and indexed stores.
+
+use ferrum_mir::builder::FunctionBuilder;
+use ferrum_mir::inst::ICmpPred;
+use ferrum_mir::module::{Global, Module};
+use ferrum_mir::types::Ty;
+
+use crate::catalog::Scale;
+use crate::dsl::{for_loop, if_then, load_elem, store_elem, Var};
+use crate::kernels::{rand_vec, rng_for};
+
+/// Problem size.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Number of reference points.
+    pub n: usize,
+    /// Neighbours to select.
+    pub k: usize,
+}
+
+/// Sizes per scale.
+pub fn params(scale: Scale) -> Params {
+    match scale {
+        Scale::Test => Params { n: 16, k: 3 },
+        Scale::Paper => Params { n: 64, k: 5 },
+    }
+}
+
+struct Inputs {
+    xs: Vec<i64>,
+    ys: Vec<i64>,
+    qx: i64,
+    qy: i64,
+}
+
+fn inputs(p: Params) -> Inputs {
+    let mut rng = rng_for("knn");
+    Inputs {
+        xs: rand_vec(&mut rng, p.n, 0, 100),
+        ys: rand_vec(&mut rng, p.n, 0, 100),
+        qx: rand_vec(&mut rng, 1, 0, 100)[0],
+        qy: rand_vec(&mut rng, 1, 0, 100)[0],
+    }
+}
+
+const BIG: i64 = i64::MAX / 4;
+
+/// Builds the benchmark module.
+pub fn build(scale: Scale) -> Module {
+    let p = params(scale);
+    let inp = inputs(p);
+    let mut m = Module::new();
+    let g_xs = m.add_global(Global::new("knn_xs", inp.xs));
+    let g_ys = m.add_global(Global::new("knn_ys", inp.ys));
+    let g_d2 = m.add_global(Global::zeroed("knn_d2", p.n));
+    let g_used = m.add_global(Global::zeroed("knn_used", p.n));
+
+    let mut b = FunctionBuilder::new("main", &[], None);
+    let xs = b.global(g_xs);
+    let ys = b.global(g_ys);
+    let d2 = b.global(g_d2);
+    let used = b.global(g_used);
+    let n = b.iconst(Ty::I64, p.n as i64);
+    let k = b.iconst(Ty::I64, p.k as i64);
+    let zero = b.iconst(Ty::I64, 0);
+    let qx = b.iconst(Ty::I64, inp.qx);
+    let qy = b.iconst(Ty::I64, inp.qy);
+
+    // Distance computation.
+    for_loop(&mut b, zero, n, |b, i| {
+        let x = load_elem(b, xs, i);
+        let y = load_elem(b, ys, i);
+        let dx = b.sub(Ty::I64, x, qx);
+        let dy = b.sub(Ty::I64, y, qy);
+        let dx2 = b.mul(Ty::I64, dx, dx);
+        let dy2 = b.mul(Ty::I64, dy, dy);
+        let d = b.add(Ty::I64, dx2, dy2);
+        store_elem(b, d2, i, d);
+    });
+
+    // k selection rounds.
+    for_loop(&mut b, zero, k, |b, _round| {
+        let big = b.iconst(Ty::I64, BIG);
+        let best = Var::new(b, Ty::I64, big);
+        let m1 = b.iconst(Ty::I64, -1);
+        let best_idx = Var::new(b, Ty::I64, m1);
+        let zero = b.iconst(Ty::I64, 0);
+        for_loop(b, zero, n, |b, i| {
+            let u = load_elem(b, used, i);
+            let zero = b.iconst(Ty::I64, 0);
+            let free = b.icmp(ICmpPred::Eq, Ty::I64, u, zero);
+            if_then(b, free, |b| {
+                let d = load_elem(b, d2, i);
+                let cur = best.get(b);
+                let better = b.icmp(ICmpPred::Slt, Ty::I64, d, cur);
+                if_then(b, better, |b| {
+                    let d = load_elem(b, d2, i);
+                    best.set(b, d);
+                    best_idx.set(b, i);
+                });
+            });
+        });
+        let bi = best_idx.get(b);
+        let one = b.iconst(Ty::I64, 1);
+        store_elem(b, used, bi, one);
+        b.print(bi);
+        let bv = best.get(b);
+        b.print(bv);
+    });
+    b.ret(None);
+    m.functions.push(b.finish());
+    m
+}
+
+/// Native oracle.
+pub fn oracle(scale: Scale) -> Vec<i64> {
+    let p = params(scale);
+    let inp = inputs(p);
+    let d2: Vec<i64> = (0..p.n)
+        .map(|i| {
+            let dx = inp.xs[i] - inp.qx;
+            let dy = inp.ys[i] - inp.qy;
+            dx * dx + dy * dy
+        })
+        .collect();
+    let mut used = vec![false; p.n];
+    let mut out = Vec::new();
+    for _ in 0..p.k {
+        let mut best = BIG;
+        let mut best_idx = -1i64;
+        for i in 0..p.n {
+            if !used[i] && d2[i] < best {
+                best = d2[i];
+                best_idx = i as i64;
+            }
+        }
+        used[best_idx as usize] = true;
+        out.push(best_idx);
+        out.push(best);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ferrum_mir::interp::Interp;
+
+    #[test]
+    fn interpreter_matches_oracle() {
+        for scale in [Scale::Test, Scale::Paper] {
+            let m = build(scale);
+            ferrum_mir::verify::verify_module(&m).expect("verifies");
+            let out = Interp::new(&m).run().expect("runs").output;
+            assert_eq!(out, oracle(scale), "{scale:?}");
+        }
+    }
+
+    #[test]
+    fn distances_are_nondecreasing() {
+        let out = oracle(Scale::Paper);
+        let dists: Vec<i64> = out.chunks(2).map(|c| c[1]).collect();
+        assert!(dists.windows(2).all(|w| w[0] <= w[1]), "{dists:?}");
+    }
+}

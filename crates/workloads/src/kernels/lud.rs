@@ -1,0 +1,186 @@
+//! `lud` — fixed-point Doolittle LU decomposition (Rodinia's LUD,
+//! Table II: Linear Algebra).
+//!
+//! In-place decomposition of a diagonally dominant Q8 matrix; the
+//! elimination step exercises integer division heavily, the class of
+//! instruction with the most elaborate duplication scheme.
+
+use ferrum_mir::builder::FunctionBuilder;
+use ferrum_mir::module::{Global, Module};
+use ferrum_mir::types::Ty;
+
+use crate::catalog::Scale;
+use crate::dsl::{for_loop, fx_div, fx_mul, load_elem, store_elem, Var, FX_ONE};
+use crate::kernels::{rand_vec, rng_for};
+
+/// Problem size.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Matrix dimension.
+    pub n: usize,
+}
+
+/// Sizes per scale.
+pub fn params(scale: Scale) -> Params {
+    match scale {
+        Scale::Test => Params { n: 5 },
+        Scale::Paper => Params { n: 9 },
+    }
+}
+
+fn matrix(p: Params) -> Vec<i64> {
+    let mut a = rand_vec(&mut rng_for("lud"), p.n * p.n, -FX_ONE / 4, FX_ONE / 4);
+    for i in 0..p.n {
+        // Diagonal dominance keeps pivots large and quotients tame.
+        a[i * p.n + i] = 4 * FX_ONE + a[i * p.n + i].abs();
+    }
+    a
+}
+
+/// Builds the benchmark module.
+pub fn build(scale: Scale) -> Module {
+    let p = params(scale);
+    let n = p.n;
+    let mut m = Module::new();
+    let g_a = m.add_global(Global::new("lud_a", matrix(p)));
+
+    let mut b = FunctionBuilder::new("main", &[], None);
+    let a = b.global(g_a);
+    let nv = b.iconst(Ty::I64, n as i64);
+    let zero = b.iconst(Ty::I64, 0);
+
+    let at = |b: &mut FunctionBuilder, i: ferrum_mir::value::Value, j: ferrum_mir::value::Value| {
+        let row = b.mul(Ty::I64, i, nv);
+        b.add(Ty::I64, row, j)
+    };
+
+    for_loop(&mut b, zero, nv, |b, k| {
+        // U row: A[k][j] -= Σ_{t<k} A[k][t] · A[t][j]  (j ≥ k)
+        for_loop(b, k, nv, |b, j| {
+            let acc = Var::zero(b, Ty::I64);
+            let zero = b.iconst(Ty::I64, 0);
+            for_loop(b, zero, k, |b, t| {
+                let ikt = at(b, k, t);
+                let lkt = load_elem(b, a, ikt);
+                let itj = at(b, t, j);
+                let utj = load_elem(b, a, itj);
+                let prod = fx_mul(b, lkt, utj);
+                acc.add_assign(b, prod);
+            });
+            let ikj = at(b, k, j);
+            let cur = load_elem(b, a, ikj);
+            let s = acc.get(b);
+            let upd = b.sub(Ty::I64, cur, s);
+            store_elem(b, a, ikj, upd);
+        });
+        // L column: A[i][k] = (A[i][k] − Σ_{t<k} A[i][t] · A[t][k]) / A[k][k]
+        let one = b.iconst(Ty::I64, 1);
+        let k1 = b.add(Ty::I64, k, one);
+        for_loop(b, k1, nv, |b, i| {
+            let acc = Var::zero(b, Ty::I64);
+            let zero = b.iconst(Ty::I64, 0);
+            for_loop(b, zero, k, |b, t| {
+                let iit = at(b, i, t);
+                let lit = load_elem(b, a, iit);
+                let itk = at(b, t, k);
+                let utk = load_elem(b, a, itk);
+                let prod = fx_mul(b, lit, utk);
+                acc.add_assign(b, prod);
+            });
+            let iik = at(b, i, k);
+            let cur = load_elem(b, a, iik);
+            let s = acc.get(b);
+            let num = b.sub(Ty::I64, cur, s);
+            let ikk = at(b, k, k);
+            let piv = load_elem(b, a, ikk);
+            let q = fx_div(b, num, piv);
+            store_elem(b, a, iik, q);
+        });
+    });
+
+    // Checksum over the combined LU factors.
+    let check = Var::zero(&mut b, Ty::I64);
+    let total = b.iconst(Ty::I64, (n * n) as i64);
+    for_loop(&mut b, zero, total, |b, k| {
+        let v = load_elem(b, a, k);
+        let five = b.iconst(Ty::I64, 5);
+        let r = b.srem(Ty::I64, k, five);
+        let one = b.iconst(Ty::I64, 1);
+        let f = b.add(Ty::I64, r, one);
+        let t = b.mul(Ty::I64, v, f);
+        check.add_assign(b, t);
+    });
+    let c = check.get(&mut b);
+    b.print(c);
+    // Also print the diagonal (the pivots).
+    for_loop(&mut b, zero, nv, |b, i| {
+        let ii = at(b, i, i);
+        let v = load_elem(b, a, ii);
+        b.print(v);
+    });
+    b.ret(None);
+    m.functions.push(b.finish());
+    m
+}
+
+/// Native oracle.
+pub fn oracle(scale: Scale) -> Vec<i64> {
+    let p = params(scale);
+    let n = p.n;
+    let mut a = matrix(p);
+    let fx = |x: i64, y: i64| (x * y) >> 8;
+    let fxd = |x: i64, y: i64| (x << 8) / y;
+    for k in 0..n {
+        for j in k..n {
+            let mut acc = 0i64;
+            for t in 0..k {
+                acc += fx(a[k * n + t], a[t * n + j]);
+            }
+            a[k * n + j] -= acc;
+        }
+        for i in k + 1..n {
+            let mut acc = 0i64;
+            for t in 0..k {
+                acc += fx(a[i * n + t], a[t * n + k]);
+            }
+            let num = a[i * n + k] - acc;
+            a[i * n + k] = fxd(num, a[k * n + k]);
+        }
+    }
+    let mut out = Vec::new();
+    let check: i64 = a
+        .iter()
+        .enumerate()
+        .map(|(k, &v)| v * (k as i64 % 5 + 1))
+        .sum();
+    out.push(check);
+    for i in 0..n {
+        out.push(a[i * n + i]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ferrum_mir::interp::Interp;
+
+    #[test]
+    fn interpreter_matches_oracle() {
+        for scale in [Scale::Test, Scale::Paper] {
+            let m = build(scale);
+            ferrum_mir::verify::verify_module(&m).expect("verifies");
+            let out = Interp::new(&m).run().expect("runs").output;
+            assert_eq!(out, oracle(scale), "{scale:?}");
+        }
+    }
+
+    #[test]
+    fn pivots_stay_positive() {
+        let p = params(Scale::Paper);
+        let out = oracle(Scale::Paper);
+        for &piv in &out[1..=p.n] {
+            assert!(piv > FX_ONE, "pivot {piv} too small");
+        }
+    }
+}

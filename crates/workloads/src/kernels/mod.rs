@@ -1,0 +1,48 @@
+//! The eight benchmark kernels.
+//!
+//! Every kernel module exposes `build(Scale) -> Module` and
+//! `oracle(Scale) -> Vec<i64>`, plus a `params` helper describing its
+//! problem size.  Input data is generated with a fixed-seed [`rand`]
+//! generator so MIR, simulator, and oracle all see identical inputs.
+
+pub mod backprop;
+pub mod bfs;
+pub mod kmeans;
+pub mod knn;
+pub mod lud;
+pub mod needle;
+pub mod particlefilter;
+pub mod pathfinder;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic input generator for a kernel (one stream per kernel).
+pub(crate) fn rng_for(kernel: &str) -> StdRng {
+    let mut seed = [0u8; 32];
+    for (i, byte) in kernel.bytes().enumerate() {
+        seed[i % 32] ^= byte;
+    }
+    seed[31] = 0x5a;
+    StdRng::from_seed(seed)
+}
+
+/// `count` integers in `lo..hi`.
+pub(crate) fn rand_vec(rng: &mut StdRng, count: usize, lo: i64, hi: i64) -> Vec<i64> {
+    (0..count).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_and_kernel_specific() {
+        let a: Vec<i64> = rand_vec(&mut rng_for("bfs"), 8, 0, 100);
+        let b: Vec<i64> = rand_vec(&mut rng_for("bfs"), 8, 0, 100);
+        let c: Vec<i64> = rand_vec(&mut rng_for("lud"), 8, 0, 100);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.iter().all(|&v| (0..100).contains(&v)));
+    }
+}

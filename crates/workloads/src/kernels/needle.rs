@@ -1,0 +1,190 @@
+//! `needle` — Needleman-Wunsch sequence alignment (Rodinia's NW,
+//! Table II: Dynamic Programming).
+//!
+//! Fills the full alignment score matrix with match/mismatch/gap
+//! scoring; the three-way maximum makes this one of the branchiest
+//! kernels — the paper measures its lowest IR-level-EDDI coverage here.
+
+use ferrum_mir::builder::FunctionBuilder;
+use ferrum_mir::inst::ICmpPred;
+use ferrum_mir::module::{Global, Module};
+use ferrum_mir::types::Ty;
+
+use crate::catalog::Scale;
+use crate::dsl::{for_loop, if_else, load_elem, max_branch, store_elem, Var};
+use crate::kernels::{rand_vec, rng_for};
+
+/// Problem size.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Length of both sequences.
+    pub len: usize,
+}
+
+/// Sizes per scale.
+pub fn params(scale: Scale) -> Params {
+    match scale {
+        Scale::Test => Params { len: 7 },
+        Scale::Paper => Params { len: 16 },
+    }
+}
+
+const MATCH: i64 = 3;
+const MISMATCH: i64 = -1;
+const GAP: i64 = -2;
+
+fn sequences(p: Params) -> (Vec<i64>, Vec<i64>) {
+    let mut rng = rng_for("needle");
+    (
+        rand_vec(&mut rng, p.len, 0, 4),
+        rand_vec(&mut rng, p.len, 0, 4),
+    )
+}
+
+/// Builds the benchmark module.
+pub fn build(scale: Scale) -> Module {
+    let p = params(scale);
+    let (s1, s2) = sequences(p);
+    let dim = p.len + 1;
+    let mut m = Module::new();
+    let g_s1 = m.add_global(Global::new("nw_s1", s1));
+    let g_s2 = m.add_global(Global::new("nw_s2", s2));
+    let g_mat = m.add_global(Global::zeroed("nw_mat", dim * dim));
+
+    let mut b = FunctionBuilder::new("main", &[], None);
+    let s1 = b.global(g_s1);
+    let s2 = b.global(g_s2);
+    let mat = b.global(g_mat);
+    let zero = b.iconst(Ty::I64, 0);
+    let one = b.iconst(Ty::I64, 1);
+    let dim_v = b.iconst(Ty::I64, dim as i64);
+    let gap = b.iconst(Ty::I64, GAP);
+
+    let at = |b: &mut FunctionBuilder, i: ferrum_mir::value::Value, j: ferrum_mir::value::Value| {
+        let row = b.mul(Ty::I64, i, dim_v);
+        b.add(Ty::I64, row, j)
+    };
+
+    // Boundary rows/columns: gap penalties.
+    for_loop(&mut b, zero, dim_v, |b, i| {
+        let pen = b.mul(Ty::I64, i, gap);
+        let i0 = at(b, i, zero);
+        store_elem(b, mat, i0, pen);
+        let zi = at(b, zero, i);
+        store_elem(b, mat, zi, pen);
+    });
+
+    for_loop(&mut b, one, dim_v, |b, i| {
+        let one = b.iconst(Ty::I64, 1);
+        for_loop(b, one, dim_v, |b, j| {
+            let one = b.iconst(Ty::I64, 1);
+            let im = b.sub(Ty::I64, i, one);
+            let jm = b.sub(Ty::I64, j, one);
+            let c1 = load_elem(b, s1, im);
+            let c2 = load_elem(b, s2, jm);
+            let eq = b.icmp(ICmpPred::Eq, Ty::I64, c1, c2);
+            let sub_score = Var::zero(b, Ty::I64);
+            if_else(
+                b,
+                eq,
+                |b| {
+                    let v = b.iconst(Ty::I64, MATCH);
+                    sub_score.set(b, v);
+                },
+                |b| {
+                    let v = b.iconst(Ty::I64, MISMATCH);
+                    sub_score.set(b, v);
+                },
+            );
+            let idiag = at(b, im, jm);
+            let dscore = load_elem(b, mat, idiag);
+            let sv = sub_score.get(b);
+            let diag = b.add(Ty::I64, dscore, sv);
+            let iup = at(b, im, j);
+            let uscore = load_elem(b, mat, iup);
+            let gap = b.iconst(Ty::I64, GAP);
+            let up = b.add(Ty::I64, uscore, gap);
+            let ileft = at(b, i, jm);
+            let lscore = load_elem(b, mat, ileft);
+            let left = b.add(Ty::I64, lscore, gap);
+            let m1 = max_branch(b, diag, up);
+            let m2 = max_branch(b, m1, left);
+            let iij = at(b, i, j);
+            store_elem(b, mat, iij, m2);
+        });
+    });
+
+    // Final score plus last-row checksum.
+    let last = b.iconst(Ty::I64, p.len as i64);
+    let icorner = at(&mut b, last, last);
+    let score = load_elem(&mut b, mat, icorner);
+    b.print(score);
+    let check = Var::zero(&mut b, Ty::I64);
+    for_loop(&mut b, zero, dim_v, |b, j| {
+        let idx = at(b, last, j);
+        let v = load_elem(b, mat, idx);
+        let one = b.iconst(Ty::I64, 1);
+        let j1 = b.add(Ty::I64, j, one);
+        let t = b.mul(Ty::I64, v, j1);
+        check.add_assign(b, t);
+    });
+    let c = check.get(&mut b);
+    b.print(c);
+    b.ret(None);
+    m.functions.push(b.finish());
+    m
+}
+
+/// Native oracle.
+pub fn oracle(scale: Scale) -> Vec<i64> {
+    let p = params(scale);
+    let (s1, s2) = sequences(p);
+    let dim = p.len + 1;
+    let mut mat = vec![0i64; dim * dim];
+    for i in 0..dim {
+        mat[i * dim] = i as i64 * GAP;
+        mat[i] = i as i64 * GAP;
+    }
+    for i in 1..dim {
+        for j in 1..dim {
+            let sub = if s1[i - 1] == s2[j - 1] {
+                MATCH
+            } else {
+                MISMATCH
+            };
+            let diag = mat[(i - 1) * dim + (j - 1)] + sub;
+            let up = mat[(i - 1) * dim + j] + GAP;
+            let left = mat[i * dim + (j - 1)] + GAP;
+            mat[i * dim + j] = diag.max(up).max(left);
+        }
+    }
+    let score = mat[p.len * dim + p.len];
+    let check: i64 = (0..dim)
+        .map(|j| mat[p.len * dim + j] * (j as i64 + 1))
+        .sum();
+    vec![score, check]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ferrum_mir::interp::Interp;
+
+    #[test]
+    fn interpreter_matches_oracle() {
+        for scale in [Scale::Test, Scale::Paper] {
+            let m = build(scale);
+            ferrum_mir::verify::verify_module(&m).expect("verifies");
+            let out = Interp::new(&m).run().expect("runs").output;
+            assert_eq!(out, oracle(scale), "{scale:?}");
+        }
+    }
+
+    #[test]
+    fn score_bounded_by_perfect_match() {
+        let p = params(Scale::Paper);
+        let out = oracle(Scale::Paper);
+        assert!(out[0] <= MATCH * p.len as i64);
+        assert!(out[0] >= GAP * 2 * p.len as i64);
+    }
+}

@@ -1,0 +1,176 @@
+//! `pathfinder` — row-wise minimum-cost path dynamic programming
+//! (Rodinia's PathFinder, Table II: Dynamic Programming).
+//!
+//! A cost grid is swept row by row; each cell extends the cheapest of
+//! its three upper neighbours.  This is the benchmark whose protected
+//! code appears in the paper's Fig. 6 SIMD example.
+
+use ferrum_mir::builder::FunctionBuilder;
+use ferrum_mir::inst::ICmpPred;
+use ferrum_mir::module::{Global, Module};
+use ferrum_mir::types::Ty;
+
+use crate::catalog::Scale;
+use crate::dsl::{for_loop, if_then, load_elem, min_branch, store_elem, Var};
+use crate::kernels::{rand_vec, rng_for};
+
+/// Problem size.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Grid rows.
+    pub rows: usize,
+    /// Grid columns.
+    pub cols: usize,
+}
+
+/// Sizes per scale.
+pub fn params(scale: Scale) -> Params {
+    match scale {
+        Scale::Test => Params { rows: 6, cols: 8 },
+        Scale::Paper => Params { rows: 14, cols: 20 },
+    }
+}
+
+fn grid(p: Params) -> Vec<i64> {
+    rand_vec(&mut rng_for("pathfinder"), p.rows * p.cols, 0, 10)
+}
+
+/// Builds the benchmark module.
+pub fn build(scale: Scale) -> Module {
+    let p = params(scale);
+    let data = grid(p);
+    let mut m = Module::new();
+    let g_data = m.add_global(Global::new("pf_data", data));
+    let g_dp = m.add_global(Global::zeroed("pf_dp", p.cols));
+    let g_ndp = m.add_global(Global::zeroed("pf_ndp", p.cols));
+
+    let mut b = FunctionBuilder::new("main", &[], None);
+    let data = b.global(g_data);
+    let dp = b.global(g_dp);
+    let ndp = b.global(g_ndp);
+    let zero = b.iconst(Ty::I64, 0);
+    let one = b.iconst(Ty::I64, 1);
+    let rows = b.iconst(Ty::I64, p.rows as i64);
+    let cols = b.iconst(Ty::I64, p.cols as i64);
+
+    // dp = row 0.
+    for_loop(&mut b, zero, cols, |b, j| {
+        let v = load_elem(b, data, j);
+        store_elem(b, dp, j, v);
+    });
+
+    for_loop(&mut b, one, rows, |b, i| {
+        let zero = b.iconst(Ty::I64, 0);
+        let cols_v = cols;
+        for_loop(b, zero, cols_v, |b, j| {
+            let best = Var::zero(b, Ty::I64);
+            let here = load_elem(b, dp, j);
+            best.set(b, here);
+            let zero = b.iconst(Ty::I64, 0);
+            let has_left = b.icmp(ICmpPred::Sgt, Ty::I64, j, zero);
+            if_then(b, has_left, |b| {
+                let one = b.iconst(Ty::I64, 1);
+                let jm = b.sub(Ty::I64, j, one);
+                let l = load_elem(b, dp, jm);
+                let cur = best.get(b);
+                let mn = min_branch(b, cur, l);
+                best.set(b, mn);
+            });
+            let last = b.iconst(Ty::I64, (p.cols - 1) as i64);
+            let has_right = b.icmp(ICmpPred::Slt, Ty::I64, j, last);
+            if_then(b, has_right, |b| {
+                let one = b.iconst(Ty::I64, 1);
+                let jp = b.add(Ty::I64, j, one);
+                let r = load_elem(b, dp, jp);
+                let cur = best.get(b);
+                let mn = min_branch(b, cur, r);
+                best.set(b, mn);
+            });
+            let row_base = b.mul(Ty::I64, i, cols_v);
+            let idx = b.add(Ty::I64, row_base, j);
+            let cost = load_elem(b, data, idx);
+            let bv = best.get(b);
+            let total = b.add(Ty::I64, cost, bv);
+            store_elem(b, ndp, j, total);
+        });
+        // dp = ndp.
+        let zero = b.iconst(Ty::I64, 0);
+        for_loop(b, zero, cols_v, |b, j| {
+            let v = load_elem(b, ndp, j);
+            store_elem(b, dp, j, v);
+        });
+    });
+
+    // Output: min of the final row and a weighted checksum.
+    let first = load_elem(&mut b, dp, zero);
+    let best = Var::new(&mut b, Ty::I64, first);
+    let check = Var::zero(&mut b, Ty::I64);
+    for_loop(&mut b, zero, cols, |b, j| {
+        let v = load_elem(b, dp, j);
+        let cur = best.get(b);
+        let mn = min_branch(b, cur, v);
+        best.set(b, mn);
+        let one = b.iconst(Ty::I64, 1);
+        let j1 = b.add(Ty::I64, j, one);
+        let t = b.mul(Ty::I64, v, j1);
+        check.add_assign(b, t);
+    });
+    let bv = best.get(&mut b);
+    b.print(bv);
+    let cv = check.get(&mut b);
+    b.print(cv);
+    b.ret(None);
+    m.functions.push(b.finish());
+    m
+}
+
+/// Native oracle.
+pub fn oracle(scale: Scale) -> Vec<i64> {
+    let p = params(scale);
+    let data = grid(p);
+    let mut dp: Vec<i64> = data[..p.cols].to_vec();
+    for i in 1..p.rows {
+        let mut ndp = vec![0i64; p.cols];
+        for j in 0..p.cols {
+            let mut best = dp[j];
+            if j > 0 {
+                best = best.min(dp[j - 1]);
+            }
+            if j < p.cols - 1 {
+                best = best.min(dp[j + 1]);
+            }
+            ndp[j] = data[i * p.cols + j] + best;
+        }
+        dp = ndp;
+    }
+    let min = *dp.iter().min().expect("non-empty");
+    let check: i64 = dp
+        .iter()
+        .enumerate()
+        .map(|(j, &v)| v * (j as i64 + 1))
+        .sum();
+    vec![min, check]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ferrum_mir::interp::Interp;
+
+    #[test]
+    fn interpreter_matches_oracle() {
+        for scale in [Scale::Test, Scale::Paper] {
+            let m = build(scale);
+            ferrum_mir::verify::verify_module(&m).expect("verifies");
+            let out = Interp::new(&m).run().expect("runs").output;
+            assert_eq!(out, oracle(scale), "{scale:?}");
+        }
+    }
+
+    #[test]
+    fn min_cost_is_bounded_by_grid_values() {
+        let p = params(Scale::Test);
+        let out = oracle(Scale::Test);
+        assert!(out[0] >= 0 && out[0] <= 10 * p.rows as i64);
+    }
+}

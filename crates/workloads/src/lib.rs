@@ -1,0 +1,29 @@
+//! # ferrum-workloads — the benchmark suite (paper Table II)
+//!
+//! MIR re-implementations of the eight Rodinia kernels the paper
+//! evaluates, each with a deterministic input generator and a native
+//! Rust *oracle* that computes the expected output independently of the
+//! MIR interpreter and the CPU simulator — the differential tests compare
+//! all three.
+//!
+//! | Benchmark      | Domain              | Kernel reproduced |
+//! |----------------|---------------------|-------------------|
+//! | backprop       | Machine Learning    | MLP forward + weight update, fixed point |
+//! | bfs            | Graph Algorithm     | level-synchronous BFS over CSR |
+//! | pathfinder     | Dynamic Programming | row-wise min-path DP |
+//! | lud            | Linear Algebra      | Doolittle LU, fixed point |
+//! | needle         | Dynamic Programming | Needleman-Wunsch alignment |
+//! | knn            | Machine Learning    | k-nearest-neighbour selection |
+//! | kmeans         | Data Mining         | Lloyd iterations with integer centroids |
+//! | particlefilter | Noise estimator     | particle filter with LCG noise and resampling |
+//!
+//! Floating point is replaced by fixed-point arithmetic (see DESIGN.md):
+//! the fault model targets integer registers, and the kernels' control
+//! and data-flow structure — what determines instruction mix, and hence
+//! coverage and overhead — is preserved.
+
+pub mod catalog;
+pub mod dsl;
+pub mod kernels;
+
+pub use catalog::{all_workloads, workload, Scale, Workload};

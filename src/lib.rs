@@ -1,0 +1,4 @@
+//! Workspace-root crate: hosts the integration tests in `tests/` and
+//! the runnable examples in `examples/`.  All functionality lives in the
+//! `crates/*` members; see the [`ferrum`] facade crate.
+pub use ferrum as api;

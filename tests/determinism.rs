@@ -1,0 +1,68 @@
+//! Reproducibility guarantees: every layer of the stack is
+//! deterministic, so published numbers can be regenerated bit-for-bit.
+
+use ferrum::{evaluate_workload, EvalConfig, Pipeline, Scale, Technique};
+use ferrum_workloads::all_workloads;
+
+#[test]
+fn protection_output_is_bit_identical_across_runs() {
+    let pipeline = Pipeline::new();
+    for w in all_workloads().into_iter().take(3) {
+        let module = w.build(Scale::Test);
+        for t in Technique::PROTECTED {
+            let a = pipeline.protect(&module, t).expect("protects");
+            let b = pipeline.protect(&module, t).expect("protects");
+            assert_eq!(a, b, "{}/{t}", w.name);
+        }
+    }
+}
+
+#[test]
+fn workload_inputs_are_deterministic() {
+    for w in all_workloads() {
+        let a = w.build(Scale::Paper);
+        let b = w.build(Scale::Paper);
+        assert_eq!(a, b, "{}", w.name);
+        assert_eq!(w.oracle(Scale::Paper), w.oracle(Scale::Paper), "{}", w.name);
+    }
+}
+
+#[test]
+fn full_evaluation_is_reproducible() {
+    let pipeline = Pipeline::new();
+    let w = ferrum_workloads::workload("lud").expect("exists");
+    let cfg = EvalConfig {
+        samples: 150,
+        seed: 123,
+        scale: Scale::Test,
+    };
+    let a = evaluate_workload(&pipeline, &w, cfg).expect("evaluates");
+    let b = evaluate_workload(&pipeline, &w, cfg).expect("evaluates");
+    assert_eq!(a.raw_cycles, b.raw_cycles);
+    assert_eq!(a.raw_sdc_prob, b.raw_sdc_prob);
+    for (x, y) in a.techniques.iter().zip(&b.techniques) {
+        assert_eq!(x.cycles, y.cycles);
+        assert_eq!(x.sdc_prob, y.sdc_prob);
+        assert_eq!(x.campaign, y.campaign);
+    }
+}
+
+#[test]
+fn simulation_state_is_isolated_between_runs() {
+    // Repeated runs on one Cpu share nothing: a run that corrupts
+    // globals must not leak into the next.
+    let pipeline = Pipeline::new();
+    let w = ferrum_workloads::workload("kmeans").expect("exists");
+    let prog = pipeline
+        .protect(&w.build(Scale::Test), Technique::None)
+        .expect("compiles");
+    let cpu = pipeline.load(&prog).expect("loads");
+    let clean1 = cpu.run(None);
+    // A fault that certainly perturbs memory-bound state.
+    let profile = cpu.profile();
+    for s in profile.sites.iter().step_by(7) {
+        let _ = cpu.run(Some(ferrum_cpu::fault::FaultSpec::new(s.dyn_index, 1)));
+    }
+    let clean2 = cpu.run(None);
+    assert_eq!(clean1, clean2, "faulted runs must not pollute later runs");
+}

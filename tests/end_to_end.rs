@@ -1,0 +1,123 @@
+//! End-to-end differential tests: for every benchmark in the suite and
+//! every technique, the compiled + protected program must print exactly
+//! what the MIR interpreter and the native Rust oracle compute.
+
+use ferrum::{Pipeline, StopReason, Technique};
+use ferrum_mir::interp::Interp;
+use ferrum_workloads::{all_workloads, Scale};
+
+#[test]
+fn oracle_interpreter_and_simulator_agree_on_every_workload() {
+    for w in all_workloads() {
+        let module = w.build(Scale::Test);
+        ferrum_mir::verify::verify_module(&module).unwrap_or_else(|e| panic!("{}: {e:?}", w.name));
+        let oracle = w.oracle(Scale::Test);
+        let interp = Interp::new(&module)
+            .run()
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert_eq!(interp.output, oracle, "{}: interpreter vs oracle", w.name);
+
+        let pipeline = Pipeline::new();
+        let raw = pipeline
+            .protect(&module, Technique::None)
+            .expect("compiles");
+        let run = pipeline.load(&raw).expect("loads").run(None);
+        assert_eq!(run.stop, StopReason::MainReturned, "{}", w.name);
+        assert_eq!(run.output, oracle, "{}: simulator vs oracle", w.name);
+    }
+}
+
+#[test]
+fn every_technique_is_transparent_on_every_workload() {
+    let pipeline = Pipeline::new();
+    for w in all_workloads() {
+        let module = w.build(Scale::Test);
+        let oracle = w.oracle(Scale::Test);
+        for t in Technique::PROTECTED {
+            let prog = pipeline
+                .protect(&module, t)
+                .unwrap_or_else(|e| panic!("{}/{t}: {e}", w.name));
+            prog.validate()
+                .unwrap_or_else(|e| panic!("{}/{t}: {e:?}", w.name));
+            let run = pipeline.load(&prog).expect("loads").run(None);
+            assert_eq!(run.stop, StopReason::MainReturned, "{}/{t}", w.name);
+            assert_eq!(run.output, oracle, "{}/{t}: wrong output", w.name);
+        }
+    }
+}
+
+#[test]
+fn protected_listings_round_trip_through_the_parser() {
+    let pipeline = Pipeline::new();
+    let w = ferrum_workloads::workload("needle").expect("exists");
+    let module = w.build(Scale::Test);
+    for t in [Technique::None, Technique::Ferrum, Technique::HybridAsmEddi] {
+        let prog = pipeline.protect(&module, t).expect("protects");
+        let text = ferrum_asm::printer::print_program(&prog);
+        let back = ferrum_asm::parser::parse_program(&text).unwrap_or_else(|e| panic!("{t}: {e}"));
+        assert_eq!(back, prog, "{t}: listing round trip");
+    }
+}
+
+#[test]
+fn protected_programs_grow_as_expected() {
+    // FERRUM output (after peephole) must still be larger than raw, and
+    // hybrid must be the largest static program.
+    let pipeline = Pipeline::new();
+    for w in all_workloads() {
+        let module = w.build(Scale::Test);
+        let raw = pipeline
+            .protect(&module, Technique::None)
+            .unwrap()
+            .static_inst_count();
+        let ir = pipeline
+            .protect(&module, Technique::IrEddi)
+            .unwrap()
+            .static_inst_count();
+        let hy = pipeline
+            .protect(&module, Technique::HybridAsmEddi)
+            .unwrap()
+            .static_inst_count();
+        let fe = pipeline
+            .protect(&module, Technique::Ferrum)
+            .unwrap()
+            .static_inst_count();
+        assert!(
+            ir > raw && hy > raw && fe > raw,
+            "{}: {raw} {ir} {hy} {fe}",
+            w.name
+        );
+        assert!(hy > ir, "{}: hybrid should be the biggest program", w.name);
+    }
+}
+
+#[test]
+fn cross_layer_gap_exists_in_every_workload() {
+    // Every compiled benchmark must contain backend glue instructions —
+    // the fault surface IR-level EDDI cannot see (paper §IV-B1).
+    let pipeline = Pipeline::new();
+    for w in all_workloads() {
+        let module = w.build(Scale::Test);
+        let prog = pipeline.protect(&module, Technique::IrEddi).unwrap();
+        let glue = prog
+            .functions
+            .iter()
+            .flat_map(|f| f.insts())
+            .filter(|ai| ai.prov.is_glue())
+            .count();
+        assert!(glue > 0, "{}: no glue instructions?", w.name);
+        // And the protected program still contains unprotected injectable
+        // glue sites.
+        let glue_sites = prog
+            .functions
+            .iter()
+            .flat_map(|f| f.insts())
+            .filter(|ai| ai.prov.is_glue() && ai.inst.injectable_bits().is_some())
+            .count();
+        assert!(
+            glue_sites > 0,
+            "{}: IR-EDDI left no residual sites?",
+            w.name
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Error-path coverage: the protection passes must *reject* input they
+//! cannot protect soundly, never emit silently-broken code.
+
+use ferrum_asm::flags::Cc;
+use ferrum_asm::inst::Inst;
+use ferrum_asm::operand::Operand;
+use ferrum_asm::program::{single_block_main, AsmProgram};
+use ferrum_asm::reg::{Gpr, Reg, Width};
+use ferrum_eddi::ferrum::{Ferrum, FerrumConfig};
+use ferrum_eddi::hybrid::HybridAsmEddi;
+use ferrum_eddi::PassError;
+
+/// `[cmp, mov, jcc]`: the mov sits between a comparison and its
+/// consumer, so any checker inserted after it would clobber the live
+/// flags.  Our backend never emits this shape; hand-written input must
+/// be rejected.
+fn cmp_mov_jcc_program() -> AsmProgram {
+    single_block_main(vec![
+        Inst::Mov {
+            w: Width::W64,
+            src: Operand::Imm(1),
+            dst: Operand::Reg(Reg::q(Gpr::Rax)),
+        },
+        Inst::Cmp {
+            w: Width::W64,
+            src: Operand::Imm(1),
+            dst: Operand::Reg(Reg::q(Gpr::Rax)),
+        },
+        Inst::Mov {
+            w: Width::W64,
+            src: Operand::Imm(2),
+            dst: Operand::Reg(Reg::q(Gpr::Rcx)),
+        },
+        Inst::Jcc {
+            cc: Cc::E,
+            target: "main_entry".into(),
+        },
+    ])
+}
+
+#[test]
+fn ferrum_rejects_non_adjacent_flag_consumers() {
+    let p = cmp_mov_jcc_program();
+    let err = Ferrum::new().protect(&p).unwrap_err();
+    assert!(
+        matches!(&err, PassError::Unsupported { what, .. }
+            if what.contains("non-adjacent") || what.contains("live flags")),
+        "{err}"
+    );
+}
+
+#[test]
+fn hybrid_rejects_checker_clobbering_live_flags() {
+    let p = cmp_mov_jcc_program();
+    let err = HybridAsmEddi::new().protect_asm(&p).unwrap_err();
+    assert!(
+        matches!(&err, PassError::Unsupported { what, .. } if what.contains("live flags")),
+        "{err}"
+    );
+}
+
+#[test]
+fn ferrum_without_deferred_flags_accepts_the_same_shape() {
+    // With cmp protection disabled the mov's checker placement is still
+    // guarded — the guard alone must reject, because the mov's xor/jne
+    // would clobber the jcc's flags.
+    let p = cmp_mov_jcc_program();
+    let cfg = FerrumConfig {
+        deferred_flags: false,
+        ..FerrumConfig::default()
+    };
+    let err = Ferrum::with_config(cfg).protect(&p).unwrap_err();
+    assert!(matches!(err, PassError::Unsupported { .. }), "{err}");
+}
+
+#[test]
+fn passes_reject_simd_and_preprotected_input() {
+    let simd = single_block_main(vec![Inst::MovqToXmm {
+        src: Operand::Reg(Reg::q(Gpr::Rax)),
+        dst: ferrum_asm::reg::Xmm::new(0),
+    }]);
+    assert!(matches!(
+        Ferrum::new().protect(&simd),
+        Err(PassError::Unsupported { .. })
+    ));
+    let plain = single_block_main(vec![Inst::Mov {
+        w: Width::W64,
+        src: Operand::Imm(1),
+        dst: Operand::Reg(Reg::q(Gpr::Rax)),
+    }]);
+    let once = Ferrum::new().protect(&plain).expect("protects");
+    assert!(matches!(
+        Ferrum::new().protect(&once),
+        Err(PassError::Unsupported { .. })
+    ));
+}
+
+#[test]
+fn error_messages_are_actionable() {
+    let p = cmp_mov_jcc_program();
+    let err = Ferrum::new().protect(&p).unwrap_err();
+    let text = err.to_string();
+    assert!(text.contains("main"), "names the function: {text}");
+}
