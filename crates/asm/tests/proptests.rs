@@ -1,4 +1,9 @@
 //! Crate-level property tests for the assembly model.
+//!
+//! Compiled only with `--features proptest` after manually restoring
+//! the external `proptest` dev-dependency (hermetic-build policy: the
+//! default workspace must resolve with zero registry access).
+#![cfg(feature = "proptest")]
 
 use proptest::prelude::*;
 

@@ -1,20 +1,27 @@
-//! Criterion micro-benchmarks comparing checker idioms: the scalar
-//! Fig.-4 sequence versus the batched Fig.-6 SIMD sequence, in simulated
+//! Micro-benchmarks comparing checker idioms: the scalar Fig.-4
+//! sequence versus the batched Fig.-6 SIMD sequence, in simulated
 //! cycles per protected instruction (the quantity behind FERRUM's
 //! Fig.-11 advantage).
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ferrum::{Pipeline, Technique};
+use ferrum_bench::harness::{Config, Group};
 use ferrum_eddi::ferrum::FerrumConfig;
 use ferrum_workloads::{workload, Scale};
 
-fn bench_checkers(c: &mut Criterion) {
+fn main() {
     let w = workload("pathfinder").expect("in catalog");
     let module = w.build(Scale::Test);
-    let mut group = c.benchmark_group("checkers");
-    group.bench_function("protect+run scalar (no simd)", |b| {
+    let group = Group::with_config(
+        "checkers",
+        Config {
+            warm_up: Duration::from_millis(300),
+            measure: Duration::from_secs(1),
+            batches: 10,
+        },
+    );
+    {
         let pipeline = Pipeline::new().with_ferrum_config(FerrumConfig {
             simd: false,
             ..FerrumConfig::default()
@@ -23,30 +30,28 @@ fn bench_checkers(c: &mut Criterion) {
             .protect(&module, Technique::Ferrum)
             .expect("protects");
         let cpu = pipeline.load(&prog).expect("loads");
-        b.iter(|| cpu.run(None))
-    });
-    group.bench_function("protect+run simd batched", |b| {
+        group.bench("protect+run scalar (no simd)", || {
+            cpu.run(None);
+        });
+    }
+    {
         let pipeline = Pipeline::new();
         let prog = pipeline
             .protect(&module, Technique::Ferrum)
             .expect("protects");
         let cpu = pipeline.load(&prog).expect("loads");
-        b.iter(|| cpu.run(None))
-    });
-    group.bench_function("protect+run hybrid", |b| {
+        group.bench("protect+run simd batched", || {
+            cpu.run(None);
+        });
+    }
+    {
         let pipeline = Pipeline::new();
         let prog = pipeline
             .protect(&module, Technique::HybridAsmEddi)
             .expect("protects");
         let cpu = pipeline.load(&prog).expect("loads");
-        b.iter(|| cpu.run(None))
-    });
-    group.finish();
+        group.bench("protect+run hybrid", || {
+            cpu.run(None);
+        });
+    }
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
-    targets = bench_checkers
-}
-criterion_main!(benches);

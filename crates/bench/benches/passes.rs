@@ -1,39 +1,38 @@
-//! Criterion micro-benchmarks for the protection passes: how fast each
-//! technique transforms the benchmark programs (the paper's §IV-B3
-//! measures exactly this for FERRUM).
+//! Micro-benchmarks for the protection passes: how fast each technique
+//! transforms the benchmark programs (the paper's §IV-B3 measures
+//! exactly this for FERRUM).
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ferrum_bench::harness::{Config, Group};
 use ferrum_eddi::ferrum::Ferrum;
 use ferrum_eddi::hybrid::HybridAsmEddi;
 use ferrum_eddi::ir_eddi::IrEddi;
 use ferrum_workloads::{all_workloads, Scale};
 
-fn bench_passes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("passes");
+fn main() {
+    let group = Group::with_config(
+        "passes",
+        Config {
+            warm_up: Duration::from_millis(300),
+            measure: Duration::from_secs(1),
+            batches: 10,
+        },
+    );
     for w in all_workloads() {
         let module = w.build(Scale::Paper);
         let asm = ferrum_backend::compile(&module).expect("compiles");
-        group.bench_with_input(BenchmarkId::new("ferrum", w.name), &asm, |b, asm| {
-            b.iter(|| Ferrum::new().protect(asm).expect("protects"))
+        group.bench(&format!("ferrum/{}", w.name), || {
+            Ferrum::new().protect(&asm).expect("protects");
         });
-        group.bench_with_input(BenchmarkId::new("ir_eddi", w.name), &module, |b, m| {
-            b.iter(|| IrEddi::new().protect(m))
+        group.bench(&format!("ir_eddi/{}", w.name), || {
+            IrEddi::new().protect(&module);
         });
-        group.bench_with_input(BenchmarkId::new("hybrid", w.name), &module, |b, m| {
-            b.iter(|| HybridAsmEddi::new().protect(m).expect("protects"))
+        group.bench(&format!("hybrid/{}", w.name), || {
+            HybridAsmEddi::new().protect(&module).expect("protects");
         });
-        group.bench_with_input(BenchmarkId::new("backend", w.name), &module, |b, m| {
-            b.iter(|| ferrum_backend::compile(m).expect("compiles"))
+        group.bench(&format!("backend/{}", w.name), || {
+            ferrum_backend::compile(&module).expect("compiles");
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
-    targets = bench_passes
-}
-criterion_main!(benches);

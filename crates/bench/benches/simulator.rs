@@ -1,39 +1,37 @@
-//! Criterion micro-benchmarks for the simulator: fault-free execution
-//! throughput and fault-campaign cost — the quantities that make
-//! 1000-fault campaigns per benchmark affordable.
+//! Micro-benchmarks for the simulator: fault-free execution throughput
+//! and fault-campaign cost — the quantities that make 1000-fault
+//! campaigns per benchmark affordable.
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ferrum_bench::harness::{Config, Group};
 use ferrum_cpu::fault::FaultSpec;
 use ferrum_cpu::run::Cpu;
 use ferrum_workloads::{workload, Scale};
 
-fn bench_simulator(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulator");
+fn main() {
+    let group = Group::with_config(
+        "simulator",
+        Config {
+            warm_up: Duration::from_millis(300),
+            measure: Duration::from_secs(1),
+            batches: 10,
+        },
+    );
     for name in ["bfs", "needle", "kmeans"] {
         let w = workload(name).expect("in catalog");
         let module = w.build(Scale::Paper);
         let asm = ferrum_backend::compile(&module).expect("compiles");
         let cpu = Cpu::load(&asm).expect("loads");
         let dyn_insts = cpu.run(None).dyn_insts;
-        group.throughput(Throughput::Elements(dyn_insts));
-        group.bench_with_input(BenchmarkId::new("run", name), &cpu, |b, cpu| {
-            b.iter(|| cpu.run(None))
+        group.bench_throughput(&format!("run/{name}"), dyn_insts, || {
+            cpu.run(None);
         });
-        group.bench_with_input(BenchmarkId::new("profile", name), &cpu, |b, cpu| {
-            b.iter(|| cpu.profile())
+        group.bench_throughput(&format!("profile/{name}"), dyn_insts, || {
+            cpu.profile();
         });
-        group.bench_with_input(BenchmarkId::new("faulted_run", name), &cpu, |b, cpu| {
-            b.iter(|| cpu.run(Some(FaultSpec::new(dyn_insts / 2, 3))))
+        group.bench_throughput(&format!("faulted_run/{name}"), dyn_insts, || {
+            cpu.run(Some(FaultSpec::new(dyn_insts / 2, 3)));
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
-    targets = bench_simulator
-}
-criterion_main!(benches);

@@ -48,4 +48,7 @@ fn main() {
     for r in &reports {
         println!("  {:<16}{:>6.1}%", r.name, r.raw_sdc_prob * 100.0);
     }
+    println!();
+    println!("campaign-engine throughput (snapshot engine, see repro_speedup):");
+    print!("{}", ferrum::report::render_throughput_table(&reports));
 }

@@ -1,0 +1,77 @@
+//! Measures the snapshot-accelerated campaign engine against the
+//! serial executor: same seed, same sampled faults, byte-identical
+//! outcome records — but with golden-prefix sharing and work-stealing
+//! parallelism.  Prints injections/sec for each engine, the speedup,
+//! and the engine's internal counters (snapshot hit-rate, share of
+//! dynamic instructions skipped).
+//!
+//! `--samples N --seed S --scale test|paper --threads T` as usual;
+//! defaults to 1000 samples and all available cores.
+
+use ferrum::{
+    CampaignConfig, Pipeline, SnapshotPolicy, Technique,
+};
+use ferrum_faultsim::campaign::{run_campaign, run_campaign_parallel, run_campaign_snapshot};
+use ferrum_workloads::all_workloads;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = ferrum_bench::parse_eval_config(&args);
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    let pipeline = Pipeline::new();
+
+    eprintln!(
+        "# campaign-engine speedup — {} faults, seed {}, {:?} scale, {} threads",
+        cfg.samples, cfg.seed, cfg.scale, threads
+    );
+    println!("snapshot campaign engine vs serial executor");
+    println!(
+        "{:<14}{:>12}{:>12}{:>12}{:>9}{:>10}{:>12}{:>9}",
+        "benchmark", "serial i/s", "steal i/s", "snap i/s", "speedup", "hit-rate", "steps-saved", "match"
+    );
+
+    for w in all_workloads() {
+        let module = w.build(cfg.scale);
+        let prog = pipeline
+            .protect(&module, Technique::None)
+            .expect("protects");
+        let cpu = pipeline.load(&prog).expect("loads");
+        let profile = cpu.profile();
+        let campaign_cfg = CampaignConfig {
+            samples: cfg.samples,
+            seed: cfg.seed,
+        };
+
+        let serial = run_campaign(&cpu, &profile, campaign_cfg);
+        let stealing = run_campaign_parallel(&cpu, &profile, campaign_cfg, threads);
+        let snap = run_campaign_snapshot(
+            &cpu,
+            &profile,
+            campaign_cfg,
+            threads,
+            SnapshotPolicy::default(),
+        );
+
+        // Hard determinism check: all three engines must agree on the
+        // outcome of every sampled fault, in sampling order.
+        let identical = serial == stealing && serial == snap;
+        let speedup = snap.stats.injections_per_sec / serial.stats.injections_per_sec;
+        println!(
+            "{:<14}{:>12.0}{:>12.0}{:>12.0}{:>8.2}x{:>9.0}%{:>11.0}%{:>9}",
+            w.name,
+            serial.stats.injections_per_sec,
+            stealing.stats.injections_per_sec,
+            snap.stats.injections_per_sec,
+            speedup,
+            snap.stats.snapshot_hit_rate() * 100.0,
+            snap.stats.steps_saved_ratio() * 100.0,
+            if identical { "yes" } else { "NO" }
+        );
+        assert!(identical, "{}: engines diverge", w.name);
+    }
+}

@@ -1,0 +1,156 @@
+//! A minimal wall-clock benchmarking harness.
+//!
+//! The workspace builds with zero registry access (hermetic-build
+//! policy, see `DESIGN.md`), so the benches cannot use an external
+//! framework.  This module provides the small subset actually needed:
+//! named groups, a short warm-up, a fixed measurement window, and a
+//! median-of-batches report with optional element throughput.
+
+use std::time::{Duration, Instant};
+
+/// Per-benchmark timing configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Time spent running the closure before measuring.
+    pub warm_up: Duration,
+    /// Target measurement window.
+    pub measure: Duration,
+    /// Number of timed batches the window is split into (the reported
+    /// figure is the median batch).
+    pub batches: usize,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            warm_up: Duration::from_millis(300),
+            measure: Duration::from_secs(1),
+            batches: 10,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing one [`Config`].
+pub struct Group {
+    name: String,
+    cfg: Config,
+}
+
+impl Group {
+    /// Starts a group, printing its header.
+    pub fn new(name: &str) -> Group {
+        Group::with_config(name, Config::default())
+    }
+
+    /// Starts a group with explicit timing parameters.
+    pub fn with_config(name: &str, cfg: Config) -> Group {
+        println!("{name}");
+        println!(
+            "{:<44}{:>14}{:>16}",
+            "  benchmark", "median", "throughput"
+        );
+        Group {
+            name: name.to_owned(),
+            cfg,
+        }
+    }
+
+    /// Benchmarks `f`, reporting the median time per call.
+    pub fn bench(&self, name: &str, f: impl FnMut()) -> Duration {
+        self.bench_inner(name, None, f)
+    }
+
+    /// Benchmarks `f`, additionally reporting `elements / time`
+    /// throughput (e.g. simulated instructions per second).
+    pub fn bench_throughput(&self, name: &str, elements: u64, f: impl FnMut()) -> Duration {
+        self.bench_inner(name, Some(elements), f)
+    }
+
+    fn bench_inner(&self, name: &str, elements: Option<u64>, mut f: impl FnMut()) -> Duration {
+        // Warm-up: run until the window elapses (at least once).
+        let t0 = Instant::now();
+        let mut warm_iters: u32 = 0;
+        loop {
+            f();
+            warm_iters += 1;
+            if t0.elapsed() >= self.cfg.warm_up {
+                break;
+            }
+        }
+        // Choose a per-batch iteration count from the warm-up rate so
+        // each batch lasts roughly `measure / batches`.
+        let per_call = t0.elapsed() / warm_iters;
+        let batch_target = self.cfg.measure / self.cfg.batches.max(1) as u32;
+        let iters = (batch_target.as_nanos() / per_call.as_nanos().max(1)).max(1) as u32;
+
+        let mut medians: Vec<Duration> = Vec::with_capacity(self.cfg.batches);
+        for _ in 0..self.cfg.batches.max(1) {
+            let b0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            medians.push(b0.elapsed() / iters);
+        }
+        medians.sort();
+        let median = medians[medians.len() / 2];
+
+        let rate = elements.map_or(String::new(), |n| {
+            let per_sec = n as f64 / median.as_secs_f64();
+            format!("{:>13.2}M/s", per_sec / 1e6)
+        });
+        println!(
+            "  {:<42}{:>14}{:>16}",
+            format!("{}/{}", self.name, name),
+            format_duration(median),
+            rate
+        );
+        median
+    }
+}
+
+/// Formats a duration with a unit suited to its magnitude.
+pub fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_a_positive_median() {
+        let g = Group::with_config(
+            "test",
+            Config {
+                warm_up: Duration::from_millis(5),
+                measure: Duration::from_millis(20),
+                batches: 4,
+            },
+        );
+        let mut x = 0u64;
+        let median = g.bench("spin", || {
+            for i in 0..100 {
+                x = x.wrapping_add(i).rotate_left(7);
+            }
+        });
+        assert!(median > Duration::ZERO);
+        assert!(x != 0 || x == 0); // keep the accumulator alive
+    }
+
+    #[test]
+    fn durations_format_with_sane_units() {
+        assert_eq!(format_duration(Duration::from_nanos(750)), "750 ns");
+        assert_eq!(format_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.00 s");
+        assert!(format_duration(Duration::from_micros(12)).ends_with("µs"));
+    }
+}

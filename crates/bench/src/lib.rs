@@ -12,12 +12,18 @@
 //! | `repro_rootcause` | §IV-B1 — provenance attribution of IR-EDDI's SDCs |
 //! | `repro_ablation`  | design-choice ablations (SIMD / deferred flags / peephole / requisition) |
 //!
+//! | `repro_speedup`   | snapshot campaign engine vs serial executor throughput |
+//!
 //! Each prints an aligned text table; `--samples N`, `--seed S`, and
 //! `--scale test|paper` tune campaign size where applicable.
-//! The Criterion benches (`cargo bench`) measure the infrastructure
-//! itself: pass throughput, simulator speed, and checker costs.
+//! The benches (`cargo bench`) measure the infrastructure itself —
+//! pass throughput, simulator speed, and checker costs — using the
+//! self-contained [`harness`] module (hermetic-build policy: no
+//! external benchmarking framework).
 
 use ferrum::{EvalConfig, Scale};
+
+pub mod harness;
 
 /// Parses the common `--samples`, `--seed`, `--scale` flags.
 pub fn parse_eval_config(args: &[String]) -> EvalConfig {

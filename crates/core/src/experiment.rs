@@ -2,7 +2,9 @@
 //! runtime overhead (Fig. 11), and root-cause attribution (§IV-B1).
 
 use ferrum_eddi::Technique;
-use ferrum_faultsim::campaign::{run_campaign_parallel, CampaignConfig, CampaignResult};
+use ferrum_faultsim::campaign::{
+    run_campaign_snapshot, CampaignConfig, CampaignResult, SnapshotPolicy,
+};
 use ferrum_faultsim::rootcause::{attribute_sdcs, RootCauseReport};
 use ferrum_faultsim::stats::{runtime_overhead, sdc_coverage};
 use ferrum_workloads::{Scale, Workload};
@@ -31,7 +33,7 @@ impl Default for EvalConfig {
 }
 
 /// Measurements for one technique on one benchmark.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct TechniqueReport {
     /// The technique.
     pub technique: Technique,
@@ -54,7 +56,7 @@ pub struct TechniqueReport {
 }
 
 /// Everything measured for one benchmark.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct WorkloadReport {
     /// Benchmark name.
     pub name: String,
@@ -98,7 +100,9 @@ pub fn evaluate_workload(
         w.name
     );
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let raw_campaign = run_campaign_parallel(
+    // Snapshot-accelerated engine: byte-identical outcomes to the
+    // serial executor, with prefix sharing and work stealing.
+    let raw_campaign = run_campaign_snapshot(
         &raw_cpu,
         &raw_profile,
         CampaignConfig {
@@ -106,6 +110,7 @@ pub fn evaluate_workload(
             seed: cfg.seed,
         },
         threads,
+        SnapshotPolicy::default(),
     );
     let raw_sdc_prob = raw_campaign.sdc_prob();
     let raw_cycles = raw_profile.result.cycles;
@@ -120,7 +125,7 @@ pub fn evaluate_workload(
             "{}/{t}: protected program diverges from oracle",
             w.name
         );
-        let campaign = run_campaign_parallel(
+        let campaign = run_campaign_snapshot(
             &cpu,
             &profile,
             CampaignConfig {
@@ -128,6 +133,7 @@ pub fn evaluate_workload(
                 seed: cfg.seed.wrapping_add(k as u64 + 1),
             },
             threads,
+            SnapshotPolicy::default(),
         );
         let rootcause = attribute_sdcs(&cpu, &profile, &campaign);
         techniques.push(TechniqueReport {

@@ -36,6 +36,7 @@
 
 pub mod error;
 pub mod experiment;
+pub mod json;
 pub mod pipeline;
 pub mod report;
 
@@ -46,5 +47,7 @@ pub use pipeline::Pipeline;
 pub use ferrum_cpu::cost::CostModel;
 pub use ferrum_cpu::outcome::{RunResult, StopReason};
 pub use ferrum_eddi::Technique;
-pub use ferrum_faultsim::campaign::{CampaignConfig, CampaignResult, Outcome};
+pub use ferrum_faultsim::campaign::{
+    CampaignConfig, CampaignResult, CampaignStats, Outcome, SnapshotPolicy,
+};
 pub use ferrum_workloads::{all_workloads, workload, Scale, Workload};

@@ -1,9 +1,13 @@
 //! Text rendering of evaluation results in the shape of the paper's
-//! figures.
+//! figures, plus the machine-readable JSON artifact.
 
+use ferrum_cpu::fault::FaultSpec;
 use ferrum_eddi::Technique;
+use ferrum_faultsim::campaign::{CampaignResult, CampaignStats, Outcome};
+use ferrum_faultsim::rootcause::RootCauseReport;
 
-use crate::experiment::WorkloadReport;
+use crate::experiment::{TechniqueReport, WorkloadReport};
+use crate::json::{Json, ToJson};
 
 /// Renders Fig. 10's data: SDC coverage per benchmark × technique.
 pub fn render_coverage_table(reports: &[WorkloadReport]) -> String {
@@ -99,17 +103,157 @@ pub fn render_bars(
     out
 }
 
+/// Renders the campaign-engine throughput counters: injections/sec,
+/// snapshot hit-rate, and the share of dynamic instructions the
+/// snapshot engine did not have to re-execute.
+pub fn render_throughput_table(reports: &[WorkloadReport]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<44}{:>8}{:>12}{:>11}{:>10}{:>13}\n",
+        "benchmark", "threads", "inj/sec", "snapshots", "hit-rate", "steps-saved"
+    ));
+    for r in reports {
+        for t in &r.techniques {
+            let s = &t.campaign.stats;
+            out.push_str(&format!(
+                "{:<44}{:>8}{:>12.0}{:>11}{:>9.0}%{:>12.0}%\n",
+                format!("{}/{}", r.name, t.technique),
+                s.threads,
+                s.injections_per_sec,
+                s.snapshots_taken,
+                s.snapshot_hit_rate() * 100.0,
+                s.steps_saved_ratio() * 100.0,
+            ));
+        }
+    }
+    out
+}
+
+impl ToJson for Outcome {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                Outcome::Sdc => "Sdc",
+                Outcome::Detected => "Detected",
+                Outcome::Crash => "Crash",
+                Outcome::Timeout => "Timeout",
+                Outcome::Benign => "Benign",
+            }
+            .to_owned(),
+        )
+    }
+}
+
+impl ToJson for Technique {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                Technique::None => "None",
+                Technique::IrEddi => "IrEddi",
+                Technique::HybridAsmEddi => "HybridAsmEddi",
+                Technique::Ferrum => "Ferrum",
+            }
+            .to_owned(),
+        )
+    }
+}
+
+impl ToJson for FaultSpec {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("dyn_index", self.dyn_index.to_json()),
+            ("raw_bit", Json::Int(i64::from(self.raw_bit))),
+        ])
+    }
+}
+
+impl ToJson for CampaignStats {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("wall_nanos", Json::Int(self.wall_nanos as i64)),
+            ("injections", self.injections.to_json()),
+            ("injections_per_sec", self.injections_per_sec.to_json()),
+            ("threads", self.threads.to_json()),
+            ("snapshots_taken", self.snapshots_taken.to_json()),
+            ("snapshot_hits", self.snapshot_hits.to_json()),
+            ("snapshot_hit_rate", self.snapshot_hit_rate().to_json()),
+            ("steps_saved", self.steps_saved.to_json()),
+            ("steps_executed", self.steps_executed.to_json()),
+            ("steps_saved_ratio", self.steps_saved_ratio().to_json()),
+        ])
+    }
+}
+
+impl ToJson for CampaignResult {
+    fn to_json(&self) -> Json {
+        let records = self
+            .records
+            .iter()
+            .map(|(f, o)| Json::Arr(vec![f.to_json(), o.to_json()]))
+            .collect();
+        Json::obj(vec![
+            ("sdc", self.sdc.to_json()),
+            ("detected", self.detected.to_json()),
+            ("crash", self.crash.to_json()),
+            ("timeout", self.timeout.to_json()),
+            ("benign", self.benign.to_json()),
+            ("records", Json::Arr(records)),
+            ("stats", self.stats.to_json()),
+        ])
+    }
+}
+
+impl ToJson for RootCauseReport {
+    fn to_json(&self) -> Json {
+        let glue = self
+            .glue
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), v.to_json()))
+            .collect();
+        Json::obj(vec![
+            ("from_ir", self.from_ir.to_json()),
+            ("glue", Json::Obj(glue)),
+            ("protection", self.protection.to_json()),
+            ("synthetic", self.synthetic.to_json()),
+            ("total_sdc", self.total_sdc.to_json()),
+        ])
+    }
+}
+
+impl ToJson for TechniqueReport {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("technique", self.technique.to_json()),
+            ("cycles", self.cycles.to_json()),
+            ("overhead", self.overhead.to_json()),
+            ("sdc_prob", self.sdc_prob.to_json()),
+            ("coverage", self.coverage.to_json()),
+            ("static_insts", self.static_insts.to_json()),
+            ("dyn_insts", self.dyn_insts.to_json()),
+            ("campaign", self.campaign.to_json()),
+            ("rootcause", self.rootcause.to_json()),
+        ])
+    }
+}
+
+impl ToJson for WorkloadReport {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", self.name.to_json()),
+            ("raw_cycles", self.raw_cycles.to_json()),
+            ("raw_static_insts", self.raw_static_insts.to_json()),
+            ("raw_sdc_prob", self.raw_sdc_prob.to_json()),
+            ("techniques", self.techniques.to_json()),
+        ])
+    }
+}
+
 /// Serialises the full evaluation to pretty JSON (machine-readable
 /// artifact for downstream analysis; the campaign `records` are
 /// omitted via the type's fields being aggregate counts plus records —
 /// callers who want compact output can clear `campaign.records`).
-///
-/// # Panics
-///
-/// Never panics for reports produced by
-/// [`crate::experiment::evaluate_workload`].
 pub fn to_json(reports: &[WorkloadReport]) -> String {
-    serde_json::to_string_pretty(reports).expect("reports serialise")
+    reports.to_json().to_string_pretty()
 }
 
 #[cfg(test)]
@@ -173,12 +317,38 @@ mod tests {
         };
         let report = evaluate_workload(&pipeline, &w, cfg).expect("evaluates");
         let json = to_json(std::slice::from_ref(&report));
-        let v: serde_json::Value = serde_json::from_str(&json).expect("valid json");
-        assert_eq!(v[0]["name"], "bfs");
-        assert!(v[0]["raw_cycles"].as_u64().unwrap() > 0);
-        assert_eq!(v[0]["techniques"].as_array().unwrap().len(), 3);
-        assert_eq!(v[0]["techniques"][2]["technique"], "Ferrum");
-        assert!(v[0]["techniques"][2]["coverage"].as_f64().unwrap() >= 0.99);
+        let v = crate::json::parse(&json).expect("valid json");
+        let first = v.idx(0).unwrap();
+        assert_eq!(first.get("name").unwrap().as_str(), Some("bfs"));
+        assert!(first.get("raw_cycles").unwrap().as_u64().unwrap() > 0);
+        let techniques = first.get("techniques").unwrap().as_array().unwrap();
+        assert_eq!(techniques.len(), 3);
+        let ferrum = &techniques[2];
+        assert_eq!(
+            ferrum.get("technique").unwrap().as_str(),
+            Some("Ferrum")
+        );
+        assert!(ferrum.get("coverage").unwrap().as_f64().unwrap() >= 0.99);
+        // The throughput stats ride along in the artifact.
+        let stats = ferrum.get("campaign").unwrap().get("stats").unwrap();
+        assert!(stats.get("injections_per_sec").unwrap().as_f64().unwrap() > 0.0);
+        assert_eq!(stats.get("injections").unwrap().as_u64(), Some(100));
+    }
+
+    #[test]
+    fn throughput_table_lists_engine_counters() {
+        let pipeline = Pipeline::new();
+        let w = workload("knn").expect("exists");
+        let cfg = EvalConfig {
+            samples: 120,
+            seed: 11,
+            scale: Scale::Test,
+        };
+        let report = evaluate_workload(&pipeline, &w, cfg).expect("evaluates");
+        let table = render_throughput_table(std::slice::from_ref(&report));
+        assert!(table.contains("inj/sec"));
+        assert!(table.contains("knn/FERRUM"));
+        assert_eq!(table.lines().count(), 4, "{table}");
     }
 
     #[test]

@@ -25,7 +25,7 @@ use ferrum_asm::provenance::Provenance;
 
 /// Per-class cycle costs.  All fields are public so experiments can
 /// build ablated models.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CostModel {
     /// Register-to-register or immediate-to-register moves, `lea`,
     /// `setcc`, sign/zero-extension on registers.

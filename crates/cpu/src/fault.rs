@@ -7,7 +7,7 @@
 //! Site" of Fig. 9), one fault per run.
 
 /// A single-bit write-back fault.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultSpec {
     /// Zero-based index into the dynamic instruction stream: the fault
     /// corrupts the destination of the `dyn_index`-th executed

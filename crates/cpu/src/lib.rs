@@ -14,7 +14,11 @@
 //!   after write-back — the PINFI-style fault model of §IV-A2,
 //! * run profiling ([`run::Cpu::profile`]) that enumerates every
 //!   injectable dynamic fault site with its width and provenance, which
-//!   the campaign sampler draws from.
+//!   the campaign sampler draws from,
+//! * snapshot/restore execution ([`snapshot::Machine`]): the complete
+//!   architectural state can be checkpointed at any instruction
+//!   boundary and resumed, which campaign executors use to share the
+//!   golden prefix across faulted runs instead of re-executing it.
 //!
 //! A transfer to the `exit_function` label stops the run with
 //! [`outcome::StopReason::Detected`] — the paper's checker-fired event.
@@ -50,6 +54,7 @@ pub mod machine;
 pub mod mem;
 pub mod outcome;
 pub mod run;
+pub mod snapshot;
 pub mod trace;
 
 pub use cost::CostModel;
@@ -57,4 +62,5 @@ pub use fault::FaultSpec;
 pub use image::Image;
 pub use outcome::{CrashKind, RunResult, StopReason};
 pub use run::{Cpu, Profile, SiteInfo};
+pub use snapshot::{Machine, Snapshot};
 pub use trace::{Trace, TraceEntry};

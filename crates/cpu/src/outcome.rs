@@ -3,7 +3,7 @@
 use std::fmt;
 
 /// Why a simulated crash occurred.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CrashKind {
     /// Memory access outside the mapped regions.
     OutOfBounds(u64),
@@ -24,7 +24,7 @@ impl fmt::Display for CrashKind {
 }
 
 /// Why the simulation stopped.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StopReason {
     /// `main` returned normally.
     MainReturned,
@@ -55,7 +55,7 @@ impl fmt::Display for StopReason {
 }
 
 /// The result of one simulated execution.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunResult {
     /// Why the run stopped.
     pub stop: StopReason,

@@ -5,7 +5,7 @@ use ferrum_asm::program::AsmProgram;
 use ferrum_asm::provenance::Provenance;
 
 use crate::cost::CostModel;
-use crate::exec::{apply_fault, eligible_dest_bits, step, State, StepEvent};
+use crate::exec::{eligible_dest_bits, step, State, StepEvent};
 use crate::fault::FaultSpec;
 use crate::image::{Image, LoadError};
 use crate::outcome::{RunResult, StopReason};
@@ -114,37 +114,18 @@ impl Cpu {
     /// per run (§II-A); multi-fault campaigns are the paper's stated
     /// future work, reproduced by `repro_multibit`.
     pub fn run_multi(&self, faults: &[FaultSpec]) -> RunResult {
-        let mut st = State::new(&self.image);
-        let mut cycles = 0u64;
-        let mut n = 0u64;
-        loop {
-            if n >= self.step_limit {
-                return RunResult {
-                    stop: StopReason::Timeout,
-                    output: st.output,
-                    cycles,
-                    dyn_insts: n,
-                };
-            }
-            let pc = st.pc;
-            let ev = step(&self.image, &mut st);
-            let li = &self.image.insts[pc];
-            cycles += self.cost.cost_tagged(&li.inst, li.prov);
-            for f in faults {
-                if f.dyn_index == n {
-                    apply_fault(&li.inst, f.raw_bit, &mut st);
-                }
-            }
-            n += 1;
-            if let StepEvent::Stop(stop) = ev {
-                return RunResult {
-                    stop,
-                    output: st.output,
-                    cycles,
-                    dyn_insts: n,
-                };
-            }
-        }
+        crate::snapshot::Machine::new(self).run_to_completion(faults)
+    }
+
+    /// Resumes execution from a [`Snapshot`] of this program's state,
+    /// injecting `faults` (only those at-or-after the snapshot's
+    /// instruction boundary can still fire).  Byte-identical to a full
+    /// [`Cpu::run_multi`] with the same faults when the snapshot was
+    /// taken on the fault-free path before every injection index.
+    pub fn resume(&self, snap: &crate::snapshot::Snapshot, faults: &[FaultSpec]) -> RunResult {
+        let mut m = crate::snapshot::Machine::new(self);
+        m.restore(snap);
+        m.run_to_completion(faults)
     }
 
     /// Runs fault-free while recording every injectable dynamic site.

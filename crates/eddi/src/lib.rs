@@ -53,7 +53,7 @@ pub use hybrid::HybridAsmEddi;
 pub use ir_eddi::IrEddi;
 
 /// The protection techniques compared in the paper's evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Technique {
     /// No protection (the `raw` baseline).
     None,

@@ -1,14 +1,38 @@
 //! Sampled and exhaustive fault-injection campaigns.
+//!
+//! Three executors share one sampling scheme and produce identical
+//! outcome counts and records for identical seeds:
+//!
+//! * [`run_campaign`] — the reference serial executor;
+//! * [`run_campaign_parallel`] — fans injections out over worker
+//!   threads that steal faults from a shared atomic counter (no fixed
+//!   chunking, so stragglers cannot idle whole threads);
+//! * [`run_campaign_snapshot`] — the snapshot-accelerated engine: the
+//!   fault list is pre-sampled and sorted by injection index, the
+//!   golden prefix is executed once with periodic
+//!   [`ferrum_cpu::snapshot::Snapshot`]s, and every faulted run starts
+//!   from the nearest snapshot at-or-before its injection point
+//!   instead of from instruction 0.
+//!
+//! Every executor fills [`CampaignResult::stats`] with throughput
+//! observability (wall time, injections/sec, snapshot hit-rate, steps
+//! saved).  `stats` is deliberately excluded from `PartialEq`: two
+//! campaigns are *equal* when their sampled faults and classified
+//! outcomes agree, however long they took.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
+use ferrum_rng::Rng64;
+
+use ferrum_cpu::exec::StepEvent;
 use ferrum_cpu::fault::FaultSpec;
 use ferrum_cpu::outcome::StopReason;
 use ferrum_cpu::run::{Cpu, Profile};
+use ferrum_cpu::snapshot::{Machine, Snapshot};
 
 /// Classified result of one injected fault.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Outcome {
     /// Completed with wrong output: silent data corruption.
     Sdc,
@@ -62,8 +86,58 @@ impl Default for CampaignConfig {
     }
 }
 
+/// Throughput and snapshot-efficiency counters for one campaign.
+///
+/// Purely observational: excluded from [`CampaignResult`] equality so
+/// determinism assertions compare sampled faults and outcomes only.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CampaignStats {
+    /// Wall-clock duration of the campaign in nanoseconds.
+    pub wall_nanos: u128,
+    /// Total injected faults (mirrors [`CampaignResult::total`] so the
+    /// stats are self-contained).
+    pub injections: usize,
+    /// Injected faults per wall-clock second.
+    pub injections_per_sec: f64,
+    /// Worker threads used (1 for the serial executor).
+    pub threads: usize,
+    /// Snapshots captured along the golden prefix.
+    pub snapshots_taken: usize,
+    /// Faulted runs that started from a snapshot past instruction 0.
+    pub snapshot_hits: usize,
+    /// Dynamic instructions *not* re-executed thanks to snapshots
+    /// (the sum of each chosen snapshot's instruction boundary).
+    pub steps_saved: u64,
+    /// Dynamic instructions actually executed across all faulted runs.
+    pub steps_executed: u64,
+}
+
+impl CampaignStats {
+    /// Fraction of faulted runs that resumed from a snapshot.
+    pub fn snapshot_hit_rate(&self) -> f64 {
+        if self.injections == 0 {
+            0.0
+        } else {
+            self.snapshot_hits as f64 / self.injections as f64
+        }
+    }
+
+    /// Fraction of total work (executed + saved) that snapshots avoided.
+    pub fn steps_saved_ratio(&self) -> f64 {
+        let total = self.steps_saved + self.steps_executed;
+        if total == 0 {
+            0.0
+        } else {
+            self.steps_saved as f64 / total as f64
+        }
+    }
+}
+
 /// Aggregated campaign outcome counts.
-#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+///
+/// Equality compares the deterministic payload (counts and records)
+/// and ignores [`CampaignResult::stats`].
+#[derive(Debug, Clone, Default)]
 pub struct CampaignResult {
     /// Silent data corruptions.
     pub sdc: usize,
@@ -77,6 +151,19 @@ pub struct CampaignResult {
     pub benign: usize,
     /// Every injected fault with its outcome (for root-cause analysis).
     pub records: Vec<(FaultSpec, Outcome)>,
+    /// Throughput observability (not part of equality).
+    pub stats: CampaignStats,
+}
+
+impl PartialEq for CampaignResult {
+    fn eq(&self, other: &CampaignResult) -> bool {
+        self.sdc == other.sdc
+            && self.detected == other.detected
+            && self.crash == other.crash
+            && self.timeout == other.timeout
+            && self.benign == other.benign
+            && self.records == other.records
+    }
 }
 
 impl CampaignResult {
@@ -122,62 +209,260 @@ pub fn classify(stop: StopReason, output: &[i64], golden: &[i64]) -> Outcome {
     }
 }
 
-/// Runs a sampled campaign: `cfg.samples` single-bit faults at sites
-/// drawn uniformly from `profile.sites`.
+/// Pre-samples the campaign's fault list: `cfg.samples` single-bit
+/// faults at sites drawn uniformly from `profile.sites`.  Every
+/// executor uses this one function, so the sampled list — and therefore
+/// the record stream — is identical across serial, work-stealing, and
+/// snapshot-accelerated runs of the same seed.
+fn sample_faults(profile: &Profile, cfg: CampaignConfig) -> Vec<FaultSpec> {
+    let mut rng = Rng64::seed_from_u64(cfg.seed);
+    (0..cfg.samples)
+        .map(|_| {
+            let site = profile.sites[rng.gen_range(0..profile.sites.len())];
+            FaultSpec::new(site.dyn_index, rng.gen_u16())
+        })
+        .collect()
+}
+
+fn finish_stats(result: &mut CampaignResult, t0: Instant, threads: usize) {
+    let wall = t0.elapsed();
+    result.stats.wall_nanos = wall.as_nanos();
+    result.stats.injections = result.total();
+    result.stats.threads = threads;
+    let secs = wall.as_secs_f64();
+    result.stats.injections_per_sec = if secs > 0.0 {
+        result.total() as f64 / secs
+    } else {
+        0.0
+    };
+}
+
+/// Runs a sampled campaign serially — the reference executor.
 ///
 /// # Panics
 ///
-/// Panics if the profile has no injectable sites.
+/// Panics if the profile has no injectable sites (with `samples > 0`).
 pub fn run_campaign(cpu: &Cpu, profile: &Profile, cfg: CampaignConfig) -> CampaignResult {
+    let t0 = Instant::now();
+    let mut result = CampaignResult::default();
+    if cfg.samples == 0 {
+        finish_stats(&mut result, t0, 1);
+        return result;
+    }
     assert!(!profile.sites.is_empty(), "no injectable sites");
     let golden = &profile.result.output;
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut result = CampaignResult::default();
-    for _ in 0..cfg.samples {
-        let site = profile.sites[rng.gen_range(0..profile.sites.len())];
-        let fault = FaultSpec::new(site.dyn_index, rng.gen());
+    for fault in sample_faults(profile, cfg) {
         let run = cpu.run(Some(fault));
+        result.stats.steps_executed += run.dyn_insts;
         result.record(fault, classify(run.stop, &run.output, golden));
     }
+    finish_stats(&mut result, t0, 1);
     result
 }
 
 /// As [`run_campaign`], but fans the injections out over `threads`
-/// worker threads.  Produces byte-identical results to the serial
-/// version: the fault list is pre-sampled with the seeded RNG, split
-/// into chunks, and outcomes are stitched back in order.
+/// workers that steal the next fault index from a shared atomic
+/// counter.  Work stealing keeps every thread busy until the list is
+/// drained — a handful of slow faults (e.g. timeout-bound runs) no
+/// longer serialises the tail the way fixed chunking did.  Produces
+/// byte-identical results to the serial version: the fault list is
+/// pre-sampled with the seeded RNG and outcomes are stitched back in
+/// sampling order.
 pub fn run_campaign_parallel(
     cpu: &Cpu,
     profile: &Profile,
     cfg: CampaignConfig,
     threads: usize,
 ) -> CampaignResult {
+    let t0 = Instant::now();
+    let mut result = CampaignResult::default();
+    if cfg.samples == 0 {
+        finish_stats(&mut result, t0, threads.max(1));
+        return result;
+    }
     assert!(!profile.sites.is_empty(), "no injectable sites");
     let golden = &profile.result.output;
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let faults: Vec<FaultSpec> = (0..cfg.samples)
-        .map(|_| {
-            let site = profile.sites[rng.gen_range(0..profile.sites.len())];
-            FaultSpec::new(site.dyn_index, rng.gen())
-        })
-        .collect();
-    let threads = threads.max(1);
-    let chunk = faults.len().div_ceil(threads);
+    let faults = sample_faults(profile, cfg);
+    let threads = threads.max(1).min(faults.len());
+    let next = AtomicUsize::new(0);
+    let worker = |_t: usize| {
+        let mut local: Vec<(usize, Outcome)> = Vec::new();
+        let mut steps = 0u64;
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            let Some(&fault) = faults.get(i) else {
+                return (local, steps);
+            };
+            let run = cpu.run(Some(fault));
+            steps += run.dyn_insts;
+            local.push((i, classify(run.stop, &run.output, golden)));
+        }
+    };
     let mut outcomes: Vec<Option<Outcome>> = vec![None; faults.len()];
+    let mut steps_executed = 0u64;
     std::thread::scope(|scope| {
-        for (slot_chunk, fault_chunk) in outcomes.chunks_mut(chunk).zip(faults.chunks(chunk)) {
-            scope.spawn(move || {
-                for (slot, fault) in slot_chunk.iter_mut().zip(fault_chunk) {
-                    let run = cpu.run(Some(*fault));
-                    *slot = Some(classify(run.stop, &run.output, golden));
-                }
-            });
+        let handles: Vec<_> = (0..threads).map(|t| scope.spawn(move || worker(t))).collect();
+        for h in handles {
+            let (local, steps) = h.join().expect("campaign worker panicked");
+            steps_executed += steps;
+            for (i, o) in local {
+                outcomes[i] = Some(o);
+            }
         }
     });
-    let mut result = CampaignResult::default();
     for (fault, outcome) in faults.into_iter().zip(outcomes) {
-        result.record(fault, outcome.expect("all chunks processed"));
+        result.record(fault, outcome.expect("every fault processed"));
     }
+    result.stats.steps_executed = steps_executed;
+    finish_stats(&mut result, t0, threads);
+    result
+}
+
+/// Snapshot-placement policy for [`run_campaign_snapshot`].
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotPolicy {
+    /// Upper bound on captured snapshots (each clones the full
+    /// architectural state, memory included, so this bounds memory).
+    pub max_snapshots: usize,
+    /// Snapshots are at least this many dynamic instructions apart.
+    pub min_interval: u64,
+}
+
+impl Default for SnapshotPolicy {
+    fn default() -> SnapshotPolicy {
+        SnapshotPolicy {
+            max_snapshots: 64,
+            min_interval: 64,
+        }
+    }
+}
+
+/// The snapshot-accelerated campaign engine.
+///
+/// Executes the golden prefix **once**, capturing periodic snapshots up
+/// to the last injection index, then replays each pre-sampled fault
+/// from the nearest snapshot at-or-before its injection point.  Faults
+/// are processed in injection-index order by work-stealing workers.
+/// Outcome counts and records are byte-identical to [`run_campaign`]
+/// with the same seed; only [`CampaignResult::stats`] differs.
+///
+/// # Panics
+///
+/// Panics if the profile has no injectable sites (with `samples > 0`).
+pub fn run_campaign_snapshot(
+    cpu: &Cpu,
+    profile: &Profile,
+    cfg: CampaignConfig,
+    threads: usize,
+    policy: SnapshotPolicy,
+) -> CampaignResult {
+    let t0 = Instant::now();
+    let mut result = CampaignResult::default();
+    if cfg.samples == 0 {
+        finish_stats(&mut result, t0, threads.max(1));
+        return result;
+    }
+    assert!(!profile.sites.is_empty(), "no injectable sites");
+    let golden = &profile.result.output;
+    let faults = sample_faults(profile, cfg);
+
+    // Sort fault indices by injection point: consecutive work items
+    // then share snapshots (and the prefix walk below only runs once,
+    // up to the last injection).
+    let mut order: Vec<usize> = (0..faults.len()).collect();
+    order.sort_by_key(|&i| faults[i].dyn_index);
+    let last_injection = faults[*order.last().expect("samples > 0")].dyn_index;
+
+    // Golden-prefix pass: walk fault-free to the last injection point,
+    // snapshotting at the policy's cadence.  The machine state at
+    // boundary k is usable by any fault with dyn_index >= k.
+    let interval = policy
+        .min_interval
+        .max(last_injection / policy.max_snapshots.max(1) as u64)
+        .max(1);
+    let mut snapshots: Vec<Snapshot> = Vec::new();
+    let mut m = Machine::new(cpu);
+    loop {
+        if m.dyn_insts() >= last_injection {
+            break;
+        }
+        if m.dyn_insts() > 0
+            && m.dyn_insts() % interval == 0
+            && snapshots.len() < policy.max_snapshots
+        {
+            snapshots.push(m.snapshot());
+        }
+        if let StepEvent::Stop(_) = m.step() {
+            // Golden run ended before the last injection index — the
+            // remaining faults land past program end and classify as
+            // whatever the resumed (fault-free) tail produces.
+            break;
+        }
+    }
+
+    let next = AtomicUsize::new(0);
+    let stats_hits = AtomicUsize::new(0);
+    let snapshots = &snapshots;
+    let order = &order;
+    let faults = &faults;
+    let worker = || {
+        let mut local: Vec<(usize, Outcome)> = Vec::new();
+        let (mut steps, mut saved) = (0u64, 0u64);
+        let mut hits = 0usize;
+        loop {
+            let k = next.fetch_add(1, Ordering::Relaxed);
+            let Some(&orig) = order.get(k) else {
+                stats_hits.fetch_add(hits, Ordering::Relaxed);
+                return (local, steps, saved);
+            };
+            let fault = faults[orig];
+            // Nearest snapshot at-or-before the injection index:
+            // the last one with dyn_insts <= fault.dyn_index.
+            let pos = match snapshots
+                .binary_search_by_key(&(fault.dyn_index + 1), |s| s.dyn_insts())
+            {
+                Ok(i) | Err(i) => i,
+            };
+            let run = match pos.checked_sub(1).map(|j| &snapshots[j]) {
+                Some(s) => {
+                    hits += 1;
+                    saved += s.dyn_insts();
+                    let r = cpu.resume(s, &[fault]);
+                    steps += r.dyn_insts - s.dyn_insts();
+                    r
+                }
+                None => {
+                    let r = cpu.run(Some(fault));
+                    steps += r.dyn_insts;
+                    r
+                }
+            };
+            local.push((orig, classify(run.stop, &run.output, golden)));
+        }
+    };
+
+    let threads = threads.max(1).min(faults.len());
+    let mut outcomes: Vec<Option<Outcome>> = vec![None; faults.len()];
+    let (mut steps_executed, mut steps_saved) = (0u64, 0u64);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads).map(|_| scope.spawn(worker)).collect();
+        for h in handles {
+            let (local, steps, saved) = h.join().expect("campaign worker panicked");
+            steps_executed += steps;
+            steps_saved += saved;
+            for (i, o) in local {
+                outcomes[i] = Some(o);
+            }
+        }
+    });
+    for (fault, outcome) in faults.iter().zip(outcomes) {
+        result.record(*fault, outcome.expect("every fault processed"));
+    }
+    result.stats.snapshots_taken = snapshots.len();
+    result.stats.snapshot_hits = stats_hits.load(Ordering::Relaxed);
+    result.stats.steps_executed = steps_executed;
+    result.stats.steps_saved = steps_saved;
+    finish_stats(&mut result, t0, threads);
     result
 }
 
@@ -189,37 +474,55 @@ pub fn run_campaign_parallel(
 /// faults to future work (§II-A).  `records` stores the first fault of
 /// each pair.
 pub fn run_double_campaign(cpu: &Cpu, profile: &Profile, cfg: CampaignConfig) -> CampaignResult {
+    let t0 = Instant::now();
+    let mut result = CampaignResult::default();
+    if cfg.samples == 0 {
+        finish_stats(&mut result, t0, 1);
+        return result;
+    }
     assert!(!profile.sites.is_empty(), "no injectable sites");
     let golden = &profile.result.output;
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut result = CampaignResult::default();
+    let mut rng = Rng64::seed_from_u64(cfg.seed);
     for _ in 0..cfg.samples {
         let a = profile.sites[rng.gen_range(0..profile.sites.len())];
         let b = profile.sites[rng.gen_range(0..profile.sites.len())];
-        let fa = FaultSpec::new(a.dyn_index, rng.gen());
-        let fb = FaultSpec::new(b.dyn_index, rng.gen());
+        let fa = FaultSpec::new(a.dyn_index, rng.gen_u16());
+        let fb = FaultSpec::new(b.dyn_index, rng.gen_u16());
         let run = cpu.run_multi(&[fa, fb]);
+        result.stats.steps_executed += run.dyn_insts;
         result.record(fa, classify(run.stop, &run.output, golden));
     }
+    finish_stats(&mut result, t0, 1);
     result
 }
+
+/// Multiplier for the exhaustive sweep's bit stride.  Odd, hence
+/// coprime with 256: `k ↦ k·97 mod 256` is a permutation of `0..256`,
+/// and consecutive `k` land ~97 bit positions apart, spreading a small
+/// `bits_per_site` across the whole 256-bit range.  (The previous
+/// multiplier, 257, is ≡ 1 mod 256 — the identity permutation — so
+/// "evenly spread" silently degraded to "the lowest k bits".)
+const BIT_STRIDE: u32 = 97;
 
 /// Injects into *every* site with `bits_per_site` evenly spread bit
 /// positions — the exhaustive sweep used to prove coverage claims on
 /// small kernels.
 pub fn exhaustive_campaign(cpu: &Cpu, profile: &Profile, bits_per_site: u16) -> CampaignResult {
+    let t0 = Instant::now();
     let golden = &profile.result.output;
     let mut result = CampaignResult::default();
     for site in &profile.sites {
         for k in 0..bits_per_site {
             // Spread raw bits across the largest width (256); the CPU
             // reduces modulo the actual destination width.
-            let raw = k.wrapping_mul(257) % 256;
+            let raw = (u32::from(k) * BIT_STRIDE % 256) as u16;
             let fault = FaultSpec::new(site.dyn_index, raw);
             let run = cpu.run(Some(fault));
+            result.stats.steps_executed += run.dyn_insts;
             result.record(fault, classify(run.stop, &run.output, golden));
         }
     }
+    finish_stats(&mut result, t0, 1);
     result
 }
 
@@ -334,6 +637,30 @@ mod tests {
     }
 
     #[test]
+    fn exhaustive_bit_stride_spreads_positions() {
+        // The first n raw values must be distinct and genuinely spread
+        // over 0..256, not the lowest n bit positions.
+        let raws: Vec<u16> = (0..8u16).map(|k| (u32::from(k) * BIT_STRIDE % 256) as u16).collect();
+        let mut sorted = raws.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8, "positions must be distinct: {raws:?}");
+        // Even spread: consecutive sorted positions (cyclically) are at
+        // least 16 apart for n = 8 over a 256-bit range.
+        for w in sorted.windows(2) {
+            assert!(w[1] - w[0] >= 16, "clustered positions: {sorted:?}");
+        }
+        assert!(256 - sorted.last().unwrap() + sorted.first().unwrap() >= 16);
+        // And the full 256-value cycle is a permutation of 0..256.
+        let mut all: Vec<u16> = (0..256u16)
+            .map(|k| (u32::from(k) * BIT_STRIDE % 256) as u16)
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 256);
+    }
+
+    #[test]
     fn parallel_campaign_matches_serial_exactly() {
         let cpu = sum_cpu();
         let profile = cpu.profile();
@@ -345,6 +672,75 @@ mod tests {
         for threads in [1, 3, 8] {
             let par = run_campaign_parallel(&cpu, &profile, cfg, threads);
             assert_eq!(par, serial, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn snapshot_campaign_matches_serial_exactly() {
+        let cpu = sum_cpu();
+        let profile = cpu.profile();
+        let cfg = CampaignConfig {
+            samples: 240,
+            seed: 77,
+        };
+        let serial = run_campaign(&cpu, &profile, cfg);
+        for threads in [1, 4] {
+            for policy in [
+                SnapshotPolicy::default(),
+                SnapshotPolicy {
+                    max_snapshots: 200,
+                    min_interval: 1,
+                },
+                SnapshotPolicy {
+                    max_snapshots: 0,
+                    min_interval: 1,
+                },
+            ] {
+                let snap = run_campaign_snapshot(&cpu, &profile, cfg, threads, policy);
+                assert_eq!(snap, serial, "{threads} threads, {policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_campaign_reports_savings() {
+        let cpu = sum_cpu();
+        let profile = cpu.profile();
+        let cfg = CampaignConfig {
+            samples: 200,
+            seed: 9,
+        };
+        let policy = SnapshotPolicy {
+            max_snapshots: 1000,
+            min_interval: 1,
+        };
+        let res = run_campaign_snapshot(&cpu, &profile, cfg, 2, policy);
+        assert!(res.stats.snapshots_taken > 0);
+        assert!(res.stats.snapshot_hits > 0);
+        assert!(res.stats.steps_saved > 0, "{:?}", res.stats);
+        assert!(res.stats.steps_saved_ratio() > 0.0);
+        // The reference executor re-executes everything.
+        let serial = run_campaign(&cpu, &profile, cfg);
+        assert!(serial.stats.steps_executed > res.stats.steps_executed);
+    }
+
+    #[test]
+    fn zero_sample_campaigns_are_empty_not_panicking() {
+        let cpu = sum_cpu();
+        let profile = cpu.profile();
+        let cfg = CampaignConfig {
+            samples: 0,
+            seed: 1,
+        };
+        for res in [
+            run_campaign(&cpu, &profile, cfg),
+            run_campaign_parallel(&cpu, &profile, cfg, 8),
+            run_campaign_snapshot(&cpu, &profile, cfg, 8, SnapshotPolicy::default()),
+            run_double_campaign(&cpu, &profile, cfg),
+        ] {
+            assert_eq!(res.total(), 0);
+            assert!(res.records.is_empty());
+            assert_eq!(res.sdc_prob(), 0.0);
         }
     }
 
@@ -380,5 +776,20 @@ mod tests {
             res.records.len()
         );
         assert!((res.sdc_prob() - res.sdc as f64 / 250.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_record_throughput() {
+        let cpu = sum_cpu();
+        let profile = cpu.profile();
+        let cfg = CampaignConfig {
+            samples: 50,
+            seed: 4,
+        };
+        let res = run_campaign_parallel(&cpu, &profile, cfg, 4);
+        assert!(res.stats.wall_nanos > 0);
+        assert!(res.stats.injections_per_sec > 0.0);
+        assert!(res.stats.threads >= 1 && res.stats.threads <= 4);
+        assert!(res.stats.steps_executed > 0);
     }
 }

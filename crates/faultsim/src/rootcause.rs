@@ -14,7 +14,7 @@ use ferrum_cpu::run::{Cpu, Profile};
 use crate::campaign::{CampaignResult, Outcome};
 
 /// SDC counts by the provenance class of the faulted instruction.
-#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RootCauseReport {
     /// SDCs whose fault hit an instruction lowered from an IR
     /// instruction.
@@ -69,7 +69,7 @@ pub fn attribute_sdcs(_cpu: &Cpu, profile: &Profile, result: &CampaignResult) ->
 /// SDC rates split by destination kind — quantifies the paper's Fig. 9
 /// motivation: flag-register faults after backend-materialised
 /// comparisons are a real silent-corruption source.
-#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct KindBreakdown {
     /// Faults into RFLAGS destinations.
     pub flag_faults: usize,

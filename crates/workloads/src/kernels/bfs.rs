@@ -14,7 +14,7 @@ use ferrum_mir::types::Ty;
 use crate::catalog::Scale;
 use crate::dsl::{for_loop, if_then, load_elem, store_elem, Var};
 use crate::kernels::rng_for;
-use rand::Rng;
+
 
 /// Problem size.
 #[derive(Debug, Clone, Copy)]

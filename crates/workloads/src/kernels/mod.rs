@@ -2,8 +2,9 @@
 //!
 //! Every kernel module exposes `build(Scale) -> Module` and
 //! `oracle(Scale) -> Vec<i64>`, plus a `params` helper describing its
-//! problem size.  Input data is generated with a fixed-seed [`rand`]
-//! generator so MIR, simulator, and oracle all see identical inputs.
+//! problem size.  Input data is generated with a fixed-seed
+//! [`ferrum_rng`] generator so MIR, simulator, and oracle all see
+//! identical inputs.
 
 pub mod backprop;
 pub mod bfs;
@@ -14,21 +15,20 @@ pub mod needle;
 pub mod particlefilter;
 pub mod pathfinder;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ferrum_rng::Rng64;
 
 /// Deterministic input generator for a kernel (one stream per kernel).
-pub(crate) fn rng_for(kernel: &str) -> StdRng {
+pub(crate) fn rng_for(kernel: &str) -> Rng64 {
     let mut seed = [0u8; 32];
     for (i, byte) in kernel.bytes().enumerate() {
         seed[i % 32] ^= byte;
     }
     seed[31] = 0x5a;
-    StdRng::from_seed(seed)
+    Rng64::from_seed(seed)
 }
 
 /// `count` integers in `lo..hi`.
-pub(crate) fn rand_vec(rng: &mut StdRng, count: usize, lo: i64, hi: i64) -> Vec<i64> {
+pub(crate) fn rand_vec(rng: &mut Rng64, count: usize, lo: i64, hi: i64) -> Vec<i64> {
     (0..count).map(|_| rng.gen_range(lo..hi)).collect()
 }
 

@@ -18,7 +18,7 @@ use ferrum_mir::value::Value;
 use crate::catalog::Scale;
 use crate::dsl::{abs_branch, for_loop, if_then, load_elem, store_elem, Var, FX_ONE};
 use crate::kernels::rng_for;
-use rand::Rng;
+
 
 /// Problem size.
 #[derive(Debug, Clone, Copy)]
@@ -76,8 +76,8 @@ fn inputs(p: Params) -> Inputs {
     for _ in 0..p.steps {
         x += VEL_X;
         y += VEL_Y;
-        meas_x.push(x + rng.gen_range(-2..3));
-        meas_y.push(y + rng.gen_range(-2..3));
+        meas_x.push(x + rng.gen_range(-2i64..3));
+        meas_y.push(y + rng.gen_range(-2i64..3));
     }
     Inputs {
         init_x: (0..p.particles).map(|i| 8 + (i as i64 % 5)).collect(),

@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Tier-1 verification gate (CI-runnable, fully offline).
+#
+# The workspace follows a hermetic-build policy: every dependency is an
+# in-tree path crate, so a clean checkout with an empty registry cache
+# must build and test with --offline.  Run from anywhere.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== tier1: cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "== tier1: cargo test -q --offline"
+cargo test -q --offline --workspace
+
+echo "== tier1: OK"

@@ -5,6 +5,11 @@
 //!   in the interpreter and the simulator, protected or not,
 //! * random single-bit faults never silently corrupt a FERRUM- or
 //!   hybrid-protected program.
+//!
+//! Compiled only with `--features proptest` after manually restoring
+//! the external `proptest` dev-dependency (hermetic-build policy: the
+//! default workspace must resolve with zero registry access).
+#![cfg(feature = "proptest")]
 
 use proptest::prelude::*;
 

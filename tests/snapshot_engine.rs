@@ -1,0 +1,151 @@
+//! Cross-executor determinism: the serial, work-stealing, and
+//! snapshot-accelerated campaign engines must produce identical
+//! `CampaignResult`s (same aggregate counts AND same per-fault outcome
+//! records, in sampling order) for the same seed — across workloads,
+//! protection profiles, thread counts, and snapshot policies.
+
+use ferrum::{
+    CampaignConfig, CampaignResult, Pipeline, SnapshotPolicy, Technique,
+};
+use ferrum_cpu::run::Cpu;
+use ferrum_cpu::Profile;
+use ferrum_faultsim::campaign::{run_campaign, run_campaign_parallel, run_campaign_snapshot};
+use ferrum_workloads::{workload, Scale};
+
+fn load(name: &str, t: Technique) -> (Cpu, Profile) {
+    let w = workload(name).expect("in catalog");
+    let module = w.build(Scale::Test);
+    let pipeline = Pipeline::new();
+    let prog = pipeline.protect(&module, t).expect("protects");
+    let cpu = pipeline.load(&prog).expect("loads");
+    let profile = cpu.profile();
+    (cpu, profile)
+}
+
+fn assert_identical(a: &CampaignResult, b: &CampaignResult, what: &str) {
+    assert_eq!(a.records, b.records, "{what}: per-fault records differ");
+    assert_eq!(a, b, "{what}: aggregate counts differ");
+}
+
+#[test]
+fn all_engines_agree_across_workloads_and_profiles() {
+    // ≥2 workloads × ≥2 protection profiles, as per the determinism
+    // contract: the engine choice is an implementation detail.
+    for name in ["knn", "pathfinder"] {
+        for technique in [Technique::None, Technique::Ferrum] {
+            let (cpu, profile) = load(name, technique);
+            let cfg = CampaignConfig {
+                samples: 300,
+                seed: 0xDECADE,
+            };
+            let what = format!("{name}/{technique}");
+
+            let serial = run_campaign(&cpu, &profile, cfg);
+            for threads in [1, 4] {
+                let stealing = run_campaign_parallel(&cpu, &profile, cfg, threads);
+                assert_identical(&serial, &stealing, &format!("{what} steal×{threads}"));
+                let snap = run_campaign_snapshot(
+                    &cpu,
+                    &profile,
+                    cfg,
+                    threads,
+                    SnapshotPolicy::default(),
+                );
+                assert_identical(&serial, &snap, &format!("{what} snap×{threads}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn snapshot_policy_never_changes_outcomes() {
+    let (cpu, profile) = load("bfs", Technique::Ferrum);
+    let cfg = CampaignConfig {
+        samples: 200,
+        seed: 7,
+    };
+    let serial = run_campaign(&cpu, &profile, cfg);
+    for policy in [
+        SnapshotPolicy::default(),
+        SnapshotPolicy {
+            max_snapshots: 1,
+            min_interval: 1,
+        },
+        SnapshotPolicy {
+            max_snapshots: 512,
+            min_interval: 8,
+        },
+        // Degenerate: no snapshots at all — pure re-execution.
+        SnapshotPolicy {
+            max_snapshots: 0,
+            min_interval: 1,
+        },
+    ] {
+        let snap = run_campaign_snapshot(&cpu, &profile, cfg, 3, policy);
+        assert_identical(&serial, &snap, &format!("{policy:?}"));
+    }
+}
+
+#[test]
+fn same_seed_same_result_different_seed_different_samples() {
+    let (cpu, profile) = load("knn", Technique::None);
+    let a = run_campaign_snapshot(
+        &cpu,
+        &profile,
+        CampaignConfig {
+            samples: 250,
+            seed: 1,
+        },
+        2,
+        SnapshotPolicy::default(),
+    );
+    let b = run_campaign_snapshot(
+        &cpu,
+        &profile,
+        CampaignConfig {
+            samples: 250,
+            seed: 1,
+        },
+        4,
+        SnapshotPolicy::default(),
+    );
+    let c = run_campaign_snapshot(
+        &cpu,
+        &profile,
+        CampaignConfig {
+            samples: 250,
+            seed: 2,
+        },
+        4,
+        SnapshotPolicy::default(),
+    );
+    assert_identical(&a, &b, "same seed, different thread counts");
+    assert_ne!(
+        a.records, c.records,
+        "different seeds must sample different faults"
+    );
+}
+
+#[test]
+fn throughput_counters_are_populated() {
+    let (cpu, profile) = load("pathfinder", Technique::None);
+    let r = run_campaign_snapshot(
+        &cpu,
+        &profile,
+        CampaignConfig {
+            samples: 400,
+            seed: 3,
+        },
+        4,
+        SnapshotPolicy::default(),
+    );
+    let s = &r.stats;
+    assert_eq!(s.injections, 400);
+    assert!(s.injections_per_sec > 0.0);
+    assert!(s.threads >= 1);
+    assert!(s.snapshots_taken > 0, "{s:?}");
+    assert!(s.snapshot_hits > 0, "{s:?}");
+    assert!(s.steps_saved > 0, "{s:?}");
+    assert!(s.snapshot_hit_rate() <= 1.0);
+    assert!(s.steps_saved_ratio() <= 1.0);
+}
