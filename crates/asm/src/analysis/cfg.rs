@@ -53,6 +53,12 @@ impl Cfg {
                     }
                     _ => {}
                 }
+                // Instructions after an unconditional terminator are dead
+                // code: they can neither add edges nor re-enable
+                // fall-through.
+                if !falls_through {
+                    break;
+                }
             }
             if falls_through && bi + 1 < n && !succs[bi].contains(&(bi + 1)) {
                 succs[bi].push(bi + 1);
@@ -78,6 +84,12 @@ impl Cfg {
     }
 
     /// Blocks in reverse post-order from the entry (useful for dataflow).
+    ///
+    /// Contract: only blocks *reachable from the entry block* (index 0)
+    /// appear in the order.  Blocks with no path from the entry are
+    /// omitted — dataflow clients that must visit every block should
+    /// append [`Cfg::unreachable_blocks`], which is disjoint from this
+    /// order and together with it covers all block indices.
     pub fn reverse_post_order(&self) -> Vec<usize> {
         let n = self.len();
         if n == 0 {
@@ -104,6 +116,104 @@ impl Cfg {
         }
         order.reverse();
         order
+    }
+
+    /// Blocks with no path from the entry block, in ascending index
+    /// order.  Complements [`Cfg::reverse_post_order`]: every block index
+    /// is in exactly one of the two sequences.
+    pub fn unreachable_blocks(&self) -> Vec<usize> {
+        let n = self.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut reachable = vec![false; n];
+        for b in self.reverse_post_order() {
+            reachable[b] = true;
+        }
+        (0..n).filter(|&b| !reachable[b]).collect()
+    }
+
+    /// Immediate dominators, computed with the iterative
+    /// Cooper–Harvey–Kennedy algorithm over the reverse post-order.
+    ///
+    /// `idom[b]` is the immediate dominator of block `b`; the entry block
+    /// dominates itself (`idom[0] == Some(0)`), and unreachable blocks
+    /// have `idom[b] == None`.
+    pub fn dominators(&self) -> Dominators {
+        let n = self.len();
+        let mut idom: Vec<Option<usize>> = vec![None; n];
+        if n == 0 {
+            return Dominators { idom };
+        }
+        let rpo = self.reverse_post_order();
+        // Position of each block in the RPO; unreachable blocks keep
+        // usize::MAX and are never consulted.
+        let mut rpo_pos = vec![usize::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_pos[b] = i;
+        }
+        idom[0] = Some(0);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<usize> = None;
+                for &p in &self.preds[b] {
+                    if idom[p].is_none() {
+                        continue; // unreachable or not yet processed
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(cur, p, &idom, &rpo_pos),
+                    });
+                }
+                if new_idom.is_some() && idom[b] != new_idom {
+                    idom[b] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        Dominators { idom }
+    }
+}
+
+/// Walks two dominator-tree ancestries up to their common ancestor.
+fn intersect(a: usize, b: usize, idom: &[Option<usize>], rpo_pos: &[usize]) -> usize {
+    let (mut x, mut y) = (a, b);
+    while x != y {
+        while rpo_pos[x] > rpo_pos[y] {
+            x = idom[x].expect("reachable block has an idom");
+        }
+        while rpo_pos[y] > rpo_pos[x] {
+            y = idom[y].expect("reachable block has an idom");
+        }
+    }
+    x
+}
+
+/// Dominator tree of a [`Cfg`] (see [`Cfg::dominators`]).
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    /// `idom[b]` = immediate dominator of block `b` (`None` when `b` is
+    /// unreachable from the entry; the entry maps to itself).
+    pub idom: Vec<Option<usize>>,
+}
+
+impl Dominators {
+    /// True if block `a` dominates block `b` (every path from the entry
+    /// to `b` passes through `a`).  Reflexive; for an unreachable `b` the
+    /// only dominator reported is `b` itself.
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur] {
+                Some(d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
     }
 }
 
@@ -204,6 +314,105 @@ mod tests {
         f.blocks.push(block("dead", vec![Inst::Ret]));
         let cfg = Cfg::build(&f);
         assert_eq!(cfg.reverse_post_order(), vec![0]);
+    }
+
+    #[test]
+    fn dead_tail_after_jmp_adds_no_edges() {
+        // Garbage after an unconditional jmp must not create edges or
+        // re-enable fall-through.
+        let mut f = AsmFunction::new("main");
+        f.blocks.push(block(
+            "a",
+            vec![
+                Inst::Jmp { target: "c".into() },
+                // Dead tail: a conditional jump and plain instructions.
+                Inst::Jcc { cc: Cc::E, target: "b".into() },
+                Inst::Nop,
+            ],
+        ));
+        f.blocks.push(block("b", vec![Inst::Ret]));
+        f.blocks.push(block("c", vec![Inst::Ret]));
+        let cfg = Cfg::build(&f);
+        // Only the jmp edge; no edge to "b", no fall-through to "b".
+        assert_eq!(cfg.succs[0], vec![2]);
+        assert!(cfg.preds[1].is_empty());
+    }
+
+    #[test]
+    fn dead_tail_after_ret_does_not_fall_through() {
+        let mut f = AsmFunction::new("main");
+        f.blocks.push(block("a", vec![Inst::Ret, Inst::Nop]));
+        f.blocks.push(block("b", vec![Inst::Ret]));
+        let cfg = Cfg::build(&f);
+        assert!(cfg.succs[0].is_empty());
+    }
+
+    #[test]
+    fn orphan_block_reported_by_unreachable_blocks() {
+        let mut f = AsmFunction::new("main");
+        f.blocks.push(block("a", vec![Inst::Jmp { target: "c".into() }]));
+        f.blocks.push(block("orphan", vec![Inst::Ret]));
+        f.blocks.push(block("c", vec![Inst::Ret]));
+        let cfg = Cfg::build(&f);
+        let rpo = cfg.reverse_post_order();
+        let unreachable = cfg.unreachable_blocks();
+        assert_eq!(rpo, vec![0, 2]);
+        assert_eq!(unreachable, vec![1]);
+        // Together they partition the block indices.
+        let mut all: Vec<usize> = rpo.iter().chain(&unreachable).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn unreachable_blocks_empty_for_fully_connected_cfg() {
+        let cfg = Cfg::build(&diamond());
+        assert!(cfg.unreachable_blocks().is_empty());
+    }
+
+    #[test]
+    fn dominators_of_diamond() {
+        // entry (0) -> then (2) | else (1) -> join (3)
+        let cfg = Cfg::build(&diamond());
+        let dom = cfg.dominators();
+        assert_eq!(dom.idom[0], Some(0));
+        assert_eq!(dom.idom[1], Some(0));
+        assert_eq!(dom.idom[2], Some(0));
+        // join is reached from both arms: its idom is the entry.
+        assert_eq!(dom.idom[3], Some(0));
+        assert!(dom.dominates(0, 3));
+        assert!(!dom.dominates(1, 3));
+        assert!(!dom.dominates(2, 3));
+        assert!(dom.dominates(3, 3));
+    }
+
+    #[test]
+    fn dominators_of_chain_and_loop() {
+        // a -> b -> c, with a back-edge c -> b.
+        let mut f = AsmFunction::new("main");
+        f.blocks.push(block("a", vec![Inst::Nop]));
+        f.blocks.push(block("b", vec![Inst::Nop]));
+        f.blocks.push(block(
+            "c",
+            vec![Inst::Jcc { cc: Cc::Ne, target: "b".into() }, Inst::Ret],
+        ));
+        let cfg = Cfg::build(&f);
+        let dom = cfg.dominators();
+        assert_eq!(dom.idom[1], Some(0));
+        assert_eq!(dom.idom[2], Some(1));
+        assert!(dom.dominates(1, 2));
+        assert!(!dom.dominates(2, 1));
+    }
+
+    #[test]
+    fn dominators_unreachable_block_has_none() {
+        let mut f = AsmFunction::new("main");
+        f.blocks.push(block("a", vec![Inst::Ret]));
+        f.blocks.push(block("dead", vec![Inst::Ret]));
+        let cfg = Cfg::build(&f);
+        let dom = cfg.dominators();
+        assert_eq!(dom.idom[1], None);
+        assert!(!dom.dominates(0, 1));
     }
 
     #[test]

@@ -193,6 +193,76 @@ mod tests {
     }
 
     #[test]
+    fn multi_block_loop_back_edge_keeps_loop_carried_register_live() {
+        // pre: mov rbx,0        (loop-carried accumulator)
+        // head: jcc exit
+        // body: add rax,rbx     (uses + redefines rbx)
+        // latch: jmp head       (back-edge)
+        // exit: ret
+        let mut f = AsmFunction::new("main");
+        f.blocks.push(block("pre", vec![mov_imm(Gpr::Rbx, 0)]));
+        f.blocks.push(block(
+            "head",
+            vec![Inst::Jcc {
+                cc: Cc::E,
+                target: "exit".into(),
+            }],
+        ));
+        f.blocks
+            .push(block("body", vec![add_rr(Gpr::Rax, Gpr::Rbx)]));
+        f.blocks.push(block(
+            "latch",
+            vec![Inst::Jmp {
+                target: "head".into(),
+            }],
+        ));
+        f.blocks.push(block("exit", vec![Inst::Ret]));
+        let cfg = Cfg::build(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        // The back-edge latch -> head must carry rbx's liveness all the
+        // way around the loop even though the use is two blocks away.
+        assert!(lv.live_out_contains(3, Gpr::Rbx), "latch live-out");
+        assert!(lv.live_in_contains(3, Gpr::Rbx), "latch live-in");
+        assert!(lv.live_in_contains(1, Gpr::Rbx), "head live-in");
+        assert!(lv.live_out_contains(0, Gpr::Rbx), "preheader live-out");
+        // rax is read by body and by ret, so it also circulates.
+        assert!(lv.live_in_contains(2, Gpr::Rax));
+    }
+
+    #[test]
+    fn register_dead_after_loop_body_redefinition_each_iteration() {
+        // head: jcc exit ; body: mov r10,5; add r10,rbx ; latch: jmp head
+        // r10 is freshly defined every iteration, never live across the
+        // back-edge.
+        let mut f = AsmFunction::new("main");
+        f.blocks.push(block(
+            "head",
+            vec![Inst::Jcc {
+                cc: Cc::E,
+                target: "exit".into(),
+            }],
+        ));
+        f.blocks.push(block(
+            "body",
+            vec![mov_imm(Gpr::R10, 5), add_rr(Gpr::R10, Gpr::Rbx)],
+        ));
+        f.blocks.push(block(
+            "latch",
+            vec![Inst::Jmp {
+                target: "head".into(),
+            }],
+        ));
+        f.blocks.push(block("exit", vec![Inst::Ret]));
+        let cfg = Cfg::build(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        assert!(!lv.live_in_contains(1, Gpr::R10), "body defines r10 first");
+        assert!(!lv.live_out_contains(2, Gpr::R10), "not live on back-edge");
+        // But the accumulator rbx IS loop-carried.
+        assert!(lv.live_out_contains(2, Gpr::Rbx));
+        assert!(lv.live_in_contains(0, Gpr::Rbx));
+    }
+
+    #[test]
     fn ret_keeps_rax_live() {
         let mut f = AsmFunction::new("main");
         f.blocks.push(block("a", vec![mov_imm(Gpr::Rax, 3)]));

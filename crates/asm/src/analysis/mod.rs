@@ -5,9 +5,14 @@
 //! registers, and liveness to justify register reuse after checks.
 
 pub mod cfg;
+pub mod lint;
 pub mod liveness;
 pub mod regscan;
 
-pub use cfg::Cfg;
+pub use cfg::{Cfg, Dominators};
+pub use lint::{
+    lint_function, lint_function_with, lint_program, lint_program_with, LintContract, LintFinding,
+    LintReport, ProtectionManifest,
+};
 pub use liveness::Liveness;
 pub use regscan::{RegUsage, SpareReport};

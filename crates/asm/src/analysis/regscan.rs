@@ -204,6 +204,44 @@ mod tests {
     }
 
     #[test]
+    fn block_reading_and_requisitioning_same_gpr_is_not_spare() {
+        // A block that both reads %rbx (original code) and requisitions
+        // it (push/pop instrumentation) must not report it spare: a
+        // second requisition pass would otherwise grab a register whose
+        // save slot is already in use.
+        let mut f = AsmFunction::new("main");
+        let mut b = AsmBlock::new("entry");
+        b.push(
+            Inst::Push {
+                src: Operand::Reg(Reg::q(Gpr::Rbx)),
+            },
+            Provenance::Synthetic,
+        );
+        b.push(
+            Inst::Alu {
+                op: AluOp::Add,
+                w: Width::W64,
+                src: Operand::Reg(Reg::q(Gpr::Rbx)),
+                dst: Operand::Reg(Reg::q(Gpr::Rax)),
+            },
+            Provenance::Synthetic,
+        );
+        b.push(
+            Inst::Pop {
+                dst: Operand::Reg(Reg::q(Gpr::Rbx)),
+            },
+            Provenance::Synthetic,
+        );
+        b.push(Inst::Ret, Provenance::Synthetic);
+        f.blocks.push(b);
+        let rep = SpareReport::scan(&f);
+        assert!(!rep.block_spare_gprs(0).contains(&Gpr::Rbx));
+        assert!(!rep.function_spare_gprs().contains(&Gpr::Rbx));
+        // An uninvolved register is still spare in the same block.
+        assert!(rep.block_spare_gprs(0).contains(&Gpr::R12));
+    }
+
+    #[test]
     fn thresholds() {
         let f = func_with(vec![Inst::Nop]);
         let rep = SpareReport::scan(&f);

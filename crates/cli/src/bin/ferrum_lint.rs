@@ -1,0 +1,161 @@
+//! `ferrum-lint` — static protection-soundness analysis.
+//!
+//! ```text
+//! usage: ferrum-lint <input.s | -> [options]
+//!        ferrum-lint --catalog [--json]
+//!   --technique <t>   ferrum | ferrum-zmm | scalar   (default: ferrum)
+//!   --json            emit the report as JSON instead of text
+//!   --catalog         self-check: protect every bundled workload under
+//!                     FERRUM and the hybrid baseline, lint each result
+//! ```
+//!
+//! The listing is protected *in-memory* and the pass output linted
+//! directly: a printed listing has lost the provenance tags
+//! (`Provenance::Protection`) the lint keys on.  Exit status 0 means
+//! every report was clean; 1 means at least one contract violation.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use ferrum::json::ToJson;
+use ferrum::report::render_lint_report;
+use ferrum_asm::analysis::lint::{lint_program, lint_program_with, LintReport};
+use ferrum_cli::{lint_listing, CliTechnique};
+use ferrum_eddi::ferrum::Ferrum;
+use ferrum_eddi::hybrid::HybridAsmEddi;
+use ferrum_workloads::catalog::{all_workloads, Scale};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: ferrum-lint <input.s | -> [--technique ferrum|ferrum-zmm|scalar] [--json]\n       ferrum-lint --catalog [--json]"
+    );
+    ExitCode::from(2)
+}
+
+fn emit(rep: &LintReport, label: &str, json: bool) {
+    if json {
+        println!("{}", rep.to_json().to_string_pretty());
+    } else {
+        print!("{label}: {}", render_lint_report(rep));
+    }
+}
+
+/// Protects every catalog workload under FERRUM (manifest-driven) and
+/// the hybrid baseline and lints each result.  Returns true when every
+/// report came back clean.
+fn catalog_selfcheck(json: bool) -> Option<bool> {
+    let mut all_clean = true;
+    for w in all_workloads() {
+        let m = w.build(Scale::Test);
+        let asm = match ferrum_backend::compile(&m) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("ferrum-lint: {}: compile failed: {e}", w.name);
+                return None;
+            }
+        };
+        let ferrum_rep = match Ferrum::new().protect_with_manifest(&asm) {
+            Ok((prot, manifests)) => lint_program_with(&prot, &manifests),
+            Err(e) => {
+                eprintln!("ferrum-lint: {}: ferrum pass failed: {e}", w.name);
+                return None;
+            }
+        };
+        let hybrid_rep = match HybridAsmEddi::new().protect(&m) {
+            Ok(prot) => lint_program(&prot),
+            Err(e) => {
+                eprintln!("ferrum-lint: {}: hybrid pass failed: {e}", w.name);
+                return None;
+            }
+        };
+        for (label, rep) in [("ferrum", &ferrum_rep), ("hybrid", &hybrid_rep)] {
+            all_clean &= rep.is_clean();
+            if json {
+                println!("{}", rep.to_json().to_string_pretty());
+            } else if rep.is_clean() {
+                println!(
+                    "{}/{label}: clean ({} insts)",
+                    w.name, rep.insts_scanned
+                );
+            } else {
+                print!("{}/{label}: {}", w.name, render_lint_report(rep));
+            }
+        }
+    }
+    Some(all_clean)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        return usage();
+    }
+    let mut input: Option<String> = None;
+    let mut technique = CliTechnique::Ferrum;
+    let mut json = false;
+    let mut catalog = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--catalog" => catalog = true,
+            "--technique" => {
+                let Some(t) = it.next().and_then(|s| CliTechnique::parse(s)) else {
+                    eprintln!("unknown technique (ferrum | ferrum-zmm | scalar)");
+                    return ExitCode::from(2);
+                };
+                technique = t;
+            }
+            other if input.is_none() && !other.starts_with("--") => {
+                input = Some(other.to_owned());
+            }
+            other => {
+                eprintln!("unknown option `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if catalog {
+        return match catalog_selfcheck(json) {
+            Some(true) => ExitCode::SUCCESS,
+            Some(false) => ExitCode::from(1),
+            None => ExitCode::FAILURE,
+        };
+    }
+
+    let Some(input) = input else {
+        return usage();
+    };
+    let text = if input == "-" {
+        let mut buf = String::new();
+        if std::io::stdin().read_to_string(&mut buf).is_err() {
+            eprintln!("failed to read stdin");
+            return ExitCode::FAILURE;
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(&input) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read `{input}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    match lint_listing(&text, technique) {
+        Ok(rep) => {
+            let clean = rep.is_clean();
+            emit(&rep, &format!("{input} [{technique}]"), json);
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("ferrum-lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

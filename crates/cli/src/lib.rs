@@ -76,6 +76,51 @@ impl fmt::Display for CliError {
 
 impl std::error::Error for CliError {}
 
+/// Parses and validates an assembly listing.
+fn parse_listing(text: &str) -> Result<AsmProgram, CliError> {
+    let prog = ferrum_asm::parser::parse_program(text).map_err(CliError::Parse)?;
+    prog.validate()
+        .map_err(|e| CliError::Invalid(e.first().map(ToString::to_string).unwrap_or_default()))?;
+    Ok(prog)
+}
+
+/// Protects a listing and statically verifies the result with
+/// `ferrum-lint` (exposed as the `ferrum-lint` binary).  Protection
+/// happens in-memory: a printed listing loses the provenance tags the
+/// lint keys on, so lint-after-parse would have nothing to check.
+/// FERRUM techniques use manifest-driven linting — the pass declares
+/// its reserved registers and accumulators and the lint verifies the
+/// claims on top of its own shape inference.
+///
+/// # Errors
+///
+/// Parse, validation, and pass failures.
+pub fn lint_listing(
+    text: &str,
+    technique: CliTechnique,
+) -> Result<ferrum_asm::analysis::lint::LintReport, CliError> {
+    use ferrum_asm::analysis::lint::{lint_program, lint_program_with};
+    let prog = parse_listing(text)?;
+    match technique {
+        CliTechnique::Ferrum | CliTechnique::FerrumZmm => {
+            let cfg = FerrumConfig {
+                zmm: technique == CliTechnique::FerrumZmm,
+                ..FerrumConfig::default()
+            };
+            let (prot, manifests) = Ferrum::with_config(cfg)
+                .protect_with_manifest(&prog)
+                .map_err(CliError::Pass)?;
+            Ok(lint_program_with(&prot, &manifests))
+        }
+        CliTechnique::Scalar => {
+            let prot = HybridAsmEddi::new()
+                .protect_asm(&prog)
+                .map_err(CliError::Pass)?;
+            Ok(lint_program(&prot))
+        }
+    }
+}
+
 /// Parses an assembly listing, protects it, and returns the protected
 /// program.
 ///
@@ -83,9 +128,7 @@ impl std::error::Error for CliError {}
 ///
 /// Parse, validation, and pass failures.
 pub fn protect_listing(text: &str, technique: CliTechnique) -> Result<AsmProgram, CliError> {
-    let prog = ferrum_asm::parser::parse_program(text).map_err(CliError::Parse)?;
-    prog.validate()
-        .map_err(|e| CliError::Invalid(e.first().map(ToString::to_string).unwrap_or_default()))?;
+    let prog = parse_listing(text)?;
     match technique {
         CliTechnique::Ferrum => Ferrum::new().protect(&prog).map_err(CliError::Pass),
         CliTechnique::FerrumZmm => {
@@ -141,6 +184,24 @@ main_entry:
         let profile = cpu.profile();
         let res = ferrum_faultsim::campaign::exhaustive_campaign(&cpu, &profile, 8);
         assert_eq!(res.sdc, 0, "{res:?}");
+    }
+
+    #[test]
+    fn lint_listing_is_clean_for_all_techniques() {
+        for t in [
+            CliTechnique::Ferrum,
+            CliTechnique::FerrumZmm,
+            CliTechnique::Scalar,
+        ] {
+            let rep = lint_listing(LISTING, t).unwrap_or_else(|e| panic!("{t}: {e}"));
+            assert!(rep.insts_scanned > 0, "{t}");
+            assert!(
+                rep.is_clean(),
+                "{t}: {} finding(s); first: {:#?}",
+                rep.findings.len(),
+                rep.findings.first()
+            );
+        }
     }
 
     #[test]

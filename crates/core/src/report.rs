@@ -1,6 +1,7 @@
 //! Text rendering of evaluation results in the shape of the paper's
 //! figures, plus the machine-readable JSON artifact.
 
+use ferrum_asm::analysis::lint::{LintFinding, LintReport};
 use ferrum_cpu::fault::FaultSpec;
 use ferrum_eddi::Technique;
 use ferrum_faultsim::campaign::{CampaignResult, CampaignStats, Outcome};
@@ -127,6 +128,55 @@ pub fn render_throughput_table(reports: &[WorkloadReport]) -> String {
         }
     }
     out
+}
+
+/// Renders a `ferrum-lint` report for terminal consumption: one line
+/// per finding (`contract  function/block[index]: explanation`) plus a
+/// summary line, mirroring compiler-diagnostic conventions.
+pub fn render_lint_report(rep: &LintReport) -> String {
+    let mut out = String::new();
+    for f in &rep.findings {
+        out.push_str(&format!(
+            "{:<16} {}/{}[{}] ({}): {}\n",
+            f.contract.name(),
+            f.function,
+            f.block,
+            f.inst_index,
+            f.provenance,
+            f.explanation
+        ));
+    }
+    out.push_str(&format!(
+        "{} finding(s) in {} function(s), {} instruction(s) scanned\n",
+        rep.findings.len(),
+        rep.functions_scanned,
+        rep.insts_scanned
+    ));
+    out
+}
+
+impl ToJson for LintFinding {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("contract", Json::Str(self.contract.name().to_owned())),
+            ("function", self.function.to_json()),
+            ("block", self.block.to_json()),
+            ("inst_index", self.inst_index.to_json()),
+            ("provenance", Json::Str(self.provenance.to_string())),
+            ("explanation", self.explanation.to_json()),
+        ])
+    }
+}
+
+impl ToJson for LintReport {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("clean", Json::Bool(self.is_clean())),
+            ("functions_scanned", self.functions_scanned.to_json()),
+            ("insts_scanned", self.insts_scanned.to_json()),
+            ("findings", self.findings.to_json()),
+        ])
+    }
 }
 
 impl ToJson for Outcome {
@@ -355,5 +405,43 @@ mod tests {
     fn empty_reports_render_header_only() {
         assert_eq!(render_coverage_table(&[]).lines().count(), 1);
         assert_eq!(render_overhead_table(&[]).lines().count(), 1);
+    }
+
+    #[test]
+    fn lint_report_renders_and_round_trips_json() {
+        use ferrum_asm::analysis::lint::{LintContract, LintFinding, LintReport};
+        use ferrum_asm::provenance::Provenance;
+        let rep = LintReport {
+            findings: vec![LintFinding {
+                contract: LintContract::CheckedSync,
+                function: "main".into(),
+                block: "main_bb0".into(),
+                inst_index: 7,
+                provenance: Provenance::Synthetic,
+                explanation: "unverified result consumed".into(),
+            }],
+            functions_scanned: 2,
+            insts_scanned: 41,
+        };
+        let text = render_lint_report(&rep);
+        assert!(text.contains("checked-sync"), "{text}");
+        assert!(text.contains("main/main_bb0[7]"), "{text}");
+        assert!(text.contains("1 finding(s) in 2 function(s)"), "{text}");
+        let v = crate::json::parse(&rep.to_json().to_string_pretty()).expect("valid json");
+        assert_eq!(v.get("clean").unwrap(), &Json::Bool(false));
+        assert_eq!(v.get("insts_scanned").unwrap().as_u64(), Some(41));
+        let f = v.get("findings").unwrap().idx(0).unwrap();
+        assert_eq!(f.get("contract").unwrap().as_str(), Some("checked-sync"));
+        assert_eq!(f.get("inst_index").unwrap().as_u64(), Some(7));
+
+        // A clean report says so.
+        let clean = LintReport {
+            findings: Vec::new(),
+            functions_scanned: 1,
+            insts_scanned: 3,
+        };
+        assert!(render_lint_report(&clean).starts_with("0 finding(s)"));
+        let v = crate::json::parse(&clean.to_json().to_string_pretty()).expect("valid json");
+        assert_eq!(v.get("clean").unwrap(), &Json::Bool(true));
     }
 }

@@ -33,8 +33,9 @@
 //! The backend's peephole pass runs first as the paper's "other
 //! compiler-level transformations".
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
+use ferrum_asm::analysis::lint::ProtectionManifest;
 use ferrum_asm::flags::Cc;
 use ferrum_asm::inst::{DestClass, Inst};
 use ferrum_asm::operand::{MemRef, Operand};
@@ -178,6 +179,42 @@ impl Ferrum {
     pub fn protect_module(&self, m: &Module) -> Result<AsmProgram, PassError> {
         let asm = ferrum_backend::compile(m).map_err(|e| PassError::Invalid(e.to_string()))?;
         self.protect(&asm)
+    }
+
+    /// Protects and additionally emits a per-function
+    /// [`ProtectionManifest`] — the checker metadata the static lint
+    /// (`ferrum_asm::analysis::lint`) verifies the output against:
+    /// which GPRs the pass reserved function-wide (empty when the
+    /// function fell back to stack requisition) and which XMM registers
+    /// serve as batch accumulators.
+    ///
+    /// # Errors
+    ///
+    /// See [`Ferrum::protect`].
+    pub fn protect_with_manifest(
+        &self,
+        p: &AsmProgram,
+    ) -> Result<(AsmProgram, BTreeMap<String, ProtectionManifest>), PassError> {
+        let mut out = p.clone();
+        let mut stats = FerrumStats::default();
+        if self.cfg.peephole {
+            stats.peephole = peephole::run(&mut out);
+        }
+        let mut manifests = BTreeMap::new();
+        for f in &mut out.functions {
+            // `pick_regs` is deterministic on the (peepholed) input, so
+            // the manifest records exactly what `protect_function` uses.
+            let (gprs, xmm) = pick_regs(f, self.cfg);
+            manifests.insert(
+                f.name.clone(),
+                ProtectionManifest {
+                    reserved_gprs: gprs.map(|g| g.to_vec()).unwrap_or_default(),
+                    accumulators: xmm.iter().map(|x| x.0).collect(),
+                },
+            );
+            protect_function(f, self.cfg, &mut stats)?;
+        }
+        Ok((out, manifests))
     }
 }
 

@@ -1,0 +1,200 @@
+//! Seeded protection-weakening mutations for lint cross-validation.
+//!
+//! The static soundness lint (`ferrum_asm::analysis::lint`) claims that
+//! its findings correspond to real detection gaps.  This module makes
+//! that claim testable: each [`MutationKind`] surgically weakens one
+//! protection idiom in an already-protected [`AsmProgram`] — without
+//! changing fault-free behaviour — so a test can assert that (a) the
+//! lint flags the mutated site and (b) an exhaustive injection campaign
+//! observes SDCs that the stock program does not have.
+//!
+//! Mutations identify protection instructions purely by provenance and
+//! shape; they never re-run a protection pass, so the mutant differs
+//! from stock by exactly the seeded defect.
+
+use ferrum_asm::flags::Cc;
+use ferrum_asm::inst::Inst;
+use ferrum_asm::operand::Operand;
+use ferrum_asm::program::AsmProgram;
+use ferrum_asm::EXIT_FUNCTION;
+
+/// One class of deliberate protection weakening.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutationKind {
+    /// Remove one checker branch (`jne exit_function`): the comparison
+    /// still runs but a mismatch no longer stops the program.
+    DropChecker,
+    /// Re-route one SIMD batch capture pair onto the slot of the
+    /// previous pair (`pinsrq` lane 1 → lane 0), overwriting a pending
+    /// capture before its drain.
+    ReuseBatchSlot,
+    /// Remove one spliced deferred-flags recheck (the `cmpb`+`jne` pair
+    /// at the head of a branch-target block), leaving that CFG successor
+    /// without flag verification.
+    SkipEdgeRecheck,
+}
+
+impl MutationKind {
+    /// Stable short name for test diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            MutationKind::DropChecker => "drop-checker",
+            MutationKind::ReuseBatchSlot => "reuse-batch-slot",
+            MutationKind::SkipEdgeRecheck => "skip-edge-recheck",
+        }
+    }
+}
+
+/// Where a mutation was applied.
+#[derive(Debug, Clone)]
+pub struct MutationSite {
+    /// Enclosing function.
+    pub function: String,
+    /// Block label of the mutated instruction(s).
+    pub block: String,
+    /// Index (pre-mutation) of the first mutated instruction.
+    pub inst_index: usize,
+    /// What was done.
+    pub description: String,
+}
+
+/// True for a protection-inserted `jne exit_function`.
+fn is_checker_branch(ai: &ferrum_asm::program::AsmInst) -> bool {
+    ai.prov.is_protection()
+        && matches!(
+            &ai.inst,
+            Inst::Jcc { cc: Cc::Ne, target } if target == EXIT_FUNCTION
+        )
+}
+
+/// True for the spliced pair recheck at a block head: a protection
+/// `cmpb %reg, %reg` followed by a checker branch.
+fn starts_with_pair_recheck(b: &ferrum_asm::program::AsmBlock) -> bool {
+    let Some(cmp) = b.insts.first() else {
+        return false;
+    };
+    let Some(jne) = b.insts.get(1) else {
+        return false;
+    };
+    cmp.prov.is_protection()
+        && matches!(
+            &cmp.inst,
+            Inst::Cmp {
+                src: Operand::Reg(_),
+                dst: Operand::Reg(_),
+                w
+            } if *w == ferrum_asm::reg::Width::W8
+        )
+        && is_checker_branch(jne)
+}
+
+/// The (dup, orig) `pinsrq` lane-1 capture pair of one batched site:
+/// returns the index of the second capture given the first.
+fn lane1_capture_pair(b: &ferrum_asm::program::AsmBlock, i: usize) -> Option<usize> {
+    let is_lane1 = |idx: usize| -> Option<u8> {
+        let ai = b.insts.get(idx)?;
+        if !ai.prov.is_protection() {
+            return None;
+        }
+        match &ai.inst {
+            Inst::Pinsrq { lane: 1, dst, .. } => Some(dst.0),
+            _ => None,
+        }
+    };
+    let first = is_lane1(i)?;
+    // The partner capture follows within a couple of instructions (the
+    // original site sits between the dup- and dest-captures) and targets
+    // the other accumulator of the pair.
+    for j in i + 1..=(i + 3).min(b.insts.len().saturating_sub(1)) {
+        if let Some(second) = is_lane1(j) {
+            if second != first {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Enumerates every applicable site for `kind` in `p`.
+fn sites(p: &AsmProgram, kind: MutationKind) -> Vec<(usize, usize, usize)> {
+    let mut out = Vec::new();
+    for (fi, f) in p.functions.iter().enumerate() {
+        for (bi, b) in f.blocks.iter().enumerate() {
+            match kind {
+                MutationKind::DropChecker => {
+                    for (ii, ai) in b.insts.iter().enumerate() {
+                        if is_checker_branch(ai) {
+                            out.push((fi, bi, ii));
+                        }
+                    }
+                }
+                MutationKind::ReuseBatchSlot => {
+                    for ii in 0..b.insts.len() {
+                        if lane1_capture_pair(b, ii).is_some() {
+                            out.push((fi, bi, ii));
+                            break; // one per block is plenty
+                        }
+                    }
+                }
+                MutationKind::SkipEdgeRecheck => {
+                    if starts_with_pair_recheck(b) {
+                        out.push((fi, bi, 0));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Number of distinct sites `kind` can target in `p`.
+pub fn count_mutation_sites(p: &AsmProgram, kind: MutationKind) -> usize {
+    sites(p, kind).len()
+}
+
+/// Applies the `k`-th mutation of `kind` to a copy of `p`.
+///
+/// Returns `None` when `k` is out of range.  Mutants preserve fault-free
+/// behaviour: dropped checkers only fire on mismatches, and the batch
+/// slot reuse redirects a *matched* dup/orig capture pair, so the drain
+/// still compares equal values on a clean run.
+pub fn apply_mutation(
+    p: &AsmProgram,
+    kind: MutationKind,
+    k: usize,
+) -> Option<(AsmProgram, MutationSite)> {
+    let &(fi, bi, ii) = sites(p, kind).get(k)?;
+    let mut out = p.clone();
+    let f = &mut out.functions[fi];
+    let block_label = f.blocks[bi].label.clone();
+    let description;
+    match kind {
+        MutationKind::DropChecker => {
+            let removed = f.blocks[bi].insts.remove(ii);
+            description = format!(
+                "removed checker `{}`",
+                ferrum_asm::printer::print_inst(&removed.inst)
+            );
+        }
+        MutationKind::ReuseBatchSlot => {
+            let jj = lane1_capture_pair(&f.blocks[bi], ii)?;
+            for idx in [ii, jj] {
+                if let Inst::Pinsrq { lane, .. } = &mut f.blocks[bi].insts[idx].inst {
+                    *lane = 0;
+                }
+            }
+            description = "redirected lane-1 capture pair onto occupied lane 0".to_string();
+        }
+        MutationKind::SkipEdgeRecheck => {
+            f.blocks[bi].insts.drain(0..2);
+            description = "removed spliced deferred-flags recheck".to_string();
+        }
+    }
+    let site = MutationSite {
+        function: out.functions[fi].name.clone(),
+        block: block_label,
+        inst_index: ii,
+        description,
+    };
+    Some((out, site))
+}

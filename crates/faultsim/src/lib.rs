@@ -22,6 +22,7 @@
 //! root-cause analysis of IR-level EDDI's coverage loss (§IV-B1).
 
 pub mod campaign;
+pub mod crossval;
 pub mod rootcause;
 pub mod stats;
 

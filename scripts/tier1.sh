@@ -11,7 +11,13 @@ cd "$(dirname "$0")/.."
 echo "== tier1: cargo build --release --offline"
 cargo build --release --offline --workspace
 
+echo "== tier1: cargo clippy --offline -- -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
 echo "== tier1: cargo test -q --offline"
 cargo test -q --offline --workspace
+
+echo "== tier1: ferrum-lint --catalog (static soundness self-check)"
+cargo run --release --offline -q -p ferrum-cli --bin ferrum-lint -- --catalog
 
 echo "== tier1: OK"
