@@ -268,7 +268,7 @@ impl Enforce {
         let mut ferrum = false;
         let mut hybrid = false;
         for ai in f.insts() {
-            if let Provenance::Protection(tag) = ai.prov {
+            if let Provenance::Protection(tag, _) = ai.prov {
                 match tag {
                     TechniqueTag::Ferrum => ferrum = true,
                     TechniqueTag::HybridAsmEddi => hybrid = true,
@@ -1149,7 +1149,8 @@ mod tests {
     use crate::program::{AsmBlock, AsmFunction};
     use crate::reg::{Reg, Width, Xmm};
 
-    const P: Provenance = Provenance::Protection(TechniqueTag::Ferrum);
+    const P: Provenance =
+        Provenance::Protection(TechniqueTag::Ferrum, crate::provenance::Mechanism::Dup);
     const O: Provenance = Provenance::Synthetic;
 
     fn slot(disp: i64) -> Operand {

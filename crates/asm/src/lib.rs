@@ -55,7 +55,7 @@ pub use flags::{Cc, Flags};
 pub use inst::{AluOp, Inst, ShiftAmount, ShiftOp, UnaryOp};
 pub use operand::{MemRef, Operand, Scale};
 pub use program::{AsmBlock, AsmFunction, AsmInst, AsmProgram, Label};
-pub use provenance::{GlueKind, Provenance, TechniqueTag};
+pub use provenance::{GlueKind, Mechanism, Provenance, TechniqueTag};
 pub use reg::{Gpr, Reg, Width, Xmm, Ymm, Zmm};
 
 /// The label every protection technique jumps to when a checker detects a

@@ -601,7 +601,7 @@ pub fn parse_program(text: &str) -> Result<AsmProgram, ParseError> {
 }
 
 fn parse_provenance(s: &str) -> Provenance {
-    use crate::provenance::{GlueKind, TechniqueTag};
+    use crate::provenance::{GlueKind, Mechanism, TechniqueTag};
     if let Some(id) = s.strip_prefix("ir:") {
         if let Ok(n) = id.parse() {
             return Provenance::FromIr(n);
@@ -615,6 +615,11 @@ fn parse_provenance(s: &str) -> Provenance {
         }
     }
     if let Some(t) = s.strip_prefix("prot:") {
+        // `prot:<tag>` (older listings) or `prot:<tag>:<mechanism>`.
+        let (t, mech) = match t.split_once(':') {
+            Some((t, m)) => (t, Mechanism::parse(m)),
+            None => (t, None),
+        };
         let tag = match t {
             "ir-eddi" => Some(TechniqueTag::IrEddi),
             "hybrid-asm-eddi" => Some(TechniqueTag::HybridAsmEddi),
@@ -622,7 +627,7 @@ fn parse_provenance(s: &str) -> Provenance {
             _ => None,
         };
         if let Some(tag) = tag {
-            return Provenance::Protection(tag);
+            return Provenance::Protection(tag, mech.unwrap_or(Mechanism::Dup));
         }
     }
     Provenance::Synthetic
@@ -776,15 +781,31 @@ mod tests {
 
     #[test]
     fn provenance_comments_round_trip() {
-        use crate::provenance::{GlueKind, TechniqueTag};
+        use crate::provenance::{GlueKind, Mechanism, TechniqueTag};
         let mut p = single_block_main(vec![]);
         let b = &mut p.functions[0].blocks[0];
         b.insts.clear();
         b.push(Inst::Nop, Provenance::FromIr(12));
         b.push(Inst::Nop, Provenance::Glue(GlueKind::BranchMaterialize));
-        b.push(Inst::Nop, Provenance::Protection(TechniqueTag::Ferrum));
+        for m in Mechanism::ALL {
+            b.push(Inst::Nop, Provenance::Protection(TechniqueTag::Ferrum, m));
+        }
         b.push(Inst::Ret, Provenance::Synthetic);
         let back = parse_program(&print_program(&p)).expect("parses");
         assert_eq!(back, p);
+    }
+
+    #[test]
+    fn bare_prot_tag_parses_with_default_mechanism() {
+        use crate::provenance::{Mechanism, TechniqueTag};
+        assert_eq!(
+            parse_provenance("prot:ferrum"),
+            Provenance::Protection(TechniqueTag::Ferrum, Mechanism::Dup)
+        );
+        assert_eq!(
+            parse_provenance("prot:ferrum:flag-recheck"),
+            Provenance::Protection(TechniqueTag::Ferrum, Mechanism::FlagRecheck)
+        );
+        assert_eq!(parse_provenance("prot:florble"), Provenance::Synthetic);
     }
 }

@@ -61,6 +61,79 @@ impl fmt::Display for GlueKind {
     }
 }
 
+/// The protection *mechanism* that emitted an instruction.
+///
+/// FERRUM's overhead is not one number: the paper breaks it down into
+/// duplicate computation, checker instructions, SIMD accumulator
+/// traffic, deferred-flag bookkeeping, and register-requisition glue
+/// (Figs. 4–7).  Tagging every protection instruction with its
+/// mechanism lets `ferrum-cpu` attribute executed instructions and
+/// cycle-proxy cost to each mechanism — the shape of the paper's
+/// overhead-breakdown figure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Mechanism {
+    /// Duplicate computation: the shadow instruction stream (Fig. 4),
+    /// replayed `cqo`/`idiv` style double executions, and IR-level
+    /// shadow values lowered by the backend.
+    Dup,
+    /// Immediate scalar checker: `xor`/`cmp` + `jne detected` right at
+    /// the sync point (classic EDDI, and FERRUM's non-batchable sites).
+    Check,
+    /// SIMD batching capture: `movq`/`pinsrq` moving a result pair into
+    /// an XMM/YMM/ZMM accumulator lane (Fig. 6 top half).
+    BatchCapture,
+    /// SIMD batch flush: `vinserti128`/`vpxor`/`vptest` + `jne`
+    /// draining an accumulator at a sync point (Fig. 6 bottom half).
+    BatchFlush,
+    /// Deferred-flag capture: the duplicated `cmp`/`test` plus the
+    /// `setcc` pair persisting both outcomes to bytes (Fig. 5 top).
+    FlagDup,
+    /// Deferred-flag recheck: `cmpb` + `jne` comparing a captured
+    /// `setcc` pair at the consuming branch (Fig. 5 bottom).
+    FlagRecheck,
+    /// Stack-level register requisition glue: `push`/`pop` of
+    /// requisitioned registers, red-zone verification, and detour-stub
+    /// jumps (Fig. 7).
+    Requisition,
+}
+
+impl Mechanism {
+    /// All mechanisms, in overhead-table order.
+    pub const ALL: [Mechanism; 7] = [
+        Mechanism::Dup,
+        Mechanism::Check,
+        Mechanism::BatchCapture,
+        Mechanism::BatchFlush,
+        Mechanism::FlagDup,
+        Mechanism::FlagRecheck,
+        Mechanism::Requisition,
+    ];
+
+    /// Stable text label (used in listings, reports, and JSON keys).
+    pub fn label(self) -> &'static str {
+        match self {
+            Mechanism::Dup => "dup",
+            Mechanism::Check => "check",
+            Mechanism::BatchCapture => "batch-capture",
+            Mechanism::BatchFlush => "batch-flush",
+            Mechanism::FlagDup => "flag-dup",
+            Mechanism::FlagRecheck => "flag-recheck",
+            Mechanism::Requisition => "requisition",
+        }
+    }
+
+    /// Parses a [`Mechanism::label`] back into the enum.
+    pub fn parse(s: &str) -> Option<Mechanism> {
+        Mechanism::ALL.iter().copied().find(|m| m.label() == s)
+    }
+}
+
+impl fmt::Display for Mechanism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Which protection technique inserted an instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TechniqueTag {
@@ -92,8 +165,8 @@ pub enum Provenance {
     /// Backend-generated footprint with no IR counterpart.
     Glue(GlueKind),
     /// Inserted by a protection pass (duplicates, checkers, requisition
-    /// pushes/pops).
-    Protection(TechniqueTag),
+    /// pushes/pops), tagged with the [`Mechanism`] that emitted it.
+    Protection(TechniqueTag, Mechanism),
     /// Hand-written or synthetic (tests, examples).
     Synthetic,
 }
@@ -101,7 +174,15 @@ pub enum Provenance {
 impl Provenance {
     /// True if the instruction was created by a protection pass.
     pub fn is_protection(self) -> bool {
-        matches!(self, Provenance::Protection(_))
+        matches!(self, Provenance::Protection(..))
+    }
+
+    /// The emitting mechanism, for protection instructions.
+    pub fn mechanism(self) -> Option<Mechanism> {
+        match self {
+            Provenance::Protection(_, m) => Some(m),
+            _ => None,
+        }
     }
 
     /// True if the instruction is backend glue (the unprotected residue
@@ -116,7 +197,7 @@ impl fmt::Display for Provenance {
         match self {
             Provenance::FromIr(id) => write!(f, "ir:{id}"),
             Provenance::Glue(k) => write!(f, "glue:{k}"),
-            Provenance::Protection(t) => write!(f, "prot:{t}"),
+            Provenance::Protection(t, m) => write!(f, "prot:{t}:{m}"),
             Provenance::Synthetic => write!(f, "synthetic"),
         }
     }
@@ -128,9 +209,12 @@ mod tests {
 
     #[test]
     fn classification_helpers() {
-        assert!(Provenance::Protection(TechniqueTag::Ferrum).is_protection());
-        assert!(!Provenance::Protection(TechniqueTag::Ferrum).is_glue());
+        let p = Provenance::Protection(TechniqueTag::Ferrum, Mechanism::Dup);
+        assert!(p.is_protection());
+        assert!(!p.is_glue());
+        assert_eq!(p.mechanism(), Some(Mechanism::Dup));
         assert!(Provenance::Glue(GlueKind::CallGlue).is_glue());
+        assert_eq!(Provenance::Glue(GlueKind::CallGlue).mechanism(), None);
         assert!(!Provenance::FromIr(3).is_glue());
         assert!(!Provenance::Synthetic.is_protection());
     }
@@ -143,8 +227,12 @@ mod tests {
             "glue:branch-materialize"
         );
         assert_eq!(
-            Provenance::Protection(TechniqueTag::HybridAsmEddi).to_string(),
-            "prot:hybrid-asm-eddi"
+            Provenance::Protection(TechniqueTag::HybridAsmEddi, Mechanism::Check).to_string(),
+            "prot:hybrid-asm-eddi:check"
+        );
+        assert_eq!(
+            Provenance::Protection(TechniqueTag::Ferrum, Mechanism::BatchFlush).to_string(),
+            "prot:ferrum:batch-flush"
         );
         assert_eq!(Provenance::Synthetic.to_string(), "synthetic");
     }
@@ -155,5 +243,17 @@ mod tests {
         labels.sort_unstable();
         labels.dedup();
         assert_eq!(labels.len(), GlueKind::ALL.len());
+    }
+
+    #[test]
+    fn mechanism_labels_round_trip() {
+        for m in Mechanism::ALL {
+            assert_eq!(Mechanism::parse(m.label()), Some(m));
+        }
+        assert_eq!(Mechanism::parse("warp-drive"), None);
+        let mut labels: Vec<&str> = Mechanism::ALL.iter().map(|m| m.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), Mechanism::ALL.len());
     }
 }

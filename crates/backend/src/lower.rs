@@ -50,6 +50,7 @@ impl std::error::Error for CompileError {}
 /// or [`CompileError::TooManyArgs`] for calls with more than six
 /// arguments.
 pub fn compile(m: &Module) -> Result<AsmProgram, CompileError> {
+    let _span = ferrum_trace::span("backend.compile");
     if let Err(errs) = ferrum_mir::verify::verify_module(m) {
         return Err(CompileError::InvalidModule(
             errs.first().map(ToString::to_string).unwrap_or_default(),
@@ -63,6 +64,7 @@ pub fn compile(m: &Module) -> Result<AsmProgram, CompileError> {
     for f in &m.functions {
         prog.functions.push(lower_function(m, f)?);
     }
+    ferrum_trace::counter("backend.static_insts", prog.static_inst_count() as u64);
     Ok(prog)
 }
 

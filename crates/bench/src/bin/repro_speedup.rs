@@ -1,9 +1,12 @@
 //! Measures the snapshot-accelerated campaign engine against the
 //! serial executor: same seed, same sampled faults, byte-identical
 //! outcome records — but with golden-prefix sharing and work-stealing
-//! parallelism.  Prints injections/sec for each engine, the speedup,
-//! and the engine's internal counters (snapshot hit-rate, share of
-//! dynamic instructions skipped).
+//! parallelism.  Prints injections/sec for each engine and the
+//! campaign telemetry from [`ferrum::CampaignStats`]: snapshot
+//! hit-rate, share of dynamic instructions skipped, and worker-load
+//! balance.  A second table runs the FERRUM-protected build and
+//! reports the detection-latency distribution (injection→detection
+//! instruction distance), which must be identical across engines.
 //!
 //! `--samples N --seed S --scale test|paper --threads T` as usual;
 //! defaults to 1000 samples and all available cores.
@@ -31,8 +34,8 @@ fn main() {
     );
     println!("snapshot campaign engine vs serial executor");
     println!(
-        "{:<14}{:>12}{:>12}{:>12}{:>9}{:>10}{:>12}{:>9}",
-        "benchmark", "serial i/s", "steal i/s", "snap i/s", "speedup", "hit-rate", "steps-saved", "match"
+        "{:<14}{:>12}{:>12}{:>12}{:>9}{:>10}{:>12}{:>9}{:>9}",
+        "benchmark", "serial i/s", "steal i/s", "snap i/s", "speedup", "hit-rate", "steps-saved", "balance", "match"
     );
 
     for w in all_workloads() {
@@ -58,11 +61,15 @@ fn main() {
         );
 
         // Hard determinism check: all three engines must agree on the
-        // outcome of every sampled fault, in sampling order.
-        let identical = serial == stealing && serial == snap;
+        // outcome of every sampled fault (in sampling order) *and* on
+        // the detection-latency distribution.
+        let identical = serial == stealing
+            && serial == snap
+            && serial.stats.latency == stealing.stats.latency
+            && serial.stats.latency == snap.stats.latency;
         let speedup = snap.stats.injections_per_sec / serial.stats.injections_per_sec;
         println!(
-            "{:<14}{:>12.0}{:>12.0}{:>12.0}{:>8.2}x{:>9.0}%{:>11.0}%{:>9}",
+            "{:<14}{:>12.0}{:>12.0}{:>12.0}{:>8.2}x{:>9.0}%{:>11.0}%{:>9.2}{:>9}",
             w.name,
             serial.stats.injections_per_sec,
             stealing.stats.injections_per_sec,
@@ -70,8 +77,44 @@ fn main() {
             speedup,
             snap.stats.snapshot_hit_rate() * 100.0,
             snap.stats.steps_saved_ratio() * 100.0,
+            snap.stats.worker_balance(),
             if identical { "yes" } else { "NO" }
         );
         assert!(identical, "{}: engines diverge", w.name);
+    }
+
+    println!();
+    println!("detection latency (FERRUM-protected, snapshot engine)");
+    println!(
+        "{:<14}{:>10}{:>8}{:>8}{:>8}{:>9}",
+        "benchmark", "detected", "p50", "p95", "max", "balance"
+    );
+    for w in all_workloads() {
+        let module = w.build(cfg.scale);
+        let prog = pipeline
+            .protect(&module, Technique::Ferrum)
+            .expect("protects");
+        let cpu = pipeline.load(&prog).expect("loads");
+        let profile = cpu.profile();
+        let snap = run_campaign_snapshot(
+            &cpu,
+            &profile,
+            CampaignConfig {
+                samples: cfg.samples,
+                seed: cfg.seed,
+            },
+            threads,
+            SnapshotPolicy::default(),
+        );
+        let lat = &snap.stats.latency;
+        println!(
+            "{:<14}{:>10}{:>8}{:>8}{:>8}{:>9.2}",
+            w.name,
+            lat.count(),
+            lat.p50().map_or_else(|| "-".into(), |v| v.to_string()),
+            lat.p95().map_or_else(|| "-".into(), |v| v.to_string()),
+            lat.max().map_or_else(|| "-".into(), |v| v.to_string()),
+            snap.stats.worker_balance(),
+        );
     }
 }

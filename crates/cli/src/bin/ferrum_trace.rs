@@ -1,0 +1,275 @@
+//! `ferrum-trace` — pipeline observability: per-mechanism overhead
+//! attribution and campaign telemetry.
+//!
+//! ```text
+//! usage: ferrum-trace <workload> [options]
+//!        ferrum-trace --catalog [--json]
+//!   --samples <n>   faults per campaign (default 400)
+//!   --seed <s>      campaign seed (default 0xFE44)
+//!   --scale <s>     test | paper   (default: test)
+//!   --json          emit the report as JSON instead of text
+//!   --catalog       self-check across every bundled workload: the
+//!                   per-mechanism executed-instruction (and cycle)
+//!                   counts must sum *exactly* to the protected-minus-
+//!                   baseline delta, and campaign outcomes must be
+//!                   identical with and without a trace sink installed
+//! ```
+//!
+//! Built with the `trace` cargo feature, the run also installs a
+//! [`ferrum_trace::RingSink`] and prints a probe summary (span wall
+//! time and counters).  Without the feature the probes compile out and
+//! the attribution/telemetry sections — which flow through provenance
+//! and [`ferrum::CampaignStats`], not the sink — are unchanged.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use ferrum::json::{Json, ToJson};
+use ferrum::report::{render_attribution_table, render_latency_histogram};
+use ferrum::{
+    attribute_overhead, CampaignConfig, CampaignResult, Pipeline, SnapshotPolicy, Technique,
+};
+use ferrum_faultsim::campaign::run_campaign_snapshot;
+use ferrum_trace::{EventKind, RingSink};
+use ferrum_workloads::catalog::{all_workloads, workload, Scale, Workload};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: ferrum-trace <workload> [--samples N] [--seed S] [--scale test|paper] [--json]\n       ferrum-trace --catalog [--json]"
+    );
+    ExitCode::from(2)
+}
+
+struct Options {
+    samples: usize,
+    seed: u64,
+    scale: Scale,
+    json: bool,
+}
+
+fn threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs the FERRUM campaign for one workload on the snapshot engine.
+fn ferrum_campaign(
+    pipeline: &Pipeline,
+    w: &Workload,
+    opts: &Options,
+) -> Result<CampaignResult, ferrum::Error> {
+    let module = w.build(opts.scale);
+    let prog = pipeline.protect(&module, Technique::Ferrum)?;
+    let cpu = pipeline.load(&prog)?;
+    let profile = cpu.profile();
+    Ok(run_campaign_snapshot(
+        &cpu,
+        &profile,
+        CampaignConfig {
+            samples: opts.samples,
+            seed: opts.seed,
+        },
+        threads(),
+        SnapshotPolicy::default(),
+    ))
+}
+
+/// Aggregates ring-buffer events into per-name span nanos and counter
+/// totals (empty when the `trace` feature is off — the sink never saw
+/// an event).
+fn probe_summary(sink: &RingSink) -> (BTreeMap<&'static str, u64>, BTreeMap<&'static str, u64>) {
+    let mut spans = BTreeMap::new();
+    let mut counters = BTreeMap::new();
+    for ev in sink.events() {
+        match ev.kind {
+            EventKind::SpanEnd => *spans.entry(ev.name).or_insert(0) += ev.value,
+            EventKind::Counter => *counters.entry(ev.name).or_insert(0) += ev.value,
+            EventKind::SpanStart => {}
+        }
+    }
+    (spans, counters)
+}
+
+fn run_one(name: &str, opts: &Options) -> ExitCode {
+    let Some(w) = workload(name) else {
+        eprintln!("ferrum-trace: unknown workload `{name}`");
+        return ExitCode::FAILURE;
+    };
+    let pipeline = Pipeline::new();
+    let module = w.build(opts.scale);
+
+    let sink = Arc::new(RingSink::new(64 * 1024));
+    ferrum_trace::install(sink.clone());
+    let att = match attribute_overhead(&pipeline, &module) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("ferrum-trace: {name}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let campaign = match ferrum_campaign(&pipeline, &w, opts) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("ferrum-trace: {name}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    ferrum_trace::uninstall();
+
+    if opts.json {
+        let (spans, counters) = probe_summary(&sink);
+        let map = |m: BTreeMap<&'static str, u64>| {
+            Json::Obj(m.into_iter().map(|(k, v)| (k.to_owned(), v.to_json())).collect())
+        };
+        let doc = Json::obj(vec![
+            ("workload", name.to_json()),
+            ("attribution", att.to_json()),
+            ("campaign_stats", campaign.stats.to_json()),
+            ("probe_spans_nanos", map(spans)),
+            ("probe_counters", map(counters)),
+        ]);
+        println!("{}", doc.to_string_pretty());
+    } else {
+        print!("{}", render_attribution_table(name, &att));
+        println!();
+        print!("{}", render_latency_histogram(&campaign.stats.latency));
+        let s = &campaign.stats;
+        println!(
+            "campaign: {} injections, {} threads, {:.0} inj/sec, snapshot hit-rate {:.0}%, steps saved {:.0}%, worker balance {:.2}",
+            s.injections,
+            s.threads,
+            s.injections_per_sec,
+            s.snapshot_hit_rate() * 100.0,
+            s.steps_saved_ratio() * 100.0,
+            s.worker_balance(),
+        );
+        let (spans, counters) = probe_summary(&sink);
+        if spans.is_empty() && counters.is_empty() {
+            println!("probes: none recorded (build with `--features trace` for span/counter events)");
+        } else {
+            for (n, nanos) in spans {
+                println!("span    {n:<28} {:>12.3} ms", nanos as f64 / 1e6);
+            }
+            for (n, v) in counters {
+                println!("counter {n:<28} {v:>12}");
+            }
+        }
+    }
+    if att.reconciles() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("ferrum-trace: {name}: mechanism counts do not reconcile");
+        ExitCode::from(1)
+    }
+}
+
+/// Self-check over the whole catalog: exact per-mechanism reconciliation
+/// and trace-sink transparency (outcomes identical with and without a
+/// sink installed).  Returns true when every workload passes.
+fn catalog_selfcheck(opts: &Options) -> Option<bool> {
+    let pipeline = Pipeline::new();
+    let mut all_ok = true;
+    for w in all_workloads() {
+        let module = w.build(opts.scale);
+        let att = match attribute_overhead(&pipeline, &module) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("ferrum-trace: {}: {e}", w.name);
+                return None;
+            }
+        };
+        let exact = att.reconciles();
+
+        let sink = Arc::new(RingSink::new(4096));
+        ferrum_trace::install(sink);
+        let traced = ferrum_campaign(&pipeline, &w, opts);
+        ferrum_trace::uninstall();
+        let plain = ferrum_campaign(&pipeline, &w, opts);
+        let (traced, plain) = match (traced, plain) {
+            (Ok(a), Ok(b)) => (a, b),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("ferrum-trace: {}: {e}", w.name);
+                return None;
+            }
+        };
+        let transparent = traced == plain && traced.stats.latency == plain.stats.latency;
+
+        all_ok &= exact && transparent;
+        if opts.json {
+            println!(
+                "{}",
+                Json::obj(vec![
+                    ("workload", w.name.to_json()),
+                    ("protection_insts", att.protection_insts().to_json()),
+                    ("mechanism_sum_exact", Json::Bool(exact)),
+                    ("trace_transparent", Json::Bool(transparent)),
+                ])
+                .to_string_pretty()
+            );
+        } else {
+            println!(
+                "{}: mechanism sum {} ({} prot insts, +{:.1}% cycles); trace on/off outcomes {}",
+                w.name,
+                if exact { "exact" } else { "MISMATCH" },
+                att.protection_insts(),
+                att.cycle_overhead() * 100.0,
+                if transparent { "identical" } else { "DIVERGED" },
+            );
+        }
+    }
+    Some(all_ok)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        return usage();
+    }
+    let mut name: Option<String> = None;
+    let mut catalog = false;
+    let mut opts = Options {
+        samples: 400,
+        seed: 0xFE44,
+        scale: Scale::Test,
+        json: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => opts.json = true,
+            "--catalog" => catalog = true,
+            "--samples" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => opts.samples = n,
+                None => return usage(),
+            },
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(s) => opts.seed = s,
+                None => return usage(),
+            },
+            "--scale" => match it.next().map(String::as_str) {
+                Some("test") => opts.scale = Scale::Test,
+                Some("paper") => opts.scale = Scale::Paper,
+                _ => return usage(),
+            },
+            other if name.is_none() && !other.starts_with("--") => {
+                name = Some(other.to_owned());
+            }
+            other => {
+                eprintln!("unknown option `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if catalog {
+        return match catalog_selfcheck(&opts) {
+            Some(true) => ExitCode::SUCCESS,
+            Some(false) => ExitCode::from(1),
+            None => ExitCode::FAILURE,
+        };
+    }
+    match name {
+        Some(n) => run_one(&n, &opts),
+        None => usage(),
+    }
+}

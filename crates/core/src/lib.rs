@@ -34,20 +34,25 @@
 //! # }
 //! ```
 
+pub mod attribution;
 pub mod error;
 pub mod experiment;
 pub mod json;
 pub mod pipeline;
 pub mod report;
 
+pub use attribution::{attribute_overhead, OverheadAttribution};
 pub use error::Error;
 pub use experiment::{evaluate_workload, EvalConfig, TechniqueReport, WorkloadReport};
 pub use pipeline::Pipeline;
 
+pub use ferrum_asm::provenance::Mechanism;
 pub use ferrum_cpu::cost::CostModel;
 pub use ferrum_cpu::outcome::{RunResult, StopReason};
+pub use ferrum_cpu::run::{MechCount, MechCounts};
 pub use ferrum_eddi::Technique;
 pub use ferrum_faultsim::campaign::{
-    CampaignConfig, CampaignResult, CampaignStats, Outcome, SnapshotPolicy,
+    CampaignConfig, CampaignResult, CampaignStats, DetectionLatency, Outcome, SnapshotPolicy,
+    WorkerStats,
 };
 pub use ferrum_workloads::{all_workloads, workload, Scale, Workload};

@@ -53,6 +53,11 @@ impl Pipeline {
         self
     }
 
+    /// The FERRUM configuration this pipeline protects with.
+    pub fn ferrum_config(&self) -> FerrumConfig {
+        self.ferrum_cfg
+    }
+
     /// Compiles `module` and applies `technique`.
     ///
     /// # Errors

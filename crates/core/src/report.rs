@@ -2,11 +2,16 @@
 //! figures, plus the machine-readable JSON artifact.
 
 use ferrum_asm::analysis::lint::{LintFinding, LintReport};
+use ferrum_asm::provenance::Mechanism;
 use ferrum_cpu::fault::FaultSpec;
+use ferrum_cpu::run::MechCounts;
 use ferrum_eddi::Technique;
-use ferrum_faultsim::campaign::{CampaignResult, CampaignStats, Outcome};
+use ferrum_faultsim::campaign::{
+    CampaignResult, CampaignStats, DetectionLatency, Outcome, WorkerStats,
+};
 use ferrum_faultsim::rootcause::RootCauseReport;
 
+use crate::attribution::OverheadAttribution;
 use crate::experiment::{TechniqueReport, WorkloadReport};
 use crate::json::{Json, ToJson};
 
@@ -130,6 +135,103 @@ pub fn render_throughput_table(reports: &[WorkloadReport]) -> String {
     out
 }
 
+/// Renders the per-mechanism overhead-attribution table for one
+/// workload: executed instructions and cycles per protection mechanism,
+/// each mechanism's share of the total protection cycles, and the
+/// exact reconciliation against the peepholed baseline.
+pub fn render_attribution_table(name: &str, att: &OverheadAttribution) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{name}: FERRUM overhead attribution (baseline {} insts / {} cycles)\n",
+        att.baseline_dyn_insts, att.baseline_cycles
+    ));
+    out.push_str(&format!(
+        "{:<16}{:>12}{:>12}{:>12}\n",
+        "mechanism", "dyn insts", "cycles", "cycle-share"
+    ));
+    for (m, c) in att.mech.iter() {
+        out.push_str(&format!(
+            "{:<16}{:>12}{:>12}{:>11.1}%\n",
+            m.label(),
+            c.insts,
+            c.cycles,
+            att.cycle_share(m) * 100.0
+        ));
+    }
+    out.push_str(&format!(
+        "{:<16}{:>12}{:>12}{:>11.1}%\n",
+        "total",
+        att.protection_insts(),
+        att.protection_cycles(),
+        if att.protection_cycles() == 0 { 0.0 } else { 100.0 }
+    ));
+    out.push_str(&format!(
+        "protected: {} insts / {} cycles (+{:.1}% cycles); mechanism sum {}\n",
+        att.protected_dyn_insts,
+        att.protected_cycles,
+        att.cycle_overhead() * 100.0,
+        if att.reconciles() { "exact" } else { "DOES NOT RECONCILE" }
+    ));
+    out
+}
+
+/// Renders the detection-latency distribution: percentiles plus a
+/// log2-bucketed histogram (injection→detection instruction distance).
+pub fn render_latency_histogram(lat: &DetectionLatency) -> String {
+    let mut out = String::new();
+    if lat.count() == 0 {
+        out.push_str("no detections observed\n");
+        return out;
+    }
+    out.push_str(&format!(
+        "detections: {}   p50: {}   p95: {}   max: {} dynamic insts\n",
+        lat.count(),
+        lat.p50().unwrap_or(0),
+        lat.p95().unwrap_or(0),
+        lat.max().unwrap_or(0)
+    ));
+    const WIDTH: usize = 32;
+    let hist = lat.histogram_log2();
+    let peak = hist.iter().map(|&(_, _, c)| c).max().unwrap_or(1).max(1);
+    for (lo, hi, c) in hist {
+        let filled = ((c as f64 / peak as f64) * WIDTH as f64).round() as usize;
+        out.push_str(&format!(
+            "{:>8}..{:<8}{:>8} |{}{}|\n",
+            lo,
+            hi,
+            c,
+            "█".repeat(filled),
+            " ".repeat(WIDTH - filled)
+        ));
+    }
+    out
+}
+
+/// Renders per-benchmark detection-latency percentiles and worker
+/// balance from the campaign telemetry.
+pub fn render_telemetry_table(reports: &[WorkloadReport]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<44}{:>10}{:>8}{:>8}{:>8}{:>9}\n",
+        "benchmark", "detected", "p50", "p95", "max", "balance"
+    ));
+    for r in reports {
+        for t in &r.techniques {
+            let s = &t.campaign.stats;
+            out.push_str(&format!(
+                "{:<44}{:>10}{:>8}{:>8}{:>8}{:>8.2}\n",
+                format!("{}/{}", r.name, t.technique),
+                s.latency.count(),
+                s.latency.p50().map_or_else(|| "-".into(), |v| v.to_string()),
+                s.latency.p95().map_or_else(|| "-".into(), |v| v.to_string()),
+                s.latency.max().map_or_else(|| "-".into(), |v| v.to_string()),
+                s.worker_balance(),
+            ));
+        }
+    }
+    out
+}
+
 /// Renders a `ferrum-lint` report for terminal consumption: one line
 /// per finding (`contract  function/block[index]: explanation`) plus a
 /// summary line, mirroring compiler-diagnostic conventions.
@@ -217,6 +319,77 @@ impl ToJson for FaultSpec {
     }
 }
 
+impl ToJson for Mechanism {
+    fn to_json(&self) -> Json {
+        Json::Str(self.label().to_owned())
+    }
+}
+
+impl ToJson for MechCounts {
+    fn to_json(&self) -> Json {
+        Json::Obj(
+            self.iter()
+                .map(|(m, c)| {
+                    (
+                        m.label().to_owned(),
+                        Json::obj(vec![
+                            ("insts", c.insts.to_json()),
+                            ("cycles", c.cycles.to_json()),
+                        ]),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+impl ToJson for OverheadAttribution {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("baseline_dyn_insts", self.baseline_dyn_insts.to_json()),
+            ("baseline_cycles", self.baseline_cycles.to_json()),
+            ("protected_dyn_insts", self.protected_dyn_insts.to_json()),
+            ("protected_cycles", self.protected_cycles.to_json()),
+            ("cycle_overhead", self.cycle_overhead().to_json()),
+            ("mechanisms", self.mech.to_json()),
+            ("reconciles", Json::Bool(self.reconciles())),
+        ])
+    }
+}
+
+impl ToJson for WorkerStats {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("injections", self.injections.to_json()),
+            ("steps_executed", self.steps_executed.to_json()),
+        ])
+    }
+}
+
+impl ToJson for DetectionLatency {
+    fn to_json(&self) -> Json {
+        let opt = |v: Option<u64>| v.map_or(Json::Null, |v| v.to_json());
+        let hist = self
+            .histogram_log2()
+            .into_iter()
+            .map(|(lo, hi, c)| {
+                Json::obj(vec![
+                    ("lo", lo.to_json()),
+                    ("hi", hi.to_json()),
+                    ("count", c.to_json()),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("count", self.count().to_json()),
+            ("p50", opt(self.p50())),
+            ("p95", opt(self.p95())),
+            ("max", opt(self.max())),
+            ("histogram_log2", Json::Arr(hist)),
+        ])
+    }
+}
+
 impl ToJson for CampaignStats {
     fn to_json(&self) -> Json {
         Json::obj(vec![
@@ -230,6 +403,9 @@ impl ToJson for CampaignStats {
             ("steps_saved", self.steps_saved.to_json()),
             ("steps_executed", self.steps_executed.to_json()),
             ("steps_saved_ratio", self.steps_saved_ratio().to_json()),
+            ("per_worker", self.per_worker.to_json()),
+            ("worker_balance", self.worker_balance().to_json()),
+            ("detection_latency", self.latency.to_json()),
         ])
     }
 }
@@ -399,6 +575,59 @@ mod tests {
         assert!(table.contains("inj/sec"));
         assert!(table.contains("knn/FERRUM"));
         assert_eq!(table.lines().count(), 4, "{table}");
+    }
+
+    #[test]
+    fn attribution_table_and_json_reconcile() {
+        let pipeline = Pipeline::new();
+        let module = workload("pathfinder").expect("exists").build(Scale::Test);
+        let att = crate::attribution::attribute_overhead(&pipeline, &module).expect("attributes");
+        let table = render_attribution_table("pathfinder", &att);
+        assert!(table.contains("mechanism"), "{table}");
+        assert!(table.contains("dup"), "{table}");
+        assert!(table.contains("mechanism sum exact"), "{table}");
+        let v = crate::json::parse(&att.to_json().to_string_pretty()).expect("valid json");
+        assert_eq!(v.get("reconciles").unwrap(), &Json::Bool(true));
+        let dup = v.get("mechanisms").unwrap().get("dup").unwrap();
+        assert!(dup.get("insts").unwrap().as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn telemetry_renders_latency_and_worker_balance() {
+        let pipeline = Pipeline::new();
+        let w = workload("knn").expect("exists");
+        let cfg = EvalConfig {
+            samples: 150,
+            seed: 8,
+            scale: Scale::Test,
+        };
+        let report = evaluate_workload(&pipeline, &w, cfg).expect("evaluates");
+        let ferrum = report.technique(Technique::Ferrum).unwrap();
+        let lat = &ferrum.campaign.stats.latency;
+        assert!(lat.count() > 0, "FERRUM campaign must detect something");
+        let hist = render_latency_histogram(lat);
+        assert!(hist.contains("detections:"), "{hist}");
+        assert!(hist.contains('█'), "{hist}");
+        assert!(
+            render_latency_histogram(&DetectionLatency::default()).contains("no detections")
+        );
+        let table = render_telemetry_table(std::slice::from_ref(&report));
+        assert!(table.contains("p50"), "{table}");
+        assert!(table.contains("knn/FERRUM"), "{table}");
+        assert_eq!(table.lines().count(), 4, "{table}");
+        // And the machine-readable artifact carries the same telemetry.
+        let v = crate::json::parse(&ferrum.campaign.stats.to_json().to_string_pretty())
+            .expect("valid json");
+        let dl = v.get("detection_latency").unwrap();
+        assert_eq!(dl.get("count").unwrap().as_u64(), Some(lat.count() as u64));
+        assert!(dl.get("p50").unwrap().as_u64().is_some());
+        assert!(!dl.get("histogram_log2").unwrap().as_array().unwrap().is_empty());
+        let workers = v.get("per_worker").unwrap().as_array().unwrap();
+        let inj: u64 = workers
+            .iter()
+            .map(|w| w.get("injections").unwrap().as_u64().unwrap())
+            .sum();
+        assert_eq!(inj, 150);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! fault), and profile to enumerate injectable sites.
 
 use ferrum_asm::program::AsmProgram;
-use ferrum_asm::provenance::Provenance;
+use ferrum_asm::provenance::{Mechanism, Provenance};
 
 use crate::cost::CostModel;
 use crate::exec::{eligible_dest_bits, step, State, StepEvent};
@@ -49,6 +49,59 @@ impl ProvCounts {
     }
 }
 
+/// Executed-instruction and cycle-proxy totals for one protection
+/// mechanism — one row of the paper's overhead-breakdown figure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MechCount {
+    /// Dynamic (executed) instructions carrying this mechanism tag.
+    pub insts: u64,
+    /// Cycle-proxy cost those instructions accrued under the active
+    /// [`CostModel`] (co-issue discount included).
+    pub cycles: u64,
+}
+
+/// Per-mechanism dynamic cost attribution, indexed by
+/// [`Mechanism::ALL`] order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MechCounts {
+    counts: [MechCount; Mechanism::ALL.len()],
+}
+
+impl MechCounts {
+    fn index(m: Mechanism) -> usize {
+        Mechanism::ALL
+            .iter()
+            .position(|&x| x == m)
+            .expect("mechanism in ALL")
+    }
+
+    /// The totals for one mechanism.
+    pub fn get(&self, m: Mechanism) -> MechCount {
+        self.counts[Self::index(m)]
+    }
+
+    fn add(&mut self, m: Mechanism, cycles: u64) {
+        let c = &mut self.counts[Self::index(m)];
+        c.insts += 1;
+        c.cycles += cycles;
+    }
+
+    /// Iterates `(mechanism, totals)` in [`Mechanism::ALL`] order.
+    pub fn iter(&self) -> impl Iterator<Item = (Mechanism, MechCount)> + '_ {
+        Mechanism::ALL.iter().map(|&m| (m, self.get(m)))
+    }
+
+    /// Sum of executed protection instructions across mechanisms.
+    pub fn total_insts(&self) -> u64 {
+        self.counts.iter().map(|c| c.insts).sum()
+    }
+
+    /// Sum of cycle-proxy cost across mechanisms.
+    pub fn total_cycles(&self) -> u64 {
+        self.counts.iter().map(|c| c.cycles).sum()
+    }
+}
+
 /// Result of a profiling run.
 #[derive(Debug, Clone)]
 pub struct Profile {
@@ -56,6 +109,9 @@ pub struct Profile {
     pub sites: Vec<SiteInfo>,
     /// Dynamic instruction counts by provenance class.
     pub prov_counts: ProvCounts,
+    /// Executed-instruction and cycle totals per protection mechanism
+    /// (all zero for unprotected programs).
+    pub mech_counts: MechCounts,
     /// The fault-free run result (golden output, baseline cycles).
     pub result: RunResult,
 }
@@ -135,11 +191,13 @@ impl Cpu {
         let mut n = 0u64;
         let mut sites = Vec::new();
         let mut prov_counts = ProvCounts::default();
+        let mut mech_counts = MechCounts::default();
         loop {
             if n >= self.step_limit {
                 return Profile {
                     sites,
                     prov_counts,
+                    mech_counts,
                     result: RunResult {
                         stop: StopReason::Timeout,
                         output: st.output,
@@ -153,7 +211,7 @@ impl Cpu {
             match li.prov {
                 Provenance::FromIr(_) => prov_counts.from_ir += 1,
                 Provenance::Glue(_) => prov_counts.glue += 1,
-                Provenance::Protection(_) => prov_counts.protection += 1,
+                Provenance::Protection(..) => prov_counts.protection += 1,
                 Provenance::Synthetic => prov_counts.synthetic += 1,
             }
             if eligible_dest_bits(&li.inst).is_some() {
@@ -164,12 +222,17 @@ impl Cpu {
                 });
             }
             let ev = step(&self.image, &mut st);
-            cycles += self.cost.cost_tagged(&li.inst, li.prov);
+            let step_cycles = self.cost.cost_tagged(&li.inst, li.prov);
+            cycles += step_cycles;
+            if let Some(m) = li.prov.mechanism() {
+                mech_counts.add(m, step_cycles);
+            }
             n += 1;
             if let StepEvent::Stop(stop) = ev {
                 return Profile {
                     sites,
                     prov_counts,
+                    mech_counts,
                     result: RunResult {
                         stop,
                         output: st.output,
@@ -323,6 +386,17 @@ mod tests {
         assert!(prof.prov_counts.from_ir > 0);
         assert!(prof.prov_counts.glue > 0, "prologue/store glue expected");
         assert_eq!(prof.prov_counts.protection, 0, "unprotected program");
+    }
+
+    #[test]
+    fn mech_counts_reconcile_with_protection_count() {
+        // An unprotected program attributes nothing to any mechanism.
+        let m = simple_sum_module();
+        let cpu = compile_and_load(&m);
+        let prof = cpu.profile();
+        assert_eq!(prof.mech_counts.total_insts(), 0);
+        assert_eq!(prof.mech_counts.total_cycles(), 0);
+        assert_eq!(prof.mech_counts, MechCounts::default());
     }
 
     #[test]

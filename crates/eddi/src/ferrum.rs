@@ -40,7 +40,7 @@ use ferrum_asm::flags::Cc;
 use ferrum_asm::inst::{DestClass, Inst};
 use ferrum_asm::operand::{MemRef, Operand};
 use ferrum_asm::program::{AsmBlock, AsmFunction, AsmInst, AsmProgram, Label};
-use ferrum_asm::provenance::{Provenance, TechniqueTag};
+use ferrum_asm::provenance::{Mechanism, Provenance, TechniqueTag};
 use ferrum_asm::reg::{Gpr, Reg, Width, Xmm, Ymm, Zmm};
 use ferrum_backend::peephole::{self, PeepholeStats};
 use ferrum_mir::module::Module;
@@ -50,6 +50,37 @@ use crate::scalar::protect_general;
 use crate::PassError;
 
 const TAG: TechniqueTag = TechniqueTag::Ferrum;
+
+/// Reports the protected program's static per-mechanism instruction
+/// counts through `ferrum-trace` (inert without a sink installed).
+fn emit_static_mechanism_counters(p: &AsmProgram) {
+    if !ferrum_trace::enabled() {
+        return;
+    }
+    // Counter names are static, so enumerate rather than format.
+    fn name(m: Mechanism) -> &'static str {
+        match m {
+            Mechanism::Dup => "ferrum.static.dup",
+            Mechanism::Check => "ferrum.static.check",
+            Mechanism::BatchCapture => "ferrum.static.batch-capture",
+            Mechanism::BatchFlush => "ferrum.static.batch-flush",
+            Mechanism::FlagDup => "ferrum.static.flag-dup",
+            Mechanism::FlagRecheck => "ferrum.static.flag-recheck",
+            Mechanism::Requisition => "ferrum.static.requisition",
+        }
+    }
+    let mut counts = [0u64; Mechanism::ALL.len()];
+    for f in &p.functions {
+        for a in f.insts() {
+            if let Some(m) = a.prov.mechanism() {
+                counts[m as usize] += 1;
+            }
+        }
+    }
+    for m in Mechanism::ALL {
+        ferrum_trace::counter(name(m), counts[m as usize]);
+    }
+}
 
 /// Configuration knobs (all enabled by default; individual mechanisms
 /// can be switched off for the ablation benchmarks).
@@ -160,6 +191,7 @@ impl Ferrum {
         &self,
         p: &AsmProgram,
     ) -> Result<(AsmProgram, FerrumStats), PassError> {
+        let _span = ferrum_trace::span("eddi.ferrum.protect");
         let mut out = p.clone();
         let mut stats = FerrumStats::default();
         if self.cfg.peephole {
@@ -168,6 +200,7 @@ impl Ferrum {
         for f in &mut out.functions {
             protect_function(f, self.cfg, &mut stats)?;
         }
+        emit_static_mechanism_counters(&out);
         Ok((out, stats))
     }
 
@@ -282,7 +315,7 @@ impl Batch {
                 dst: dup_x,
             }
         };
-        out.push(AsmInst::new(dup, Provenance::Protection(TAG)));
+        out.push(AsmInst::new(dup, Provenance::Protection(TAG, Mechanism::Dup)));
         out.push(ai.clone());
         let cap_src = Operand::Reg(Reg::q(dst));
         let cap = if lane == 0 {
@@ -297,7 +330,7 @@ impl Batch {
                 dst: orig_x,
             }
         };
-        out.push(AsmInst::new(cap, Provenance::Protection(TAG)));
+        out.push(AsmInst::new(cap, Provenance::Protection(TAG, Mechanism::BatchCapture)));
         self.count += 1;
         if self.count == self.capacity() {
             self.flush(out);
@@ -319,7 +352,7 @@ impl Batch {
             } else {
                 Inst::Pinsrq { lane, src, dst: x }
             };
-            out.push(AsmInst::new(cap, Provenance::Protection(TAG)));
+            out.push(AsmInst::new(cap, Provenance::Protection(TAG, Mechanism::BatchCapture)));
         }
         self.count += 1;
         if self.count == self.capacity() {
@@ -336,7 +369,7 @@ impl Batch {
             return;
         }
         let regs = &self.regs;
-        let prot = |i: Inst| AsmInst::new(i, Provenance::Protection(TAG));
+        let prot = |i: Inst| AsmInst::new(i, Provenance::Protection(TAG, Mechanism::BatchFlush));
         match self.count {
             0 => return,
             1 | 2 => {
@@ -436,35 +469,50 @@ impl Batch {
     }
 }
 
-fn prot(i: Inst) -> AsmInst {
-    AsmInst::new(i, Provenance::Protection(TAG))
+fn prot(m: Mechanism, i: Inst) -> AsmInst {
+    AsmInst::new(i, Provenance::Protection(TAG, m))
 }
 
 fn pair_check(pair: (Gpr, Gpr), out: &mut Vec<AsmInst>) {
-    out.push(prot(Inst::Cmp {
-        w: Width::W8,
-        src: Operand::Reg(Reg::b(pair.0)),
-        dst: Operand::Reg(Reg::b(pair.1)),
-    }));
-    out.push(prot(Inst::Jcc {
-        cc: Cc::Ne,
-        target: ferrum_asm::EXIT_FUNCTION.into(),
-    }));
+    out.push(prot(
+        Mechanism::FlagRecheck,
+        Inst::Cmp {
+            w: Width::W8,
+            src: Operand::Reg(Reg::b(pair.0)),
+            dst: Operand::Reg(Reg::b(pair.1)),
+        },
+    ));
+    out.push(prot(
+        Mechanism::FlagRecheck,
+        Inst::Jcc {
+            cc: Cc::Ne,
+            target: ferrum_asm::EXIT_FUNCTION.into(),
+        },
+    ));
 }
 
 fn red_zone_pop(g: Gpr, out: &mut Vec<AsmInst>) {
-    out.push(prot(Inst::Pop {
-        dst: Operand::Reg(Reg::q(g)),
-    }));
-    out.push(prot(Inst::Cmp {
-        w: Width::W64,
-        src: Operand::Mem(MemRef::base_disp(Gpr::Rsp, -8)),
-        dst: Operand::Reg(Reg::q(g)),
-    }));
-    out.push(prot(Inst::Jcc {
-        cc: Cc::Ne,
-        target: ferrum_asm::EXIT_FUNCTION.into(),
-    }));
+    out.push(prot(
+        Mechanism::Requisition,
+        Inst::Pop {
+            dst: Operand::Reg(Reg::q(g)),
+        },
+    ));
+    out.push(prot(
+        Mechanism::Requisition,
+        Inst::Cmp {
+            w: Width::W64,
+            src: Operand::Mem(MemRef::base_disp(Gpr::Rsp, -8)),
+            dst: Operand::Reg(Reg::q(g)),
+        },
+    ));
+    out.push(prot(
+        Mechanism::Requisition,
+        Inst::Jcc {
+            cc: Cc::Ne,
+            target: ferrum_asm::EXIT_FUNCTION.into(),
+        },
+    ));
 }
 
 fn pick_regs(f: &AsmFunction, cfg: FerrumConfig) -> (Option<[Gpr; 3]>, Vec<Xmm>) {
@@ -604,16 +652,22 @@ fn protect_normal(
     // Initialise the comparison pair so block-start checks pass before
     // the first protected comparison executes.
     let init = [
-        prot(Inst::Mov {
-            w: Width::W8,
-            src: Operand::Imm(0),
-            dst: Operand::Reg(Reg::b(regs.pair.0)),
-        }),
-        prot(Inst::Mov {
-            w: Width::W8,
-            src: Operand::Imm(0),
-            dst: Operand::Reg(Reg::b(regs.pair.1)),
-        }),
+        prot(
+            Mechanism::FlagDup,
+            Inst::Mov {
+                w: Width::W8,
+                src: Operand::Imm(0),
+                dst: Operand::Reg(Reg::b(regs.pair.0)),
+            },
+        ),
+        prot(
+            Mechanism::FlagDup,
+            Inst::Mov {
+                w: Width::W8,
+                src: Operand::Imm(0),
+                dst: Operand::Reg(Reg::b(regs.pair.1)),
+            },
+        ),
     ];
     f.blocks[0].insts.splice(0..0, init);
     // Deferred pair checks at every protected branch target (Fig. 5's
@@ -674,15 +728,25 @@ fn handle_compare(
     };
     let (p0, p1) = regs.pair;
     out.push(ai.clone()); // original cmp/test
-    out.push(prot(Inst::Setcc {
-        cc,
-        dst: Operand::Reg(Reg::b(p0)),
-    }));
-    out.push(AsmInst::new(ai.inst.clone(), Provenance::Protection(TAG))); // duplicate cmp
-    out.push(prot(Inst::Setcc {
-        cc,
-        dst: Operand::Reg(Reg::b(p1)),
-    }));
+    out.push(prot(
+        Mechanism::FlagDup,
+        Inst::Setcc {
+            cc,
+            dst: Operand::Reg(Reg::b(p0)),
+        },
+    ));
+    // Duplicate cmp/test.
+    out.push(AsmInst::new(
+        ai.inst.clone(),
+        Provenance::Protection(TAG, Mechanism::FlagDup),
+    ));
+    out.push(prot(
+        Mechanism::FlagDup,
+        Inst::Setcc {
+            cc,
+            dst: Operand::Reg(Reg::b(p1)),
+        },
+    ));
     match &consumer.inst {
         Inst::Setcc { .. } => {
             // Protect the consumer itself, then check the pair (flags
@@ -736,11 +800,14 @@ fn protect_scalar_site(
     if is_idiv {
         // The divider scheme borrowed one comparison-pair register;
         // restore the pair invariant.
-        out.push(prot(Inst::Mov {
-            w: Width::W8,
-            src: Operand::Reg(Reg::b(regs.pair.1)),
-            dst: Operand::Reg(Reg::b(regs.pair.0)),
-        }));
+        out.push(prot(
+            Mechanism::FlagDup,
+            Inst::Mov {
+                w: Width::W8,
+                src: Operand::Reg(Reg::b(regs.pair.1)),
+                dst: Operand::Reg(Reg::b(regs.pair.0)),
+            },
+        ));
     }
     stats.general_protected += 1;
     Ok(())
@@ -830,9 +897,12 @@ fn protect_requisition(
             i += 1;
         }
         for g in req {
-            out.push(prot(Inst::Push {
-                src: Operand::Reg(Reg::q(g)),
-            }));
+            out.push(prot(
+                Mechanism::Requisition,
+                Inst::Push {
+                    src: Operand::Reg(Reg::q(g)),
+                },
+            ));
         }
         let emit_pops = |out: &mut Vec<AsmInst>| {
             for g in req.iter().rev() {
@@ -876,9 +946,12 @@ fn protect_requisition(
                             for g in req.iter().rev() {
                                 red_zone_pop(*g, &mut sb.insts);
                             }
-                            sb.insts.push(prot(Inst::Jmp {
-                                target: target.clone(),
-                            }));
+                            sb.insts.push(prot(
+                                Mechanism::Requisition,
+                                Inst::Jmp {
+                                    target: target.clone(),
+                                },
+                            ));
                             stubs.push(sb);
                             out.push(AsmInst::new(
                                 Inst::Jcc {
@@ -925,7 +998,7 @@ fn protect_requisition(
                                 for g in req.iter().rev() {
                                     red_zone_pop(*g, &mut sb.insts);
                                 }
-                                sb.insts.push(prot(Inst::Jmp { target }));
+                                sb.insts.push(prot(Mechanism::Requisition, Inst::Jmp { target }));
                                 stubs.push(sb);
                                 out[ei].inst = Inst::Jcc {
                                     cc,

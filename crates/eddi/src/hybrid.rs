@@ -38,6 +38,7 @@ impl HybridAsmEddi {
     /// Propagates backend failures as [`PassError::Invalid`] and
     /// assembly-shape problems as [`PassError::Unsupported`].
     pub fn protect(&self, m: &Module) -> Result<AsmProgram, PassError> {
+        let _span = ferrum_trace::span("eddi.hybrid.protect");
         let (sig, shadows) = SignaturePass::new().protect_tracked(m);
         let mut asm =
             ferrum_backend::compile(&sig).map_err(|e| PassError::Invalid(e.to_string()))?;

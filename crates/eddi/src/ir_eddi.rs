@@ -15,7 +15,7 @@
 use std::collections::{HashMap, HashSet};
 
 use ferrum_asm::program::AsmProgram;
-use ferrum_asm::provenance::{Provenance, TechniqueTag};
+use ferrum_asm::provenance::{Mechanism, Provenance, TechniqueTag};
 
 use ferrum_mir::func::{BlockId, Function, MirBlock};
 use ferrum_mir::inst::{BinOp, ICmpPred, MirInst};
@@ -37,6 +37,10 @@ pub(crate) struct Rewriter {
     extra: Vec<MirBlock>,
     cur: Cursor,
     base: usize,
+    /// Result ids of the `icmp eq` comparisons [`Rewriter::split_check`]
+    /// creates, so lowered checker code can be attributed to the
+    /// check mechanism rather than the shadow stream.
+    pub check_ids: HashSet<u32>,
 }
 
 impl Rewriter {
@@ -54,6 +58,7 @@ impl Rewriter {
             extra: vec![MirBlock::new("eddi_detect_bb")],
             cur: Cursor::Orig(0),
             base,
+            check_ids: HashSet::new(),
         }
     }
 
@@ -99,6 +104,7 @@ impl Rewriter {
     pub fn split_check(&mut self, f: &mut Function, a: Value, b: Value) {
         let detect = self.detect_bb();
         let id = f.fresh_id();
+        self.check_ids.insert(id.0);
         self.emit(MirInst::ICmp {
             id,
             pred: ICmpPred::Eq,
@@ -134,12 +140,23 @@ impl Rewriter {
     }
 }
 
+/// Result-ids of shadow and check instructions one function gained.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShadowIds {
+    /// Every id created by the pass (shadows and checks).
+    pub all: HashSet<u32>,
+    /// The subset created by [`Rewriter::split_check`] — lowered
+    /// comparisons guarding the detect branch.
+    pub checks: HashSet<u32>,
+}
+
 /// Result-ids of shadow/check instructions, per function name.  After
 /// backend lowering, [`retag_shadows`] turns `FromIr(id)` provenance for
 /// these ids into `Protection`, so the cost model's co-issue discount and
 /// the root-cause attribution treat IR-level protection code the same
-/// way as assembly-level protection code.
-pub type ShadowMap = HashMap<String, HashSet<u32>>;
+/// way as assembly-level protection code.  Check ids retag with
+/// [`Mechanism::Check`], the rest with [`Mechanism::Dup`].
+pub type ShadowMap = HashMap<String, ShadowIds>;
 
 /// The IR-level EDDI pass.
 #[derive(Debug, Clone, Copy, Default)]
@@ -159,30 +176,39 @@ impl IrEddi {
     /// Returns a protected copy of `m` plus the shadow-id map used to
     /// retag lowered protection code.
     pub fn protect_tracked(&self, m: &Module) -> (Module, ShadowMap) {
+        let _span = ferrum_trace::span("eddi.ir.protect");
         let mut out = m.clone();
         let mut shadows = ShadowMap::new();
         for f in &mut out.functions {
             let first_new = f.next_id;
-            protect_function(f, m);
-            let set: HashSet<u32> = (first_new..f.next_id).collect();
-            shadows.insert(f.name.clone(), set);
+            let checks = protect_function(f, m);
+            let ids = ShadowIds {
+                all: (first_new..f.next_id).collect(),
+                checks,
+            };
+            shadows.insert(f.name.clone(), ids);
         }
         (out, shadows)
     }
 }
 
-/// Rewrites `FromIr(id)` provenance into `Protection(tag)` for every id
-/// recorded in `shadows` (see [`ShadowMap`]).
+/// Rewrites `FromIr(id)` provenance into `Protection(tag, _)` for every
+/// id recorded in `shadows` (see [`ShadowMap`]).
 pub fn retag_shadows(prog: &mut AsmProgram, shadows: &ShadowMap, tag: TechniqueTag) {
     for f in &mut prog.functions {
-        let Some(set) = shadows.get(&f.name) else {
+        let Some(ids) = shadows.get(&f.name) else {
             continue;
         };
         for b in &mut f.blocks {
             for ai in &mut b.insts {
                 if let Provenance::FromIr(id) = ai.prov {
-                    if set.contains(&id) {
-                        ai.prov = Provenance::Protection(tag);
+                    if ids.all.contains(&id) {
+                        let mech = if ids.checks.contains(&id) {
+                            Mechanism::Check
+                        } else {
+                            Mechanism::Dup
+                        };
+                        ai.prov = Provenance::Protection(tag, mech);
                     }
                 }
             }
@@ -197,7 +223,7 @@ fn remap(v: &Value, dup: &HashMap<u32, Value>) -> Value {
     }
 }
 
-fn protect_function(f: &mut Function, m: &Module) {
+fn protect_function(f: &mut Function, m: &Module) -> HashSet<u32> {
     let blocks = std::mem::take(&mut f.blocks);
     let snapshot = Function {
         blocks,
@@ -262,7 +288,9 @@ fn protect_function(f: &mut Function, m: &Module) {
             rw.emit(inst.clone());
         }
     }
+    let checks = std::mem::take(&mut rw.check_ids);
     f.blocks = rw.finish(f.ret);
+    checks
 }
 
 fn callee_ret_ty(m: &Module, inst: &MirInst) -> Option<Ty> {
@@ -435,9 +463,11 @@ mod tests {
         let set = &shadows["main"];
         // Every id at or beyond the original next_id is a shadow/check.
         assert_eq!(
-            set.len() as u32,
+            set.all.len() as u32,
             p.functions[0].next_id - m.functions[0].next_id
         );
+        assert!(!set.checks.is_empty(), "sync points emit checks");
+        assert!(set.checks.is_subset(&set.all));
         let mut asm = ferrum_backend::compile(&p).unwrap();
         let before = asm
             .function("main")

@@ -24,7 +24,7 @@ use ferrum_asm::flags::Cc;
 use ferrum_asm::inst::{AluOp, Inst};
 use ferrum_asm::operand::{MemRef, Operand};
 use ferrum_asm::program::AsmInst;
-use ferrum_asm::provenance::{Provenance, TechniqueTag};
+use ferrum_asm::provenance::{Mechanism, Provenance, TechniqueTag};
 use ferrum_asm::reg::{Gpr, Reg, Width};
 
 use crate::PassError;
@@ -75,13 +75,19 @@ pub fn is_rmw(inst: &Inst) -> bool {
         )
 }
 
-fn prot(tag: TechniqueTag, inst: Inst) -> AsmInst {
-    AsmInst::new(inst, Provenance::Protection(tag))
+fn prot(tag: TechniqueTag, mech: Mechanism, inst: Inst) -> AsmInst {
+    AsmInst::new(inst, Provenance::Protection(tag, mech))
+}
+
+/// Duplicate-stream scaffolding (pre-copies, replays, stashes).
+fn dup(tag: TechniqueTag, inst: Inst) -> AsmInst {
+    prot(tag, Mechanism::Dup, inst)
 }
 
 fn jne_exit(tag: TechniqueTag) -> AsmInst {
     prot(
         tag,
+        Mechanism::Check,
         Inst::Jcc {
             cc: Cc::Ne,
             target: ferrum_asm::EXIT_FUNCTION.into(),
@@ -92,6 +98,7 @@ fn jne_exit(tag: TechniqueTag) -> AsmInst {
 fn xor_check(tag: TechniqueTag, w: Width, orig: Gpr, dup: Gpr, out: &mut Vec<AsmInst>) {
     out.push(prot(
         tag,
+        Mechanism::Check,
         Inst::Alu {
             op: AluOp::Xor,
             w,
@@ -105,6 +112,7 @@ fn xor_check(tag: TechniqueTag, w: Width, orig: Gpr, dup: Gpr, out: &mut Vec<Asm
 fn cmp_check(tag: TechniqueTag, w: Width, a: Gpr, b: Gpr, out: &mut Vec<AsmInst>) {
     out.push(prot(
         tag,
+        Mechanism::Check,
         Inst::Cmp {
             w,
             src: Operand::Reg(Reg::gpr(a, w)),
@@ -159,7 +167,7 @@ pub fn protect_general_batched(
                 _ => (Reg::l(scratch), 31u8),
             };
             let rax_view = Reg::gpr(Gpr::Rax, view.width);
-            out.push(prot(
+            out.push(dup(
                 tag,
                 Inst::Mov {
                     w: view.width,
@@ -167,7 +175,7 @@ pub fn protect_general_batched(
                     dst: Operand::Reg(view),
                 },
             ));
-            out.push(prot(
+            out.push(dup(
                 tag,
                 Inst::Shift {
                     op: ferrum_asm::inst::ShiftOp::Sar,
@@ -182,7 +190,7 @@ pub fn protect_general_batched(
         _ if is_rmw(inst) => {
             let replay = with_dest_gpr(inst, scratch)
                 .ok_or_else(|| err("rmw shape without register destination"))?;
-            out.push(prot(
+            out.push(dup(
                 tag,
                 Inst::Mov {
                     w: Width::W64,
@@ -190,7 +198,7 @@ pub fn protect_general_batched(
                     dst: Operand::Reg(Reg::q(scratch)),
                 },
             ));
-            out.push(prot(tag, replay));
+            out.push(dup(tag, replay));
             out.push(ai.clone());
             Ok(Some((scratch, dest.gpr)))
         }
@@ -198,11 +206,11 @@ pub fn protect_general_batched(
             if inst.gprs_read().contains(&scratch) {
                 return Err(err("instruction aliases the scratch register"));
             }
-            let dup = match with_dest_gpr(inst, scratch) {
+            let dup_inst = match with_dest_gpr(inst, scratch) {
                 Some(d) => d,
                 None => return Ok(None),
             };
-            out.push(prot(tag, dup));
+            out.push(dup(tag, dup_inst));
             out.push(ai.clone());
             Ok(Some((scratch, dest.gpr)))
         }
@@ -245,7 +253,7 @@ pub fn protect_general(
                 }
             }
             let q = |g| Operand::Reg(Reg::q(g));
-            out.push(prot(
+            out.push(dup(
                 tag,
                 Inst::Mov {
                     w: Width::W64,
@@ -253,9 +261,9 @@ pub fn protect_general(
                     dst: q(scratch),
                 },
             ));
-            out.push(prot(tag, Inst::Push { src: q(Gpr::Rdx) }));
+            out.push(dup(tag, Inst::Push { src: q(Gpr::Rdx) }));
             out.push(ai.clone()); // original idiv
-            out.push(prot(
+            out.push(dup(
                 tag,
                 Inst::Mov {
                     w: Width::W64,
@@ -263,8 +271,8 @@ pub fn protect_general(
                     dst: q(scratch2),
                 },
             ));
-            out.push(prot(tag, Inst::Push { src: q(Gpr::Rdx) }));
-            out.push(prot(
+            out.push(dup(tag, Inst::Push { src: q(Gpr::Rdx) }));
+            out.push(dup(
                 tag,
                 Inst::Mov {
                     w: Width::W64,
@@ -272,7 +280,7 @@ pub fn protect_general(
                     dst: q(Gpr::Rax),
                 },
             ));
-            out.push(prot(
+            out.push(dup(
                 tag,
                 Inst::Mov {
                     w: Width::W64,
@@ -280,7 +288,7 @@ pub fn protect_general(
                     dst: q(Gpr::Rdx),
                 },
             ));
-            out.push(prot(
+            out.push(dup(
                 tag,
                 Inst::Idiv {
                     w: *w,
@@ -288,9 +296,9 @@ pub fn protect_general(
                 },
             )); // replay
             cmp_check(tag, Width::W64, scratch2, Gpr::Rax, out);
-            out.push(prot(tag, Inst::Pop { dst: q(scratch) }));
+            out.push(dup(tag, Inst::Pop { dst: q(scratch) }));
             cmp_check(tag, Width::W64, scratch, Gpr::Rdx, out);
-            out.push(prot(
+            out.push(dup(
                 tag,
                 Inst::Alu {
                     op: AluOp::Add,
@@ -311,7 +319,7 @@ pub fn protect_general(
                 Width::W64 => Reg::q(Gpr::Rax),
                 _ => Reg::l(Gpr::Rax),
             };
-            out.push(prot(
+            out.push(dup(
                 tag,
                 Inst::Mov {
                     w: view.width,
@@ -319,7 +327,7 @@ pub fn protect_general(
                     dst: Operand::Reg(view),
                 },
             ));
-            out.push(prot(
+            out.push(dup(
                 tag,
                 Inst::Shift {
                     op: ferrum_asm::inst::ShiftOp::Sar,
@@ -340,6 +348,7 @@ pub fn protect_general(
             out.push(ai.clone());
             out.push(prot(
                 tag,
+                Mechanism::Check,
                 Inst::Cmp {
                     w: Width::W64,
                     src: Operand::Mem(MemRef::base_disp(Gpr::Rsp, -8)),
@@ -356,7 +365,7 @@ pub fn protect_general(
             }
             let replay = with_dest_gpr(inst, scratch)
                 .ok_or_else(|| err("rmw shape without register destination"))?;
-            out.push(prot(
+            out.push(dup(
                 tag,
                 Inst::Mov {
                     w: Width::W64,
@@ -364,7 +373,7 @@ pub fn protect_general(
                     dst: Operand::Reg(Reg::q(scratch)),
                 },
             ));
-            out.push(prot(tag, replay));
+            out.push(dup(tag, replay));
             out.push(ai.clone());
             xor_check(tag, dest.width, dest.gpr, scratch, out);
             Ok(())
@@ -377,9 +386,9 @@ pub fn protect_general(
             if dest.gpr == scratch || inst.gprs_read().contains(&scratch) {
                 return Err(err("instruction aliases the scratch register"));
             }
-            let dup = with_dest_gpr(inst, scratch)
+            let dup_inst = with_dest_gpr(inst, scratch)
                 .ok_or_else(|| err("shape without replaceable destination"))?;
-            out.push(prot(tag, dup));
+            out.push(dup(tag, dup_inst));
             out.push(ai.clone());
             xor_check(tag, dest.width, dest.gpr, scratch, out);
             Ok(())
@@ -578,6 +587,12 @@ mod tests {
         assert!(out
             .iter()
             .filter(|a| a.prov != Provenance::Synthetic)
-            .all(|a| a.prov == Provenance::Protection(TechniqueTag::Ferrum)));
+            .all(|a| matches!(a.prov, Provenance::Protection(TechniqueTag::Ferrum, _))));
+        // The duplicate carries Dup, the xor + jne carry Check.
+        let mechs: Vec<_> = out.iter().filter_map(|a| a.prov.mechanism()).collect();
+        assert_eq!(
+            mechs,
+            vec![Mechanism::Dup, Mechanism::Check, Mechanism::Check]
+        );
     }
 }

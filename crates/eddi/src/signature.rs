@@ -20,7 +20,7 @@ use ferrum_mir::inst::MirInst;
 use ferrum_mir::module::Module;
 use ferrum_mir::value::Value;
 
-use crate::ir_eddi::{Rewriter, ShadowMap};
+use crate::ir_eddi::{Rewriter, ShadowIds, ShadowMap};
 
 /// The signature-protection prepass.
 #[derive(Debug, Clone, Copy, Default)]
@@ -44,14 +44,18 @@ impl SignaturePass {
         let mut shadows = ShadowMap::new();
         for f in &mut out.functions {
             let first_new = f.next_id;
-            protect_function(f);
-            shadows.insert(f.name.clone(), (first_new..f.next_id).collect());
+            let checks = protect_function(f);
+            let ids = ShadowIds {
+                all: (first_new..f.next_id).collect(),
+                checks,
+            };
+            shadows.insert(f.name.clone(), ids);
         }
         (out, shadows)
     }
 }
 
-fn protect_function(f: &mut Function) {
+fn protect_function(f: &mut Function) -> std::collections::HashSet<u32> {
     let blocks = std::mem::take(&mut f.blocks);
     let snapshot = Function {
         blocks,
@@ -114,7 +118,9 @@ fn protect_function(f: &mut Function) {
             }
         }
     }
+    let checks = std::mem::take(&mut rw.check_ids);
     f.blocks = rw.finish(f.ret);
+    checks
 }
 
 #[cfg(test)]

@@ -14,11 +14,17 @@
 //!   from the nearest snapshot at-or-before its injection point
 //!   instead of from instruction 0.
 //!
-//! Every executor fills [`CampaignResult::stats`] with throughput
-//! observability (wall time, injections/sec, snapshot hit-rate, steps
-//! saved).  `stats` is deliberately excluded from `PartialEq`: two
-//! campaigns are *equal* when their sampled faults and classified
-//! outcomes agree, however long they took.
+//! Every executor fills [`CampaignResult::stats`] with campaign
+//! telemetry: throughput (wall time, injections/sec), snapshot
+//! hit-rate and steps saved, per-worker load ([`WorkerStats`]), and the
+//! detection-latency distribution ([`DetectionLatency`] — the
+//! dynamic-instruction distance from each injection to the checker
+//! that caught it).  `stats` is deliberately excluded from
+//! `PartialEq`: two campaigns are *equal* when their sampled faults
+//! and classified outcomes agree, however long they took.  When the
+//! `trace` feature is on, executors additionally emit `ferrum-trace`
+//! spans and counters; tracing is observational only and can never
+//! change outcomes.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
@@ -86,11 +92,105 @@ impl Default for CampaignConfig {
     }
 }
 
-/// Throughput and snapshot-efficiency counters for one campaign.
+/// Per-worker telemetry for one campaign executor.
+///
+/// Entry `i` describes worker thread `i`; the serial executors report a
+/// single entry.  Work stealing makes the split vary run to run, which
+/// is one reason `stats` is excluded from result equality.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Faulted runs this worker executed.
+    pub injections: usize,
+    /// Dynamic instructions this worker executed.
+    pub steps_executed: u64,
+}
+
+/// Detection-latency distribution: for every [`Outcome::Detected`]
+/// record, the dynamic-instruction distance from the faulted
+/// instruction to the checker that fired.
+///
+/// Samples are stored sorted, so the distribution compares equal
+/// across executors regardless of worker scheduling.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DetectionLatency {
+    samples: Vec<u64>,
+}
+
+impl DetectionLatency {
+    /// Builds the distribution from raw samples (any order).
+    pub fn from_samples(mut samples: Vec<u64>) -> DetectionLatency {
+        samples.sort_unstable();
+        DetectionLatency { samples }
+    }
+
+    /// Number of detections observed.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// The samples, sorted ascending.
+    pub fn samples(&self) -> &[u64] {
+        &self.samples
+    }
+
+    /// Nearest-rank percentile for `p` in `0.0..=100.0`; `None` when no
+    /// detections were observed.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        let n = self.samples.len();
+        if n == 0 {
+            return None;
+        }
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        Some(self.samples[rank.clamp(1, n) - 1])
+    }
+
+    /// Median detection latency.
+    pub fn p50(&self) -> Option<u64> {
+        self.percentile(50.0)
+    }
+
+    /// 95th-percentile detection latency.
+    pub fn p95(&self) -> Option<u64> {
+        self.percentile(95.0)
+    }
+
+    /// Worst observed detection latency.
+    pub fn max(&self) -> Option<u64> {
+        self.samples.last().copied()
+    }
+
+    /// Log2-bucketed histogram as `(lo, hi, count)` rows covering
+    /// `lo..=hi`.  Bucket 0 is the exact-zero bucket `[0, 0]` (the
+    /// checker immediately following the fault); bucket `k > 0` covers
+    /// `[2^(k-1), 2^k - 1]`.  Empty buckets up to the maximum sample
+    /// are included so renderers get a contiguous axis.
+    pub fn histogram_log2(&self) -> Vec<(u64, u64, u64)> {
+        let Some(&max) = self.samples.last() else {
+            return Vec::new();
+        };
+        let bucket = |s: u64| (64 - s.leading_zeros()) as usize;
+        let mut counts = vec![0u64; bucket(max) + 1];
+        for &s in &self.samples {
+            counts[bucket(s)] += 1;
+        }
+        counts
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| {
+                let lo = if k == 0 { 0 } else { 1u64 << (k - 1) };
+                let hi = if k == 0 { 0 } else { (1u64 << k) - 1 };
+                (lo, hi, c)
+            })
+            .collect()
+    }
+}
+
+/// Campaign telemetry: throughput, snapshot efficiency, per-worker
+/// load, and detection-latency distribution.
 ///
 /// Purely observational: excluded from [`CampaignResult`] equality so
 /// determinism assertions compare sampled faults and outcomes only.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CampaignStats {
     /// Wall-clock duration of the campaign in nanoseconds.
     pub wall_nanos: u128,
@@ -110,9 +210,25 @@ pub struct CampaignStats {
     pub steps_saved: u64,
     /// Dynamic instructions actually executed across all faulted runs.
     pub steps_executed: u64,
+    /// Per-worker injections and steps, indexed by worker thread.
+    pub per_worker: Vec<WorkerStats>,
+    /// Injection→detection instruction-distance distribution.
+    pub latency: DetectionLatency,
 }
 
 impl CampaignStats {
+    /// Ratio of the least- to the most-loaded worker's injections:
+    /// 1.0 is perfect balance, 0.0 when no work ran.
+    pub fn worker_balance(&self) -> f64 {
+        let max = self.per_worker.iter().map(|w| w.injections).max().unwrap_or(0);
+        let min = self.per_worker.iter().map(|w| w.injections).min().unwrap_or(0);
+        if max == 0 {
+            0.0
+        } else {
+            min as f64 / max as f64
+        }
+    }
+
     /// Fraction of faulted runs that resumed from a snapshot.
     pub fn snapshot_hit_rate(&self) -> f64 {
         if self.injections == 0 {
@@ -209,6 +325,16 @@ pub fn classify(stop: StopReason, output: &[i64], golden: &[i64]) -> Outcome {
     }
 }
 
+/// Injection→detection distance in dynamic instructions.  The checker
+/// that fired is the last executed instruction (dynamic index
+/// `dyn_insts - 1`, zero-based); the fault fired while executing the
+/// instruction at `inject`.  Saturating: a fault index at-or-past the
+/// detecting instruction (possible only for faults sampled past
+/// program end) reports 0 rather than wrapping.
+fn detection_latency(dyn_insts: u64, inject: u64) -> u64 {
+    dyn_insts.saturating_sub(1).saturating_sub(inject)
+}
+
 /// Pre-samples the campaign's fault list: `cfg.samples` single-bit
 /// faults at sites drawn uniformly from `profile.sites`.  Every
 /// executor uses this one function, so the sampled list — and therefore
@@ -243,6 +369,7 @@ fn finish_stats(result: &mut CampaignResult, t0: Instant, threads: usize) {
 ///
 /// Panics if the profile has no injectable sites (with `samples > 0`).
 pub fn run_campaign(cpu: &Cpu, profile: &Profile, cfg: CampaignConfig) -> CampaignResult {
+    let _span = ferrum_trace::span("campaign.serial");
     let t0 = Instant::now();
     let mut result = CampaignResult::default();
     if cfg.samples == 0 {
@@ -251,12 +378,23 @@ pub fn run_campaign(cpu: &Cpu, profile: &Profile, cfg: CampaignConfig) -> Campai
     }
     assert!(!profile.sites.is_empty(), "no injectable sites");
     let golden = &profile.result.output;
+    let mut latencies = Vec::new();
     for fault in sample_faults(profile, cfg) {
         let run = cpu.run(Some(fault));
         result.stats.steps_executed += run.dyn_insts;
-        result.record(fault, classify(run.stop, &run.output, golden));
+        let o = classify(run.stop, &run.output, golden);
+        if o == Outcome::Detected {
+            latencies.push(detection_latency(run.dyn_insts, fault.dyn_index));
+        }
+        result.record(fault, o);
     }
+    result.stats.per_worker = vec![WorkerStats {
+        injections: result.total(),
+        steps_executed: result.stats.steps_executed,
+    }];
+    result.stats.latency = DetectionLatency::from_samples(latencies);
     finish_stats(&mut result, t0, 1);
+    ferrum_trace::counter("campaign.injections", result.total() as u64);
     result
 }
 
@@ -274,6 +412,7 @@ pub fn run_campaign_parallel(
     cfg: CampaignConfig,
     threads: usize,
 ) -> CampaignResult {
+    let _span = ferrum_trace::span("campaign.parallel");
     let t0 = Instant::now();
     let mut result = CampaignResult::default();
     if cfg.samples == 0 {
@@ -286,7 +425,7 @@ pub fn run_campaign_parallel(
     let threads = threads.max(1).min(faults.len());
     let next = AtomicUsize::new(0);
     let worker = |_t: usize| {
-        let mut local: Vec<(usize, Outcome)> = Vec::new();
+        let mut local: Vec<(usize, Outcome, Option<u64>)> = Vec::new();
         let mut steps = 0u64;
         loop {
             let i = next.fetch_add(1, Ordering::Relaxed);
@@ -295,26 +434,38 @@ pub fn run_campaign_parallel(
             };
             let run = cpu.run(Some(fault));
             steps += run.dyn_insts;
-            local.push((i, classify(run.stop, &run.output, golden)));
+            let o = classify(run.stop, &run.output, golden);
+            let lat = (o == Outcome::Detected)
+                .then(|| detection_latency(run.dyn_insts, fault.dyn_index));
+            local.push((i, o, lat));
         }
     };
-    let mut outcomes: Vec<Option<Outcome>> = vec![None; faults.len()];
-    let mut steps_executed = 0u64;
+    let mut outcomes: Vec<Option<(Outcome, Option<u64>)>> = vec![None; faults.len()];
+    let mut per_worker = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads).map(|t| scope.spawn(move || worker(t))).collect();
         for h in handles {
             let (local, steps) = h.join().expect("campaign worker panicked");
-            steps_executed += steps;
-            for (i, o) in local {
-                outcomes[i] = Some(o);
+            per_worker.push(WorkerStats {
+                injections: local.len(),
+                steps_executed: steps,
+            });
+            for (i, o, lat) in local {
+                outcomes[i] = Some((o, lat));
             }
         }
     });
-    for (fault, outcome) in faults.into_iter().zip(outcomes) {
-        result.record(fault, outcome.expect("every fault processed"));
+    let mut latencies = Vec::new();
+    for (fault, slot) in faults.into_iter().zip(outcomes) {
+        let (outcome, lat) = slot.expect("every fault processed");
+        latencies.extend(lat);
+        result.record(fault, outcome);
     }
-    result.stats.steps_executed = steps_executed;
+    result.stats.steps_executed = per_worker.iter().map(|w| w.steps_executed).sum();
+    result.stats.per_worker = per_worker;
+    result.stats.latency = DetectionLatency::from_samples(latencies);
     finish_stats(&mut result, t0, threads);
+    ferrum_trace::counter("campaign.injections", result.total() as u64);
     result
 }
 
@@ -356,6 +507,7 @@ pub fn run_campaign_snapshot(
     threads: usize,
     policy: SnapshotPolicy,
 ) -> CampaignResult {
+    let _span = ferrum_trace::span("campaign.snapshot");
     let t0 = Instant::now();
     let mut result = CampaignResult::default();
     if cfg.samples == 0 {
@@ -406,7 +558,7 @@ pub fn run_campaign_snapshot(
     let order = &order;
     let faults = &faults;
     let worker = || {
-        let mut local: Vec<(usize, Outcome)> = Vec::new();
+        let mut local: Vec<(usize, Outcome, Option<u64>)> = Vec::new();
         let (mut steps, mut saved) = (0u64, 0u64);
         let mut hits = 0usize;
         loop {
@@ -437,32 +589,54 @@ pub fn run_campaign_snapshot(
                     r
                 }
             };
-            local.push((orig, classify(run.stop, &run.output, golden)));
+            let o = classify(run.stop, &run.output, golden);
+            // `Machine::restore` preserves the golden-prefix dynamic
+            // instruction count, so `run.dyn_insts` is the same
+            // whole-run total the serial executor sees and the latency
+            // distribution is engine-independent.
+            let lat = (o == Outcome::Detected)
+                .then(|| detection_latency(run.dyn_insts, fault.dyn_index));
+            local.push((orig, o, lat));
         }
     };
 
     let threads = threads.max(1).min(faults.len());
-    let mut outcomes: Vec<Option<Outcome>> = vec![None; faults.len()];
-    let (mut steps_executed, mut steps_saved) = (0u64, 0u64);
+    let mut outcomes: Vec<Option<(Outcome, Option<u64>)>> = vec![None; faults.len()];
+    let mut per_worker = Vec::with_capacity(threads);
+    let mut steps_saved = 0u64;
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads).map(|_| scope.spawn(worker)).collect();
         for h in handles {
             let (local, steps, saved) = h.join().expect("campaign worker panicked");
-            steps_executed += steps;
             steps_saved += saved;
-            for (i, o) in local {
-                outcomes[i] = Some(o);
+            per_worker.push(WorkerStats {
+                injections: local.len(),
+                steps_executed: steps,
+            });
+            for (i, o, lat) in local {
+                outcomes[i] = Some((o, lat));
             }
         }
     });
-    for (fault, outcome) in faults.iter().zip(outcomes) {
-        result.record(*fault, outcome.expect("every fault processed"));
+    let mut latencies = Vec::new();
+    for (fault, slot) in faults.iter().zip(outcomes) {
+        let (outcome, lat) = slot.expect("every fault processed");
+        latencies.extend(lat);
+        result.record(*fault, outcome);
     }
     result.stats.snapshots_taken = snapshots.len();
     result.stats.snapshot_hits = stats_hits.load(Ordering::Relaxed);
-    result.stats.steps_executed = steps_executed;
+    result.stats.steps_executed = per_worker.iter().map(|w| w.steps_executed).sum();
     result.stats.steps_saved = steps_saved;
+    result.stats.per_worker = per_worker;
+    result.stats.latency = DetectionLatency::from_samples(latencies);
     finish_stats(&mut result, t0, threads);
+    ferrum_trace::counter("campaign.injections", result.total() as u64);
+    ferrum_trace::counter(
+        "campaign.snapshot.hits",
+        result.stats.snapshot_hits as u64,
+    );
+    ferrum_trace::counter("campaign.snapshot.steps_saved", result.stats.steps_saved);
     result
 }
 
@@ -474,6 +648,7 @@ pub fn run_campaign_snapshot(
 /// faults to future work (§II-A).  `records` stores the first fault of
 /// each pair.
 pub fn run_double_campaign(cpu: &Cpu, profile: &Profile, cfg: CampaignConfig) -> CampaignResult {
+    let _span = ferrum_trace::span("campaign.double");
     let t0 = Instant::now();
     let mut result = CampaignResult::default();
     if cfg.samples == 0 {
@@ -483,6 +658,7 @@ pub fn run_double_campaign(cpu: &Cpu, profile: &Profile, cfg: CampaignConfig) ->
     assert!(!profile.sites.is_empty(), "no injectable sites");
     let golden = &profile.result.output;
     let mut rng = Rng64::seed_from_u64(cfg.seed);
+    let mut latencies = Vec::new();
     for _ in 0..cfg.samples {
         let a = profile.sites[rng.gen_range(0..profile.sites.len())];
         let b = profile.sites[rng.gen_range(0..profile.sites.len())];
@@ -490,9 +666,23 @@ pub fn run_double_campaign(cpu: &Cpu, profile: &Profile, cfg: CampaignConfig) ->
         let fb = FaultSpec::new(b.dyn_index, rng.gen_u16());
         let run = cpu.run_multi(&[fa, fb]);
         result.stats.steps_executed += run.dyn_insts;
-        result.record(fa, classify(run.stop, &run.output, golden));
+        let o = classify(run.stop, &run.output, golden);
+        if o == Outcome::Detected {
+            // Latency is measured from the *earlier* of the two faults.
+            latencies.push(detection_latency(
+                run.dyn_insts,
+                fa.dyn_index.min(fb.dyn_index),
+            ));
+        }
+        result.record(fa, o);
     }
+    result.stats.per_worker = vec![WorkerStats {
+        injections: result.total(),
+        steps_executed: result.stats.steps_executed,
+    }];
+    result.stats.latency = DetectionLatency::from_samples(latencies);
     finish_stats(&mut result, t0, 1);
+    ferrum_trace::counter("campaign.injections", result.total() as u64);
     result
 }
 
@@ -508,9 +698,11 @@ const BIT_STRIDE: u32 = 97;
 /// positions — the exhaustive sweep used to prove coverage claims on
 /// small kernels.
 pub fn exhaustive_campaign(cpu: &Cpu, profile: &Profile, bits_per_site: u16) -> CampaignResult {
+    let _span = ferrum_trace::span("campaign.exhaustive");
     let t0 = Instant::now();
     let golden = &profile.result.output;
     let mut result = CampaignResult::default();
+    let mut latencies = Vec::new();
     for site in &profile.sites {
         for k in 0..bits_per_site {
             // Spread raw bits across the largest width (256); the CPU
@@ -519,10 +711,20 @@ pub fn exhaustive_campaign(cpu: &Cpu, profile: &Profile, bits_per_site: u16) -> 
             let fault = FaultSpec::new(site.dyn_index, raw);
             let run = cpu.run(Some(fault));
             result.stats.steps_executed += run.dyn_insts;
-            result.record(fault, classify(run.stop, &run.output, golden));
+            let o = classify(run.stop, &run.output, golden);
+            if o == Outcome::Detected {
+                latencies.push(detection_latency(run.dyn_insts, fault.dyn_index));
+            }
+            result.record(fault, o);
         }
     }
+    result.stats.per_worker = vec![WorkerStats {
+        injections: result.total(),
+        steps_executed: result.stats.steps_executed,
+    }];
+    result.stats.latency = DetectionLatency::from_samples(latencies);
     finish_stats(&mut result, t0, 1);
+    ferrum_trace::counter("campaign.injections", result.total() as u64);
     result
 }
 
@@ -533,7 +735,7 @@ mod tests {
     use ferrum_mir::module::{Global, Module};
     use ferrum_mir::types::Ty;
 
-    fn sum_cpu() -> Cpu {
+    fn sum_module() -> Module {
         let mut module = Module::new();
         let g = module.add_global(Global::new("tab", vec![1, 2, 3, 4]));
         let mut b = FunctionBuilder::new("main", &[], None);
@@ -548,7 +750,18 @@ mod tests {
         b.print(acc);
         b.ret(None);
         module.functions.push(b.finish());
-        let asm = ferrum_backend::compile(&module).unwrap();
+        module
+    }
+
+    fn sum_cpu() -> Cpu {
+        let asm = ferrum_backend::compile(&sum_module()).unwrap();
+        Cpu::load(&asm).unwrap()
+    }
+
+    fn protected_sum_cpu() -> Cpu {
+        let asm = ferrum_eddi::ferrum::Ferrum::new()
+            .protect_module(&sum_module())
+            .unwrap();
         Cpu::load(&asm).unwrap()
     }
 
@@ -776,6 +989,118 @@ mod tests {
             res.records.len()
         );
         assert!((res.sdc_prob() - res.sdc as f64 / 250.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_percentiles_are_nearest_rank() {
+        let lat = DetectionLatency::from_samples(vec![5, 1, 3, 2, 4]);
+        assert_eq!(lat.count(), 5);
+        assert_eq!(lat.samples(), &[1, 2, 3, 4, 5]);
+        assert_eq!(lat.p50(), Some(3));
+        assert_eq!(lat.p95(), Some(5));
+        assert_eq!(lat.max(), Some(5));
+        assert_eq!(lat.percentile(0.0), Some(1));
+        assert_eq!(lat.percentile(100.0), Some(5));
+        let empty = DetectionLatency::default();
+        assert_eq!(empty.p50(), None);
+        assert_eq!(empty.max(), None);
+        assert!(empty.histogram_log2().is_empty());
+    }
+
+    #[test]
+    fn latency_histogram_buckets_are_log2() {
+        let lat = DetectionLatency::from_samples(vec![0, 1, 2, 3, 4, 9]);
+        let h = lat.histogram_log2();
+        // [0,0]=1, [1,1]=1, [2,3]=2, [4,7]=1, [8,15]=1
+        assert_eq!(
+            h,
+            vec![(0, 0, 1), (1, 1, 1), (2, 3, 2), (4, 7, 1), (8, 15, 1)]
+        );
+        // Contiguous axis even with an empty bucket.
+        let sparse = DetectionLatency::from_samples(vec![1, 8]);
+        assert_eq!(
+            sparse.histogram_log2(),
+            vec![(0, 0, 0), (1, 1, 1), (2, 3, 0), (4, 7, 0), (8, 15, 1)]
+        );
+    }
+
+    #[test]
+    fn detection_latency_distance_is_saturating() {
+        assert_eq!(detection_latency(10, 4), 5);
+        assert_eq!(detection_latency(10, 9), 0);
+        assert_eq!(detection_latency(10, 20), 0);
+        assert_eq!(detection_latency(0, 0), 0);
+    }
+
+    #[test]
+    fn detection_latencies_match_across_engines() {
+        let cpu = protected_sum_cpu();
+        let profile = cpu.profile();
+        let cfg = CampaignConfig {
+            samples: 240,
+            seed: 77,
+        };
+        let serial = run_campaign(&cpu, &profile, cfg);
+        assert!(
+            serial.detected > 0,
+            "protected program must detect: {serial:?}"
+        );
+        assert_eq!(serial.stats.latency.count(), serial.detected);
+        let (p50, p95, max) = (
+            serial.stats.latency.p50().unwrap(),
+            serial.stats.latency.p95().unwrap(),
+            serial.stats.latency.max().unwrap(),
+        );
+        assert!(p50 <= p95 && p95 <= max, "p50={p50} p95={p95} max={max}");
+        let total: u64 = serial
+            .stats
+            .latency
+            .histogram_log2()
+            .iter()
+            .map(|&(_, _, c)| c)
+            .sum();
+        assert_eq!(total as usize, serial.detected);
+
+        let par = run_campaign_parallel(&cpu, &profile, cfg, 4);
+        assert_eq!(par.stats.latency, serial.stats.latency);
+        let snap = run_campaign_snapshot(
+            &cpu,
+            &profile,
+            cfg,
+            4,
+            SnapshotPolicy {
+                max_snapshots: 200,
+                min_interval: 1,
+            },
+        );
+        assert_eq!(snap.stats.latency, serial.stats.latency);
+    }
+
+    #[test]
+    fn per_worker_stats_cover_all_work() {
+        let cpu = sum_cpu();
+        let profile = cpu.profile();
+        let cfg = CampaignConfig {
+            samples: 120,
+            seed: 5,
+        };
+        let serial = run_campaign(&cpu, &profile, cfg);
+        assert_eq!(serial.stats.per_worker.len(), 1);
+        assert!((serial.stats.worker_balance() - 1.0).abs() < 1e-12);
+        for res in [
+            run_campaign_parallel(&cpu, &profile, cfg, 4),
+            run_campaign_snapshot(&cpu, &profile, cfg, 4, SnapshotPolicy::default()),
+        ] {
+            assert!(!res.stats.per_worker.is_empty());
+            assert!(res.stats.per_worker.len() <= 4);
+            let inj: usize = res.stats.per_worker.iter().map(|w| w.injections).sum();
+            assert_eq!(inj, res.total());
+            let steps: u64 = res.stats.per_worker.iter().map(|w| w.steps_executed).sum();
+            assert_eq!(steps, res.stats.steps_executed);
+            let bal = res.stats.worker_balance();
+            assert!((0.0..=1.0).contains(&bal), "balance {bal}");
+        }
+        assert_eq!(CampaignStats::default().worker_balance(), 0.0);
     }
 
     #[test]

@@ -59,7 +59,7 @@ pub fn attribute_sdcs(_cpu: &Cpu, profile: &Profile, result: &CampaignResult) ->
             Some(Provenance::Glue(k)) => {
                 *report.glue.entry(k.label()).or_insert(0) += 1;
             }
-            Some(Provenance::Protection(_)) => report.protection += 1,
+            Some(Provenance::Protection(..)) => report.protection += 1,
             Some(Provenance::Synthetic) | None => report.synthetic += 1,
         }
     }

@@ -1,0 +1,396 @@
+//! # ferrum-trace — hermetic span/counter observability core
+//!
+//! A hand-rolled tracing layer in the spirit of `ferrum-rng` and
+//! `ferrum::json`: no external dependencies, so the workspace keeps
+//! building with `--offline` and an empty registry cache.
+//!
+//! Two primitives:
+//!
+//! * **Spans** — [`span`] returns a guard that records a start event
+//!   immediately and an end event (carrying the elapsed nanoseconds)
+//!   when dropped.  Used around pipeline phases: backend lowering,
+//!   protection passes, campaign executors.
+//! * **Counters** — [`counter`] records a named `u64` once.  Used for
+//!   static per-mechanism emission counts and campaign totals.
+//!
+//! Events flow into a process-global [`TraceSink`].  Overhead is zero
+//! twice over:
+//!
+//! 1. **Compile time** — without the `trace` cargo feature every probe
+//!    is an inlined empty function and the global sink does not exist.
+//! 2. **Run time** — with the feature on but no sink installed, probes
+//!    take one relaxed atomic load and return (the [`NullSink`]
+//!    behaviour without even a virtual call).
+//!
+//! Tracing is *observational by contract*: sinks receive events but
+//! nothing in the process reads them back mid-run, so installing or
+//! removing a sink can never perturb campaign outcomes (the
+//! cross-engine determinism suite asserts this).
+//!
+//! ## Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use ferrum_trace::{counter, span, RingSink};
+//!
+//! let sink = Arc::new(RingSink::new(1024));
+//! ferrum_trace::install(sink.clone());
+//! {
+//!     let _s = span("phase.demo");
+//!     counter("demo.widgets", 3);
+//! }
+//! ferrum_trace::uninstall();
+//! # #[cfg(feature = "trace")]
+//! assert_eq!(sink.counter_total("demo.widgets"), 3);
+//! ```
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+#[cfg(feature = "trace")]
+use std::time::Instant;
+
+/// What one trace event records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opened (`value` is 0).
+    SpanStart,
+    /// A span closed (`value` is the elapsed nanoseconds).
+    SpanEnd,
+    /// A counter fired (`value` is the amount).
+    Counter,
+}
+
+/// One observation delivered to a [`TraceSink`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Event class.
+    pub kind: EventKind,
+    /// Static probe name, e.g. `"campaign.snapshot"`.
+    pub name: &'static str,
+    /// Counter amount or span duration (see [`EventKind`]).
+    pub value: u64,
+    /// Monotonic nanoseconds since the first event in the process.
+    pub nanos: u64,
+}
+
+/// Receiver for trace events.  Implementations must be cheap and
+/// side-effect-free with respect to the traced computation: a sink that
+/// mutated shared program state could perturb campaign outcomes, which
+/// the determinism suite treats as a bug.
+pub trait TraceSink: Send + Sync {
+    /// Accepts one event.
+    fn record(&self, ev: &Event);
+}
+
+/// A sink that drops everything — the runtime off-switch when the
+/// `trace` feature is compiled in but nobody is collecting.
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&self, _ev: &Event) {}
+}
+
+/// Fixed-capacity ring-buffer sink: the newest `capacity` events are
+/// kept, older ones are overwritten, and the number of overwritten
+/// events is reported by [`RingSink::dropped`].  Bounded memory no
+/// matter how long a campaign runs.
+#[derive(Debug)]
+pub struct RingSink {
+    buf: Mutex<Vec<Event>>,
+    capacity: usize,
+    /// Next write position (monotonic; wraps via modulo).
+    head: AtomicUsize,
+    dropped: AtomicU64,
+}
+
+impl RingSink {
+    /// Creates a sink keeping at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> RingSink {
+        let capacity = capacity.max(1);
+        RingSink {
+            buf: Mutex::new(Vec::with_capacity(capacity)),
+            capacity,
+            head: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        let buf = self.buf.lock().expect("ring lock");
+        if buf.len() < self.capacity {
+            return buf.clone();
+        }
+        let head = self.head.load(Ordering::Relaxed) % self.capacity;
+        let mut out = Vec::with_capacity(buf.len());
+        out.extend_from_slice(&buf[head..]);
+        out.extend_from_slice(&buf[..head]);
+        out
+    }
+
+    /// How many events were overwritten after the ring filled.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all retained counter events with this name.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.events()
+            .iter()
+            .filter(|e| e.kind == EventKind::Counter && e.name == name)
+            .map(|e| e.value)
+            .sum()
+    }
+
+    /// Total nanoseconds of all retained closed spans with this name.
+    pub fn span_nanos(&self, name: &str) -> u64 {
+        self.events()
+            .iter()
+            .filter(|e| e.kind == EventKind::SpanEnd && e.name == name)
+            .map(|e| e.value)
+            .sum()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&self, ev: &Event) {
+        let mut buf = self.buf.lock().expect("ring lock");
+        if buf.len() < self.capacity {
+            buf.push(*ev);
+            self.head.store(buf.len(), Ordering::Relaxed);
+        } else {
+            let slot = self.head.load(Ordering::Relaxed) % self.capacity;
+            buf[slot] = *ev;
+            self.head.store(slot + 1, Ordering::Relaxed);
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(feature = "trace")]
+mod active {
+    use super::*;
+    use std::sync::{OnceLock, RwLock};
+
+    /// Installed sink.  `RwLock` (not `OnceLock`) so tests and the CLI
+    /// can swap sinks; `INSTALLED` lets probes skip the lock entirely
+    /// when tracing is dormant.
+    static SINK: RwLock<Option<Arc<dyn TraceSink>>> = RwLock::new(None);
+    static INSTALLED: AtomicUsize = AtomicUsize::new(0);
+
+    fn epoch() -> &'static Instant {
+        static EPOCH: OnceLock<Instant> = OnceLock::new();
+        EPOCH.get_or_init(Instant::now)
+    }
+
+    pub(super) fn install(sink: Arc<dyn TraceSink>) {
+        *SINK.write().expect("sink lock") = Some(sink);
+        INSTALLED.store(1, Ordering::Release);
+    }
+
+    pub(super) fn uninstall() {
+        INSTALLED.store(0, Ordering::Release);
+        *SINK.write().expect("sink lock") = None;
+    }
+
+    pub(super) fn enabled() -> bool {
+        INSTALLED.load(Ordering::Acquire) != 0
+    }
+
+    pub(super) fn emit(kind: EventKind, name: &'static str, value: u64) {
+        if !enabled() {
+            return;
+        }
+        let nanos = epoch().elapsed().as_nanos() as u64;
+        if let Some(sink) = SINK.read().expect("sink lock").as_ref() {
+            sink.record(&Event {
+                kind,
+                name,
+                value,
+                nanos,
+            });
+        }
+    }
+}
+
+/// Installs the process-global sink.  No-op without the `trace` feature.
+pub fn install(sink: Arc<dyn TraceSink>) {
+    #[cfg(feature = "trace")]
+    active::install(sink);
+    #[cfg(not(feature = "trace"))]
+    let _ = sink;
+}
+
+/// Removes the process-global sink (probes go dormant again).
+pub fn uninstall() {
+    #[cfg(feature = "trace")]
+    active::uninstall();
+}
+
+/// True when events are currently being recorded (feature compiled in
+/// *and* a sink installed).
+#[must_use]
+pub fn enabled() -> bool {
+    #[cfg(feature = "trace")]
+    {
+        active::enabled()
+    }
+    #[cfg(not(feature = "trace"))]
+    {
+        false
+    }
+}
+
+/// Records a named counter increment.
+#[inline]
+pub fn counter(name: &'static str, value: u64) {
+    #[cfg(feature = "trace")]
+    active::emit(EventKind::Counter, name, value);
+    #[cfg(not(feature = "trace"))]
+    {
+        let _ = (name, value);
+    }
+}
+
+/// An open span; records the end event (with elapsed nanoseconds) on
+/// drop.  With the `trace` feature off this is a zero-sized no-op.
+#[must_use = "a span measures until it is dropped"]
+pub struct Span {
+    #[cfg(feature = "trace")]
+    name: &'static str,
+    #[cfg(feature = "trace")]
+    start: Option<Instant>,
+}
+
+/// Opens a span.  Records `SpanStart` now and `SpanEnd` when the
+/// returned guard drops.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    #[cfg(feature = "trace")]
+    {
+        if active::enabled() {
+            active::emit(EventKind::SpanStart, name, 0);
+            return Span {
+                name,
+                start: Some(Instant::now()),
+            };
+        }
+        Span { name, start: None }
+    }
+    #[cfg(not(feature = "trace"))]
+    {
+        let _ = name;
+        Span {}
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        #[cfg(feature = "trace")]
+        if let Some(start) = self.start {
+            active::emit(
+                EventKind::SpanEnd,
+                self.name,
+                start.elapsed().as_nanos() as u64,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_accepts_events() {
+        NullSink.record(&Event {
+            kind: EventKind::Counter,
+            name: "x",
+            value: 1,
+            nanos: 0,
+        });
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_counts_drops() {
+        let ring = RingSink::new(3);
+        for v in 0..5u64 {
+            ring.record(&Event {
+                kind: EventKind::Counter,
+                name: "k",
+                value: v,
+                nanos: v,
+            });
+        }
+        let vals: Vec<u64> = ring.events().iter().map(|e| e.value).collect();
+        assert_eq!(vals, vec![2, 3, 4], "oldest first, newest kept");
+        assert_eq!(ring.dropped(), 2);
+        assert_eq!(ring.counter_total("k"), 2 + 3 + 4);
+        assert_eq!(ring.counter_total("other"), 0);
+    }
+
+    #[test]
+    fn ring_below_capacity_preserves_order() {
+        let ring = RingSink::new(16);
+        for v in 0..4u64 {
+            ring.record(&Event {
+                kind: EventKind::Counter,
+                name: "k",
+                value: v,
+                nanos: v,
+            });
+        }
+        let vals: Vec<u64> = ring.events().iter().map(|e| e.value).collect();
+        assert_eq!(vals, vec![0, 1, 2, 3]);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let ring = RingSink::new(0);
+        ring.record(&Event {
+            kind: EventKind::Counter,
+            name: "k",
+            value: 7,
+            nanos: 0,
+        });
+        assert_eq!(ring.events().len(), 1);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn probes_reach_installed_sink_and_stop_after_uninstall() {
+        let ring = Arc::new(RingSink::new(64));
+        install(ring.clone());
+        assert!(enabled());
+        counter("t.count", 2);
+        counter("t.count", 3);
+        {
+            let _s = span("t.span");
+        }
+        uninstall();
+        assert!(!enabled());
+        counter("t.count", 100); // dropped: no sink
+        assert_eq!(ring.counter_total("t.count"), 5);
+        let kinds: Vec<EventKind> = ring.events().iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&EventKind::SpanStart));
+        assert!(kinds.contains(&EventKind::SpanEnd));
+        // Span durations are measured, timestamps monotonic.
+        let ts: Vec<u64> = ring.events().iter().map(|e| e.nanos).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[cfg(not(feature = "trace"))]
+    #[test]
+    fn disabled_build_is_inert() {
+        let ring = Arc::new(RingSink::new(64));
+        install(ring.clone());
+        assert!(!enabled());
+        counter("t.count", 2);
+        let _s = span("t.span");
+        drop(_s);
+        assert!(ring.events().is_empty());
+        uninstall();
+    }
+}

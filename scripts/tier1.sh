@@ -17,7 +17,16 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "== tier1: cargo test -q --offline"
 cargo test -q --offline --workspace
 
+echo "== tier1: cargo build --offline --features trace (probes compiled in)"
+cargo build --offline -p ferrum-cli --features trace
+
+echo "== tier1: cargo test -q --offline --features trace (trace transparency)"
+cargo test -q --offline --features trace --test trace_transparency
+
 echo "== tier1: ferrum-lint --catalog (static soundness self-check)"
 cargo run --release --offline -q -p ferrum-cli --bin ferrum-lint -- --catalog
+
+echo "== tier1: ferrum-trace --catalog (attribution + telemetry self-check)"
+cargo run --release --offline -q -p ferrum-cli --bin ferrum-trace -- --catalog --samples 200
 
 echo "== tier1: OK"
