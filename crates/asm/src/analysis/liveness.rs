@@ -1,91 +1,254 @@
-//! Block-level backward liveness of general-purpose registers.
+//! Block-level backward liveness of general-purpose registers, at
+//! **byte granularity**.
 //!
 //! The paper invokes liveness to argue that a spare comparison register
 //! "can immediately be put into new use" after the deferred check
-//! (§III-B2).  We use the analysis for diagnostics and for asserting
-//! that protection passes never read a dead duplicate.
+//! (§III-B2).  We use the analysis for diagnostics, for asserting that
+//! protection passes never read a dead duplicate, and — through the
+//! coverage analysis — for proving individual fault sites *Masked*.
+//!
+//! Facts are tracked per register **byte** (16 GPRs × 8 bytes = one
+//! `u128` per block) because the fault injector's site model is
+//! per-byte: a flip in `%rcx` byte 5 is masked iff bytes 4–7 are never
+//! read before a kill, even when `%ecx` stays hot.  Kills follow the
+//! simulator's [`merge_write`](crate::reg::merge_write) semantics
+//! (32-bit writes zero-extend and kill the whole register; 8/16-bit
+//! writes merge and kill only the low bytes), and reads happen at the
+//! instruction's access width — which is what makes the byte facts
+//! strictly more precise than the old whole-register analysis without
+//! losing soundness for partial defs like `sete %al` or `movslq`.
 
 use crate::analysis::cfg::Cfg;
+use crate::inst::{Inst, ShiftAmount};
+use crate::operand::Operand;
 use crate::program::AsmFunction;
-use crate::reg::Gpr;
+use crate::reg::{Gpr, Width, ARG_GPRS};
 
-/// 16-bit register set used by the dataflow.
-type RegSet = u16;
+/// Byte-level register set: bit `g.index() * 8 + byte` is byte `byte`
+/// of register `g` (byte 0 is the least significant).
+pub type ByteSet = u128;
 
-fn bit(g: Gpr) -> RegSet {
-    1 << g.index()
+/// The bit for one byte of one register.
+pub fn byte_bit(g: Gpr, byte: u8) -> ByteSet {
+    debug_assert!(byte < 8);
+    1u128 << (g.index() * 8 + usize::from(byte))
 }
 
-/// Liveness facts for one function.
+/// All eight bytes of `g`.
+pub fn reg_bytes(g: Gpr) -> ByteSet {
+    0xffu128 << (g.index() * 8)
+}
+
+/// The bytes of `g` covered by a read at width `w`.
+pub fn read_bytes(g: Gpr, w: Width) -> ByteSet {
+    let m: u128 = match w {
+        Width::W8 => 0x01,
+        Width::W16 => 0x03,
+        Width::W32 => 0x0f,
+        Width::W64 => 0xff,
+    };
+    m << (g.index() * 8)
+}
+
+/// The bytes of `g` overwritten by a write at width `w`, per
+/// [`merge_write`](crate::reg::merge_write): 32-bit writes zero-extend
+/// and therefore kill all eight bytes.
+pub fn kill_bytes(g: Gpr, w: Width) -> ByteSet {
+    let m: u128 = match w {
+        Width::W8 => 0x01,
+        Width::W16 => 0x03,
+        Width::W32 | Width::W64 => 0xff,
+    };
+    m << (g.index() * 8)
+}
+
+/// Caller-saved registers clobbered by a `call` under System-V.
+const CALLER_SAVED: [Gpr; 9] = [
+    Gpr::Rax,
+    Gpr::Rcx,
+    Gpr::Rdx,
+    Gpr::Rsi,
+    Gpr::Rdi,
+    Gpr::R8,
+    Gpr::R9,
+    Gpr::R10,
+    Gpr::R11,
+];
+
+fn operand_reads(op: &Operand, w: Width, set: &mut ByteSet) {
+    match op {
+        Operand::Reg(r) => *set |= read_bytes(r.gpr, w),
+        Operand::Mem(m) => {
+            // Address arithmetic consumes the full 64-bit register.
+            for g in m.regs_read() {
+                *set |= reg_bytes(g);
+            }
+        }
+        Operand::Imm(_) => {}
+    }
+}
+
+/// The register bytes read by one instruction, including implicit
+/// operands and ABI effects (`call` reads the argument registers in
+/// full, `ret` reads `%rax`).  Reads are at access width; address
+/// registers are always read in full.
+pub fn inst_reads(inst: &Inst) -> ByteSet {
+    let mut set: ByteSet = 0;
+    match inst {
+        Inst::Mov { w, src, dst } => {
+            operand_reads(src, *w, &mut set);
+            if let Operand::Mem(m) = dst {
+                for g in m.regs_read() {
+                    set |= reg_bytes(g);
+                }
+            }
+        }
+        Inst::Movsx { src_w, src, .. } | Inst::Movzx { src_w, src, .. } => {
+            operand_reads(src, *src_w, &mut set);
+        }
+        Inst::Lea { mem, .. } => {
+            for g in mem.regs_read() {
+                set |= reg_bytes(g);
+            }
+        }
+        Inst::Alu { w, src, dst, .. } => {
+            operand_reads(src, *w, &mut set);
+            operand_reads(dst, *w, &mut set); // read-modify-write
+        }
+        Inst::Imul { w, src, dst } => {
+            operand_reads(src, *w, &mut set);
+            set |= read_bytes(dst.gpr, *w);
+        }
+        Inst::Unary { w, dst, .. } => operand_reads(dst, *w, &mut set),
+        Inst::Shift { w, amount, dst, .. } => {
+            if matches!(amount, ShiftAmount::Cl) {
+                set |= read_bytes(Gpr::Rcx, Width::W8);
+            }
+            operand_reads(dst, *w, &mut set);
+        }
+        Inst::Cqo { w } => set |= read_bytes(Gpr::Rax, *w),
+        Inst::Idiv { w, src } => {
+            set |= read_bytes(Gpr::Rax, *w);
+            set |= read_bytes(Gpr::Rdx, *w);
+            operand_reads(src, *w, &mut set);
+        }
+        Inst::Cmp { w, src, dst } | Inst::Test { w, src, dst } => {
+            operand_reads(src, *w, &mut set);
+            operand_reads(dst, *w, &mut set);
+        }
+        Inst::Setcc { dst, .. } => {
+            if let Operand::Mem(m) = dst {
+                for g in m.regs_read() {
+                    set |= reg_bytes(g);
+                }
+            }
+        }
+        Inst::Push { src } => {
+            operand_reads(src, Width::W64, &mut set);
+            set |= reg_bytes(Gpr::Rsp);
+        }
+        Inst::Pop { dst } => {
+            if let Operand::Mem(m) = dst {
+                for g in m.regs_read() {
+                    set |= reg_bytes(g);
+                }
+            }
+            set |= reg_bytes(Gpr::Rsp);
+        }
+        Inst::MovqToXmm { src, .. } | Inst::Pinsrq { src, .. } => {
+            operand_reads(src, Width::W64, &mut set);
+        }
+        Inst::Call { .. } => {
+            // Conservative: the callee may consume any argument register
+            // at any width.
+            for g in ARG_GPRS {
+                set |= reg_bytes(g);
+            }
+        }
+        Inst::Ret => set |= reg_bytes(Gpr::Rax),
+        Inst::Jmp { .. }
+        | Inst::Jcc { .. }
+        | Inst::MovqFromXmm { .. }
+        | Inst::Pextrq { .. }
+        | Inst::Vinserti128 { .. }
+        | Inst::Vpxor { .. }
+        | Inst::Vptest { .. }
+        | Inst::Vpxor128 { .. }
+        | Inst::Vptest128 { .. }
+        | Inst::Vinserti64x4 { .. }
+        | Inst::Vpxor512 { .. }
+        | Inst::Vptest512 { .. }
+        | Inst::Nop => {}
+    }
+    set
+}
+
+/// The register bytes fully overwritten by one instruction (the kill
+/// set), per [`merge_write`](crate::reg::merge_write) semantics,
+/// including implicit `%rsp` updates and `call` clobbering every
+/// caller-saved register.
+pub fn inst_kills(inst: &Inst) -> ByteSet {
+    let mut set: ByteSet = 0;
+    match inst.dest_class() {
+        crate::inst::DestClass::Gpr(r) => set |= kill_bytes(r.gpr, r.width),
+        crate::inst::DestClass::RaxRdxPair(w) => {
+            set |= kill_bytes(Gpr::Rax, w);
+            set |= kill_bytes(Gpr::Rdx, w);
+        }
+        _ => {}
+    }
+    match inst {
+        Inst::Push { .. } | Inst::Pop { .. } | Inst::Call { .. } | Inst::Ret => {
+            set |= reg_bytes(Gpr::Rsp);
+        }
+        _ => {}
+    }
+    if matches!(inst, Inst::Call { .. }) {
+        for g in CALLER_SAVED {
+            set |= reg_bytes(g);
+        }
+    }
+    set
+}
+
+/// Byte-granular liveness facts for one function.
 #[derive(Debug, Clone)]
 pub struct Liveness {
-    /// Registers live on entry to each block.
-    pub live_in: Vec<RegSet>,
-    /// Registers live on exit from each block.
-    pub live_out: Vec<RegSet>,
+    /// Register bytes live on entry to each block.
+    pub live_in: Vec<ByteSet>,
+    /// Register bytes live on exit from each block.
+    pub live_out: Vec<ByteSet>,
 }
 
 impl Liveness {
     /// Computes block-level liveness for `f` using `cfg`.
     ///
-    /// Calls are treated as reading the argument registers and `%rax`
-    /// (conservative), and `ret` as reading `%rax` (the return value).
+    /// Calls are treated as reading the argument registers and
+    /// clobbering the caller-saved set, and `ret` as reading `%rax`
+    /// (the return value) — both conservative.
     pub fn compute(f: &AsmFunction, cfg: &Cfg) -> Liveness {
         let n = f.blocks.len();
-        let mut use_set = vec![0 as RegSet; n];
-        let mut def_set = vec![0 as RegSet; n];
+        let mut use_set = vec![0 as ByteSet; n];
+        let mut def_set = vec![0 as ByteSet; n];
         for (bi, b) in f.blocks.iter().enumerate() {
-            let mut defs: RegSet = 0;
-            let mut uses: RegSet = 0;
+            let mut defs: ByteSet = 0;
+            let mut uses: ByteSet = 0;
             for ai in &b.insts {
-                let mut reads: RegSet = 0;
-                for g in ai.inst.gprs_read() {
-                    reads |= bit(g);
-                }
-                match &ai.inst {
-                    crate::inst::Inst::Call { .. } => {
-                        for g in crate::reg::ARG_GPRS {
-                            reads |= bit(g);
-                        }
-                    }
-                    crate::inst::Inst::Ret => {
-                        reads |= bit(Gpr::Rax);
-                    }
-                    _ => {}
-                }
-                uses |= reads & !defs;
-                for g in ai.inst.gprs_written() {
-                    defs |= bit(g);
-                }
-                if matches!(ai.inst, crate::inst::Inst::Call { .. }) {
-                    // Caller-saved registers are clobbered by the callee.
-                    for g in [
-                        Gpr::Rax,
-                        Gpr::Rcx,
-                        Gpr::Rdx,
-                        Gpr::Rsi,
-                        Gpr::Rdi,
-                        Gpr::R8,
-                        Gpr::R9,
-                        Gpr::R10,
-                        Gpr::R11,
-                    ] {
-                        defs |= bit(g);
-                    }
-                }
+                uses |= inst_reads(&ai.inst) & !defs;
+                defs |= inst_kills(&ai.inst);
             }
             use_set[bi] = uses;
             def_set[bi] = defs;
         }
 
-        let mut live_in = vec![0 as RegSet; n];
-        let mut live_out = vec![0 as RegSet; n];
+        let mut live_in = vec![0 as ByteSet; n];
+        let mut live_out = vec![0 as ByteSet; n];
         let order = cfg.reverse_post_order();
         let mut changed = true;
         while changed {
             changed = false;
             for &bi in order.iter().rev() {
-                let mut out: RegSet = 0;
+                let mut out: ByteSet = 0;
                 for &s in &cfg.succs[bi] {
                     out |= live_in[s];
                 }
@@ -100,14 +263,41 @@ impl Liveness {
         Liveness { live_in, live_out }
     }
 
-    /// True if `g` is live on entry to block `bi`.
+    /// True if any byte of `g` is live on entry to block `bi`
+    /// (conservative whole-register view).
     pub fn live_in_contains(&self, bi: usize, g: Gpr) -> bool {
-        self.live_in[bi] & bit(g) != 0
+        self.live_in[bi] & reg_bytes(g) != 0
     }
 
-    /// True if `g` is live on exit from block `bi`.
+    /// True if any byte of `g` is live on exit from block `bi`
+    /// (conservative whole-register view).
     pub fn live_out_contains(&self, bi: usize, g: Gpr) -> bool {
-        self.live_out[bi] & bit(g) != 0
+        self.live_out[bi] & reg_bytes(g) != 0
+    }
+
+    /// True if byte `byte` of `g` is live on entry to block `bi`.
+    pub fn live_in_contains_byte(&self, bi: usize, g: Gpr, byte: u8) -> bool {
+        self.live_in[bi] & byte_bit(g, byte) != 0
+    }
+
+    /// True if byte `byte` of `g` is live on exit from block `bi`.
+    pub fn live_out_contains_byte(&self, bi: usize, g: Gpr, byte: u8) -> bool {
+        self.live_out[bi] & byte_bit(g, byte) != 0
+    }
+
+    /// The register bytes live **immediately after** each instruction of
+    /// block `bi` — i.e. `result[i]` is the live set at the fault
+    /// injector's write-back point of instruction `i`.  Computed by one
+    /// backward sweep from the block's `live_out`.
+    pub fn live_after_each(&self, f: &AsmFunction, bi: usize) -> Vec<ByteSet> {
+        let insts = &f.blocks[bi].insts;
+        let mut after = vec![0 as ByteSet; insts.len()];
+        let mut live = self.live_out[bi];
+        for (i, ai) in insts.iter().enumerate().rev() {
+            after[i] = live;
+            live = inst_reads(&ai.inst) | (live & !inst_kills(&ai.inst));
+        }
+        after
     }
 }
 
@@ -298,5 +488,174 @@ mod tests {
         // ...but block a defines it via the call clobber, so a's live-in
         // does not include r10.
         assert!(!lv.live_in_contains(0, Gpr::R10));
+    }
+
+    // ---- byte-granularity regression tests -------------------------
+
+    #[test]
+    fn sete_partial_def_does_not_kill_upper_bytes() {
+        // mov rbx, 1 ; sete %bl ; mov (store) rbx — the W8 def merges,
+        // so bytes 1..8 of rbx flow from the first mov THROUGH the sete.
+        // The old whole-register analysis treated sete as a full kill
+        // and called rbx dead before it (unsound for byte faults).
+        let mut f = AsmFunction::new("main");
+        f.blocks.push(block(
+            "a",
+            vec![
+                mov_imm(Gpr::Rbx, 1),
+                Inst::Setcc {
+                    cc: Cc::E,
+                    dst: Operand::Reg(Reg::b(Gpr::Rbx)),
+                },
+            ],
+        ));
+        f.blocks.push(block(
+            "b",
+            vec![
+                Inst::Mov {
+                    w: Width::W64,
+                    src: Operand::Reg(Reg::q(Gpr::Rbx)),
+                    dst: Operand::Reg(Reg::q(Gpr::Rax)),
+                },
+                Inst::Ret,
+            ],
+        ));
+        let cfg = Cfg::build(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        // Upper bytes survive the sete: live out of block a's mov even
+        // though byte 0 is redefined.
+        for byte in 1..8 {
+            assert!(
+                lv.live_in_contains(0, Gpr::Rbx) || !lv.live_in_contains_byte(0, Gpr::Rbx, byte),
+                "sanity"
+            );
+        }
+        let after = lv.live_after_each(&f, 0);
+        // After the first mov, ALL bytes of rbx are live (byte 0 reaches
+        // the sete's merge, bytes 1..8 reach the W64 read in block b).
+        for byte in 1..8 {
+            assert!(
+                after[0] & byte_bit(Gpr::Rbx, byte) != 0,
+                "byte {byte} must survive the W8 partial def"
+            );
+        }
+        // Whole-register wrapper agrees (conservative).
+        assert!(lv.live_out_contains(0, Gpr::Rbx));
+    }
+
+    #[test]
+    fn movslq_w32_read_leaves_upper_source_bytes_dead() {
+        // movslq %ecx, %rax reads only bytes 0..4 of rcx: a fault in
+        // rcx byte 5 before it is masked if nothing else reads rcx.
+        let mut f = AsmFunction::new("main");
+        f.blocks.push(block(
+            "a",
+            vec![
+                mov_imm(Gpr::Rcx, 7),
+                Inst::Movsx {
+                    src_w: Width::W32,
+                    dst_w: Width::W64,
+                    src: Operand::Reg(Reg::l(Gpr::Rcx)),
+                    dst: Reg::q(Gpr::Rax),
+                },
+                Inst::Ret,
+            ],
+        ));
+        let cfg = Cfg::build(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        let after = lv.live_after_each(&f, 0);
+        // After the mov that defines rcx: low four bytes live (movslq
+        // reads them), high four dead.
+        for byte in 0..4 {
+            assert!(after[0] & byte_bit(Gpr::Rcx, byte) != 0, "low byte {byte}");
+        }
+        for byte in 4..8 {
+            assert!(after[0] & byte_bit(Gpr::Rcx, byte) == 0, "high byte {byte}");
+        }
+        // The conservative whole-register view still reports rcx live.
+        assert!(lv.live_in_contains(0, Gpr::Rcx) || after[0] & reg_bytes(Gpr::Rcx) != 0);
+    }
+
+    #[test]
+    fn w32_write_kills_upper_bytes_by_zero_extension() {
+        // mov rbx, -1 ; movl $5, %ebx ; use rbx — the W32 write
+        // zero-extends, so the original upper bytes never reach the use.
+        let mut f = AsmFunction::new("main");
+        f.blocks.push(block(
+            "a",
+            vec![
+                mov_imm(Gpr::Rbx, -1),
+                Inst::Mov {
+                    w: Width::W32,
+                    src: Operand::Imm(5),
+                    dst: Operand::Reg(Reg::l(Gpr::Rbx)),
+                },
+                Inst::Mov {
+                    w: Width::W64,
+                    src: Operand::Reg(Reg::q(Gpr::Rbx)),
+                    dst: Operand::Reg(Reg::q(Gpr::Rax)),
+                },
+                Inst::Ret,
+            ],
+        ));
+        let cfg = Cfg::build(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        let after = lv.live_after_each(&f, 0);
+        // Nothing of rbx survives past the W32 redefinition.
+        assert_eq!(after[0] & reg_bytes(Gpr::Rbx), 0);
+        // After the W32 write all eight bytes are live (W64 read next).
+        assert_eq!(after[1] & reg_bytes(Gpr::Rbx), reg_bytes(Gpr::Rbx));
+    }
+
+    #[test]
+    fn w16_write_merges_and_preserves_upper_liveness() {
+        // mov rbx, imm ; movw $5, %bx ; movq %rbx, %rax — bytes 2..8
+        // flow through the W16 merge; bytes 0..2 are killed by it.
+        let mut f = AsmFunction::new("main");
+        f.blocks.push(block(
+            "a",
+            vec![
+                mov_imm(Gpr::Rbx, 0x1234_5678),
+                Inst::Mov {
+                    w: Width::W16,
+                    src: Operand::Imm(5),
+                    dst: Operand::Reg(Reg::gpr(Gpr::Rbx, Width::W16)),
+                },
+                Inst::Mov {
+                    w: Width::W64,
+                    src: Operand::Reg(Reg::q(Gpr::Rbx)),
+                    dst: Operand::Reg(Reg::q(Gpr::Rax)),
+                },
+                Inst::Ret,
+            ],
+        ));
+        let cfg = Cfg::build(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        let after = lv.live_after_each(&f, 0);
+        for byte in 0..2 {
+            assert!(
+                after[0] & byte_bit(Gpr::Rbx, byte) == 0,
+                "byte {byte} killed by W16 write"
+            );
+        }
+        for byte in 2..8 {
+            assert!(
+                after[0] & byte_bit(Gpr::Rbx, byte) != 0,
+                "byte {byte} flows through the merge"
+            );
+        }
+    }
+
+    #[test]
+    fn live_after_each_matches_block_boundaries() {
+        let mut f = AsmFunction::new("main");
+        f.blocks.push(block("a", vec![mov_imm(Gpr::Rbx, 1)]));
+        f.blocks
+            .push(block("b", vec![add_rr(Gpr::Rbx, Gpr::Rax), Inst::Ret]));
+        let cfg = Cfg::build(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        let after_a = lv.live_after_each(&f, 0);
+        // The live set after a block's last instruction is its live_out.
+        assert_eq!(*after_a.last().unwrap(), lv.live_out[0]);
     }
 }

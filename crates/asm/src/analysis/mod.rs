@@ -5,11 +5,13 @@
 //! registers, and liveness to justify register reuse after checks.
 
 pub mod cfg;
+pub mod coverage;
 pub mod lint;
 pub mod liveness;
 pub mod regscan;
 
 pub use cfg::{Cfg, Dominators};
+pub use coverage::{CoverageMap, FunctionCoverage, SiteCoverage, StaticVerdict, VerdictCounts};
 pub use lint::{
     lint_function, lint_function_with, lint_program, lint_program_with, LintContract, LintFinding,
     LintReport, ProtectionManifest,

@@ -7,8 +7,10 @@
 
 use proptest::prelude::*;
 
-use ferrum_asm::analysis::regscan::{RegUsage, SpareReport};
-use ferrum_asm::inst::{AluOp, Inst};
+use ferrum_asm::analysis::coverage::{CoverageMap, StaticVerdict};
+use ferrum_asm::analysis::liveness::{byte_bit, Liveness};
+use ferrum_asm::analysis::Cfg;
+use ferrum_asm::inst::{AluOp, DestClass, Inst};
 use ferrum_asm::operand::Operand;
 use ferrum_asm::program::{AsmBlock, AsmFunction, AsmInst};
 use ferrum_asm::reg::{Gpr, Reg, Width, ALL_GPRS};
@@ -86,5 +88,83 @@ proptest! {
         // Arbitrary printable junk must produce Ok or Err, never a panic.
         let _ = ferrum_asm::parser::parse_inst(&s);
         let _ = ferrum_asm::parser::parse_program(&s);
+    }
+
+    #[test]
+    fn coverage_map_covers_every_injectable_site(
+        insts in proptest::collection::vec(simple_inst(), 0..16)
+    ) {
+        let p = ferrum_asm::program::single_block_main(insts);
+        let map = CoverageMap::analyze(&p);
+        // Single-block main ⇒ flat pc == instruction index.
+        for (pc, ai) in p.functions[0].blocks[0].insts.iter().enumerate() {
+            match ai.inst.injectable_bits() {
+                Some(bits) => {
+                    let site = map.site(pc).expect("injectable site has an entry");
+                    prop_assert_eq!(site.bits, bits);
+                    let expect_units = match ai.inst.dest_class() {
+                        DestClass::Rflags => 1,
+                        _ => (bits as usize) / 8,
+                    };
+                    prop_assert_eq!(site.units(), expect_units);
+                    // Every raw bit resolves to a verdict.
+                    for raw in 0..(2 * bits as u16) {
+                        prop_assert!(map.verdict_at(pc, raw).is_some());
+                    }
+                }
+                None => prop_assert!(map.site(pc).is_none()),
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_rollups_sum_and_analysis_is_deterministic(
+        insts in proptest::collection::vec(simple_inst(), 0..16)
+    ) {
+        let p = ferrum_asm::program::single_block_main(insts);
+        let map = CoverageMap::analyze(&p);
+        // Function rollups merge to the global rollup, which counts
+        // exactly one verdict per site unit.
+        let mut merged = ferrum_asm::analysis::coverage::VerdictCounts::default();
+        let mut units = 0usize;
+        for f in &map.functions {
+            merged.merge(&f.rollup);
+            units += f.sites.iter().map(|s| s.units()).sum::<usize>();
+        }
+        prop_assert_eq!(merged, map.rollup());
+        prop_assert_eq!(merged.total(), units);
+        let mech_total: usize = map.mechanism_rollup().iter().map(|(_, c)| c.total()).sum();
+        prop_assert_eq!(mech_total, units);
+        // Same input ⇒ same map.
+        prop_assert_eq!(map.functions, CoverageMap::analyze(&p).functions);
+    }
+
+    #[test]
+    fn dead_destination_bytes_are_always_masked(
+        insts in proptest::collection::vec(simple_inst(), 1..16)
+    ) {
+        // Liveness-masking is the base case of the classifier: a
+        // destination byte dead immediately after the faulted
+        // instruction must be Masked (the exact-taint scan can only
+        // add *more* Masked verdicts, never lose this one).
+        let p = ferrum_asm::program::single_block_main(insts);
+        let map = CoverageMap::analyze(&p);
+        let f = &p.functions[0];
+        let cfg = Cfg::build(f);
+        let live = Liveness::compute(f, &cfg);
+        let after = live.live_after_each(f, 0);
+        for (pc, ai) in f.blocks[0].insts.iter().enumerate() {
+            let DestClass::Gpr(r) = ai.inst.dest_class() else { continue };
+            let site = map.site(pc).expect("gpr site");
+            for byte in 0..site.units() {
+                if after[pc] & byte_bit(r.gpr, byte as u8) == 0 {
+                    prop_assert_eq!(
+                        site.verdicts[byte],
+                        StaticVerdict::Masked,
+                        "pc {} byte {} dead but not Masked", pc, byte
+                    );
+                }
+            }
+        }
     }
 }

@@ -8,13 +8,21 @@
 //! reports the detection-latency distribution (injection→detection
 //! instruction distance), which must be identical across engines.
 //!
+//! A third table runs the coverage-pruned executor
+//! (`run_campaign_pruned`) on the FERRUM build: faults landing on
+//! statically-decided sites (`ferrum::CoverageMap`) are booked without
+//! simulation, and the outcome records must still be identical to the
+//! serial engine.
+//!
 //! `--samples N --seed S --scale test|paper --threads T` as usual;
 //! defaults to 1000 samples and all available cores.
 
 use ferrum::{
-    CampaignConfig, Pipeline, SnapshotPolicy, Technique,
+    CampaignConfig, CoverageMap, Pipeline, SnapshotPolicy, Technique,
 };
-use ferrum_faultsim::campaign::{run_campaign, run_campaign_parallel, run_campaign_snapshot};
+use ferrum_faultsim::campaign::{
+    run_campaign, run_campaign_parallel, run_campaign_pruned, run_campaign_snapshot,
+};
 use ferrum_workloads::all_workloads;
 
 fn main() {
@@ -116,5 +124,41 @@ fn main() {
             lat.max().map_or_else(|| "-".into(), |v| v.to_string()),
             snap.stats.worker_balance(),
         );
+    }
+
+    println!();
+    println!("coverage-pruned executor vs serial (FERRUM-protected)");
+    println!(
+        "{:<14}{:>12}{:>12}{:>9}{:>12}{:>13}{:>9}",
+        "benchmark", "serial i/s", "pruned i/s", "speedup", "prune-rate", "steps-saved", "match"
+    );
+    for w in all_workloads() {
+        let module = w.build(cfg.scale);
+        let prog = pipeline
+            .protect(&module, Technique::Ferrum)
+            .expect("protects");
+        let map = CoverageMap::analyze(&prog);
+        let cpu = pipeline.load(&prog).expect("loads");
+        let profile = cpu.profile();
+        let campaign_cfg = CampaignConfig {
+            samples: cfg.samples,
+            seed: cfg.seed,
+        };
+        let serial = run_campaign(&cpu, &profile, campaign_cfg);
+        let pruned = run_campaign_pruned(&cpu, &profile, campaign_cfg, &map);
+        let identical = serial == pruned;
+        let steps_saved = 1.0
+            - pruned.stats.steps_executed as f64 / serial.stats.steps_executed.max(1) as f64;
+        println!(
+            "{:<14}{:>12.0}{:>12.0}{:>8.2}x{:>11.0}%{:>12.0}%{:>9}",
+            w.name,
+            serial.stats.injections_per_sec,
+            pruned.stats.injections_per_sec,
+            pruned.stats.injections_per_sec / serial.stats.injections_per_sec,
+            pruned.stats.prune_rate() * 100.0,
+            steps_saved * 100.0,
+            if identical { "yes" } else { "NO" }
+        );
+        assert!(identical, "{}: pruned engine diverges", w.name);
     }
 }

@@ -1,0 +1,239 @@
+//! `ferrum-coverage` — static per-site vulnerability maps.
+//!
+//! ```text
+//! usage: ferrum-coverage <workload> [options]
+//!        ferrum-coverage --catalog [--json]
+//!   --technique <t>   ferrum | hybrid | ir-eddi   (default: ferrum)
+//!   --samples <n>     faults for the measured campaign (default 400)
+//!   --seed <s>        campaign seed (default 0xFE44)
+//!   --scale <s>       test | paper   (default: test)
+//!   --sites           include the per-site verdict lists in the output
+//!   --json            emit the report as JSON instead of text
+//!   --catalog         self-check across every bundled workload: the
+//!                     pruned campaign must be outcome-identical to the
+//!                     serial engine, every sound verdict must agree
+//!                     with injection, and the FERRUM prune rate must
+//!                     clear 20%
+//! ```
+//!
+//! The tool protects the workload, classifies every injectable fault
+//! site (`ferrum_asm::analysis::coverage`), prints the per-mechanism
+//! rollups with the predicted detection-coverage bounds, then runs a
+//! pruned injection campaign and prints the predicted-vs-measured
+//! table.
+
+use std::process::ExitCode;
+
+use ferrum::json::{Json, ToJson};
+use ferrum::report::{coverage_to_json, render_predicted_vs_measured, render_static_coverage};
+use ferrum::{CampaignConfig, CoverageMap, Pipeline, StaticVerdict, Technique};
+use ferrum_cli::catalog::{catalog_exit, catalog_selfcheck, CheckLine};
+use ferrum_faultsim::campaign::{run_campaign, run_campaign_pruned, Outcome};
+use ferrum_workloads::catalog::{workload, Scale, Workload};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: ferrum-coverage <workload> [--technique ferrum|hybrid|ir-eddi] [--samples N] [--seed S] [--scale test|paper] [--sites] [--json]\n       ferrum-coverage --catalog [--json]"
+    );
+    ExitCode::from(2)
+}
+
+struct Options {
+    technique: Technique,
+    samples: usize,
+    seed: u64,
+    scale: Scale,
+    sites: bool,
+    json: bool,
+}
+
+fn technique_label(t: Technique) -> &'static str {
+    match t {
+        Technique::None => "none",
+        Technique::IrEddi => "ir-eddi",
+        Technique::HybridAsmEddi => "hybrid",
+        Technique::Ferrum => "ferrum",
+    }
+}
+
+fn run_one(name: &str, opts: &Options) -> ExitCode {
+    let Some(w) = workload(name) else {
+        eprintln!("ferrum-coverage: unknown workload `{name}`");
+        return ExitCode::FAILURE;
+    };
+    let pipeline = Pipeline::new();
+    let module = w.build(opts.scale);
+    let (map, campaign) = match (|| {
+        let prog = pipeline.protect(&module, opts.technique)?;
+        let map = CoverageMap::analyze(&prog);
+        let cpu = pipeline.load(&prog)?;
+        let profile = cpu.profile();
+        let cfg = CampaignConfig {
+            samples: opts.samples,
+            seed: opts.seed,
+        };
+        let campaign = run_campaign_pruned(&cpu, &profile, cfg, &map);
+        Ok::<_, ferrum::Error>((map, campaign))
+    })() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ferrum-coverage: {name}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if opts.json {
+        let doc = Json::obj(vec![
+            ("workload", name.to_json()),
+            ("technique", technique_label(opts.technique).to_json()),
+            ("coverage", coverage_to_json(&map, opts.sites)),
+            ("campaign_stats", campaign.stats.to_json()),
+            ("detected", campaign.detected.to_json()),
+            ("benign", campaign.benign.to_json()),
+            ("sdc", campaign.sdc.to_json()),
+        ]);
+        println!("{}", doc.to_string_pretty());
+    } else {
+        let label = format!("{name} ({})", technique_label(opts.technique));
+        print!("{}", render_static_coverage(&label, &map));
+        if opts.sites {
+            for f in &map.functions {
+                let r = &f.rollup;
+                println!(
+                    "  fn {:<24} {:>5} sites: {} masked, {} detected, {} vulnerable, {} unknown",
+                    f.name, f.sites.len(), r.masked, r.detected, r.vulnerable, r.unknown
+                );
+            }
+        }
+        println!();
+        print!("{}", render_predicted_vs_measured(&label, &map, &campaign));
+    }
+    ExitCode::SUCCESS
+}
+
+/// Self-check for one workload under FERRUM: every sound verdict must
+/// agree with injection, the pruned engine must be outcome-identical to
+/// the serial one, and the prune rate must clear the 20% floor.
+fn catalog_check(
+    pipeline: &Pipeline,
+    w: &Workload,
+    opts: &Options,
+) -> Result<Vec<CheckLine>, ferrum::Error> {
+    let module = w.build(opts.scale);
+    let prog = pipeline.protect(&module, Technique::Ferrum)?;
+    let map = CoverageMap::analyze(&prog);
+    let cpu = pipeline.load(&prog)?;
+    let profile = cpu.profile();
+    let cfg = CampaignConfig {
+        samples: opts.samples,
+        seed: opts.seed,
+    };
+    let serial = run_campaign(&cpu, &profile, cfg);
+    let pruned = run_campaign_pruned(&cpu, &profile, cfg, &map);
+
+    let identical = serial == pruned;
+    let prune_ok = pruned.stats.prune_rate() >= 0.20;
+    // Soundness: the serial (all-injected) outcomes must agree with
+    // every decided verdict the map claims for the sampled faults.
+    let sound = serial.records.iter().all(|&(fault, outcome)| {
+        let verdict = profile
+            .sites
+            .binary_search_by_key(&fault.dyn_index, |s| s.dyn_index)
+            .ok()
+            .and_then(|i| map.verdict_at(profile.sites[i].pc, fault.raw_bit));
+        match verdict {
+            Some(StaticVerdict::Masked) => outcome == Outcome::Benign,
+            Some(StaticVerdict::Detected) => outcome == Outcome::Detected,
+            _ => true,
+        }
+    });
+
+    let rollup = map.rollup();
+    Ok(vec![CheckLine {
+        ok: identical && prune_ok && sound,
+        json: Json::obj(vec![
+            ("workload", w.name.to_json()),
+            ("total_sites", map.total_sites().to_json()),
+            ("decided_fraction", rollup.decided_fraction().to_json()),
+            ("prune_rate", pruned.stats.prune_rate().to_json()),
+            ("pruned_identical", Json::Bool(identical)),
+            ("verdicts_sound", Json::Bool(sound)),
+        ]),
+        text: format!(
+            "{}: {} sites, {:.1}% decided, prune rate {:.1}% ({} of {}); pruned outcomes {}; verdicts {}",
+            w.name,
+            map.total_sites(),
+            rollup.decided_fraction() * 100.0,
+            pruned.stats.prune_rate() * 100.0,
+            pruned.stats.pruned_sites,
+            pruned.total(),
+            if identical { "identical" } else { "DIVERGED" },
+            if sound { "sound" } else { "UNSOUND" },
+        ),
+    }])
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        return usage();
+    }
+    let mut name: Option<String> = None;
+    let mut catalog = false;
+    let mut opts = Options {
+        technique: Technique::Ferrum,
+        samples: 400,
+        seed: 0xFE44,
+        scale: Scale::Test,
+        sites: false,
+        json: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => opts.json = true,
+            "--sites" => opts.sites = true,
+            "--catalog" => catalog = true,
+            "--technique" => match it.next().map(String::as_str) {
+                Some("ferrum") => opts.technique = Technique::Ferrum,
+                Some("hybrid") => opts.technique = Technique::HybridAsmEddi,
+                Some("ir-eddi") => opts.technique = Technique::IrEddi,
+                _ => {
+                    eprintln!("unknown technique (ferrum | hybrid | ir-eddi)");
+                    return ExitCode::from(2);
+                }
+            },
+            "--samples" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => opts.samples = n,
+                None => return usage(),
+            },
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(s) => opts.seed = s,
+                None => return usage(),
+            },
+            "--scale" => match it.next().map(String::as_str) {
+                Some("test") => opts.scale = Scale::Test,
+                Some("paper") => opts.scale = Scale::Paper,
+                _ => return usage(),
+            },
+            other if name.is_none() && !other.starts_with("--") => {
+                name = Some(other.to_owned());
+            }
+            other => {
+                eprintln!("unknown option `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if catalog {
+        let pipeline = Pipeline::new();
+        return catalog_exit(catalog_selfcheck("ferrum-coverage", opts.json, |w| {
+            catalog_check(&pipeline, w, &opts)
+        }));
+    }
+    match name {
+        Some(n) => run_one(&n, &opts),
+        None => usage(),
+    }
+}

@@ -20,10 +20,11 @@ use std::process::ExitCode;
 use ferrum::json::ToJson;
 use ferrum::report::render_lint_report;
 use ferrum_asm::analysis::lint::{lint_program, lint_program_with, LintReport};
+use ferrum_cli::catalog::{catalog_exit, catalog_selfcheck, CheckLine};
 use ferrum_cli::{lint_listing, CliTechnique};
 use ferrum_eddi::ferrum::Ferrum;
 use ferrum_eddi::hybrid::HybridAsmEddi;
-use ferrum_workloads::catalog::{all_workloads, Scale};
+use ferrum_workloads::catalog::Scale;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -41,48 +42,33 @@ fn emit(rep: &LintReport, label: &str, json: bool) {
 }
 
 /// Protects every catalog workload under FERRUM (manifest-driven) and
-/// the hybrid baseline and lints each result.  Returns true when every
-/// report came back clean.
-fn catalog_selfcheck(json: bool) -> Option<bool> {
-    let mut all_clean = true;
-    for w in all_workloads() {
-        let m = w.build(Scale::Test);
-        let asm = match ferrum_backend::compile(&m) {
-            Ok(a) => a,
-            Err(e) => {
-                eprintln!("ferrum-lint: {}: compile failed: {e}", w.name);
-                return None;
-            }
-        };
-        let ferrum_rep = match Ferrum::new().protect_with_manifest(&asm) {
-            Ok((prot, manifests)) => lint_program_with(&prot, &manifests),
-            Err(e) => {
-                eprintln!("ferrum-lint: {}: ferrum pass failed: {e}", w.name);
-                return None;
-            }
-        };
-        let hybrid_rep = match HybridAsmEddi::new().protect(&m) {
-            Ok(prot) => lint_program(&prot),
-            Err(e) => {
-                eprintln!("ferrum-lint: {}: hybrid pass failed: {e}", w.name);
-                return None;
-            }
-        };
-        for (label, rep) in [("ferrum", &ferrum_rep), ("hybrid", &hybrid_rep)] {
-            all_clean &= rep.is_clean();
-            if json {
-                println!("{}", rep.to_json().to_string_pretty());
-            } else if rep.is_clean() {
-                println!(
-                    "{}/{label}: clean ({} insts)",
-                    w.name, rep.insts_scanned
-                );
+/// the hybrid baseline and lints each result — one [`CheckLine`] per
+/// technique, driven by the shared [`catalog_selfcheck`] loop.
+fn catalog_check(w: &ferrum_workloads::Workload) -> Result<Vec<CheckLine>, String> {
+    let m = w.build(Scale::Test);
+    let asm = ferrum_backend::compile(&m).map_err(|e| format!("compile failed: {e}"))?;
+    let ferrum_rep = Ferrum::new()
+        .protect_with_manifest(&asm)
+        .map(|(prot, manifests)| lint_program_with(&prot, &manifests))
+        .map_err(|e| format!("ferrum pass failed: {e}"))?;
+    let hybrid_rep = HybridAsmEddi::new()
+        .protect(&m)
+        .map(|prot| lint_program(&prot))
+        .map_err(|e| format!("hybrid pass failed: {e}"))?;
+    Ok([("ferrum", ferrum_rep), ("hybrid", hybrid_rep)]
+        .into_iter()
+        .map(|(label, rep)| CheckLine {
+            ok: rep.is_clean(),
+            json: rep.to_json(),
+            text: if rep.is_clean() {
+                format!("{}/{label}: clean ({} insts)", w.name, rep.insts_scanned)
             } else {
-                print!("{}/{label}: {}", w.name, render_lint_report(rep));
-            }
-        }
-    }
-    Some(all_clean)
+                format!("{}/{label}: {}", w.name, render_lint_report(&rep))
+                    .trim_end()
+                    .to_owned()
+            },
+        })
+        .collect())
 }
 
 fn main() -> ExitCode {
@@ -117,11 +103,7 @@ fn main() -> ExitCode {
     }
 
     if catalog {
-        return match catalog_selfcheck(json) {
-            Some(true) => ExitCode::SUCCESS,
-            Some(false) => ExitCode::from(1),
-            None => ExitCode::FAILURE,
-        };
+        return catalog_exit(catalog_selfcheck("ferrum-lint", json, catalog_check));
     }
 
     let Some(input) = input else {

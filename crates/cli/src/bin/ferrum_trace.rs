@@ -30,9 +30,10 @@ use ferrum::report::{render_attribution_table, render_latency_histogram};
 use ferrum::{
     attribute_overhead, CampaignConfig, CampaignResult, Pipeline, SnapshotPolicy, Technique,
 };
+use ferrum_cli::catalog::{catalog_exit, catalog_selfcheck, CheckLine};
 use ferrum_faultsim::campaign::run_campaign_snapshot;
 use ferrum_trace::{EventKind, RingSink};
-use ferrum_workloads::catalog::{all_workloads, workload, Scale, Workload};
+use ferrum_workloads::catalog::{workload, Scale, Workload};
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -163,61 +164,43 @@ fn run_one(name: &str, opts: &Options) -> ExitCode {
     }
 }
 
-/// Self-check over the whole catalog: exact per-mechanism reconciliation
-/// and trace-sink transparency (outcomes identical with and without a
-/// sink installed).  Returns true when every workload passes.
-fn catalog_selfcheck(opts: &Options) -> Option<bool> {
-    let pipeline = Pipeline::new();
-    let mut all_ok = true;
-    for w in all_workloads() {
-        let module = w.build(opts.scale);
-        let att = match attribute_overhead(&pipeline, &module) {
-            Ok(a) => a,
-            Err(e) => {
-                eprintln!("ferrum-trace: {}: {e}", w.name);
-                return None;
-            }
-        };
-        let exact = att.reconciles();
+/// Self-check for one workload: exact per-mechanism reconciliation and
+/// trace-sink transparency (outcomes identical with and without a sink
+/// installed).  Driven by the shared [`catalog_selfcheck`] loop.
+fn catalog_check(
+    pipeline: &Pipeline,
+    w: &Workload,
+    opts: &Options,
+) -> Result<Vec<CheckLine>, ferrum::Error> {
+    let module = w.build(opts.scale);
+    let att = attribute_overhead(pipeline, &module)?;
+    let exact = att.reconciles();
 
-        let sink = Arc::new(RingSink::new(4096));
-        ferrum_trace::install(sink);
-        let traced = ferrum_campaign(&pipeline, &w, opts);
-        ferrum_trace::uninstall();
-        let plain = ferrum_campaign(&pipeline, &w, opts);
-        let (traced, plain) = match (traced, plain) {
-            (Ok(a), Ok(b)) => (a, b),
-            (Err(e), _) | (_, Err(e)) => {
-                eprintln!("ferrum-trace: {}: {e}", w.name);
-                return None;
-            }
-        };
-        let transparent = traced == plain && traced.stats.latency == plain.stats.latency;
+    let sink = Arc::new(RingSink::new(4096));
+    ferrum_trace::install(sink);
+    let traced = ferrum_campaign(pipeline, w, opts);
+    ferrum_trace::uninstall();
+    let plain = ferrum_campaign(pipeline, w, opts)?;
+    let traced = traced?;
+    let transparent = traced == plain && traced.stats.latency == plain.stats.latency;
 
-        all_ok &= exact && transparent;
-        if opts.json {
-            println!(
-                "{}",
-                Json::obj(vec![
-                    ("workload", w.name.to_json()),
-                    ("protection_insts", att.protection_insts().to_json()),
-                    ("mechanism_sum_exact", Json::Bool(exact)),
-                    ("trace_transparent", Json::Bool(transparent)),
-                ])
-                .to_string_pretty()
-            );
-        } else {
-            println!(
-                "{}: mechanism sum {} ({} prot insts, +{:.1}% cycles); trace on/off outcomes {}",
-                w.name,
-                if exact { "exact" } else { "MISMATCH" },
-                att.protection_insts(),
-                att.cycle_overhead() * 100.0,
-                if transparent { "identical" } else { "DIVERGED" },
-            );
-        }
-    }
-    Some(all_ok)
+    Ok(vec![CheckLine {
+        ok: exact && transparent,
+        json: Json::obj(vec![
+            ("workload", w.name.to_json()),
+            ("protection_insts", att.protection_insts().to_json()),
+            ("mechanism_sum_exact", Json::Bool(exact)),
+            ("trace_transparent", Json::Bool(transparent)),
+        ]),
+        text: format!(
+            "{}: mechanism sum {} ({} prot insts, +{:.1}% cycles); trace on/off outcomes {}",
+            w.name,
+            if exact { "exact" } else { "MISMATCH" },
+            att.protection_insts(),
+            att.cycle_overhead() * 100.0,
+            if transparent { "identical" } else { "DIVERGED" },
+        ),
+    }])
 }
 
 fn main() -> ExitCode {
@@ -262,11 +245,10 @@ fn main() -> ExitCode {
     }
 
     if catalog {
-        return match catalog_selfcheck(&opts) {
-            Some(true) => ExitCode::SUCCESS,
-            Some(false) => ExitCode::from(1),
-            None => ExitCode::FAILURE,
-        };
+        let pipeline = Pipeline::new();
+        return catalog_exit(catalog_selfcheck("ferrum-trace", opts.json, |w| {
+            catalog_check(&pipeline, w, &opts)
+        }));
     }
     match name {
         Some(n) => run_one(&n, &opts),

@@ -1,0 +1,66 @@
+//! Shared `--catalog` self-check plumbing for the `ferrum-*` binaries.
+//!
+//! Every tool exposes the same mode — run a per-workload check across
+//! the bundled catalog, print one record per result (JSON object or
+//! text line), and fold the verdicts into a single exit status.  The
+//! loop, error reporting, and exit-code mapping live here; the tools
+//! supply only the check itself.
+
+use std::fmt::Display;
+use std::process::ExitCode;
+
+use ferrum::json::Json;
+use ferrum_workloads::catalog::all_workloads;
+use ferrum_workloads::Workload;
+
+/// One printable result from a catalog check.  A workload may produce
+/// several (e.g. `ferrum-lint` emits one per technique).
+pub struct CheckLine {
+    /// Whether this result passed.
+    pub ok: bool,
+    /// Record printed (pretty) under `--json`.
+    pub json: Json,
+    /// Line printed otherwise (no trailing newline).
+    pub text: String,
+}
+
+/// Runs `check` over every bundled workload, printing each returned
+/// [`CheckLine`] as it arrives.  Returns `Some(all_ok)` when every
+/// check ran, or `None` after printing `"{tool}: {workload}: {err}"`
+/// on the first check that failed to run at all.
+pub fn catalog_selfcheck<E: Display>(
+    tool: &str,
+    json: bool,
+    mut check: impl FnMut(&Workload) -> Result<Vec<CheckLine>, E>,
+) -> Option<bool> {
+    let mut all_ok = true;
+    for w in all_workloads() {
+        let lines = match check(&w) {
+            Ok(lines) => lines,
+            Err(e) => {
+                eprintln!("{tool}: {}: {e}", w.name);
+                return None;
+            }
+        };
+        for line in lines {
+            all_ok &= line.ok;
+            if json {
+                println!("{}", line.json.to_string_pretty());
+            } else {
+                println!("{}", line.text);
+            }
+        }
+    }
+    Some(all_ok)
+}
+
+/// Maps a [`catalog_selfcheck`] result to the shared exit-code
+/// convention: 0 all passed, 1 some check failed, [`ExitCode::FAILURE`]
+/// a check could not run.
+pub fn catalog_exit(result: Option<bool>) -> ExitCode {
+    match result {
+        Some(true) => ExitCode::SUCCESS,
+        Some(false) => ExitCode::from(1),
+        None => ExitCode::FAILURE,
+    }
+}

@@ -12,6 +12,8 @@
 //! ferrum-protect input.s --campaign 500        # quick fault campaign
 //! ```
 
+pub mod catalog;
+
 use std::fmt;
 
 use ferrum_asm::program::AsmProgram;

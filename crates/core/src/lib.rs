@@ -46,6 +46,9 @@ pub use error::Error;
 pub use experiment::{evaluate_workload, EvalConfig, TechniqueReport, WorkloadReport};
 pub use pipeline::Pipeline;
 
+pub use ferrum_asm::analysis::coverage::{
+    CoverageMap, FunctionCoverage, SiteCoverage, StaticVerdict, VerdictCounts,
+};
 pub use ferrum_asm::provenance::Mechanism;
 pub use ferrum_cpu::cost::CostModel;
 pub use ferrum_cpu::outcome::{RunResult, StopReason};

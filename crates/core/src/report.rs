@@ -1,6 +1,7 @@
 //! Text rendering of evaluation results in the shape of the paper's
 //! figures, plus the machine-readable JSON artifact.
 
+use ferrum_asm::analysis::coverage::{CoverageMap, VerdictCounts};
 use ferrum_asm::analysis::lint::{LintFinding, LintReport};
 use ferrum_asm::provenance::Mechanism;
 use ferrum_cpu::fault::FaultSpec;
@@ -406,8 +407,155 @@ impl ToJson for CampaignStats {
             ("per_worker", self.per_worker.to_json()),
             ("worker_balance", self.worker_balance().to_json()),
             ("detection_latency", self.latency.to_json()),
+            ("pruned_sites", self.pruned_sites.to_json()),
+            ("prune_rate", self.prune_rate().to_json()),
         ])
     }
+}
+
+impl ToJson for VerdictCounts {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("masked", self.masked.to_json()),
+            ("detected", self.detected.to_json()),
+            ("vulnerable", self.vulnerable.to_json()),
+            ("unknown", self.unknown.to_json()),
+            ("total", self.total().to_json()),
+            ("detection_lower_bound", self.detection_lower_bound().to_json()),
+            ("detection_upper_bound", self.detection_upper_bound().to_json()),
+            ("decided_fraction", self.decided_fraction().to_json()),
+        ])
+    }
+}
+
+/// Serialises a [`CoverageMap`] (see docs/coverage-schema.md).  With
+/// `include_sites`, each function carries its full per-site verdict
+/// list; without, only the rollups — site lists are large.
+pub fn coverage_to_json(map: &CoverageMap, include_sites: bool) -> Json {
+    let functions = map
+        .functions
+        .iter()
+        .map(|f| {
+            let mut fields = vec![
+                ("name", f.name.to_json()),
+                ("sites", f.sites.len().to_json()),
+                ("rollup", f.rollup.to_json()),
+            ];
+            if include_sites {
+                let sites = f
+                    .sites
+                    .iter()
+                    .map(|s| {
+                        Json::obj(vec![
+                            ("pc", s.pc.to_json()),
+                            ("bits", (s.bits as u64).to_json()),
+                            (
+                                "mechanism",
+                                s.prov
+                                    .mechanism()
+                                    .map_or(Json::Null, |m| m.label().to_json()),
+                            ),
+                            (
+                                "verdicts",
+                                Json::Arr(
+                                    s.verdicts.iter().map(|v| v.label().to_json()).collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect();
+                fields.push(("site_verdicts", Json::Arr(sites)));
+            }
+            Json::obj(fields)
+        })
+        .collect();
+    let mechanisms = map
+        .mechanism_rollup()
+        .into_iter()
+        .map(|(m, c)| (m.map_or("app", Mechanism::label).to_owned(), c.to_json()))
+        .collect();
+    Json::obj(vec![
+        ("total_sites", map.total_sites().to_json()),
+        ("rollup", map.rollup().to_json()),
+        ("mechanisms", Json::Obj(mechanisms)),
+        ("functions", Json::Arr(functions)),
+    ])
+}
+
+/// Renders the static coverage map: per-mechanism verdict-unit counts
+/// and the predicted detection-coverage bounds.
+pub fn render_static_coverage(name: &str, map: &CoverageMap) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("static coverage: {name}\n"));
+    out.push_str(&format!(
+        "{:<16}{:>10}{:>10}{:>12}{:>10}{:>10}\n",
+        "mechanism", "masked", "detected", "vulnerable", "unknown", "decided"
+    ));
+    let mut rows: Vec<(String, VerdictCounts)> = map
+        .mechanism_rollup()
+        .into_iter()
+        .map(|(m, c)| (m.map_or("app", Mechanism::label).to_owned(), c))
+        .collect();
+    rows.push(("total".to_owned(), map.rollup()));
+    for (label, c) in rows {
+        out.push_str(&format!(
+            "{:<16}{:>10}{:>10}{:>12}{:>10}{:>9.1}%\n",
+            label,
+            c.masked,
+            c.detected,
+            c.vulnerable,
+            c.unknown,
+            c.decided_fraction() * 100.0,
+        ));
+    }
+    let r = map.rollup();
+    out.push_str(&format!(
+        "predicted detection coverage (static-site weighted): {:.1}% .. {:.1}%\n",
+        r.detection_lower_bound() * 100.0,
+        r.detection_upper_bound() * 100.0,
+    ));
+    out
+}
+
+/// Renders the predicted bounds next to a measured campaign.  The
+/// static bounds weight every program-text site equally while a
+/// sampled campaign weights sites by dynamic execution frequency, so
+/// the measured rate may legitimately sit outside the static band —
+/// the table exists to surface exactly that relationship.
+pub fn render_predicted_vs_measured(
+    name: &str,
+    map: &CoverageMap,
+    campaign: &CampaignResult,
+) -> String {
+    let r = map.rollup();
+    let total = campaign.total().max(1);
+    let mut out = String::new();
+    out.push_str(&format!("predicted vs measured: {name}\n"));
+    out.push_str(&format!(
+        "  static detected (lower bound)    {:>6.1}%\n",
+        r.detection_lower_bound() * 100.0
+    ));
+    out.push_str(&format!(
+        "  static non-masked (upper bound)  {:>6.1}%\n",
+        r.detection_upper_bound() * 100.0
+    ));
+    out.push_str(&format!(
+        "  measured detection rate          {:>6.1}%   ({}/{} injections)\n",
+        campaign.detected as f64 / total as f64 * 100.0,
+        campaign.detected,
+        campaign.total(),
+    ));
+    out.push_str(&format!(
+        "  measured sdc rate                {:>6.1}%\n",
+        campaign.sdc as f64 / total as f64 * 100.0
+    ));
+    out.push_str(&format!(
+        "  prune rate                       {:>6.1}%   ({} of {} booked statically)\n",
+        campaign.stats.prune_rate() * 100.0,
+        campaign.stats.pruned_sites,
+        campaign.total(),
+    ));
+    out
 }
 
 impl ToJson for CampaignResult {

@@ -23,6 +23,9 @@ pub struct Cpu {
 pub struct SiteInfo {
     /// Dynamic index of the instruction.
     pub dyn_index: u64,
+    /// Flat program counter of the instruction (static identity; keys
+    /// into `ferrum_asm::analysis::coverage::CoverageMap`).
+    pub pc: usize,
     /// Provenance of the instruction (for root-cause attribution).
     pub prov: Provenance,
     /// True when the injectable destination is RFLAGS.
@@ -217,6 +220,7 @@ impl Cpu {
             if eligible_dest_bits(&li.inst).is_some() {
                 sites.push(SiteInfo {
                     dyn_index: n,
+                    pc,
                     prov: li.prov,
                     is_flags: matches!(li.inst.dest_class(), ferrum_asm::inst::DestClass::Rflags),
                 });

@@ -12,7 +12,11 @@
 //!   golden prefix is executed once with periodic
 //!   [`ferrum_cpu::snapshot::Snapshot`]s, and every faulted run starts
 //!   from the nearest snapshot at-or-before its injection point
-//!   instead of from instruction 0.
+//!   instead of from instruction 0;
+//! * [`run_campaign_pruned`] — the serial executor armed with a static
+//!   [`CoverageMap`]: faults whose outcome the coverage analysis
+//!   proved (`Masked` → benign, `Detected` → detected) are booked
+//!   without executing at all.
 //!
 //! Every executor fills [`CampaignResult::stats`] with campaign
 //! telemetry: throughput (wall time, injections/sec), snapshot
@@ -31,6 +35,7 @@ use std::time::Instant;
 
 use ferrum_rng::Rng64;
 
+use ferrum_asm::analysis::coverage::{CoverageMap, StaticVerdict};
 use ferrum_cpu::exec::StepEvent;
 use ferrum_cpu::fault::FaultSpec;
 use ferrum_cpu::outcome::StopReason;
@@ -214,6 +219,9 @@ pub struct CampaignStats {
     pub per_worker: Vec<WorkerStats>,
     /// Injection→detection instruction-distance distribution.
     pub latency: DetectionLatency,
+    /// Faults booked from a static [`CoverageMap`] verdict instead of
+    /// being executed (see [`run_campaign_pruned`]).
+    pub pruned_sites: usize,
 }
 
 impl CampaignStats {
@@ -245,6 +253,16 @@ impl CampaignStats {
             0.0
         } else {
             self.steps_saved as f64 / total as f64
+        }
+    }
+
+    /// Fraction of injections decided statically (skipped) by the
+    /// pruned engine.
+    pub fn prune_rate(&self) -> f64 {
+        if self.injections == 0 {
+            0.0
+        } else {
+            self.pruned_sites as f64 / self.injections as f64
         }
     }
 }
@@ -395,6 +413,76 @@ pub fn run_campaign(cpu: &Cpu, profile: &Profile, cfg: CampaignConfig) -> Campai
     result.stats.latency = DetectionLatency::from_samples(latencies);
     finish_stats(&mut result, t0, 1);
     ferrum_trace::counter("campaign.injections", result.total() as u64);
+    result
+}
+
+/// As [`run_campaign`], but consults a static [`CoverageMap`] first:
+/// a fault landing on a byte the analysis proved `Masked` or
+/// `Detected` is booked with its known outcome (`Benign` /
+/// `Detected`) without executing the faulted run.  Totals, outcome
+/// tallies, and `sdc_prob` are identical to the serial engine for the
+/// same seed — the map's sound verdicts *are* the outcomes the run
+/// would have produced — while the skipped fraction is reported in
+/// [`CampaignStats::pruned_sites`] / [`CampaignStats::prune_rate`].
+/// Detection-latency samples are only collected for executed faults
+/// (a skipped run has no dynamic trace), so `stats.latency` may hold
+/// fewer samples than the serial engine's; `stats` is excluded from
+/// result equality for exactly this kind of reason.
+///
+/// # Panics
+///
+/// Panics if the profile has no injectable sites (with `samples > 0`).
+pub fn run_campaign_pruned(
+    cpu: &Cpu,
+    profile: &Profile,
+    cfg: CampaignConfig,
+    coverage: &CoverageMap,
+) -> CampaignResult {
+    let _span = ferrum_trace::span("campaign.pruned");
+    let t0 = Instant::now();
+    let mut result = CampaignResult::default();
+    if cfg.samples == 0 {
+        finish_stats(&mut result, t0, 1);
+        return result;
+    }
+    assert!(!profile.sites.is_empty(), "no injectable sites");
+    let golden = &profile.result.output;
+    let mut latencies = Vec::new();
+    for fault in sample_faults(profile, cfg) {
+        // Sites are recorded in dynamic order, so dyn_index is sorted.
+        let verdict = profile
+            .sites
+            .binary_search_by_key(&fault.dyn_index, |s| s.dyn_index)
+            .ok()
+            .and_then(|i| coverage.verdict_at(profile.sites[i].pc, fault.raw_bit));
+        match verdict {
+            Some(StaticVerdict::Masked) => {
+                result.stats.pruned_sites += 1;
+                result.record(fault, Outcome::Benign);
+            }
+            Some(StaticVerdict::Detected) => {
+                result.stats.pruned_sites += 1;
+                result.record(fault, Outcome::Detected);
+            }
+            _ => {
+                let run = cpu.run(Some(fault));
+                result.stats.steps_executed += run.dyn_insts;
+                let o = classify(run.stop, &run.output, golden);
+                if o == Outcome::Detected {
+                    latencies.push(detection_latency(run.dyn_insts, fault.dyn_index));
+                }
+                result.record(fault, o);
+            }
+        }
+    }
+    result.stats.per_worker = vec![WorkerStats {
+        injections: result.total(),
+        steps_executed: result.stats.steps_executed,
+    }];
+    result.stats.latency = DetectionLatency::from_samples(latencies);
+    finish_stats(&mut result, t0, 1);
+    ferrum_trace::counter("campaign.injections", result.total() as u64);
+    ferrum_trace::counter("campaign.pruned", result.stats.pruned_sites as u64);
     result
 }
 
@@ -839,6 +927,53 @@ mod tests {
             },
         );
         assert_ne!(a.records, b.records);
+    }
+
+    #[test]
+    fn pruned_campaign_is_outcome_identical_and_prunes() {
+        let asm = ferrum_eddi::ferrum::Ferrum::new()
+            .protect_module(&sum_module())
+            .unwrap();
+        let coverage = CoverageMap::analyze(&asm);
+        let cpu = Cpu::load(&asm).unwrap();
+        let profile = cpu.profile();
+        let cfg = CampaignConfig {
+            samples: 300,
+            seed: 11,
+        };
+        let serial = run_campaign(&cpu, &profile, cfg);
+        let pruned = run_campaign_pruned(&cpu, &profile, cfg, &coverage);
+        assert_eq!(serial, pruned, "pruned engine must be outcome-identical");
+        assert!(
+            pruned.stats.pruned_sites > 0,
+            "a FERRUM-protected program must have statically-decided sites"
+        );
+        assert!(
+            (pruned.stats.prune_rate() - pruned.stats.pruned_sites as f64 / 300.0).abs() < 1e-12
+        );
+        assert!(
+            pruned.stats.steps_executed < serial.stats.steps_executed,
+            "skipped faults must not execute"
+        );
+    }
+
+    #[test]
+    fn pruned_campaign_with_empty_map_matches_serial() {
+        // An empty coverage map decides nothing: the pruned engine
+        // degenerates to the serial one, including its step counts.
+        let cpu = sum_cpu();
+        let profile = cpu.profile();
+        let cfg = CampaignConfig {
+            samples: 120,
+            seed: 5,
+        };
+        let serial = run_campaign(&cpu, &profile, cfg);
+        let pruned = run_campaign_pruned(&cpu, &profile, cfg, &CoverageMap::default());
+        assert_eq!(serial, pruned);
+        assert_eq!(pruned.stats.pruned_sites, 0);
+        assert_eq!(pruned.stats.prune_rate(), 0.0);
+        assert_eq!(pruned.stats.steps_executed, serial.stats.steps_executed);
+        assert_eq!(pruned.stats.latency, serial.stats.latency);
     }
 
     #[test]

@@ -27,8 +27,9 @@ pub mod rootcause;
 pub mod stats;
 
 pub use campaign::{
-    exhaustive_campaign, run_campaign, run_campaign_parallel, run_campaign_snapshot,
-    run_double_campaign, CampaignConfig, CampaignResult, CampaignStats, Outcome, SnapshotPolicy,
+    exhaustive_campaign, run_campaign, run_campaign_parallel, run_campaign_pruned,
+    run_campaign_snapshot, run_double_campaign, CampaignConfig, CampaignResult, CampaignStats,
+    Outcome, SnapshotPolicy,
 };
 pub use rootcause::{attribute_sdcs, breakdown_by_kind, KindBreakdown, RootCauseReport};
 pub use stats::{sdc_coverage, wilson_interval};

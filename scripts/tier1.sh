@@ -29,4 +29,7 @@ cargo run --release --offline -q -p ferrum-cli --bin ferrum-lint -- --catalog
 echo "== tier1: ferrum-trace --catalog (attribution + telemetry self-check)"
 cargo run --release --offline -q -p ferrum-cli --bin ferrum-trace -- --catalog --samples 200
 
+echo "== tier1: ferrum-coverage --catalog (verdict soundness + pruned==serial self-check)"
+cargo run --release --offline -q -p ferrum-cli --bin ferrum-coverage -- --catalog --samples 200
+
 echo "== tier1: OK"

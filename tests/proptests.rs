@@ -13,13 +13,13 @@
 
 use proptest::prelude::*;
 
-use ferrum::{Pipeline, StopReason, Technique};
+use ferrum::{CampaignConfig, CoverageMap, Pipeline, StaticVerdict, StopReason, Technique};
 use ferrum_asm::flags::Cc;
 use ferrum_asm::inst::{AluOp, Inst, ShiftAmount, ShiftOp, UnaryOp};
 use ferrum_asm::operand::{MemRef, Operand, Scale as MScale};
 use ferrum_asm::reg::{Gpr, Reg, Width, Xmm, Ymm, ALL_GPRS};
 use ferrum_cpu::fault::FaultSpec;
-use ferrum_faultsim::campaign::{classify, Outcome};
+use ferrum_faultsim::campaign::{classify, run_campaign, run_campaign_pruned, Outcome};
 use ferrum_mir::builder::FunctionBuilder;
 use ferrum_mir::inst::{BinOp, ICmpPred};
 use ferrum_mir::interp::Interp;
@@ -418,6 +418,51 @@ proptest! {
             let outcome = classify(run.stop, &run.output, &profile.result.output);
             prop_assert_ne!(outcome, Outcome::Sdc, "site {:?}", site);
         }
+    }
+
+    #[test]
+    fn static_verdicts_are_sound_on_random_programs(
+        r in recipe_strategy(),
+        picks in proptest::collection::vec((any::<u64>(), any::<u16>()), 12),
+    ) {
+        // The coverage map's decided verdicts must agree with real
+        // injection on arbitrary generated programs, not just the
+        // benchmark catalog.
+        let module = build_program(&r);
+        let pipeline = Pipeline::new();
+        let prog = pipeline.protect(&module, Technique::Ferrum).expect("protects");
+        let map = CoverageMap::analyze(&prog);
+        let cpu = pipeline.load(&prog).expect("loads");
+        let profile = cpu.profile();
+        for (site_pick, raw_bit) in picks {
+            let site = profile.sites[(site_pick % profile.sites.len() as u64) as usize];
+            let run = cpu.run(Some(FaultSpec::new(site.dyn_index, raw_bit)));
+            let outcome = classify(run.stop, &run.output, &profile.result.output);
+            match map.verdict_at(site.pc, raw_bit) {
+                Some(StaticVerdict::Masked) =>
+                    prop_assert_eq!(outcome, Outcome::Benign, "site {:?}", site),
+                Some(StaticVerdict::Detected) =>
+                    prop_assert_eq!(outcome, Outcome::Detected, "site {:?}", site),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_campaign_matches_serial_on_random_programs(
+        r in recipe_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let module = build_program(&r);
+        let pipeline = Pipeline::new();
+        let prog = pipeline.protect(&module, Technique::Ferrum).expect("protects");
+        let map = CoverageMap::analyze(&prog);
+        let cpu = pipeline.load(&prog).expect("loads");
+        let profile = cpu.profile();
+        let cfg = CampaignConfig { samples: 64, seed };
+        let serial = run_campaign(&cpu, &profile, cfg);
+        let pruned = run_campaign_pruned(&cpu, &profile, cfg, &map);
+        prop_assert_eq!(serial, pruned);
     }
 
     #[test]
