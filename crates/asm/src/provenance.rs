@@ -126,6 +126,21 @@ impl Mechanism {
     pub fn parse(s: &str) -> Option<Mechanism> {
         Mechanism::ALL.iter().copied().find(|m| m.label() == s)
     }
+
+    /// True for mechanisms that *verify* state and can therefore fire a
+    /// detection: the scalar check, the SIMD batch flush, the deferred
+    /// flag recheck, and requisition red-zone verification.  The
+    /// capture-side mechanisms (dup, batch-capture, flag-dup) only move
+    /// data and can never detect anything on their own.
+    pub fn is_checker(self) -> bool {
+        matches!(
+            self,
+            Mechanism::Check
+                | Mechanism::BatchFlush
+                | Mechanism::FlagRecheck
+                | Mechanism::Requisition
+        )
+    }
 }
 
 impl fmt::Display for Mechanism {
@@ -243,6 +258,26 @@ mod tests {
         labels.sort_unstable();
         labels.dedup();
         assert_eq!(labels.len(), GlueKind::ALL.len());
+    }
+
+    #[test]
+    fn checker_split_partitions_the_mechanisms() {
+        let checkers: Vec<Mechanism> = Mechanism::ALL
+            .into_iter()
+            .filter(|m| m.is_checker())
+            .collect();
+        assert_eq!(
+            checkers,
+            vec![
+                Mechanism::Check,
+                Mechanism::BatchFlush,
+                Mechanism::FlagRecheck,
+                Mechanism::Requisition
+            ]
+        );
+        assert!(!Mechanism::Dup.is_checker());
+        assert!(!Mechanism::BatchCapture.is_checker());
+        assert!(!Mechanism::FlagDup.is_checker());
     }
 
     #[test]

@@ -1,0 +1,253 @@
+//! Shared command-line parsing for the `ferrum-*` binaries.
+//!
+//! Every tool in this crate speaks the same dialect: at most one
+//! positional operand (a workload name or an input listing), boolean
+//! flags, and valued options, with `-h`/`--help` anywhere producing the
+//! usage text.  Each binary used to hand-roll the same `while let`
+//! loop; this module is that loop written once, plus typed accessors
+//! for the options the tools share (`--samples`, `--seed`, `--scale`,
+//! `--technique`).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::process::ExitCode;
+
+use ferrum_eddi::Technique;
+use ferrum_workloads::Scale;
+
+use crate::CliTechnique;
+
+/// What a binary accepts: its boolean flags, its valued options, and
+/// whether it takes a positional operand.
+#[derive(Debug, Clone, Copy)]
+pub struct ArgSpec {
+    /// Boolean flags (`--json`, `--catalog`, ...).
+    pub flags: &'static [&'static str],
+    /// Options that consume the next argument (`--samples`, `-o`, ...).
+    pub values: &'static [&'static str],
+    /// Whether one positional operand is accepted.
+    pub positional: bool,
+}
+
+/// Why parsing stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// `-h`/`--help` was given (or the command line was empty): print
+    /// the usage text and exit with status 2, matching the historical
+    /// behaviour of every `ferrum-*` tool.
+    Help,
+    /// A real mistake, with a message for stderr.
+    Message(String),
+}
+
+/// The parsed command line.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedArgs {
+    /// The positional operand, when the spec accepts one.
+    pub positional: Option<String>,
+    flags: BTreeSet<&'static str>,
+    values: BTreeMap<&'static str, String>,
+}
+
+/// Parses `args` (without the program name) against `spec`.
+///
+/// # Errors
+///
+/// [`ArgError::Help`] for an empty line or an explicit help request;
+/// [`ArgError::Message`] for unknown options, missing option values,
+/// and unexpected positionals.
+pub fn parse_args(args: &[String], spec: &ArgSpec) -> Result<ParsedArgs, ArgError> {
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        return Err(ArgError::Help);
+    }
+    let mut parsed = ParsedArgs::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(&flag) = spec.flags.iter().find(|&&f| f == a) {
+            parsed.flags.insert(flag);
+        } else if let Some(&opt) = spec.values.iter().find(|&&v| v == a) {
+            let Some(v) = it.next() else {
+                return Err(ArgError::Message(format!("`{opt}` needs a value")));
+            };
+            parsed.values.insert(opt, v.clone());
+        } else if spec.positional
+            && parsed.positional.is_none()
+            && (!a.starts_with('-') || a == "-")
+        {
+            parsed.positional = Some(a.clone());
+        } else {
+            return Err(ArgError::Message(format!("unknown option `{a}`")));
+        }
+    }
+    Ok(parsed)
+}
+
+impl ParsedArgs {
+    /// Whether a boolean flag was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.contains(name)
+    }
+
+    /// The raw value of an option, when given.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, ArgError> {
+        match self.value(name) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|_| ArgError::Message(format!("`{name}` cannot parse `{raw}`"))),
+        }
+    }
+
+    /// `--samples`, defaulting to the campaign-size `default`.
+    pub fn samples(&self, default: usize) -> Result<usize, ArgError> {
+        Ok(self.parsed("--samples")?.unwrap_or(default))
+    }
+
+    /// `--seed`, defaulting to `default`.
+    pub fn seed(&self, default: u64) -> Result<u64, ArgError> {
+        Ok(self.parsed("--seed")?.unwrap_or(default))
+    }
+
+    /// `--scale test|paper`, defaulting to [`Scale::Test`].
+    pub fn scale(&self) -> Result<Scale, ArgError> {
+        match self.value("--scale") {
+            None | Some("test") => Ok(Scale::Test),
+            Some("paper") => Ok(Scale::Paper),
+            Some(other) => Err(ArgError::Message(format!(
+                "unknown scale `{other}` (test | paper)"
+            ))),
+        }
+    }
+
+    /// `--technique` as a pipeline [`Technique`] (the workload-driven
+    /// tools), defaulting to `default`.
+    pub fn technique_core(&self, default: Technique) -> Result<Technique, ArgError> {
+        match self.value("--technique") {
+            None => Ok(default),
+            Some("ferrum") => Ok(Technique::Ferrum),
+            Some("hybrid") => Ok(Technique::HybridAsmEddi),
+            Some("ir-eddi") => Ok(Technique::IrEddi),
+            Some("none") => Ok(Technique::None),
+            Some(other) => Err(ArgError::Message(format!(
+                "unknown technique `{other}` (ferrum | hybrid | ir-eddi | none)"
+            ))),
+        }
+    }
+
+    /// `--technique` as a listing-level [`CliTechnique`] (the tools
+    /// that operate on bare assembly), defaulting to FERRUM.
+    pub fn technique_cli(&self) -> Result<CliTechnique, ArgError> {
+        match self.value("--technique") {
+            None => Ok(CliTechnique::Ferrum),
+            Some(s) => CliTechnique::parse(s).ok_or_else(|| {
+                ArgError::Message(format!(
+                    "unknown technique `{s}` (ferrum | ferrum-zmm | scalar)"
+                ))
+            }),
+        }
+    }
+}
+
+/// Standard error exit: prints the message (if any) and the usage text
+/// to stderr, and returns the conventional status 2.
+pub fn usage_exit(usage: &str, err: &ArgError) -> ExitCode {
+    if let ArgError::Message(m) = err {
+        eprintln!("{m}");
+    }
+    eprintln!("{usage}");
+    ExitCode::from(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: ArgSpec = ArgSpec {
+        flags: &["--json", "--catalog"],
+        values: &["--samples", "--seed", "--scale", "--technique"],
+        positional: true,
+    };
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_the_common_shape() {
+        let p = parse_args(
+            &v(&["bfs", "--json", "--samples", "250", "--seed", "9"]),
+            &SPEC,
+        )
+        .expect("parses");
+        assert_eq!(p.positional.as_deref(), Some("bfs"));
+        assert!(p.flag("--json"));
+        assert!(!p.flag("--catalog"));
+        assert_eq!(p.samples(400).unwrap(), 250);
+        assert_eq!(p.seed(0xFE44).unwrap(), 9);
+        assert_eq!(p.scale().unwrap(), Scale::Test);
+    }
+
+    #[test]
+    fn defaults_apply_when_options_are_absent() {
+        let p = parse_args(&v(&["--catalog"]), &SPEC).expect("parses");
+        assert_eq!(p.positional, None);
+        assert_eq!(p.samples(400).unwrap(), 400);
+        assert_eq!(p.seed(0xFE44).unwrap(), 0xFE44);
+        assert_eq!(
+            p.technique_core(Technique::Ferrum).unwrap(),
+            Technique::Ferrum
+        );
+        assert_eq!(p.technique_cli().unwrap(), CliTechnique::Ferrum);
+    }
+
+    #[test]
+    fn typed_accessors_parse_their_domains() {
+        let p = parse_args(
+            &v(&["x", "--scale", "paper", "--technique", "hybrid"]),
+            &SPEC,
+        )
+        .expect("parses");
+        assert_eq!(p.scale().unwrap(), Scale::Paper);
+        assert_eq!(
+            p.technique_core(Technique::Ferrum).unwrap(),
+            Technique::HybridAsmEddi
+        );
+        let p = parse_args(&v(&["x", "--technique", "ferrum-zmm"]), &SPEC).expect("parses");
+        assert_eq!(p.technique_cli().unwrap(), CliTechnique::FerrumZmm);
+        assert!(p.technique_core(Technique::Ferrum).is_err());
+    }
+
+    #[test]
+    fn stdin_dash_is_a_positional() {
+        let p = parse_args(&v(&["-", "--json"]), &SPEC).expect("parses");
+        assert_eq!(p.positional.as_deref(), Some("-"));
+    }
+
+    #[test]
+    fn errors_are_distinguished_from_help() {
+        assert!(matches!(parse_args(&v(&[]), &SPEC), Err(ArgError::Help)));
+        assert!(matches!(
+            parse_args(&v(&["bfs", "--help"]), &SPEC),
+            Err(ArgError::Help)
+        ));
+        assert!(matches!(
+            parse_args(&v(&["--warp"]), &SPEC),
+            Err(ArgError::Message(_))
+        ));
+        assert!(matches!(
+            parse_args(&v(&["--samples"]), &SPEC),
+            Err(ArgError::Message(_))
+        ));
+        let p = parse_args(&v(&["x", "--samples", "many"]), &SPEC).expect("parses");
+        assert!(matches!(p.samples(400), Err(ArgError::Message(_))));
+        // Two positionals: the second is rejected.
+        assert!(matches!(
+            parse_args(&v(&["a", "b"]), &SPEC),
+            Err(ArgError::Message(_))
+        ));
+    }
+}

@@ -25,18 +25,23 @@
 use std::process::ExitCode;
 
 use ferrum::json::{Json, ToJson};
-use ferrum::report::{coverage_to_json, render_predicted_vs_measured, render_static_coverage};
+use ferrum::report::{
+    coverage_to_json, predicted_vs_measured_to_json, render_predicted_vs_measured,
+    render_static_coverage,
+};
 use ferrum::{CampaignConfig, CoverageMap, Pipeline, StaticVerdict, Technique};
+use ferrum_cli::args::{parse_args, usage_exit, ArgSpec};
 use ferrum_cli::catalog::{catalog_exit, catalog_selfcheck, CheckLine};
 use ferrum_faultsim::campaign::{run_campaign, run_campaign_pruned, Outcome};
 use ferrum_workloads::catalog::{workload, Scale, Workload};
 
-fn usage() -> ExitCode {
-    eprintln!(
-        "usage: ferrum-coverage <workload> [--technique ferrum|hybrid|ir-eddi] [--samples N] [--seed S] [--scale test|paper] [--sites] [--json]\n       ferrum-coverage --catalog [--json]"
-    );
-    ExitCode::from(2)
-}
+const USAGE: &str = "usage: ferrum-coverage <workload> [--technique ferrum|hybrid|ir-eddi] [--samples N] [--seed S] [--scale test|paper] [--sites] [--json]\n       ferrum-coverage --catalog [--json]";
+
+const SPEC: ArgSpec = ArgSpec {
+    flags: &["--json", "--sites", "--catalog"],
+    values: &["--technique", "--samples", "--seed", "--scale"],
+    positional: true,
+};
 
 struct Options {
     technique: Technique,
@@ -87,6 +92,10 @@ fn run_one(name: &str, opts: &Options) -> ExitCode {
             ("workload", name.to_json()),
             ("technique", technique_label(opts.technique).to_json()),
             ("coverage", coverage_to_json(&map, opts.sites)),
+            (
+                "predicted_vs_measured",
+                predicted_vs_measured_to_json(&map, &campaign),
+            ),
             ("campaign_stats", campaign.stats.to_json()),
             ("detected", campaign.detected.to_json()),
             ("benign", campaign.benign.to_json()),
@@ -175,65 +184,29 @@ fn catalog_check(
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
-        return usage();
-    }
-    let mut name: Option<String> = None;
-    let mut catalog = false;
-    let mut opts = Options {
-        technique: Technique::Ferrum,
-        samples: 400,
-        seed: 0xFE44,
-        scale: Scale::Test,
-        sites: false,
-        json: false,
+    let (parsed, opts) = match parse_args(&args, &SPEC).and_then(|p| {
+        let opts = Options {
+            technique: p.technique_core(Technique::Ferrum)?,
+            samples: p.samples(400)?,
+            seed: p.seed(0xFE44)?,
+            scale: p.scale()?,
+            sites: p.flag("--sites"),
+            json: p.flag("--json"),
+        };
+        Ok((p, opts))
+    }) {
+        Ok(r) => r,
+        Err(e) => return usage_exit(USAGE, &e),
     };
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--json" => opts.json = true,
-            "--sites" => opts.sites = true,
-            "--catalog" => catalog = true,
-            "--technique" => match it.next().map(String::as_str) {
-                Some("ferrum") => opts.technique = Technique::Ferrum,
-                Some("hybrid") => opts.technique = Technique::HybridAsmEddi,
-                Some("ir-eddi") => opts.technique = Technique::IrEddi,
-                _ => {
-                    eprintln!("unknown technique (ferrum | hybrid | ir-eddi)");
-                    return ExitCode::from(2);
-                }
-            },
-            "--samples" => match it.next().and_then(|s| s.parse().ok()) {
-                Some(n) => opts.samples = n,
-                None => return usage(),
-            },
-            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
-                Some(s) => opts.seed = s,
-                None => return usage(),
-            },
-            "--scale" => match it.next().map(String::as_str) {
-                Some("test") => opts.scale = Scale::Test,
-                Some("paper") => opts.scale = Scale::Paper,
-                _ => return usage(),
-            },
-            other if name.is_none() && !other.starts_with("--") => {
-                name = Some(other.to_owned());
-            }
-            other => {
-                eprintln!("unknown option `{other}`");
-                return ExitCode::from(2);
-            }
-        }
-    }
 
-    if catalog {
+    if parsed.flag("--catalog") {
         let pipeline = Pipeline::new();
         return catalog_exit(catalog_selfcheck("ferrum-coverage", opts.json, |w| {
             catalog_check(&pipeline, w, &opts)
         }));
     }
-    match name {
-        Some(n) => run_one(&n, &opts),
-        None => usage(),
+    match parsed.positional.as_deref() {
+        Some(n) => run_one(n, &opts),
+        None => usage_exit(USAGE, &ferrum_cli::args::ArgError::Help),
     }
 }

@@ -20,18 +20,20 @@ use std::process::ExitCode;
 use ferrum::json::ToJson;
 use ferrum::report::render_lint_report;
 use ferrum_asm::analysis::lint::{lint_program, lint_program_with, LintReport};
+use ferrum_cli::args::{parse_args, usage_exit, ArgError, ArgSpec};
 use ferrum_cli::catalog::{catalog_exit, catalog_selfcheck, CheckLine};
-use ferrum_cli::{lint_listing, CliTechnique};
+use ferrum_cli::lint_listing;
 use ferrum_eddi::ferrum::Ferrum;
 use ferrum_eddi::hybrid::HybridAsmEddi;
 use ferrum_workloads::catalog::Scale;
 
-fn usage() -> ExitCode {
-    eprintln!(
-        "usage: ferrum-lint <input.s | -> [--technique ferrum|ferrum-zmm|scalar] [--json]\n       ferrum-lint --catalog [--json]"
-    );
-    ExitCode::from(2)
-}
+const USAGE: &str = "usage: ferrum-lint <input.s | -> [--technique ferrum|ferrum-zmm|scalar] [--json]\n       ferrum-lint --catalog [--json]";
+
+const SPEC: ArgSpec = ArgSpec {
+    flags: &["--json", "--catalog"],
+    values: &["--technique"],
+    positional: true,
+};
 
 fn emit(rep: &LintReport, label: &str, json: bool) {
     if json {
@@ -73,41 +75,20 @@ fn catalog_check(w: &ferrum_workloads::Workload) -> Result<Vec<CheckLine>, Strin
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
-        return usage();
-    }
-    let mut input: Option<String> = None;
-    let mut technique = CliTechnique::Ferrum;
-    let mut json = false;
-    let mut catalog = false;
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--json" => json = true,
-            "--catalog" => catalog = true,
-            "--technique" => {
-                let Some(t) = it.next().and_then(|s| CliTechnique::parse(s)) else {
-                    eprintln!("unknown technique (ferrum | ferrum-zmm | scalar)");
-                    return ExitCode::from(2);
-                };
-                technique = t;
-            }
-            other if input.is_none() && !other.starts_with("--") => {
-                input = Some(other.to_owned());
-            }
-            other => {
-                eprintln!("unknown option `{other}`");
-                return ExitCode::from(2);
-            }
-        }
-    }
+    let (parsed, technique) = match parse_args(&args, &SPEC)
+        .and_then(|p| p.technique_cli().map(|t| (p, t)))
+    {
+        Ok(r) => r,
+        Err(e) => return usage_exit(USAGE, &e),
+    };
+    let json = parsed.flag("--json");
 
-    if catalog {
+    if parsed.flag("--catalog") {
         return catalog_exit(catalog_selfcheck("ferrum-lint", json, catalog_check));
     }
 
-    let Some(input) = input else {
-        return usage();
+    let Some(input) = parsed.positional else {
+        return usage_exit(USAGE, &ArgError::Help);
     };
     let text = if input == "-" {
         let mut buf = String::new();

@@ -14,45 +14,45 @@
 use std::io::Read;
 use std::process::ExitCode;
 
-use ferrum_cli::{protect_listing, CliTechnique};
+use ferrum_cli::args::{parse_args, usage_exit, ArgError, ArgSpec};
+use ferrum_cli::protect_listing;
 use ferrum_faultsim::campaign::{run_campaign, CampaignConfig};
+
+const USAGE: &str = "usage: ferrum-protect <input.s | -> [-o out.s] [--technique ferrum|ferrum-zmm|scalar] [--run] [--campaign N] [--stats]";
+
+const SPEC: ArgSpec = ArgSpec {
+    flags: &["--run", "--stats", "--emit-gnu"],
+    values: &["-o", "--technique", "--campaign"],
+    positional: true,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
-        eprintln!(
-            "usage: ferrum-protect <input.s | -> [-o out.s] [--technique ferrum|ferrum-zmm|scalar] [--run] [--campaign N] [--stats]"
-        );
-        return ExitCode::from(2);
-    }
-    let input = &args[0];
-    let mut out_path: Option<String> = None;
-    let mut technique = CliTechnique::Ferrum;
-    let mut do_run = false;
-    let mut campaign: Option<usize> = None;
-    let mut stats = false;
-    let mut emit_gnu = false;
-    let mut it = args[1..].iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "-o" => out_path = it.next().cloned(),
-            "--technique" => {
-                let Some(t) = it.next().and_then(|s| CliTechnique::parse(s)) else {
-                    eprintln!("unknown technique (ferrum | ferrum-zmm | scalar)");
-                    return ExitCode::from(2);
-                };
-                technique = t;
-            }
-            "--run" => do_run = true,
-            "--emit-gnu" => emit_gnu = true,
-            "--campaign" => campaign = it.next().and_then(|s| s.parse().ok()),
-            "--stats" => stats = true,
-            other => {
-                eprintln!("unknown option `{other}`");
-                return ExitCode::from(2);
-            }
+    let parsed = match parse_args(&args, &SPEC) {
+        Ok(p) => p,
+        Err(e) => return usage_exit(USAGE, &e),
+    };
+    let technique = match parsed.technique_cli() {
+        Ok(t) => t,
+        Err(e) => return usage_exit(USAGE, &e),
+    };
+    let campaign: Option<usize> = match parsed.value("--campaign").map(str::parse) {
+        None => None,
+        Some(Ok(n)) => Some(n),
+        Some(Err(_)) => {
+            return usage_exit(
+                USAGE,
+                &ArgError::Message("`--campaign` needs a fault count".into()),
+            )
         }
-    }
+    };
+    let Some(input) = parsed.positional.clone() else {
+        return usage_exit(USAGE, &ArgError::Help);
+    };
+    let out_path = parsed.value("-o").map(str::to_owned);
+    let do_run = parsed.flag("--run");
+    let stats = parsed.flag("--stats");
+    let emit_gnu = parsed.flag("--emit-gnu");
 
     let text = if input == "-" {
         let mut buf = String::new();
@@ -62,7 +62,7 @@ fn main() -> ExitCode {
         }
         buf
     } else {
-        match std::fs::read_to_string(input) {
+        match std::fs::read_to_string(&input) {
             Ok(t) => t,
             Err(e) => {
                 eprintln!("cannot read `{input}`: {e}");

@@ -30,17 +30,19 @@ use ferrum::report::{render_attribution_table, render_latency_histogram};
 use ferrum::{
     attribute_overhead, CampaignConfig, CampaignResult, Pipeline, SnapshotPolicy, Technique,
 };
+use ferrum_cli::args::{parse_args, usage_exit, ArgError, ArgSpec};
 use ferrum_cli::catalog::{catalog_exit, catalog_selfcheck, CheckLine};
 use ferrum_faultsim::campaign::run_campaign_snapshot;
 use ferrum_trace::{EventKind, RingSink};
 use ferrum_workloads::catalog::{workload, Scale, Workload};
 
-fn usage() -> ExitCode {
-    eprintln!(
-        "usage: ferrum-trace <workload> [--samples N] [--seed S] [--scale test|paper] [--json]\n       ferrum-trace --catalog [--json]"
-    );
-    ExitCode::from(2)
-}
+const USAGE: &str = "usage: ferrum-trace <workload> [--samples N] [--seed S] [--scale test|paper] [--json]\n       ferrum-trace --catalog [--json]";
+
+const SPEC: ArgSpec = ArgSpec {
+    flags: &["--json", "--catalog"],
+    values: &["--samples", "--seed", "--scale"],
+    positional: true,
+};
 
 struct Options {
     samples: usize,
@@ -205,53 +207,27 @@ fn catalog_check(
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
-        return usage();
-    }
-    let mut name: Option<String> = None;
-    let mut catalog = false;
-    let mut opts = Options {
-        samples: 400,
-        seed: 0xFE44,
-        scale: Scale::Test,
-        json: false,
+    let (parsed, opts) = match parse_args(&args, &SPEC).and_then(|p| {
+        let opts = Options {
+            samples: p.samples(400)?,
+            seed: p.seed(0xFE44)?,
+            scale: p.scale()?,
+            json: p.flag("--json"),
+        };
+        Ok((p, opts))
+    }) {
+        Ok(r) => r,
+        Err(e) => return usage_exit(USAGE, &e),
     };
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--json" => opts.json = true,
-            "--catalog" => catalog = true,
-            "--samples" => match it.next().and_then(|s| s.parse().ok()) {
-                Some(n) => opts.samples = n,
-                None => return usage(),
-            },
-            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
-                Some(s) => opts.seed = s,
-                None => return usage(),
-            },
-            "--scale" => match it.next().map(String::as_str) {
-                Some("test") => opts.scale = Scale::Test,
-                Some("paper") => opts.scale = Scale::Paper,
-                _ => return usage(),
-            },
-            other if name.is_none() && !other.starts_with("--") => {
-                name = Some(other.to_owned());
-            }
-            other => {
-                eprintln!("unknown option `{other}`");
-                return ExitCode::from(2);
-            }
-        }
-    }
 
-    if catalog {
+    if parsed.flag("--catalog") {
         let pipeline = Pipeline::new();
         return catalog_exit(catalog_selfcheck("ferrum-trace", opts.json, |w| {
             catalog_check(&pipeline, w, &opts)
         }));
     }
-    match name {
-        Some(n) => run_one(&n, &opts),
-        None => usage(),
+    match parsed.positional.as_deref() {
+        Some(n) => run_one(n, &opts),
+        None => usage_exit(USAGE, &ArgError::Help),
     }
 }

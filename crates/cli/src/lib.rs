@@ -12,6 +12,7 @@
 //! ferrum-protect input.s --campaign 500        # quick fault campaign
 //! ```
 
+pub mod args;
 pub mod catalog;
 
 use std::fmt;

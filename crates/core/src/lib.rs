@@ -58,4 +58,9 @@ pub use ferrum_faultsim::campaign::{
     CampaignConfig, CampaignResult, CampaignStats, DetectionLatency, Outcome, SnapshotPolicy,
     WorkerStats,
 };
+pub use ferrum_faultsim::forensics::{
+    explain_unknown_sites, forensic_replay, run_campaign_forensic, CheckerEscape, Divergence,
+    EscapeReason, ForensicConfig, ForensicRecord, ForensicsReport, KillWindow, TaintTimeline,
+    UnknownSiteExplanation,
+};
 pub use ferrum_workloads::{all_workloads, workload, Scale, Workload};

@@ -4,13 +4,19 @@
 use ferrum_asm::analysis::coverage::{CoverageMap, VerdictCounts};
 use ferrum_asm::analysis::lint::{LintFinding, LintReport};
 use ferrum_asm::provenance::Mechanism;
+use ferrum_cpu::differential::DiffLoc;
 use ferrum_cpu::fault::FaultSpec;
 use ferrum_cpu::run::MechCounts;
 use ferrum_eddi::Technique;
 use ferrum_faultsim::campaign::{
     CampaignResult, CampaignStats, DetectionLatency, Outcome, WorkerStats,
 };
+use ferrum_faultsim::forensics::{
+    CheckerEscape, Divergence, EscapeReason, ForensicRecord, ForensicsReport, KillWindow,
+    TaintSample, TaintTimeline, UnknownSiteExplanation,
+};
 use ferrum_faultsim::rootcause::RootCauseReport;
+use ferrum_faultsim::stats::wilson_interval;
 
 use crate::attribution::OverheadAttribution;
 use crate::experiment::{TechniqueReport, WorkloadReport};
@@ -529,6 +535,8 @@ pub fn render_predicted_vs_measured(
 ) -> String {
     let r = map.rollup();
     let total = campaign.total().max(1);
+    let (det_lo, det_hi) = wilson_interval(campaign.detected, campaign.total());
+    let (sdc_lo, sdc_hi) = wilson_interval(campaign.sdc, campaign.total());
     let mut out = String::new();
     out.push_str(&format!("predicted vs measured: {name}\n"));
     out.push_str(&format!(
@@ -540,14 +548,18 @@ pub fn render_predicted_vs_measured(
         r.detection_upper_bound() * 100.0
     ));
     out.push_str(&format!(
-        "  measured detection rate          {:>6.1}%   ({}/{} injections)\n",
+        "  measured detection rate          {:>6.1}%   ({}/{} injections, 95% CI {:.1}..{:.1}%)\n",
         campaign.detected as f64 / total as f64 * 100.0,
         campaign.detected,
         campaign.total(),
+        det_lo * 100.0,
+        det_hi * 100.0,
     ));
     out.push_str(&format!(
-        "  measured sdc rate                {:>6.1}%\n",
-        campaign.sdc as f64 / total as f64 * 100.0
+        "  measured sdc rate                {:>6.1}%   (95% CI {:.1}..{:.1}%)\n",
+        campaign.sdc as f64 / total as f64 * 100.0,
+        sdc_lo * 100.0,
+        sdc_hi * 100.0,
     ));
     out.push_str(&format!(
         "  prune rate                       {:>6.1}%   ({} of {} booked statically)\n",
@@ -555,6 +567,153 @@ pub fn render_predicted_vs_measured(
         campaign.stats.pruned_sites,
         campaign.total(),
     ));
+    out
+}
+
+/// The predicted-vs-measured comparison as JSON: static bounds plus
+/// measured point estimates with their 95% Wilson intervals.
+pub fn predicted_vs_measured_to_json(map: &CoverageMap, campaign: &CampaignResult) -> Json {
+    let r = map.rollup();
+    let total = campaign.total().max(1);
+    let (det_lo, det_hi) = wilson_interval(campaign.detected, campaign.total());
+    let (sdc_lo, sdc_hi) = wilson_interval(campaign.sdc, campaign.total());
+    let rate = |n: usize| n as f64 / total as f64;
+    Json::obj(vec![
+        ("static_lower_bound", r.detection_lower_bound().to_json()),
+        ("static_upper_bound", r.detection_upper_bound().to_json()),
+        ("injections", campaign.total().to_json()),
+        ("measured_detection_rate", rate(campaign.detected).to_json()),
+        ("detection_ci95_lo", det_lo.to_json()),
+        ("detection_ci95_hi", det_hi.to_json()),
+        ("measured_sdc_rate", rate(campaign.sdc).to_json()),
+        ("sdc_ci95_lo", sdc_lo.to_json()),
+        ("sdc_ci95_hi", sdc_hi.to_json()),
+        ("prune_rate", campaign.stats.prune_rate().to_json()),
+    ])
+}
+
+/// Renders a forensics report: coverage of the analysis itself (how
+/// many matching outcomes were replayed, located, classified), the
+/// escape-reason histogram, the per-mechanism checker-escape rollup,
+/// and the propagation-depth / injection→output latency summaries.
+pub fn render_forensics_report(name: &str, rep: &ForensicsReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("forensics: {name}\n"));
+    out.push_str(&format!(
+        "  analyzed {} of {} matching outcome(s): {} located, {} classified\n",
+        rep.analyzed(),
+        rep.matching_total,
+        rep.located(),
+        rep.classified(),
+    ));
+    if rep.records.is_empty() {
+        out.push_str("  nothing to explain\n");
+        return out;
+    }
+    out.push_str("  escape reasons:\n");
+    for &(reason, n) in &rep.reason_histogram {
+        out.push_str(&format!("    {:<28}{:>6}\n", reason.label(), n));
+    }
+    if !rep.mechanism_escapes.is_empty() {
+        out.push_str("  checker escapes by mechanism:\n");
+        for &(mech, n) in &rep.mechanism_escapes {
+            out.push_str(&format!("    {:<28}{:>6}\n", mech.label(), n));
+        }
+    }
+    if let Some((lo, med, hi)) = rep.depth_summary() {
+        out.push_str(&format!(
+            "  propagation depth (locations):  min {lo}  median {med}  max {hi}\n"
+        ));
+    }
+    if let Some((lo, med, hi)) = rep.latency_summary() {
+        out.push_str(&format!(
+            "  injection→output latency:       min {lo}  median {med}  max {hi}\n"
+        ));
+    }
+    out
+}
+
+/// Renders one forensic record as a multi-line incident report.
+pub fn render_forensic_record(rec: &ForensicRecord) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "fault @dyn {} bit {} (pc {}) -> {:?}\n",
+        rec.fault.dyn_index, rec.fault.raw_bit, rec.site_pc, rec.outcome
+    ));
+    match &rec.divergence {
+        Some(d) => out.push_str(&format!(
+            "  first divergence: {} at dyn {} (pc {}, {})\n",
+            d.loc, d.dyn_index, d.pc, d.prov
+        )),
+        None => out.push_str("  first divergence: not located\n"),
+    }
+    let t = &rec.taint;
+    out.push_str(&format!(
+        "  taint: peak {} live, depth {}{}{}\n",
+        t.peak_live,
+        t.propagation_depth,
+        t.quiescence
+            .map_or(String::new(), |q| format!(", quiesced at dyn {q}")),
+        t.time_to_output
+            .map_or(String::new(), |o| format!(", output hit at dyn {o}")),
+    ));
+    if let Some(w) = &rec.kill_window {
+        if w.escaped {
+            out.push_str("  kill window: escaped (no register repair restores the output)\n");
+        } else {
+            out.push_str(&format!(
+                "  kill window: [{}, {}] ({} insts)\n",
+                w.start,
+                w.end,
+                w.len()
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "  checkers executed after injection: {}\n",
+        rec.checkers.len()
+    ));
+    const SHOWN: usize = 10;
+    for c in rec.checkers.iter().take(SHOWN) {
+        out.push_str(&format!(
+            "    +{:<8} {:<14} {:<26} inputs-tainted: {}\n",
+            c.dyn_index.saturating_sub(rec.fault.dyn_index),
+            c.mechanism.label(),
+            c.reason.label(),
+            c.inputs_tainted,
+        ));
+    }
+    if rec.checkers.len() > SHOWN {
+        out.push_str(&format!("    ... ({} more)\n", rec.checkers.len() - SHOWN));
+    }
+    if let Some(reason) = rec.primary_reason {
+        out.push_str(&format!("  primary escape reason: {}\n", reason.label()));
+    }
+    out
+}
+
+/// Renders the cross-link between statically-`Unknown` coverage sites
+/// and the measured forensic explanations of their sampled SDCs.
+pub fn render_unknown_site_explanations(expl: &[UnknownSiteExplanation]) -> String {
+    let mut out = String::new();
+    if expl.is_empty() {
+        out.push_str("no statically-unknown sites produced an analyzed SDC\n");
+        return out;
+    }
+    out.push_str(&format!(
+        "{} statically-unknown site(s) with a measured SDC explanation:\n",
+        expl.len()
+    ));
+    for e in expl {
+        out.push_str(&format!(
+            "  pc {:<6} dyn {:<8} bit {:<4} {:<14} {}\n",
+            e.pc,
+            e.dyn_index,
+            e.raw_bit,
+            e.mechanism.map_or("app", Mechanism::label),
+            e.reason.map_or("unclassified", EscapeReason::label),
+        ));
+    }
     out
 }
 
@@ -590,6 +749,168 @@ impl ToJson for RootCauseReport {
             ("protection", self.protection.to_json()),
             ("synthetic", self.synthetic.to_json()),
             ("total_sdc", self.total_sdc.to_json()),
+        ])
+    }
+}
+
+impl ToJson for EscapeReason {
+    fn to_json(&self) -> Json {
+        Json::Str(self.label().to_owned())
+    }
+}
+
+impl ToJson for DiffLoc {
+    fn to_json(&self) -> Json {
+        let kind = match self {
+            DiffLoc::Gpr(_) => "gpr",
+            DiffLoc::SimdLane { .. } => "simd-lane",
+            DiffLoc::Flags => "flags",
+            DiffLoc::Mem { .. } => "mem",
+            DiffLoc::Output { .. } => "output",
+        };
+        Json::obj(vec![
+            ("kind", Json::Str(kind.to_owned())),
+            ("loc", Json::Str(self.to_string())),
+        ])
+    }
+}
+
+impl ToJson for Divergence {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("dyn_index", self.dyn_index.to_json()),
+            ("pc", self.pc.to_json()),
+            ("provenance", Json::Str(self.prov.to_string())),
+            ("loc", self.loc.to_json()),
+        ])
+    }
+}
+
+impl ToJson for CheckerEscape {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("dyn_index", self.dyn_index.to_json()),
+            ("pc", self.pc.to_json()),
+            ("mechanism", self.mechanism.to_json()),
+            ("reason", self.reason.to_json()),
+            ("inputs_tainted", Json::Bool(self.inputs_tainted)),
+        ])
+    }
+}
+
+impl ToJson for TaintSample {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("dyn_index", self.dyn_index.to_json()),
+            ("gprs", self.gprs.to_json()),
+            ("simd_lanes", self.simd_lanes.to_json()),
+            ("flags", Json::Bool(self.flags)),
+            ("mem_bytes", self.mem_bytes.to_json()),
+            ("live", self.live().to_json()),
+            ("cumulative", self.cumulative.to_json()),
+        ])
+    }
+}
+
+impl ToJson for TaintTimeline {
+    fn to_json(&self) -> Json {
+        let opt = |v: Option<u64>| v.map_or(Json::Null, |v| v.to_json());
+        Json::obj(vec![
+            ("samples", self.samples.to_json()),
+            ("peak_live", self.peak_live.to_json()),
+            ("propagation_depth", self.propagation_depth.to_json()),
+            ("quiescence", opt(self.quiescence)),
+            ("time_to_output", opt(self.time_to_output)),
+        ])
+    }
+}
+
+impl ToJson for KillWindow {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("start", self.start.to_json()),
+            ("end", self.end.to_json()),
+            ("len", self.len().to_json()),
+            ("escaped", Json::Bool(self.escaped)),
+        ])
+    }
+}
+
+impl ToJson for ForensicRecord {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("fault", self.fault.to_json()),
+            ("outcome", self.outcome.to_json()),
+            ("site_pc", self.site_pc.to_json()),
+            (
+                "divergence",
+                self.divergence.as_ref().map_or(Json::Null, ToJson::to_json),
+            ),
+            ("taint", self.taint.to_json()),
+            ("checkers", self.checkers.to_json()),
+            (
+                "primary_reason",
+                self.primary_reason.map_or(Json::Null, |r| r.to_json()),
+            ),
+            (
+                "kill_window",
+                self.kill_window.as_ref().map_or(Json::Null, ToJson::to_json),
+            ),
+        ])
+    }
+}
+
+impl ToJson for ForensicsReport {
+    fn to_json(&self) -> Json {
+        let summary = |s: Option<(u64, u64, u64)>| match s {
+            Some((lo, med, hi)) => Json::obj(vec![
+                ("min", lo.to_json()),
+                ("median", med.to_json()),
+                ("max", hi.to_json()),
+            ]),
+            None => Json::Null,
+        };
+        let reasons = self
+            .reason_histogram
+            .iter()
+            .map(|&(r, n)| (r.label().to_owned(), n.to_json()))
+            .collect();
+        let mechs = self
+            .mechanism_escapes
+            .iter()
+            .map(|&(m, n)| (m.label().to_owned(), n.to_json()))
+            .collect();
+        Json::obj(vec![
+            ("matching_total", self.matching_total.to_json()),
+            ("analyzed", self.analyzed().to_json()),
+            ("located", self.located().to_json()),
+            ("classified", self.classified().to_json()),
+            ("reason_histogram", Json::Obj(reasons)),
+            ("mechanism_escapes", Json::Obj(mechs)),
+            (
+                "depth_summary",
+                summary(
+                    self.depth_summary()
+                        .map(|(a, b, c)| (a as u64, b as u64, c as u64)),
+                ),
+            ),
+            ("latency_summary", summary(self.latency_summary())),
+            ("records", self.records.to_json()),
+        ])
+    }
+}
+
+impl ToJson for UnknownSiteExplanation {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("pc", self.pc.to_json()),
+            ("dyn_index", self.dyn_index.to_json()),
+            ("raw_bit", Json::Int(i64::from(self.raw_bit))),
+            (
+                "mechanism",
+                self.mechanism.map_or(Json::Null, |m| m.to_json()),
+            ),
+            ("reason", self.reason.map_or(Json::Null, |r| r.to_json())),
         ])
     }
 }
@@ -820,5 +1141,115 @@ mod tests {
         assert!(render_lint_report(&clean).starts_with("0 finding(s)"));
         let v = crate::json::parse(&clean.to_json().to_string_pretty()).expect("valid json");
         assert_eq!(v.get("clean").unwrap(), &Json::Bool(true));
+    }
+
+    #[test]
+    fn predicted_vs_measured_carries_wilson_intervals() {
+        use ferrum_faultsim::campaign::{run_campaign, CampaignConfig};
+        let pipeline = Pipeline::new();
+        let module = workload("knn").expect("exists").build(Scale::Test);
+        let prog = pipeline.protect(&module, Technique::Ferrum).expect("builds");
+        let cpu = pipeline.load(&prog).expect("loads");
+        let profile = cpu.profile();
+        let map = CoverageMap::analyze(&prog);
+        let cfg = CampaignConfig {
+            samples: 120,
+            seed: 0x51,
+        };
+        let campaign = run_campaign(&cpu, &profile, cfg);
+        let text = render_predicted_vs_measured("knn", &map, &campaign);
+        assert!(text.contains("95% CI"), "{text}");
+        assert!(text.contains("measured detection rate"), "{text}");
+        let v = crate::json::parse(
+            &predicted_vs_measured_to_json(&map, &campaign).to_string_pretty(),
+        )
+        .expect("valid json");
+        assert_eq!(v.get("injections").unwrap().as_u64(), Some(120));
+        let rate = v.get("measured_detection_rate").unwrap().as_f64().unwrap();
+        let lo = v.get("detection_ci95_lo").unwrap().as_f64().unwrap();
+        let hi = v.get("detection_ci95_hi").unwrap().as_f64().unwrap();
+        assert!(lo <= rate && rate <= hi, "point estimate inside the CI");
+        assert!(hi - lo < 0.25, "CI width sane for 120 samples: {lo}..{hi}");
+        let slo = v.get("sdc_ci95_lo").unwrap().as_f64().unwrap();
+        let shi = v.get("sdc_ci95_hi").unwrap().as_f64().unwrap();
+        assert!(slo <= v.get("measured_sdc_rate").unwrap().as_f64().unwrap());
+        assert!(shi <= 1.0);
+    }
+
+    #[test]
+    fn forensics_report_renders_and_round_trips_json() {
+        use ferrum_faultsim::campaign::CampaignConfig;
+        use ferrum_faultsim::forensics::{run_campaign_forensic, ForensicConfig};
+        let pipeline = Pipeline::new();
+        let module = workload("knn").expect("exists").build(Scale::Test);
+        let prog = pipeline.protect(&module, Technique::None).expect("builds");
+        let cpu = pipeline.load(&prog).expect("loads");
+        let profile = cpu.profile();
+        let cfg = CampaignConfig {
+            samples: 250,
+            seed: 0x51,
+        };
+        let (campaign, rep) =
+            run_campaign_forensic(&cpu, &profile, cfg, &ForensicConfig::default());
+        assert!(campaign.sdc > 0, "unprotected knn must produce SDCs");
+        assert!(rep.analyzed() > 0);
+
+        let text = render_forensics_report("knn/raw", &rep);
+        assert!(text.contains("forensics: knn/raw"), "{text}");
+        assert!(text.contains("escape reasons:"), "{text}");
+        // Unprotected code has no checkers: every record is
+        // checker-not-reached and depth/latency summaries render.
+        assert!(text.contains("checker-not-reached"), "{text}");
+        assert!(text.contains("propagation depth"), "{text}");
+
+        let rec_text = render_forensic_record(&rep.records[0]);
+        assert!(rec_text.contains("first divergence:"), "{rec_text}");
+        assert!(rec_text.contains("taint: peak"), "{rec_text}");
+        assert!(rec_text.contains("primary escape reason:"), "{rec_text}");
+
+        let v = crate::json::parse(&rep.to_json().to_string_pretty()).expect("valid json");
+        assert_eq!(
+            v.get("analyzed").unwrap().as_u64(),
+            Some(rep.analyzed() as u64)
+        );
+        assert_eq!(
+            v.get("located").unwrap().as_u64(),
+            Some(rep.analyzed() as u64),
+            "every analyzed record locates its divergence"
+        );
+        let hist = v.get("reason_histogram").unwrap();
+        assert!(hist.get("checker-not-reached").unwrap().as_u64().unwrap() > 0);
+        let rec = v.get("records").unwrap().idx(0).unwrap();
+        assert_eq!(rec.get("outcome").unwrap().as_str(), Some("Sdc"));
+        let div = rec.get("divergence").unwrap();
+        assert_eq!(
+            div.get("dyn_index").unwrap().as_u64(),
+            rec.get("fault").unwrap().get("dyn_index").unwrap().as_u64(),
+            "divergence sits at the injected site"
+        );
+        assert!(div.get("loc").unwrap().get("kind").unwrap().as_str().is_some());
+        let taint = rec.get("taint").unwrap();
+        assert!(taint.get("propagation_depth").unwrap().as_u64().unwrap() >= 1);
+        assert!(!taint.get("samples").unwrap().as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn unknown_site_explanations_render_both_shapes() {
+        use ferrum_faultsim::forensics::{EscapeReason, UnknownSiteExplanation};
+        assert!(render_unknown_site_explanations(&[]).contains("no statically-unknown"));
+        let expl = vec![UnknownSiteExplanation {
+            pc: 42,
+            dyn_index: 1_000,
+            raw_bit: 7,
+            mechanism: Some(Mechanism::Dup),
+            reason: Some(EscapeReason::DupAlsoCorrupted),
+        }];
+        let text = render_unknown_site_explanations(&expl);
+        assert!(text.contains("pc 42"), "{text}");
+        assert!(text.contains("dup-also-corrupted"), "{text}");
+        let v = crate::json::parse(&expl.to_json().to_string_pretty()).expect("valid json");
+        let e = v.idx(0).unwrap();
+        assert_eq!(e.get("mechanism").unwrap().as_str(), Some("dup"));
+        assert_eq!(e.get("reason").unwrap().as_str(), Some("dup-also-corrupted"));
     }
 }

@@ -40,7 +40,11 @@ impl State {
         }
     }
 
-    fn ea(&self, m: &MemRef) -> u64 {
+    /// Effective address of a memory operand in this state (symbols are
+    /// already resolved to absolute displacements at image load, so the
+    /// register walk is complete).  Exposed crate-wide so the
+    /// differential stepper can predict store/load targets.
+    pub(crate) fn ea(&self, m: &MemRef) -> u64 {
         let mut a = m.disp as u64;
         if let Some(b) = m.base {
             a = a.wrapping_add(self.regs.read64(b));

@@ -47,6 +47,7 @@
 //! ```
 
 pub mod cost;
+pub mod differential;
 pub mod exec;
 pub mod fault;
 pub mod image;
@@ -58,9 +59,10 @@ pub mod snapshot;
 pub mod trace;
 
 pub use cost::CostModel;
+pub use differential::{diff_regs, first_divergence, DiffLoc, MemDivergence, RegDiff};
 pub use fault::FaultSpec;
 pub use image::Image;
 pub use outcome::{CrashKind, RunResult, StopReason};
 pub use run::{Cpu, Profile, SiteInfo};
 pub use snapshot::{Machine, Snapshot};
-pub use trace::{Trace, TraceEntry};
+pub use trace::{Trace, TraceEntry, WroteValue};

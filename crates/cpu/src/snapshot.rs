@@ -89,6 +89,18 @@ impl<'a> Machine<'a> {
         self.stop
     }
 
+    /// The architectural state at the current instruction boundary.
+    pub fn state(&self) -> &State {
+        &self.st
+    }
+
+    /// Mutable architectural state — the escape hatch differential
+    /// forensics uses to repair a faulty run's registers from the
+    /// golden run mid-flight (kill-window bisection).
+    pub fn state_mut(&mut self) -> &mut State {
+        &mut self.st
+    }
+
     /// Captures the complete architectural state at the current
     /// instruction boundary.
     pub fn snapshot(&self) -> Snapshot {

@@ -315,7 +315,7 @@ impl CampaignResult {
         }
     }
 
-    fn record(&mut self, f: FaultSpec, o: Outcome) {
+    pub(crate) fn record(&mut self, f: FaultSpec, o: Outcome) {
         match o {
             Outcome::Sdc => self.sdc += 1,
             Outcome::Detected => self.detected += 1,
@@ -349,7 +349,7 @@ pub fn classify(stop: StopReason, output: &[i64], golden: &[i64]) -> Outcome {
 /// instruction at `inject`.  Saturating: a fault index at-or-past the
 /// detecting instruction (possible only for faults sampled past
 /// program end) reports 0 rather than wrapping.
-fn detection_latency(dyn_insts: u64, inject: u64) -> u64 {
+pub(crate) fn detection_latency(dyn_insts: u64, inject: u64) -> u64 {
     dyn_insts.saturating_sub(1).saturating_sub(inject)
 }
 
@@ -358,7 +358,7 @@ fn detection_latency(dyn_insts: u64, inject: u64) -> u64 {
 /// executor uses this one function, so the sampled list — and therefore
 /// the record stream — is identical across serial, work-stealing, and
 /// snapshot-accelerated runs of the same seed.
-fn sample_faults(profile: &Profile, cfg: CampaignConfig) -> Vec<FaultSpec> {
+pub(crate) fn sample_faults(profile: &Profile, cfg: CampaignConfig) -> Vec<FaultSpec> {
     let mut rng = Rng64::seed_from_u64(cfg.seed);
     (0..cfg.samples)
         .map(|_| {
@@ -368,7 +368,7 @@ fn sample_faults(profile: &Profile, cfg: CampaignConfig) -> Vec<FaultSpec> {
         .collect()
 }
 
-fn finish_stats(result: &mut CampaignResult, t0: Instant, threads: usize) {
+pub(crate) fn finish_stats(result: &mut CampaignResult, t0: Instant, threads: usize) {
     let wall = t0.elapsed();
     result.stats.wall_nanos = wall.as_nanos();
     result.stats.injections = result.total();

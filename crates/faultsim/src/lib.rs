@@ -23,6 +23,7 @@
 
 pub mod campaign;
 pub mod crossval;
+pub mod forensics;
 pub mod rootcause;
 pub mod stats;
 
@@ -30,6 +31,11 @@ pub use campaign::{
     exhaustive_campaign, run_campaign, run_campaign_parallel, run_campaign_pruned,
     run_campaign_snapshot, run_double_campaign, CampaignConfig, CampaignResult, CampaignStats,
     Outcome, SnapshotPolicy,
+};
+pub use forensics::{
+    explain_unknown_sites, forensic_replay, run_campaign_forensic, CheckerEscape, Divergence,
+    EscapeReason, ForensicConfig, ForensicRecord, ForensicsReport, KillWindow, TaintSample,
+    TaintTimeline, UnknownSiteExplanation,
 };
 pub use rootcause::{attribute_sdcs, breakdown_by_kind, KindBreakdown, RootCauseReport};
 pub use stats::{sdc_coverage, wilson_interval};

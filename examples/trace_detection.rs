@@ -8,6 +8,7 @@
 
 use ferrum::{Pipeline, StopReason, Technique};
 use ferrum_cpu::fault::FaultSpec;
+use ferrum_cpu::trace::WroteValue;
 use ferrum_mir::builder::FunctionBuilder;
 use ferrum_mir::module::{Global, Module};
 use ferrum_mir::types::Ty;
@@ -60,7 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         } else {
             ""
         };
-        let wrote = e.wrote.map(|v| format!(" -> {v}")).unwrap_or_default();
+        let wrote = match e.wrote {
+            WroteValue::None => String::new(),
+            w => format!(" -> {w}"),
+        };
         println!(
             "{:>5}  {:<42} # {}{}{}",
             e.dyn_index, e.text, e.prov, wrote, marker

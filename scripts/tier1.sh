@@ -32,4 +32,7 @@ cargo run --release --offline -q -p ferrum-cli --bin ferrum-trace -- --catalog -
 echo "== tier1: ferrum-coverage --catalog (verdict soundness + pruned==serial self-check)"
 cargo run --release --offline -q -p ferrum-cli --bin ferrum-coverage -- --catalog --samples 200
 
+echo "== tier1: ferrum-forensics --catalog (replay==serial + every SDC explained self-check)"
+cargo run --release --offline -q -p ferrum-cli --bin ferrum-forensics -- --catalog --samples 200
+
 echo "== tier1: OK"
