@@ -14,14 +14,22 @@
 //! simulation, and the outcome records must still be identical to the
 //! serial engine.
 //!
+//! A fourth table swaps the execution engine itself: the decode-once
+//! flattened engine (`ferrum::DecodedCpu`) under the single-thread
+//! snapshot executor against the same executor on the reference
+//! interpreter.  Outcome records must again be byte-identical; the
+//! speedup column is the paper-scale throughput claim for
+//! `ferrum_cpu::decoded` (≥10× single-thread).
+//!
 //! `--samples N --seed S --scale test|paper --threads T` as usual;
 //! defaults to 1000 samples and all available cores.
 
 use ferrum::{
-    CampaignConfig, CoverageMap, Pipeline, SnapshotPolicy, Technique,
+    CampaignConfig, CoverageMap, DecodedCpu, Engine, Pipeline, SnapshotPolicy, Technique,
 };
 use ferrum_faultsim::campaign::{
     run_campaign, run_campaign_parallel, run_campaign_pruned, run_campaign_snapshot,
+    run_campaign_snapshot_on,
 };
 use ferrum_workloads::all_workloads;
 
@@ -161,4 +169,58 @@ fn main() {
         );
         assert!(identical, "{}: pruned engine diverges", w.name);
     }
+
+    println!();
+    println!("decode-once flattened engine vs interpreter (FERRUM-protected, snapshot executor, 1 thread)");
+    println!(
+        "{:<14}{:>14}{:>14}{:>9}{:>12}{:>9}",
+        "benchmark", "interp i/s", "decoded i/s", "speedup", "superinstr", "match"
+    );
+    let mut log_speedup_sum = 0.0;
+    let mut n = 0usize;
+    for w in all_workloads() {
+        let module = w.build(cfg.scale);
+        let prog = pipeline
+            .protect(&module, Technique::Ferrum)
+            .expect("protects");
+        let cpu = pipeline.load(&prog).expect("loads");
+        let decoded = DecodedCpu::new(&cpu);
+        let profile = cpu.profile();
+        let campaign_cfg = CampaignConfig {
+            samples: cfg.samples,
+            seed: cfg.seed,
+        };
+        let interp = run_campaign_snapshot_on(
+            Engine::Interpreter(&cpu),
+            &profile,
+            campaign_cfg,
+            1,
+            SnapshotPolicy::default(),
+        );
+        let fast = run_campaign_snapshot_on(
+            Engine::Decoded(&decoded),
+            &profile,
+            campaign_cfg,
+            1,
+            SnapshotPolicy::default(),
+        );
+        let identical = interp == fast && interp.stats.latency == fast.stats.latency;
+        let speedup = fast.stats.injections_per_sec / interp.stats.injections_per_sec;
+        log_speedup_sum += speedup.ln();
+        n += 1;
+        println!(
+            "{:<14}{:>14.0}{:>14.0}{:>8.2}x{:>12}{:>9}",
+            w.name,
+            interp.stats.injections_per_sec,
+            fast.stats.injections_per_sec,
+            speedup,
+            decoded.superinstructions(),
+            if identical { "yes" } else { "NO" }
+        );
+        assert!(identical, "{}: decoded engine diverges", w.name);
+    }
+    println!(
+        "geomean speedup: {:.2}x",
+        (log_speedup_sum / n.max(1) as f64).exp()
+    );
 }

@@ -12,6 +12,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::process::ExitCode;
 
 use ferrum_eddi::Technique;
+use ferrum_faultsim::EngineKind;
 use ferrum_workloads::Scale;
 
 use crate::CliTechnique;
@@ -54,7 +55,7 @@ pub struct ParsedArgs {
 ///
 /// [`ArgError::Help`] for an empty line or an explicit help request;
 /// [`ArgError::Message`] for unknown options, missing option values,
-/// and unexpected positionals.
+/// repeated flags or options, and unexpected positionals.
 pub fn parse_args(args: &[String], spec: &ArgSpec) -> Result<ParsedArgs, ArgError> {
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         return Err(ArgError::Help);
@@ -63,12 +64,24 @@ pub fn parse_args(args: &[String], spec: &ArgSpec) -> Result<ParsedArgs, ArgErro
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if let Some(&flag) = spec.flags.iter().find(|&&f| f == a) {
-            parsed.flags.insert(flag);
+            if !parsed.flags.insert(flag) {
+                return Err(ArgError::Message(format!("duplicate flag `{flag}`")));
+            }
         } else if let Some(&opt) = spec.values.iter().find(|&&v| v == a) {
             let Some(v) = it.next() else {
                 return Err(ArgError::Message(format!("`{opt}` needs a value")));
             };
-            parsed.values.insert(opt, v.clone());
+            // `--samples --json` used to swallow `--json` as the value,
+            // silently dropping the flag; nothing in this dialect takes
+            // a `--`-prefixed value, so refuse to consume one.
+            if v.starts_with("--") {
+                return Err(ArgError::Message(format!(
+                    "`{opt}` needs a value, found option `{v}`"
+                )));
+            }
+            if parsed.values.insert(opt, v.clone()).is_some() {
+                return Err(ArgError::Message(format!("duplicate option `{opt}`")));
+            }
         } else if spec.positional
             && parsed.positional.is_none()
             && (!a.starts_with('-') || a == "-")
@@ -138,6 +151,17 @@ impl ParsedArgs {
         }
     }
 
+    /// `--engine interpreter|decoded`, defaulting to the reference
+    /// interpreter.
+    pub fn engine(&self) -> Result<EngineKind, ArgError> {
+        match self.value("--engine") {
+            None => Ok(EngineKind::default()),
+            Some(s) => EngineKind::parse(s).ok_or_else(|| {
+                ArgError::Message(format!("unknown engine `{s}` (interpreter | decoded)"))
+            }),
+        }
+    }
+
     /// `--technique` as a listing-level [`CliTechnique`] (the tools
     /// that operate on bare assembly), defaulting to FERRUM.
     pub fn technique_cli(&self) -> Result<CliTechnique, ArgError> {
@@ -149,6 +173,39 @@ impl ParsedArgs {
                 ))
             }),
         }
+    }
+}
+
+/// Test support for the binaries: asserts that `spec` rejects every
+/// repeated flag, every repeated option, and every option that would
+/// otherwise swallow a `--`-prefixed token as its value.  Each
+/// `ferrum-*` binary runs this against its own [`ArgSpec`] so the
+/// duplicate-argument regressions stay pinned per tool, not just on
+/// the shared parser.
+pub fn assert_spec_rejects_misuse(spec: &ArgSpec) {
+    let v = |args: &[&str]| -> Vec<String> { args.iter().map(|s| (*s).to_owned()).collect() };
+    for flag in spec.flags {
+        let err = parse_args(&v(&[flag, flag]), spec).expect_err("duplicate flag accepted");
+        assert_eq!(
+            err,
+            ArgError::Message(format!("duplicate flag `{flag}`")),
+            "{flag}"
+        );
+    }
+    for opt in spec.values {
+        let err =
+            parse_args(&v(&[opt, "1", opt, "1"]), spec).expect_err("duplicate option accepted");
+        assert_eq!(
+            err,
+            ArgError::Message(format!("duplicate option `{opt}`")),
+            "{opt}"
+        );
+        let err = parse_args(&v(&[opt, "--warp"]), spec).expect_err("option swallowed a flag");
+        assert_eq!(
+            err,
+            ArgError::Message(format!("`{opt}` needs a value, found option `--warp`")),
+            "{opt}"
+        );
     }
 }
 
@@ -219,6 +276,68 @@ mod tests {
         let p = parse_args(&v(&["x", "--technique", "ferrum-zmm"]), &SPEC).expect("parses");
         assert_eq!(p.technique_cli().unwrap(), CliTechnique::FerrumZmm);
         assert!(p.technique_core(Technique::Ferrum).is_err());
+    }
+
+    #[test]
+    fn duplicate_flags_are_rejected() {
+        // Regression: `--json --json` used to silently collapse into
+        // one flag; repeated arguments are always a user mistake.
+        let err = parse_args(&v(&["bfs", "--json", "--json"]), &SPEC).unwrap_err();
+        assert_eq!(
+            err,
+            ArgError::Message("duplicate flag `--json`".to_owned())
+        );
+    }
+
+    #[test]
+    fn duplicate_options_are_rejected() {
+        // Regression: `--samples 1 --samples 2` used to silently keep
+        // the last value.
+        let err = parse_args(&v(&["bfs", "--samples", "1", "--samples", "2"]), &SPEC).unwrap_err();
+        assert_eq!(
+            err,
+            ArgError::Message("duplicate option `--samples`".to_owned())
+        );
+        let err = parse_args(&v(&["--seed", "1", "--seed", "1"]), &SPEC).unwrap_err();
+        assert!(matches!(err, ArgError::Message(m) if m.contains("duplicate option `--seed`")));
+    }
+
+    #[test]
+    fn options_do_not_swallow_flags_as_values() {
+        // Regression: `--samples --json` used to consume `--json` as
+        // the sample count, silently dropping the flag; `--seed --warp`
+        // likewise hid the unknown `--warp` inside the seed value.
+        for tail in [
+            &["--samples", "--json"][..],
+            &["--samples", "--samples"][..],
+            &["--seed", "--warp"][..],
+        ] {
+            let mut args = vec!["bfs"];
+            args.extend_from_slice(tail);
+            let err = parse_args(&v(&args), &SPEC).unwrap_err();
+            assert_eq!(
+                err,
+                ArgError::Message(format!("`{}` needs a value, found option `{}`", tail[0], tail[1])),
+                "{tail:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_accessor_parses_both_engines() {
+        const ENGINE_SPEC: ArgSpec = ArgSpec {
+            flags: &[],
+            values: &["--engine"],
+            positional: true,
+        };
+        let p = parse_args(&v(&["bfs"]), &ENGINE_SPEC).expect("parses");
+        assert_eq!(p.engine().unwrap(), EngineKind::Interpreter);
+        let p = parse_args(&v(&["bfs", "--engine", "decoded"]), &ENGINE_SPEC).expect("parses");
+        assert_eq!(p.engine().unwrap(), EngineKind::Decoded);
+        let p = parse_args(&v(&["bfs", "--engine", "interpreter"]), &ENGINE_SPEC).expect("parses");
+        assert_eq!(p.engine().unwrap(), EngineKind::Interpreter);
+        let p = parse_args(&v(&["bfs", "--engine", "jit"]), &ENGINE_SPEC).expect("parses");
+        assert!(p.engine().is_err());
     }
 
     #[test]

@@ -280,3 +280,11 @@ fn main() -> ExitCode {
         None => usage_exit(USAGE, &ArgError::Help),
     }
 }
+
+#[cfg(test)]
+mod spec_tests {
+    #[test]
+    fn spec_rejects_duplicate_and_swallowed_arguments() {
+        ferrum_cli::args::assert_spec_rejects_misuse(&super::SPEC);
+    }
+}

@@ -122,3 +122,11 @@ fn main() -> ExitCode {
         }
     }
 }
+
+#[cfg(test)]
+mod spec_tests {
+    #[test]
+    fn spec_rejects_duplicate_and_swallowed_arguments() {
+        ferrum_cli::args::assert_spec_rejects_misuse(&super::SPEC);
+    }
+}

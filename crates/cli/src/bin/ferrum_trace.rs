@@ -7,6 +7,8 @@
 //!   --samples <n>   faults per campaign (default 400)
 //!   --seed <s>      campaign seed (default 0xFE44)
 //!   --scale <s>     test | paper   (default: test)
+//!   --engine <e>    interpreter | decoded   (default: interpreter;
+//!                   outcomes are byte-identical, only throughput moves)
 //!   --json          emit the report as JSON instead of text
 //!   --catalog       self-check across every bundled workload: the
 //!                   per-mechanism executed-instruction (and cycle)
@@ -32,15 +34,16 @@ use ferrum::{
 };
 use ferrum_cli::args::{parse_args, usage_exit, ArgError, ArgSpec};
 use ferrum_cli::catalog::{catalog_exit, catalog_selfcheck, CheckLine};
-use ferrum_faultsim::campaign::run_campaign_snapshot;
+use ferrum_faultsim::campaign::run_campaign_snapshot_on;
+use ferrum_faultsim::EngineKind;
 use ferrum_trace::{EventKind, RingSink};
 use ferrum_workloads::catalog::{workload, Scale, Workload};
 
-const USAGE: &str = "usage: ferrum-trace <workload> [--samples N] [--seed S] [--scale test|paper] [--json]\n       ferrum-trace --catalog [--json]";
+const USAGE: &str = "usage: ferrum-trace <workload> [--samples N] [--seed S] [--scale test|paper] [--engine interpreter|decoded] [--json]\n       ferrum-trace --catalog [--json]";
 
 const SPEC: ArgSpec = ArgSpec {
     flags: &["--json", "--catalog"],
-    values: &["--samples", "--seed", "--scale"],
+    values: &["--samples", "--seed", "--scale", "--engine"],
     positional: true,
 };
 
@@ -48,6 +51,7 @@ struct Options {
     samples: usize,
     seed: u64,
     scale: Scale,
+    engine: EngineKind,
     json: bool,
 }
 
@@ -65,16 +69,18 @@ fn ferrum_campaign(
     let prog = pipeline.protect(&module, Technique::Ferrum)?;
     let cpu = pipeline.load(&prog)?;
     let profile = cpu.profile();
-    Ok(run_campaign_snapshot(
-        &cpu,
-        &profile,
-        CampaignConfig {
-            samples: opts.samples,
-            seed: opts.seed,
-        },
-        threads(),
-        SnapshotPolicy::default(),
-    ))
+    Ok(opts.engine.with_cpu(&cpu, |engine| {
+        run_campaign_snapshot_on(
+            engine,
+            &profile,
+            CampaignConfig {
+                samples: opts.samples,
+                seed: opts.seed,
+            },
+            threads(),
+            SnapshotPolicy::default(),
+        )
+    }))
 }
 
 /// Aggregates ring-buffer events into per-name span nanos and counter
@@ -212,6 +218,7 @@ fn main() -> ExitCode {
             samples: p.samples(400)?,
             seed: p.seed(0xFE44)?,
             scale: p.scale()?,
+            engine: p.engine()?,
             json: p.flag("--json"),
         };
         Ok((p, opts))
@@ -229,5 +236,13 @@ fn main() -> ExitCode {
     match parsed.positional.as_deref() {
         Some(n) => run_one(n, &opts),
         None => usage_exit(USAGE, &ArgError::Help),
+    }
+}
+
+#[cfg(test)]
+mod spec_tests {
+    #[test]
+    fn spec_rejects_duplicate_and_swallowed_arguments() {
+        ferrum_cli::args::assert_spec_rejects_misuse(&super::SPEC);
     }
 }

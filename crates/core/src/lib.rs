@@ -51,6 +51,7 @@ pub use ferrum_asm::analysis::coverage::{
 };
 pub use ferrum_asm::provenance::Mechanism;
 pub use ferrum_cpu::cost::CostModel;
+pub use ferrum_cpu::decoded::{DecodedCpu, DecodedMachine};
 pub use ferrum_cpu::outcome::{RunResult, StopReason};
 pub use ferrum_cpu::run::{MechCount, MechCounts};
 pub use ferrum_eddi::Technique;
@@ -58,6 +59,7 @@ pub use ferrum_faultsim::campaign::{
     CampaignConfig, CampaignResult, CampaignStats, DetectionLatency, Outcome, SnapshotPolicy,
     WorkerStats,
 };
+pub use ferrum_faultsim::engine::{Engine, EngineKind, EngineMachine};
 pub use ferrum_faultsim::forensics::{
     explain_unknown_sites, forensic_replay, run_campaign_forensic, CheckerEscape, Divergence,
     EscapeReason, ForensicConfig, ForensicRecord, ForensicsReport, KillWindow, TaintTimeline,

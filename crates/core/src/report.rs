@@ -400,6 +400,7 @@ impl ToJson for DetectionLatency {
 impl ToJson for CampaignStats {
     fn to_json(&self) -> Json {
         Json::obj(vec![
+            ("engine", self.engine.label().to_json()),
             ("wall_nanos", Json::Int(self.wall_nanos as i64)),
             ("injections", self.injections.to_json()),
             ("injections_per_sec", self.injections_per_sec.to_json()),

@@ -47,6 +47,7 @@
 //! ```
 
 pub mod cost;
+pub mod decoded;
 pub mod differential;
 pub mod exec;
 pub mod fault;
@@ -59,6 +60,7 @@ pub mod snapshot;
 pub mod trace;
 
 pub use cost::CostModel;
+pub use decoded::{DecodedCpu, DecodedMachine};
 pub use differential::{diff_regs, first_divergence, DiffLoc, MemDivergence, RegDiff};
 pub use fault::FaultSpec;
 pub use image::Image;

@@ -19,6 +19,11 @@ pub const STACK_SIZE: u64 = 512 * 1024;
 pub struct Memory {
     globals: Vec<u8>,
     stack: Vec<u8>,
+    /// Lowest stack offset ever written — everything below is still the
+    /// all-zero initial image, letting content compares walk only the
+    /// touched suffix.  Monotonically decreasing; cloning (snapshot /
+    /// restore) carries it with the bytes it describes.
+    stack_low: usize,
 }
 
 /// A faulting access.
@@ -34,7 +39,51 @@ impl Memory {
         Memory {
             globals,
             stack: vec![0; STACK_SIZE as usize],
+            stack_low: STACK_SIZE as usize,
         }
+    }
+
+    /// Whether two memories hold identical contents.
+    ///
+    /// Stack bytes below a memory's own low-water mark have never been
+    /// written since construction, so they are the all-zero initial
+    /// image in both operands; the compare walks only the globals and
+    /// the touched stack suffix.
+    pub fn same_contents(&self, other: &Memory) -> bool {
+        let wm = self.stack_low.min(other.stack_low);
+        self.globals == other.globals && self.stack[wm..] == other.stack[wm..]
+    }
+
+    /// A clone that materializes the untouched stack prefix as fresh
+    /// zero pages instead of copying it.
+    ///
+    /// Bytes below `stack_low` are the all-zero initial image (see the
+    /// field invariant), so allocating them zeroed and copying only the
+    /// touched suffix yields contents identical to [`Clone::clone`] —
+    /// the decoded engine's snapshot capture uses this to keep the cost
+    /// proportional to the stack actually in use.
+    pub(crate) fn clone_compact(&self) -> Memory {
+        let mut stack = vec![0u8; STACK_SIZE as usize];
+        stack[self.stack_low..].copy_from_slice(&self.stack[self.stack_low..]);
+        Memory {
+            globals: self.globals.clone(),
+            stack,
+            stack_low: self.stack_low,
+        }
+    }
+
+    /// In-place restore from `other`, reusing this memory's buffers.
+    ///
+    /// Copies the globals and the stack suffix above the lower of the
+    /// two low-water marks; below that both stacks are still the
+    /// all-zero initial image, so the result is byte-identical to
+    /// `*self = other.clone()` without the 512 KiB allocation — the
+    /// decoded engine's snapshot restore runs this once per injection.
+    pub(crate) fn restore_from(&mut self, other: &Memory) {
+        self.globals.clone_from(&other.globals);
+        let wm = self.stack_low.min(other.stack_low);
+        self.stack[wm..].copy_from_slice(&other.stack[wm..]);
+        self.stack_low = other.stack_low;
     }
 
     /// Size of the global segment in bytes.
@@ -70,6 +119,53 @@ impl Memory {
         Ok(v)
     }
 
+    /// Word-at-a-time load used by the decoded engine's hot loop.
+    ///
+    /// Same mapping rules and little-endian layout as [`Memory::load`]
+    /// (the byte-loop form stays as the reference implementation the
+    /// interpreter executes), but reads whole words via
+    /// `from_le_bytes`.
+    pub(crate) fn load_w(&self, addr: u64, w: Width) -> Result<u64, AccessFault> {
+        let n = w.bytes();
+        let (is_g, off) = self.locate(addr, n)?;
+        let buf = if is_g { &self.globals } else { &self.stack };
+        Ok(match w {
+            Width::W8 => u64::from(buf[off]),
+            Width::W16 => u64::from(u16::from_le_bytes([buf[off], buf[off + 1]])),
+            Width::W32 => {
+                let mut b = [0u8; 4];
+                b.copy_from_slice(&buf[off..off + 4]);
+                u64::from(u32::from_le_bytes(b))
+            }
+            Width::W64 => {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&buf[off..off + 8]);
+                u64::from_le_bytes(b)
+            }
+        })
+    }
+
+    /// Word-at-a-time store used by the decoded engine's hot loop.
+    ///
+    /// Byte-identical effect to [`Memory::store`].
+    pub(crate) fn store_w(&mut self, addr: u64, w: Width, value: u64) -> Result<(), AccessFault> {
+        let n = w.bytes();
+        let (is_g, off) = self.locate(addr, n)?;
+        let buf = if is_g {
+            &mut self.globals
+        } else {
+            self.stack_low = self.stack_low.min(off);
+            &mut self.stack
+        };
+        match w {
+            Width::W8 => buf[off] = value as u8,
+            Width::W16 => buf[off..off + 2].copy_from_slice(&(value as u16).to_le_bytes()),
+            Width::W32 => buf[off..off + 4].copy_from_slice(&(value as u32).to_le_bytes()),
+            Width::W64 => buf[off..off + 8].copy_from_slice(&value.to_le_bytes()),
+        }
+        Ok(())
+    }
+
     /// Stores the low `w.bytes()` bytes of `value` at `addr`.
     ///
     /// # Errors
@@ -81,6 +177,7 @@ impl Memory {
         let buf = if is_g {
             &mut self.globals
         } else {
+            self.stack_low = self.stack_low.min(off);
             &mut self.stack
         };
         for i in 0..n as usize {
@@ -158,6 +255,31 @@ mod tests {
         let mut m = Memory::new(vec![0; 32]);
         m.store(GLOBALS_BASE + 3, Width::W32, 0xaabb_ccdd).unwrap();
         assert_eq!(m.load(GLOBALS_BASE + 3, Width::W32).unwrap(), 0xaabb_ccdd);
+    }
+
+    #[test]
+    fn word_fast_paths_agree_with_byte_loops() {
+        let mut a = Memory::new(vec![0; 64]);
+        let mut b = Memory::new(vec![0; 64]);
+        for (w, val) in [
+            (Width::W8, 0x5au64),
+            (Width::W16, 0xbeefu64),
+            (Width::W32, 0xdead_beefu64),
+            (Width::W64, 0x0123_4567_89ab_cdefu64),
+        ] {
+            for addr in [GLOBALS_BASE + 3, STACK_TOP - 16] {
+                a.store(addr, w, val).unwrap();
+                b.store_w(addr, w, val).unwrap();
+                assert_eq!(a.load(addr, w), b.load_w(addr, w));
+                assert_eq!(a.load(addr, Width::W64), b.load(addr, Width::W64));
+            }
+        }
+        // Faulting accesses fault identically.
+        assert_eq!(a.load(0, Width::W64), a.load_w(0, Width::W64));
+        assert_eq!(
+            b.store(GLOBALS_BASE + 60, Width::W64, 1),
+            b.store_w(GLOBALS_BASE + 60, Width::W64, 1)
+        );
     }
 
     #[test]

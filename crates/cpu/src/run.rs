@@ -30,6 +30,10 @@ pub struct SiteInfo {
     pub prov: Provenance,
     /// True when the injectable destination is RFLAGS.
     pub is_flags: bool,
+    /// Width in bits of the injectable destination — the campaign
+    /// sampler draws the fault bit uniformly from `0..bits` so that no
+    /// destination bit is over-weighted by modulo reduction.
+    pub bits: u32,
 }
 
 /// Dynamic instruction counts by provenance class.
@@ -83,7 +87,7 @@ impl MechCounts {
         self.counts[Self::index(m)]
     }
 
-    fn add(&mut self, m: Mechanism, cycles: u64) {
+    pub(crate) fn add(&mut self, m: Mechanism, cycles: u64) {
         let c = &mut self.counts[Self::index(m)];
         c.insts += 1;
         c.cycles += cycles;
@@ -217,12 +221,13 @@ impl Cpu {
                 Provenance::Protection(..) => prov_counts.protection += 1,
                 Provenance::Synthetic => prov_counts.synthetic += 1,
             }
-            if eligible_dest_bits(&li.inst).is_some() {
+            if let Some(bits) = eligible_dest_bits(&li.inst) {
                 sites.push(SiteInfo {
                     dyn_index: n,
                     pc,
                     prov: li.prov,
                     is_flags: matches!(li.inst.dest_class(), ferrum_asm::inst::DestClass::Rflags),
+                    bits,
                 });
             }
             let ev = step(&self.image, &mut st);

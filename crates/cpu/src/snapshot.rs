@@ -34,6 +34,22 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
+    /// Assembles a snapshot from raw parts — how the decoded engine's
+    /// machine produces [`Snapshot`]s interchangeable with the
+    /// interpreter's (both execute over the same [`State`] type).
+    pub(crate) fn from_parts(state: State, cycles: u64, dyn_insts: u64) -> Snapshot {
+        Snapshot {
+            state,
+            cycles,
+            dyn_insts,
+        }
+    }
+
+    /// The captured architectural state.
+    pub(crate) fn state(&self) -> &State {
+        &self.state
+    }
+
     /// Number of dynamic instructions executed before this snapshot —
     /// exactly the work a run resumed from it does not repeat.
     pub fn dyn_insts(&self) -> u64 {

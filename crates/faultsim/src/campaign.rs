@@ -36,11 +36,12 @@ use std::time::Instant;
 use ferrum_rng::Rng64;
 
 use ferrum_asm::analysis::coverage::{CoverageMap, StaticVerdict};
-use ferrum_cpu::exec::StepEvent;
 use ferrum_cpu::fault::FaultSpec;
 use ferrum_cpu::outcome::StopReason;
 use ferrum_cpu::run::{Cpu, Profile};
-use ferrum_cpu::snapshot::{Machine, Snapshot};
+use ferrum_cpu::snapshot::Snapshot;
+
+use crate::engine::{Engine, EngineKind};
 
 /// Classified result of one injected fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -222,6 +223,10 @@ pub struct CampaignStats {
     /// Faults booked from a static [`CoverageMap`] verdict instead of
     /// being executed (see [`run_campaign_pruned`]).
     pub pruned_sites: usize,
+    /// Execution engine the campaign ran on.  Purely informational —
+    /// outcome records are engine-independent per seed; only the
+    /// throughput counters above reflect the choice.
+    pub engine: EngineKind,
 }
 
 impl CampaignStats {
@@ -356,19 +361,35 @@ pub(crate) fn detection_latency(dyn_insts: u64, inject: u64) -> u64 {
 /// Pre-samples the campaign's fault list: `cfg.samples` single-bit
 /// faults at sites drawn uniformly from `profile.sites`.  Every
 /// executor uses this one function, so the sampled list — and therefore
-/// the record stream — is identical across serial, work-stealing, and
-/// snapshot-accelerated runs of the same seed.
+/// the record stream — is identical across serial, work-stealing,
+/// snapshot-accelerated, and decoded runs of the same seed.
+///
+/// The bit position is drawn uniformly from the site's own
+/// `eligible_dest_bits` width ([`ferrum_cpu::run::SiteInfo::bits`]),
+/// not from the full `u16` range: a raw bit wider than the destination
+/// would be reduced modulo the width at injection time, and for
+/// non-power-of-two widths (RFLAGS' 4 probability-relevant bits today;
+/// any future irregular destination) `u16::MAX + 1` values folded onto
+/// `width` buckets over-weight the low residues.  Drawing below the
+/// width keeps every destination bit exactly equally likely
+/// (`Rng64::gen_below` is Lemire-unbiased).
 pub(crate) fn sample_faults(profile: &Profile, cfg: CampaignConfig) -> Vec<FaultSpec> {
     let mut rng = Rng64::seed_from_u64(cfg.seed);
     (0..cfg.samples)
         .map(|_| {
             let site = profile.sites[rng.gen_range(0..profile.sites.len())];
-            FaultSpec::new(site.dyn_index, rng.gen_u16())
+            FaultSpec::new(site.dyn_index, rng.gen_below(u64::from(site.bits)) as u16)
         })
         .collect()
 }
 
-pub(crate) fn finish_stats(result: &mut CampaignResult, t0: Instant, threads: usize) {
+pub(crate) fn finish_stats(
+    result: &mut CampaignResult,
+    t0: Instant,
+    threads: usize,
+    engine: EngineKind,
+) {
+    result.stats.engine = engine;
     let wall = t0.elapsed();
     result.stats.wall_nanos = wall.as_nanos();
     result.stats.injections = result.total();
@@ -387,18 +408,28 @@ pub(crate) fn finish_stats(result: &mut CampaignResult, t0: Instant, threads: us
 ///
 /// Panics if the profile has no injectable sites (with `samples > 0`).
 pub fn run_campaign(cpu: &Cpu, profile: &Profile, cfg: CampaignConfig) -> CampaignResult {
+    run_campaign_on(Engine::Interpreter(cpu), profile, cfg)
+}
+
+/// As [`run_campaign`], on an explicit [`Engine`].  Outcome-identical
+/// across engines per seed; only `stats` throughput differs.
+///
+/// # Panics
+///
+/// Panics if the profile has no injectable sites (with `samples > 0`).
+pub fn run_campaign_on(engine: Engine<'_>, profile: &Profile, cfg: CampaignConfig) -> CampaignResult {
     let _span = ferrum_trace::span("campaign.serial");
     let t0 = Instant::now();
     let mut result = CampaignResult::default();
     if cfg.samples == 0 {
-        finish_stats(&mut result, t0, 1);
+        finish_stats(&mut result, t0, 1, engine.kind());
         return result;
     }
     assert!(!profile.sites.is_empty(), "no injectable sites");
     let golden = &profile.result.output;
     let mut latencies = Vec::new();
     for fault in sample_faults(profile, cfg) {
-        let run = cpu.run(Some(fault));
+        let run = engine.run(Some(fault));
         result.stats.steps_executed += run.dyn_insts;
         let o = classify(run.stop, &run.output, golden);
         if o == Outcome::Detected {
@@ -411,7 +442,7 @@ pub fn run_campaign(cpu: &Cpu, profile: &Profile, cfg: CampaignConfig) -> Campai
         steps_executed: result.stats.steps_executed,
     }];
     result.stats.latency = DetectionLatency::from_samples(latencies);
-    finish_stats(&mut result, t0, 1);
+    finish_stats(&mut result, t0, 1, engine.kind());
     ferrum_trace::counter("campaign.injections", result.total() as u64);
     result
 }
@@ -438,11 +469,26 @@ pub fn run_campaign_pruned(
     cfg: CampaignConfig,
     coverage: &CoverageMap,
 ) -> CampaignResult {
+    run_campaign_pruned_on(Engine::Interpreter(cpu), profile, cfg, coverage)
+}
+
+/// As [`run_campaign_pruned`], on an explicit [`Engine`] — the prune
+/// multiplier and the decoded engine's raw throughput stack.
+///
+/// # Panics
+///
+/// Panics if the profile has no injectable sites (with `samples > 0`).
+pub fn run_campaign_pruned_on(
+    engine: Engine<'_>,
+    profile: &Profile,
+    cfg: CampaignConfig,
+    coverage: &CoverageMap,
+) -> CampaignResult {
     let _span = ferrum_trace::span("campaign.pruned");
     let t0 = Instant::now();
     let mut result = CampaignResult::default();
     if cfg.samples == 0 {
-        finish_stats(&mut result, t0, 1);
+        finish_stats(&mut result, t0, 1, engine.kind());
         return result;
     }
     assert!(!profile.sites.is_empty(), "no injectable sites");
@@ -465,7 +511,7 @@ pub fn run_campaign_pruned(
                 result.record(fault, Outcome::Detected);
             }
             _ => {
-                let run = cpu.run(Some(fault));
+                let run = engine.run(Some(fault));
                 result.stats.steps_executed += run.dyn_insts;
                 let o = classify(run.stop, &run.output, golden);
                 if o == Outcome::Detected {
@@ -480,7 +526,7 @@ pub fn run_campaign_pruned(
         steps_executed: result.stats.steps_executed,
     }];
     result.stats.latency = DetectionLatency::from_samples(latencies);
-    finish_stats(&mut result, t0, 1);
+    finish_stats(&mut result, t0, 1, engine.kind());
     ferrum_trace::counter("campaign.injections", result.total() as u64);
     ferrum_trace::counter("campaign.pruned", result.stats.pruned_sites as u64);
     result
@@ -500,11 +546,21 @@ pub fn run_campaign_parallel(
     cfg: CampaignConfig,
     threads: usize,
 ) -> CampaignResult {
+    run_campaign_parallel_on(Engine::Interpreter(cpu), profile, cfg, threads)
+}
+
+/// As [`run_campaign_parallel`], on an explicit [`Engine`].
+pub fn run_campaign_parallel_on(
+    engine: Engine<'_>,
+    profile: &Profile,
+    cfg: CampaignConfig,
+    threads: usize,
+) -> CampaignResult {
     let _span = ferrum_trace::span("campaign.parallel");
     let t0 = Instant::now();
     let mut result = CampaignResult::default();
     if cfg.samples == 0 {
-        finish_stats(&mut result, t0, threads.max(1));
+        finish_stats(&mut result, t0, threads.max(1), engine.kind());
         return result;
     }
     assert!(!profile.sites.is_empty(), "no injectable sites");
@@ -520,7 +576,7 @@ pub fn run_campaign_parallel(
             let Some(&fault) = faults.get(i) else {
                 return (local, steps);
             };
-            let run = cpu.run(Some(fault));
+            let run = engine.run(Some(fault));
             steps += run.dyn_insts;
             let o = classify(run.stop, &run.output, golden);
             let lat = (o == Outcome::Detected)
@@ -552,7 +608,7 @@ pub fn run_campaign_parallel(
     result.stats.steps_executed = per_worker.iter().map(|w| w.steps_executed).sum();
     result.stats.per_worker = per_worker;
     result.stats.latency = DetectionLatency::from_samples(latencies);
-    finish_stats(&mut result, t0, threads);
+    finish_stats(&mut result, t0, threads, engine.kind());
     ferrum_trace::counter("campaign.injections", result.total() as u64);
     result
 }
@@ -595,11 +651,28 @@ pub fn run_campaign_snapshot(
     threads: usize,
     policy: SnapshotPolicy,
 ) -> CampaignResult {
+    run_campaign_snapshot_on(Engine::Interpreter(cpu), profile, cfg, threads, policy)
+}
+
+/// As [`run_campaign_snapshot`], on an explicit [`Engine`] — snapshots
+/// taken by either engine's machine resume on the other, so the
+/// prefix-sharing and decoded speedups compose.
+///
+/// # Panics
+///
+/// Panics if the profile has no injectable sites (with `samples > 0`).
+pub fn run_campaign_snapshot_on(
+    engine: Engine<'_>,
+    profile: &Profile,
+    cfg: CampaignConfig,
+    threads: usize,
+    policy: SnapshotPolicy,
+) -> CampaignResult {
     let _span = ferrum_trace::span("campaign.snapshot");
     let t0 = Instant::now();
     let mut result = CampaignResult::default();
     if cfg.samples == 0 {
-        finish_stats(&mut result, t0, threads.max(1));
+        finish_stats(&mut result, t0, threads.max(1), engine.kind());
         return result;
     }
     assert!(!profile.sites.is_empty(), "no injectable sites");
@@ -613,26 +686,43 @@ pub fn run_campaign_snapshot(
     order.sort_by_key(|&i| faults[i].dyn_index);
     let last_injection = faults[*order.last().expect("samples > 0")].dyn_index;
 
-    // Golden-prefix pass: walk fault-free to the last injection point,
-    // snapshotting at the policy's cadence.  The machine state at
-    // boundary k is usable by any fault with dyn_index >= k.
+    // Golden-prefix pass: walk fault-free, snapshotting at the
+    // policy's cadence.  The machine state at boundary k is usable by
+    // any fault with dyn_index >= k.  The interpreter walks only to
+    // the last injection point (snapshots are pure prefix-skips); the
+    // decoded engine walks the whole golden run, because its snapshots
+    // double as the convergence checkpoints `resume_converging`
+    // compares against — a checkpoint after a fault is what lets the
+    // post-fault suffix be stitched instead of re-executed.
+    let horizon = match engine.kind() {
+        EngineKind::Interpreter => last_injection,
+        EngineKind::Decoded => profile.result.dyn_insts,
+    };
     let interval = policy
         .min_interval
-        .max(last_injection / policy.max_snapshots.max(1) as u64)
+        .max(horizon / policy.max_snapshots.max(1) as u64)
         .max(1);
     let mut snapshots: Vec<Snapshot> = Vec::new();
-    let mut m = Machine::new(cpu);
+    let mut m = engine.machine();
     loop {
-        if m.dyn_insts() >= last_injection {
+        if m.dyn_insts() >= horizon {
             break;
         }
         if m.dyn_insts() > 0
-            && m.dyn_insts() % interval == 0
+            && m.dyn_insts().is_multiple_of(interval)
             && snapshots.len() < policy.max_snapshots
         {
             snapshots.push(m.snapshot());
         }
-        if let StepEvent::Stop(_) = m.step() {
+        // Advance to the next snapshot boundary (or the horizon) in
+        // one call — the decoded engine covers the span in its tight
+        // dispatch loop instead of per-step calls.
+        let next = if snapshots.len() < policy.max_snapshots {
+            (m.dyn_insts() / interval + 1) * interval
+        } else {
+            horizon
+        };
+        if m.advance_to(next.min(horizon)).is_some() {
             // Golden run ended before the last injection index — the
             // remaining faults land past program end and classify as
             // whatever the resumed (fault-free) tail produces.
@@ -649,6 +739,13 @@ pub fn run_campaign_snapshot(
         let mut local: Vec<(usize, Outcome, Option<u64>)> = Vec::new();
         let (mut steps, mut saved) = (0u64, 0u64);
         let mut hits = 0usize;
+        // One machine per worker, restored in place per fault — the
+        // decoded engine's restore is bounded by the stack low-water
+        // mark, so reuse turns per-injection state setup from a
+        // 512 KiB clone into a few touched kilobytes.  `entry` is the
+        // program start, for faults before the first snapshot.
+        let mut machine = engine.machine();
+        let entry = machine.snapshot();
         loop {
             let k = next.fetch_add(1, Ordering::Relaxed);
             let Some(&orig) = order.get(k) else {
@@ -663,20 +760,17 @@ pub fn run_campaign_snapshot(
             {
                 Ok(i) | Err(i) => i,
             };
-            let run = match pos.checked_sub(1).map(|j| &snapshots[j]) {
+            let start = match pos.checked_sub(1).map(|j| &snapshots[j]) {
                 Some(s) => {
                     hits += 1;
                     saved += s.dyn_insts();
-                    let r = cpu.resume(s, &[fault]);
-                    steps += r.dyn_insts - s.dyn_insts();
-                    r
+                    s
                 }
-                None => {
-                    let r = cpu.run(Some(fault));
-                    steps += r.dyn_insts;
-                    r
-                }
+                None => &entry,
             };
+            machine.restore(start);
+            let run = machine.run_converging(&[fault], snapshots, &profile.result);
+            steps += run.dyn_insts - start.dyn_insts();
             let o = classify(run.stop, &run.output, golden);
             // `Machine::restore` preserves the golden-prefix dynamic
             // instruction count, so `run.dyn_insts` is the same
@@ -718,7 +812,7 @@ pub fn run_campaign_snapshot(
     result.stats.steps_saved = steps_saved;
     result.stats.per_worker = per_worker;
     result.stats.latency = DetectionLatency::from_samples(latencies);
-    finish_stats(&mut result, t0, threads);
+    finish_stats(&mut result, t0, threads, engine.kind());
     ferrum_trace::counter("campaign.injections", result.total() as u64);
     ferrum_trace::counter(
         "campaign.snapshot.hits",
@@ -736,11 +830,20 @@ pub fn run_campaign_snapshot(
 /// faults to future work (§II-A).  `records` stores the first fault of
 /// each pair.
 pub fn run_double_campaign(cpu: &Cpu, profile: &Profile, cfg: CampaignConfig) -> CampaignResult {
+    run_double_campaign_on(Engine::Interpreter(cpu), profile, cfg)
+}
+
+/// As [`run_double_campaign`], on an explicit [`Engine`].
+pub fn run_double_campaign_on(
+    engine: Engine<'_>,
+    profile: &Profile,
+    cfg: CampaignConfig,
+) -> CampaignResult {
     let _span = ferrum_trace::span("campaign.double");
     let t0 = Instant::now();
     let mut result = CampaignResult::default();
     if cfg.samples == 0 {
-        finish_stats(&mut result, t0, 1);
+        finish_stats(&mut result, t0, 1, engine.kind());
         return result;
     }
     assert!(!profile.sites.is_empty(), "no injectable sites");
@@ -750,9 +853,9 @@ pub fn run_double_campaign(cpu: &Cpu, profile: &Profile, cfg: CampaignConfig) ->
     for _ in 0..cfg.samples {
         let a = profile.sites[rng.gen_range(0..profile.sites.len())];
         let b = profile.sites[rng.gen_range(0..profile.sites.len())];
-        let fa = FaultSpec::new(a.dyn_index, rng.gen_u16());
-        let fb = FaultSpec::new(b.dyn_index, rng.gen_u16());
-        let run = cpu.run_multi(&[fa, fb]);
+        let fa = FaultSpec::new(a.dyn_index, rng.gen_below(u64::from(a.bits)) as u16);
+        let fb = FaultSpec::new(b.dyn_index, rng.gen_below(u64::from(b.bits)) as u16);
+        let run = engine.run_multi(&[fa, fb]);
         result.stats.steps_executed += run.dyn_insts;
         let o = classify(run.stop, &run.output, golden);
         if o == Outcome::Detected {
@@ -769,7 +872,7 @@ pub fn run_double_campaign(cpu: &Cpu, profile: &Profile, cfg: CampaignConfig) ->
         steps_executed: result.stats.steps_executed,
     }];
     result.stats.latency = DetectionLatency::from_samples(latencies);
-    finish_stats(&mut result, t0, 1);
+    finish_stats(&mut result, t0, 1, engine.kind());
     ferrum_trace::counter("campaign.injections", result.total() as u64);
     result
 }
@@ -786,6 +889,15 @@ const BIT_STRIDE: u32 = 97;
 /// positions — the exhaustive sweep used to prove coverage claims on
 /// small kernels.
 pub fn exhaustive_campaign(cpu: &Cpu, profile: &Profile, bits_per_site: u16) -> CampaignResult {
+    exhaustive_campaign_on(Engine::Interpreter(cpu), profile, bits_per_site)
+}
+
+/// As [`exhaustive_campaign`], on an explicit [`Engine`].
+pub fn exhaustive_campaign_on(
+    engine: Engine<'_>,
+    profile: &Profile,
+    bits_per_site: u16,
+) -> CampaignResult {
     let _span = ferrum_trace::span("campaign.exhaustive");
     let t0 = Instant::now();
     let golden = &profile.result.output;
@@ -793,11 +905,16 @@ pub fn exhaustive_campaign(cpu: &Cpu, profile: &Profile, bits_per_site: u16) -> 
     let mut latencies = Vec::new();
     for site in &profile.sites {
         for k in 0..bits_per_site {
-            // Spread raw bits across the largest width (256); the CPU
-            // reduces modulo the actual destination width.
-            let raw = (u32::from(k) * BIT_STRIDE % 256) as u16;
+            // Spread raw bits across this site's own destination width.
+            // (Spreading over a fixed 256 and reducing modulo the width
+            // at injection time collapses the stride for narrow
+            // destinations: e.g. `k·97 mod 256` reduced mod 4 for an
+            // RFLAGS site walks residues unevenly.  Every eligible
+            // width is a power of two and 97 is odd, so `k·97 mod w`
+            // still permutes `0..w` per site.)
+            let raw = (u32::from(k) * BIT_STRIDE % site.bits.max(1)) as u16;
             let fault = FaultSpec::new(site.dyn_index, raw);
-            let run = cpu.run(Some(fault));
+            let run = engine.run(Some(fault));
             result.stats.steps_executed += run.dyn_insts;
             let o = classify(run.stop, &run.output, golden);
             if o == Outcome::Detected {
@@ -811,7 +928,7 @@ pub fn exhaustive_campaign(cpu: &Cpu, profile: &Profile, bits_per_site: u16) -> 
         steps_executed: result.stats.steps_executed,
     }];
     result.stats.latency = DetectionLatency::from_samples(latencies);
-    finish_stats(&mut result, t0, 1);
+    finish_stats(&mut result, t0, 1, engine.kind());
     ferrum_trace::counter("campaign.injections", result.total() as u64);
     result
 }
@@ -1143,6 +1260,37 @@ mod tests {
     }
 
     #[test]
+    fn latency_percentile_edge_cases() {
+        // Nearest-rank on degenerate distributions: empty (no
+        // detections), a single sample, and all-equal samples.
+        let empty = DetectionLatency::from_samples(vec![]);
+        assert_eq!(empty.count(), 0);
+        for p in [0.0, 50.0, 95.0, 100.0] {
+            assert_eq!(empty.percentile(p), None);
+        }
+        assert_eq!(empty.p50(), None);
+        assert_eq!(empty.p95(), None);
+        assert_eq!(empty.max(), None);
+
+        let single = DetectionLatency::from_samples(vec![42]);
+        assert_eq!(single.count(), 1);
+        for p in [0.0, 1.0, 50.0, 95.0, 100.0] {
+            assert_eq!(single.percentile(p), Some(42), "p={p}");
+        }
+        assert_eq!((single.p50(), single.p95(), single.max()), (Some(42), Some(42), Some(42)));
+        assert_eq!(single.histogram_log2().iter().map(|&(_, _, c)| c).sum::<u64>(), 1);
+
+        let equal = DetectionLatency::from_samples(vec![7; 9]);
+        assert_eq!(equal.count(), 9);
+        for p in [0.0, 50.0, 95.0, 100.0] {
+            assert_eq!(equal.percentile(p), Some(7), "p={p}");
+        }
+        assert_eq!(equal.max(), Some(7));
+        // All nine samples land in the [4,7] bucket.
+        assert_eq!(equal.histogram_log2().last(), Some(&(4, 7, 9)));
+    }
+
+    #[test]
     fn latency_histogram_buckets_are_log2() {
         let lat = DetectionLatency::from_samples(vec![0, 1, 2, 3, 4, 9]);
         let h = lat.histogram_log2();
@@ -1236,6 +1384,156 @@ mod tests {
             assert!((0.0..=1.0).contains(&bal), "balance {bal}");
         }
         assert_eq!(CampaignStats::default().worker_balance(), 0.0);
+    }
+
+    #[test]
+    fn sampled_raw_bits_stay_within_site_width() {
+        // Regression (fault-bit uniformity fix): the sampler must draw
+        // the bit position from the site's own eligible width, never
+        // from the full u16 range.  Pre-fix code used `gen_u16()`, so
+        // with hundreds of samples some raw_bit always landed >= bits.
+        let cpu = protected_sum_cpu();
+        let profile = cpu.profile();
+        let cfg = CampaignConfig {
+            samples: 500,
+            seed: 31,
+        };
+        for fault in sample_faults(&profile, cfg) {
+            let i = profile
+                .sites
+                .binary_search_by_key(&fault.dyn_index, |s| s.dyn_index)
+                .expect("sampled faults land on profiled sites");
+            let bits = profile.sites[i].bits;
+            assert!(
+                u32::from(fault.raw_bit) < bits,
+                "raw_bit {} out of range for a {bits}-bit destination",
+                fault.raw_bit
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_bits_are_uniform_within_width() {
+        // Chi-square uniformity over the 64-bit GPR sites: bucket the
+        // sampled bit positions into 8 byte-lanes and require the
+        // statistic to stay below the p=0.001 critical value for 7
+        // degrees of freedom (24.32).  The pre-fix sampler fails the
+        // companion range test above; this one pins that the *new*
+        // draw is genuinely uniform, not merely in range.
+        let cpu = sum_cpu();
+        let profile = cpu.profile();
+        let cfg = CampaignConfig {
+            samples: 4000,
+            seed: 1234,
+        };
+        let mut buckets = [0u64; 8];
+        let mut n = 0u64;
+        for fault in sample_faults(&profile, cfg) {
+            let i = profile
+                .sites
+                .binary_search_by_key(&fault.dyn_index, |s| s.dyn_index)
+                .unwrap();
+            if profile.sites[i].bits == 64 {
+                buckets[usize::from(fault.raw_bit) / 8] += 1;
+                n += 1;
+            }
+        }
+        assert!(n > 1000, "not enough 64-bit samples: {n}");
+        let expected = n as f64 / 8.0;
+        let chi2: f64 = buckets
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum();
+        assert!(chi2 < 24.32, "non-uniform bit sampling: chi2={chi2} {buckets:?}");
+    }
+
+    #[test]
+    fn timeout_budget_is_engine_independent() {
+        // Step-budget audit (resume accounting): a snapshot carries its
+        // dyn_insts, so a resumed faulted run gets only the *remaining*
+        // budget — the snapshot and decoded engines must classify
+        // exactly the same faults as Timeout as the serial engine,
+        // which never resumes.  A tight limit makes any double-counting
+        // of the prefix allowance visible immediately.
+        let cpu = sum_cpu().with_step_limit(12);
+        let profile = cpu.profile();
+        assert!(
+            !profile.sites.is_empty(),
+            "tight-limit profile still has sites"
+        );
+        let cfg = CampaignConfig {
+            samples: 150,
+            seed: 8,
+        };
+        let serial = run_campaign(&cpu, &profile, cfg);
+        let policy = SnapshotPolicy {
+            max_snapshots: 64,
+            min_interval: 1,
+        };
+        let snap = run_campaign_snapshot(&cpu, &profile, cfg, 2, policy);
+        assert_eq!(snap, serial);
+        let dc = ferrum_cpu::decoded::DecodedCpu::new(&cpu);
+        let dec = run_campaign_snapshot_on(Engine::Decoded(&dc), &profile, cfg, 2, policy);
+        assert_eq!(dec, serial);
+    }
+
+    #[test]
+    fn decoded_engine_matches_interpreter_for_every_executor() {
+        let cpu = protected_sum_cpu();
+        let dc = ferrum_cpu::decoded::DecodedCpu::new(&cpu);
+        let profile = cpu.profile();
+        let dprofile = Engine::Decoded(&dc).profile();
+        assert_eq!(profile.sites, dprofile.sites);
+        assert_eq!(profile.result, dprofile.result);
+        let cfg = CampaignConfig {
+            samples: 200,
+            seed: 77,
+        };
+        let e = Engine::Decoded(&dc);
+        assert_eq!(run_campaign_on(e, &profile, cfg), run_campaign(&cpu, &profile, cfg));
+        assert_eq!(
+            run_campaign_parallel_on(e, &profile, cfg, 3),
+            run_campaign_parallel(&cpu, &profile, cfg, 3)
+        );
+        assert_eq!(
+            run_campaign_snapshot_on(e, &profile, cfg, 3, SnapshotPolicy::default()),
+            run_campaign_snapshot(&cpu, &profile, cfg, 3, SnapshotPolicy::default())
+        );
+        assert_eq!(
+            run_double_campaign_on(e, &profile, cfg),
+            run_double_campaign(&cpu, &profile, cfg)
+        );
+        assert_eq!(
+            exhaustive_campaign_on(e, &profile, 2),
+            exhaustive_campaign(&cpu, &profile, 2)
+        );
+        // Latency distributions (not just outcome counts) agree.
+        assert_eq!(
+            run_campaign_on(e, &profile, cfg).stats.latency,
+            run_campaign(&cpu, &profile, cfg).stats.latency
+        );
+    }
+
+    #[test]
+    fn pruned_campaign_runs_on_decoded_engine() {
+        let asm = ferrum_eddi::ferrum::Ferrum::new()
+            .protect_module(&sum_module())
+            .unwrap();
+        let coverage = CoverageMap::analyze(&asm);
+        let cpu = Cpu::load(&asm).unwrap();
+        let dc = ferrum_cpu::decoded::DecodedCpu::new(&cpu);
+        let profile = cpu.profile();
+        let cfg = CampaignConfig {
+            samples: 200,
+            seed: 11,
+        };
+        let serial = run_campaign(&cpu, &profile, cfg);
+        let pruned = run_campaign_pruned_on(Engine::Decoded(&dc), &profile, cfg, &coverage);
+        assert_eq!(pruned, serial);
+        assert!(pruned.stats.pruned_sites > 0, "prune multiplier stacks");
     }
 
     #[test]

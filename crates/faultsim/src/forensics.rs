@@ -47,13 +47,15 @@ use ferrum_cpu::differential::{
 };
 use ferrum_cpu::fault::FaultSpec;
 use ferrum_cpu::outcome::StopReason;
+use ferrum_cpu::image::Image;
 use ferrum_cpu::run::{Cpu, Profile};
-use ferrum_cpu::snapshot::{Machine, Snapshot};
+use ferrum_cpu::snapshot::Snapshot;
 
 use crate::campaign::{
     classify, detection_latency, finish_stats, sample_faults, CampaignConfig, CampaignResult,
     DetectionLatency, Outcome, WorkerStats,
 };
+use crate::engine::{Engine, EngineMachine};
 
 /// Why a checker that executed after the injection failed to fire — or,
 /// at record level, why the whole protection scheme let the fault
@@ -492,12 +494,11 @@ fn accumulate_taint(ever: &mut BTreeSet<u64>, live: &RegDiff, mem: &MemDivergenc
 /// Whether the checker at the faulty state's pc reads any location of
 /// the live corruption set.
 fn checker_inputs_tainted(
-    cpu: &Cpu,
-    faulty: &Machine<'_>,
+    image: &Image,
+    faulty: &EngineMachine<'_>,
     live: &RegDiff,
     mem: &MemDivergence,
 ) -> bool {
-    let image = cpu.image();
     let li = &image.insts[faulty.state().pc];
     if li
         .inst
@@ -559,8 +560,14 @@ fn primary_reason(
 /// then repair the faulty run's complete register file from the golden
 /// run and let it finish.  True when that still restores the golden
 /// output.
-fn kill_probe(cpu: &Cpu, fault: FaultSpec, snap: &Snapshot, golden_output: &[i64], t: u64) -> bool {
-    let mut g = Machine::new(cpu);
+fn kill_probe(
+    engine: Engine<'_>,
+    fault: FaultSpec,
+    snap: &Snapshot,
+    golden_output: &[i64],
+    t: u64,
+) -> bool {
+    let mut g = engine.machine();
     g.restore(snap);
     let mut f = g.clone();
     f.step_faulted(&[fault]);
@@ -585,21 +592,21 @@ fn kill_probe(cpu: &Cpu, fault: FaultSpec, snap: &Snapshot, golden_output: &[i64
 /// Binary-searches the largest repair distance that still kills the
 /// fault (monotone by construction: memory/output damage only grows).
 fn bisect_kill_window(
-    cpu: &Cpu,
+    engine: Engine<'_>,
     fault: FaultSpec,
     snap: &Snapshot,
     golden_output: &[i64],
     t_max: u64,
 ) -> KillWindow {
     let start = fault.dyn_index;
-    if !kill_probe(cpu, fault, snap, golden_output, 0) {
+    if !kill_probe(engine, fault, snap, golden_output, 0) {
         return KillWindow {
             start,
             end: start,
             escaped: true,
         };
     }
-    if kill_probe(cpu, fault, snap, golden_output, t_max) {
+    if kill_probe(engine, fault, snap, golden_output, t_max) {
         return KillWindow {
             start,
             end: start + 1 + t_max,
@@ -609,7 +616,7 @@ fn bisect_kill_window(
     let (mut lo, mut hi) = (0u64, t_max);
     while hi - lo > 1 {
         let mid = lo + (hi - lo) / 2;
-        if kill_probe(cpu, fault, snap, golden_output, mid) {
+        if kill_probe(engine, fault, snap, golden_output, mid) {
             lo = mid;
         } else {
             hi = mid;
@@ -635,11 +642,30 @@ pub fn forensic_replay(
     outcome: Outcome,
     fcfg: &ForensicConfig,
 ) -> ForensicRecord {
+    forensic_replay_on(Engine::Interpreter(cpu), profile, fault, outcome, fcfg)
+}
+
+/// As [`forensic_replay`], on an explicit [`Engine`].  The decoded
+/// machine's `step_faulted` always executes exactly one instruction
+/// (never a fused group), so the lock-step walk observes the same
+/// boundaries on either engine and records are identical.
+///
+/// # Panics
+///
+/// Panics if `fault.dyn_index` lies beyond the golden run (faults
+/// drawn from `profile.sites` never do).
+pub fn forensic_replay_on(
+    engine: Engine<'_>,
+    profile: &Profile,
+    fault: FaultSpec,
+    outcome: Outcome,
+    fcfg: &ForensicConfig,
+) -> ForensicRecord {
     let _span = ferrum_trace::span("forensics.replay");
-    let image = cpu.image();
+    let image = engine.image();
 
     // Golden prefix up to the injection boundary.
-    let mut golden = Machine::new(cpu);
+    let mut golden = engine.machine();
     while golden.dyn_insts() < fault.dyn_index {
         assert!(
             golden.step() == ferrum_cpu::exec::StepEvent::Continue,
@@ -725,7 +751,7 @@ pub fn forensic_replay(
         if let Some(mechanism) = li.prov.mechanism().filter(|m| m.is_checker()) {
             if li.inst.writes_flags() {
                 let taint_live = !live.is_empty() || !mem.is_empty();
-                let inputs_tainted = checker_inputs_tainted(cpu, &faulty, &live, &mem);
+                let inputs_tainted = checker_inputs_tainted(image, &faulty, &live, &mem);
                 checkers.push(CheckerEscape {
                     dyn_index: faulty.dyn_insts(),
                     pc: faulty.state().pc,
@@ -783,7 +809,7 @@ pub fn forensic_replay(
     }
 
     let kill_window = fcfg.bisect.then(|| {
-        bisect_kill_window(cpu, fault, &inject_snap, &profile.result.output, steps)
+        bisect_kill_window(engine, fault, &inject_snap, &profile.result.output, steps)
     });
     let primary = primary_reason(&checkers, time_to_output);
 
@@ -822,19 +848,33 @@ pub fn run_campaign_forensic(
     cfg: CampaignConfig,
     fcfg: &ForensicConfig,
 ) -> (CampaignResult, ForensicsReport) {
+    run_campaign_forensic_on(Engine::Interpreter(cpu), profile, cfg, fcfg)
+}
+
+/// As [`run_campaign_forensic`], on an explicit [`Engine`].
+///
+/// # Panics
+///
+/// Panics if the profile has no injectable sites (with `samples > 0`).
+pub fn run_campaign_forensic_on(
+    engine: Engine<'_>,
+    profile: &Profile,
+    cfg: CampaignConfig,
+    fcfg: &ForensicConfig,
+) -> (CampaignResult, ForensicsReport) {
     let _span = ferrum_trace::span("campaign.forensic");
     let t0 = Instant::now();
     let mut result = CampaignResult::default();
     let mut report = ForensicsReport::default();
     if cfg.samples == 0 {
-        finish_stats(&mut result, t0, 1);
+        finish_stats(&mut result, t0, 1, engine.kind());
         return (result, report);
     }
     assert!(!profile.sites.is_empty(), "no injectable sites");
     let golden = &profile.result.output;
     let mut latencies = Vec::new();
     for fault in sample_faults(profile, cfg) {
-        let run = cpu.run(Some(fault));
+        let run = engine.run(Some(fault));
         result.stats.steps_executed += run.dyn_insts;
         let o = classify(run.stop, &run.output, golden);
         if o == Outcome::Detected {
@@ -843,7 +883,9 @@ pub fn run_campaign_forensic(
         if fcfg.outcomes.contains(&o) {
             report.matching_total += 1;
             if report.records.len() < fcfg.max_records {
-                report.records.push(forensic_replay(cpu, profile, fault, o, fcfg));
+                report
+                    .records
+                    .push(forensic_replay_on(engine, profile, fault, o, fcfg));
             }
         }
         result.record(fault, o);
@@ -853,7 +895,7 @@ pub fn run_campaign_forensic(
         steps_executed: result.stats.steps_executed,
     }];
     result.stats.latency = DetectionLatency::from_samples(latencies);
-    finish_stats(&mut result, t0, 1);
+    finish_stats(&mut result, t0, 1, engine.kind());
     ferrum_trace::counter("campaign.injections", result.total() as u64);
     ferrum_trace::counter("forensics.replays", report.records.len() as u64);
     report.finish();

@@ -23,19 +23,23 @@
 
 pub mod campaign;
 pub mod crossval;
+pub mod engine;
 pub mod forensics;
 pub mod rootcause;
 pub mod stats;
 
 pub use campaign::{
-    exhaustive_campaign, run_campaign, run_campaign_parallel, run_campaign_pruned,
-    run_campaign_snapshot, run_double_campaign, CampaignConfig, CampaignResult, CampaignStats,
-    Outcome, SnapshotPolicy,
+    exhaustive_campaign, exhaustive_campaign_on, run_campaign, run_campaign_on,
+    run_campaign_parallel, run_campaign_parallel_on, run_campaign_pruned, run_campaign_pruned_on,
+    run_campaign_snapshot, run_campaign_snapshot_on, run_double_campaign, run_double_campaign_on,
+    CampaignConfig, CampaignResult, CampaignStats, Outcome, SnapshotPolicy,
 };
+pub use engine::{Engine, EngineKind, EngineMachine};
 pub use forensics::{
-    explain_unknown_sites, forensic_replay, run_campaign_forensic, CheckerEscape, Divergence,
-    EscapeReason, ForensicConfig, ForensicRecord, ForensicsReport, KillWindow, TaintSample,
-    TaintTimeline, UnknownSiteExplanation,
+    explain_unknown_sites, forensic_replay, forensic_replay_on, run_campaign_forensic,
+    run_campaign_forensic_on, CheckerEscape, Divergence, EscapeReason, ForensicConfig,
+    ForensicRecord, ForensicsReport, KillWindow, TaintSample, TaintTimeline,
+    UnknownSiteExplanation,
 };
 pub use rootcause::{attribute_sdcs, breakdown_by_kind, KindBreakdown, RootCauseReport};
 pub use stats::{sdc_coverage, wilson_interval};

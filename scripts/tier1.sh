@@ -23,6 +23,9 @@ cargo build --offline -p ferrum-cli --features trace
 echo "== tier1: cargo test -q --offline --features trace (trace transparency)"
 cargo test -q --offline --features trace --test trace_transparency
 
+echo "== tier1: ferrum-cpu --selfcheck (decoded-engine identity across the catalog)"
+cargo run --release --offline -q -p ferrum-cli --bin ferrum-cpu -- --selfcheck
+
 echo "== tier1: ferrum-lint --catalog (static soundness self-check)"
 cargo run --release --offline -q -p ferrum-cli --bin ferrum-lint -- --catalog
 

@@ -1,16 +1,21 @@
-//! Cross-executor determinism: the serial, work-stealing, and
-//! snapshot-accelerated campaign engines must produce identical
-//! `CampaignResult`s (same aggregate counts AND same per-fault outcome
-//! records, in sampling order) for the same seed — across workloads,
-//! protection profiles, thread counts, and snapshot policies.
+//! Cross-executor and cross-engine determinism: the serial,
+//! work-stealing, snapshot-accelerated, and pruned campaign executors
+//! must produce identical `CampaignResult`s (same aggregate counts AND
+//! same per-fault outcome records, in sampling order) for the same
+//! seed — across workloads, protection profiles, thread counts,
+//! snapshot policies, and **execution engines** (reference interpreter
+//! vs. the decode-once flattened engine).
 
 use ferrum::{
-    CampaignConfig, CampaignResult, Pipeline, SnapshotPolicy, Technique,
+    CampaignConfig, CampaignResult, DecodedCpu, Engine, Pipeline, SnapshotPolicy, Technique,
 };
 use ferrum_cpu::run::Cpu;
 use ferrum_cpu::Profile;
-use ferrum_faultsim::campaign::{run_campaign, run_campaign_parallel, run_campaign_snapshot};
-use ferrum_workloads::{workload, Scale};
+use ferrum_faultsim::campaign::{
+    run_campaign, run_campaign_on, run_campaign_parallel_on,
+    run_campaign_snapshot, run_campaign_snapshot_on,
+};
+use ferrum_workloads::{all_workloads, workload, Scale};
 
 fn load(name: &str, t: Technique) -> (Cpu, Profile) {
     let w = workload(name).expect("in catalog");
@@ -25,15 +30,22 @@ fn load(name: &str, t: Technique) -> (Cpu, Profile) {
 fn assert_identical(a: &CampaignResult, b: &CampaignResult, what: &str) {
     assert_eq!(a.records, b.records, "{what}: per-fault records differ");
     assert_eq!(a, b, "{what}: aggregate counts differ");
+    assert_eq!(
+        a.stats.latency, b.stats.latency,
+        "{what}: latency distributions differ"
+    );
 }
 
 #[test]
 fn all_engines_agree_across_workloads_and_profiles() {
-    // ≥2 workloads × ≥2 protection profiles, as per the determinism
-    // contract: the engine choice is an implementation detail.
+    // The full determinism matrix: 2 workloads × 2 protection profiles
+    // × {1, 4} threads × {stealing, snapshot} executors × {interpreter,
+    // decoded} engines, all against the serial interpreter reference.
+    // The engine AND the executor are implementation details.
     for name in ["knn", "pathfinder"] {
         for technique in [Technique::None, Technique::Ferrum] {
             let (cpu, profile) = load(name, technique);
+            let decoded = DecodedCpu::new(&cpu);
             let cfg = CampaignConfig {
                 samples: 300,
                 seed: 0xDECADE,
@@ -41,18 +53,57 @@ fn all_engines_agree_across_workloads_and_profiles() {
             let what = format!("{name}/{technique}");
 
             let serial = run_campaign(&cpu, &profile, cfg);
-            for threads in [1, 4] {
-                let stealing = run_campaign_parallel(&cpu, &profile, cfg, threads);
-                assert_identical(&serial, &stealing, &format!("{what} steal×{threads}"));
-                let snap = run_campaign_snapshot(
-                    &cpu,
-                    &profile,
-                    cfg,
-                    threads,
-                    SnapshotPolicy::default(),
+            for engine in [Engine::Interpreter(&cpu), Engine::Decoded(&decoded)] {
+                let kind = engine.kind().label();
+                assert_identical(
+                    &run_campaign_on(engine, &profile, cfg),
+                    &serial,
+                    &format!("{what} serial/{kind}"),
                 );
-                assert_identical(&serial, &snap, &format!("{what} snap×{threads}"));
+                for threads in [1, 4] {
+                    let stealing = run_campaign_parallel_on(engine, &profile, cfg, threads);
+                    assert_identical(
+                        &serial,
+                        &stealing,
+                        &format!("{what} steal×{threads}/{kind}"),
+                    );
+                    let snap = run_campaign_snapshot_on(
+                        engine,
+                        &profile,
+                        cfg,
+                        threads,
+                        SnapshotPolicy::default(),
+                    );
+                    assert_identical(&serial, &snap, &format!("{what} snap×{threads}/{kind}"));
+                }
             }
+        }
+    }
+}
+
+#[test]
+fn decoded_engine_is_byte_identical_across_the_whole_catalog() {
+    // Every catalog workload × every technique: campaign outcomes per
+    // seed must not depend on the engine.  (Run + profile identity over
+    // the same sweep is `ferrum-cpu --selfcheck` in tier-1.)
+    for w in all_workloads() {
+        for technique in [
+            Technique::None,
+            Technique::IrEddi,
+            Technique::HybridAsmEddi,
+            Technique::Ferrum,
+        ] {
+            let (cpu, profile) = load(w.name, technique);
+            let decoded = DecodedCpu::new(&cpu);
+            let cfg = CampaignConfig {
+                samples: 60,
+                seed: 0xFE44_0006,
+            };
+            assert_identical(
+                &run_campaign_on(Engine::Decoded(&decoded), &profile, cfg),
+                &run_campaign(&cpu, &profile, cfg),
+                &format!("{}/{technique}", w.name),
+            );
         }
     }
 }
