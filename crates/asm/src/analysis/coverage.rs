@@ -338,19 +338,19 @@ impl CoverageMap {
 /// Exact taint: the set of bytes currently differing from the golden
 /// run, each by a non-zero delta.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
-struct Taint {
+pub(crate) struct Taint {
     /// GPR bytes (same packing as [`ByteSet`]).
-    gpr: ByteSet,
+    pub(crate) gpr: ByteSet,
     /// One byte-mask per SIMD register (64 bytes each).
-    simd: [u64; 16],
+    pub(crate) simd: [u64; 16],
 }
 
 impl Taint {
-    fn is_clear(&self) -> bool {
+    pub(crate) fn is_clear(&self) -> bool {
         self.gpr == 0 && self.simd_clear()
     }
 
-    fn simd_clear(&self) -> bool {
+    pub(crate) fn simd_clear(&self) -> bool {
         self.simd.iter().all(|&m| m == 0)
     }
 
@@ -364,7 +364,7 @@ impl Taint {
 }
 
 /// Byte-exact SIMD reads of `inst` as `(register index, byte mask)`.
-fn simd_reads(inst: &Inst) -> Vec<(u8, u64)> {
+pub(crate) fn simd_reads(inst: &Inst) -> Vec<(u8, u64)> {
     const X: u64 = 0xffff; // 16 bytes
     const Y: u64 = 0xffff_ffff; // 32 bytes
     match inst {
@@ -387,7 +387,7 @@ fn simd_reads(inst: &Inst) -> Vec<(u8, u64)> {
 /// writes only its lane).  When the instruction's inputs are
 /// untainted the written bytes become golden, so these masks are also
 /// the taint-kill masks.
-fn simd_writes(inst: &Inst) -> Vec<(u8, u64)> {
+pub(crate) fn simd_writes(inst: &Inst) -> Vec<(u8, u64)> {
     const X: u64 = 0xffff;
     const Y: u64 = 0xffff_ffff;
     match inst {
@@ -460,7 +460,7 @@ fn next_is_exit_check(block: &[AsmInst], i: usize) -> bool {
 }
 
 /// One step of the scan at a protection instruction that reads taint.
-enum Step {
+pub(crate) enum Step {
     /// A checker is guaranteed to fire: the site is detected.
     Detected,
     /// Exact propagation succeeded; continue with the new taint.
@@ -472,7 +472,7 @@ enum Step {
 /// Handles a protection instruction consuming tainted data: recognise
 /// the checker idioms (→ [`Step::Detected`]), propagate through
 /// exactness-preserving data movement, or bail.
-fn protection_step(block: &[AsmInst], i: usize, taint: &Taint) -> Step {
+pub(crate) fn protection_step(block: &[AsmInst], i: usize, taint: &Taint) -> Step {
     let inst = &block[i].inst;
     if mem_address_tainted(inst, taint) {
         return Step::Bail;

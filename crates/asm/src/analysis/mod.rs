@@ -9,6 +9,7 @@ pub mod coverage;
 pub mod lint;
 pub mod liveness;
 pub mod regscan;
+pub mod summary;
 
 pub use cfg::{Cfg, Dominators};
 pub use coverage::{CoverageMap, FunctionCoverage, SiteCoverage, StaticVerdict, VerdictCounts};
@@ -18,3 +19,7 @@ pub use lint::{
 };
 pub use liveness::Liveness;
 pub use regscan::{RegUsage, SpareReport};
+pub use summary::{
+    function_hash, EscapeFootprint, EscapeRollup, FunctionSummary, SiteSummary, SummaryMap,
+    UnitSummary,
+};

@@ -49,20 +49,15 @@ impl RegUsage {
         self.simd_bits |= other.simd_bits;
     }
 
-    /// Scans a single instruction.
+    /// Scans a single instruction.  Delegates to [`Inst::reg_masks`] so
+    /// the scanner, the decoded engine and the summary builder share one
+    /// source of truth for register touch sets.
+    ///
+    /// [`Inst::reg_masks`]: crate::inst::Inst::reg_masks
     pub fn scan_inst(&mut self, inst: &crate::inst::Inst) {
-        for g in inst.gprs_read() {
-            self.touch_gpr(g);
-        }
-        for g in inst.gprs_written() {
-            self.touch_gpr(g);
-        }
-        for s in inst.simd_read() {
-            self.touch_simd(s);
-        }
-        for s in inst.simd_written() {
-            self.touch_simd(s);
-        }
+        let m = inst.reg_masks();
+        self.gpr_bits |= m.touched_gpr();
+        self.simd_bits |= m.touched_simd();
     }
 
     /// GPRs *not* used, excluding `%rsp`/`%rbp` (reserved for the frame).
@@ -239,6 +234,75 @@ mod tests {
         assert!(!rep.function_spare_gprs().contains(&Gpr::Rbx));
         // An uninvolved register is still spare in the same block.
         assert!(rep.block_spare_gprs(0).contains(&Gpr::R12));
+    }
+
+    #[test]
+    fn call_to_print_intrinsic_claims_rdi() {
+        // Regression: `call print_i64` architecturally reads its
+        // argument from %rdi, so a block containing only that call must
+        // not report %rdi spare (a requisition pass that grabbed it
+        // would corrupt the printed value).
+        let f = func_with(vec![
+            Inst::Call {
+                target: crate::PRINT_I64.into(),
+            },
+            Inst::Ret,
+        ]);
+        let rep = SpareReport::scan(&f);
+        assert!(rep.function.uses_gpr(Gpr::Rdi));
+        assert!(!rep.function_spare_gprs().contains(&Gpr::Rdi));
+        assert!(!rep.block_spare_gprs(0).contains(&Gpr::Rdi));
+        // A call to an ordinary function leaves %rdi spare.
+        let g = func_with(vec![
+            Inst::Call {
+                target: "helper".into(),
+            },
+            Inst::Ret,
+        ]);
+        assert!(SpareReport::scan(&g)
+            .function_spare_gprs()
+            .contains(&Gpr::Rdi));
+    }
+
+    #[test]
+    fn scan_matches_reg_masks_union() {
+        // Audit: the block-level rollup must equal the union of the
+        // per-instruction reg_masks — one source of truth.
+        let insts = vec![
+            Inst::Mov {
+                w: Width::W64,
+                src: Operand::Mem(MemRef::base_disp(Gpr::Rbp, -8)),
+                dst: Operand::Reg(Reg::q(Gpr::Rax)),
+            },
+            Inst::Call {
+                target: crate::PRINT_I64.into(),
+            },
+            Inst::MovqToXmm {
+                src: Operand::Reg(Reg::q(Gpr::Rax)),
+                dst: Xmm::new(3),
+            },
+            Inst::Ret,
+        ];
+        let f = func_with(insts.clone());
+        let rep = SpareReport::scan(&f);
+        let union = insts
+            .iter()
+            .fold(crate::inst::RegMasks::default(), |acc, i| {
+                acc.union(i.reg_masks())
+            });
+        for g in crate::reg::ALL_GPRS {
+            assert_eq!(
+                rep.function.uses_gpr(g),
+                union.touched_gpr() & (1 << g.index()) != 0,
+                "{g:?}"
+            );
+        }
+        for i in 0u8..16 {
+            assert_eq!(
+                rep.function.uses_simd(i),
+                union.touched_simd() & (1 << i) != 0
+            );
+        }
     }
 
     #[test]

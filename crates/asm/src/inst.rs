@@ -204,6 +204,54 @@ pub enum Inst {
     Nop,
 }
 
+/// Compact per-instruction register touch sets: source (read) and
+/// output (written) masks over the sixteen GPRs and the sixteen SIMD
+/// registers.  Bit *i* of a GPR mask corresponds to `Gpr::index() == i`;
+/// bit *i* of a SIMD mask is the XMM/YMM/ZMM register index.
+///
+/// These masks are the single source of truth for register touch sets:
+/// the spare-register scanner (`analysis::regscan`), the decoded
+/// engine's per-instruction src/out summaries, and the
+/// fault-propagation summary builder all consume them.  They describe
+/// what *executing this one instruction* architecturally reads and
+/// writes — callee effects of a `call` belong to the callee's own
+/// instructions, not to the call site (interprocedural conventions such
+/// as argument registers and caller-saved clobbers are layered on top
+/// by `analysis::liveness`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct RegMasks {
+    /// GPRs read (bit per [`Gpr::index`]).
+    pub src_gpr: u16,
+    /// GPRs written.
+    pub out_gpr: u16,
+    /// SIMD registers read (bit per register index).
+    pub src_simd: u16,
+    /// SIMD registers written.
+    pub out_simd: u16,
+}
+
+impl RegMasks {
+    /// Union of source and output GPR bits.
+    pub fn touched_gpr(&self) -> u16 {
+        self.src_gpr | self.out_gpr
+    }
+
+    /// Union of source and output SIMD bits.
+    pub fn touched_simd(&self) -> u16 {
+        self.src_simd | self.out_simd
+    }
+
+    /// Union with another mask set.
+    pub fn union(&self, other: RegMasks) -> RegMasks {
+        RegMasks {
+            src_gpr: self.src_gpr | other.src_gpr,
+            out_gpr: self.out_gpr | other.out_gpr,
+            src_simd: self.src_simd | other.src_simd,
+            out_simd: self.out_simd | other.out_simd,
+        }
+    }
+}
+
 /// Architectural destination written by an instruction, as seen by the
 /// fault injector ("destination register" in §IV-A2 of the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -414,10 +462,17 @@ impl Inst {
                 out.push(Gpr::Rsp);
             }
             Inst::MovqToXmm { src, .. } | Inst::Pinsrq { src, .. } => op_read_into(&mut out, src),
+            Inst::Call { target } => {
+                // The print intrinsic reads its argument from `%rdi`; a
+                // real call pushes the return address through `%rsp`.
+                if target == crate::PRINT_I64 {
+                    out.push(Gpr::Rdi);
+                }
+                out.push(Gpr::Rsp);
+            }
+            Inst::Ret => out.push(Gpr::Rsp),
             Inst::Jmp { .. }
             | Inst::Jcc { .. }
-            | Inst::Call { .. }
-            | Inst::Ret
             | Inst::MovqFromXmm { .. }
             | Inst::Pextrq { .. }
             | Inst::Vinserti128 { .. }
@@ -503,6 +558,27 @@ impl Inst {
             Inst::MovqToXmm { src, .. } | Inst::Pinsrq { src, .. } => op_mem(src),
             _ => false,
         }
+    }
+
+    /// Compact src/out register masks for this instruction (see
+    /// [`RegMasks`]).  Derived from [`Inst::gprs_read`],
+    /// [`Inst::gprs_written`], [`Inst::simd_read`] and
+    /// [`Inst::simd_written`] so all consumers agree bit-for-bit.
+    pub fn reg_masks(&self) -> RegMasks {
+        let mut m = RegMasks::default();
+        for g in self.gprs_read() {
+            m.src_gpr |= 1 << g.index();
+        }
+        for g in self.gprs_written() {
+            m.out_gpr |= 1 << g.index();
+        }
+        for s in self.simd_read() {
+            m.src_simd |= 1 << s;
+        }
+        for s in self.simd_written() {
+            m.out_simd |= 1 << s;
+        }
+        m
     }
 }
 
@@ -664,6 +740,107 @@ mod tests {
         assert!(jcc.is_control() && jcc.reads_flags());
         assert!(Inst::Ret.is_terminator());
         assert_eq!(Inst::Ret.target(), None);
+    }
+
+    #[test]
+    fn call_print_reads_rdi_and_rsp() {
+        let print = Inst::Call {
+            target: crate::PRINT_I64.into(),
+        };
+        let read = print.gprs_read();
+        assert!(read.contains(&Gpr::Rdi));
+        assert!(read.contains(&Gpr::Rsp));
+        // A plain function call only touches the stack pointer.
+        let call = Inst::Call {
+            target: "helper".into(),
+        };
+        let read = call.gprs_read();
+        assert!(!read.contains(&Gpr::Rdi));
+        assert!(read.contains(&Gpr::Rsp));
+        assert!(call.gprs_written().contains(&Gpr::Rsp));
+        // `ret` pops through the stack pointer.
+        assert!(Inst::Ret.gprs_read().contains(&Gpr::Rsp));
+        assert!(Inst::Ret.gprs_written().contains(&Gpr::Rsp));
+    }
+
+    #[test]
+    fn reg_masks_agree_with_register_lists() {
+        // The compact masks must agree bit-for-bit with the Vec-returning
+        // register lists for a representative instruction zoo.
+        let zoo: Vec<Inst> = vec![
+            mov_rr(Gpr::Rax, Gpr::Rcx),
+            Inst::Alu {
+                op: AluOp::Add,
+                w: Width::W64,
+                src: Operand::Mem(MemRef::base_disp(Gpr::Rbp, -8)),
+                dst: Operand::Reg(Reg::q(Gpr::Rax)),
+            },
+            Inst::Idiv {
+                w: Width::W32,
+                src: Operand::Reg(Reg::l(Gpr::Rcx)),
+            },
+            Inst::Shift {
+                op: ShiftOp::Shl,
+                w: Width::W64,
+                amount: ShiftAmount::Cl,
+                dst: Operand::Reg(Reg::q(Gpr::Rax)),
+            },
+            Inst::Push {
+                src: Operand::Reg(Reg::q(Gpr::R10)),
+            },
+            Inst::Pop {
+                dst: Operand::Reg(Reg::q(Gpr::R10)),
+            },
+            Inst::Call {
+                target: crate::PRINT_I64.into(),
+            },
+            Inst::Ret,
+            Inst::MovqToXmm {
+                src: Operand::Reg(Reg::q(Gpr::Rax)),
+                dst: Xmm::new(3),
+            },
+            Inst::Pinsrq {
+                lane: 1,
+                src: Operand::Reg(Reg::q(Gpr::Rdi)),
+                dst: Xmm::new(1),
+            },
+            Inst::Vinserti128 {
+                lane: 1,
+                src: Xmm::new(2),
+                src2: Ymm::new(4),
+                dst: Ymm::new(4),
+            },
+            Inst::Vptest {
+                a: Ymm::new(0),
+                b: Ymm::new(1),
+            },
+            Inst::Nop,
+        ];
+        for inst in &zoo {
+            let m = inst.reg_masks();
+            let mut src_gpr = 0u16;
+            for g in inst.gprs_read() {
+                src_gpr |= 1 << g.index();
+            }
+            let mut out_gpr = 0u16;
+            for g in inst.gprs_written() {
+                out_gpr |= 1 << g.index();
+            }
+            let mut src_simd = 0u16;
+            for s in inst.simd_read() {
+                src_simd |= 1 << s;
+            }
+            let mut out_simd = 0u16;
+            for s in inst.simd_written() {
+                out_simd |= 1 << s;
+            }
+            assert_eq!(m.src_gpr, src_gpr, "{inst:?}");
+            assert_eq!(m.out_gpr, out_gpr, "{inst:?}");
+            assert_eq!(m.src_simd, src_simd, "{inst:?}");
+            assert_eq!(m.out_simd, out_simd, "{inst:?}");
+            assert_eq!(m.touched_gpr(), src_gpr | out_gpr);
+            assert_eq!(m.touched_simd(), src_simd | out_simd);
+        }
     }
 
     #[test]

@@ -21,17 +21,78 @@
 //! speedup column is the paper-scale throughput claim for
 //! `ferrum_cpu::decoded` (≥10× single-thread).
 //!
+//! A fifth table measures the incremental campaign mode
+//! (`ferrum::run_campaign_incremental`) after a single-function edit:
+//! a multi-function FERRUM-protected program is campaigned once to
+//! fill the per-function shard cache, one function is edited (a
+//! synthetic `nop` changes its content hash), and the stale cache
+//! then seeds an incremental run that re-injects only the edited
+//! function while replaying every untouched function's shard.  The
+//! incremental result must be record-identical to a full stratified
+//! re-run on the edited program; the speedup column is wall-clock
+//! full/incremental.
+//!
 //! `--samples N --seed S --scale test|paper --threads T` as usual;
 //! defaults to 1000 samples and all available cores.
 
+use std::time::Instant;
+
 use ferrum::{
-    CampaignConfig, CoverageMap, DecodedCpu, Engine, Pipeline, SnapshotPolicy, Technique,
+    run_campaign_incremental, run_campaign_stratified, CampaignConfig, CoverageMap, DecodedCpu,
+    Engine, Pipeline, SnapshotPolicy, Technique,
 };
+use ferrum_asm::inst::Inst;
+use ferrum_asm::program::AsmInst;
+use ferrum_eddi::ferrum::Ferrum;
 use ferrum_faultsim::campaign::{
     run_campaign, run_campaign_parallel, run_campaign_pruned, run_campaign_snapshot,
     run_campaign_snapshot_on,
 };
+use ferrum_mir::builder::FunctionBuilder;
+use ferrum_mir::module::{Global, Module};
+use ferrum_mir::types::Ty;
+use ferrum_mir::value::Value;
 use ferrum_workloads::all_workloads;
+
+/// A multi-function program for the incremental table: `main` sums
+/// six helpers over a global table.  The catalog workloads compile to
+/// a single function, so an edit there invalidates the whole cache;
+/// this shape gives the incremental executor untouched shards to
+/// reuse, which is the FastFlip scenario (edit one section, re-inject
+/// only that section).
+fn multi_function_module(helpers: usize, chain: usize) -> Module {
+    let mut module = Module::new();
+    let g = module.add_global(Global::new("tab", vec![3, 1, 4, 1, 5, 9, 2, 6]));
+    for h in 0..helpers {
+        let mut f = FunctionBuilder::new(format!("helper{h}"), &[Ty::I64], Some(Ty::I64));
+        let mut x = Value::Arg(0);
+        for i in 0..chain {
+            let k = f.iconst(Ty::I64, (h * chain + i) as i64 % 7 + 1);
+            let m = f.mul(Ty::I64, x, Value::const_int(Ty::I64, 3));
+            x = f.add(Ty::I64, m, k);
+        }
+        f.ret(Some(x));
+        module.functions.push(f.finish());
+    }
+    let mut b = FunctionBuilder::new("main", &[], None);
+    let base = b.global(g);
+    let mut acc = b.iconst(Ty::I64, 0);
+    for i in 0..8 {
+        let idx = b.iconst(Ty::I64, i);
+        let p = b.gep(base, idx);
+        let v = b.load(Ty::I64, p);
+        for h in 0..helpers {
+            let d = b
+                .call(format!("helper{h}"), vec![v], Some(Ty::I64))
+                .unwrap();
+            acc = b.add(Ty::I64, acc, d);
+        }
+    }
+    b.print(acc);
+    b.ret(None);
+    module.functions.push(b.finish());
+    module
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -223,4 +284,52 @@ fn main() {
         "geomean speedup: {:.2}x",
         (log_speedup_sum / n.max(1) as f64).exp()
     );
+
+    println!();
+    println!("incremental campaign after a single-function edit (FERRUM-protected, multi-function program)");
+    println!(
+        "{:<14}{:>12}{:>12}{:>12}{:>12}{:>9}{:>9}",
+        "edited fn", "full ms", "incr ms", "reinjected", "reused", "speedup", "match"
+    );
+    let module = multi_function_module(6, 24);
+    let base = Ferrum::new().protect_module(&module).expect("protects");
+    let base_cpu = ferrum_cpu::run::Cpu::load(&base).expect("loads");
+    let base_profile = base_cpu.profile();
+    let campaign_cfg = CampaignConfig {
+        samples: cfg.samples,
+        seed: cfg.seed,
+    };
+    let (_, cache) = run_campaign_stratified(&base_cpu, &base_profile, campaign_cfg, &base);
+    let names: Vec<String> = base.functions.iter().map(|f| f.name.clone()).collect();
+    for name in &names {
+        let mut edited = base.clone();
+        edited
+            .functions
+            .iter_mut()
+            .find(|f| &f.name == name)
+            .expect("function exists")
+            .blocks[0]
+            .insts
+            .insert(0, AsmInst::synthetic(Inst::Nop));
+        let cpu = ferrum_cpu::run::Cpu::load(&edited).expect("loads");
+        let profile = cpu.profile();
+        let t0 = Instant::now();
+        let (full, _) = run_campaign_stratified(&cpu, &profile, campaign_cfg, &edited);
+        let t_full = t0.elapsed();
+        let t1 = Instant::now();
+        let (inc, _) = run_campaign_incremental(&cpu, &profile, campaign_cfg, &edited, &cache);
+        let t_inc = t1.elapsed();
+        let identical = full == inc;
+        println!(
+            "{:<14}{:>12.1}{:>12.1}{:>12}{:>12}{:>8.2}x{:>9}",
+            name,
+            t_full.as_secs_f64() * 1e3,
+            t_inc.as_secs_f64() * 1e3,
+            inc.total() - inc.stats.reused_sites,
+            inc.stats.reused_sites,
+            t_full.as_secs_f64() / t_inc.as_secs_f64().max(1e-9),
+            if identical { "yes" } else { "NO" }
+        );
+        assert!(identical, "{name}: incremental run diverges from full re-run");
+    }
 }

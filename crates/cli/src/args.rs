@@ -176,6 +176,121 @@ impl ParsedArgs {
     }
 }
 
+/// One documented argument in a tool's usage text.
+#[derive(Debug, Clone, Copy)]
+pub struct ArgHelp {
+    /// The flag or option name (`--samples`, `-o`).
+    pub name: &'static str,
+    /// The value placeholder for options (`<n>`); `None` for flags.
+    pub value: Option<&'static str>,
+    /// Help text; embedded newlines continue at the help column.
+    pub help: &'static str,
+}
+
+/// A tool's complete command-line surface: the usage forms, the
+/// documented arguments, and the [`ArgSpec`] the parser enforces.
+/// [`render`](UsageSpec::render) derives the `--help` text from this
+/// one table, so the help can never drift from what the parser
+/// actually accepts — [`check`](UsageSpec::check) pins the two
+/// together and every binary asserts it in its tests.
+#[derive(Debug, Clone, Copy)]
+pub struct UsageSpec {
+    /// The binary name (`ferrum-coverage`).
+    pub tool: &'static str,
+    /// Usage forms, without the tool name (`"<workload> [options]"`).
+    pub forms: &'static [&'static str],
+    /// One entry per flag and option in [`UsageSpec::spec`].
+    pub args: &'static [ArgHelp],
+    /// The machine-readable spec handed to [`parse_args`].
+    pub spec: ArgSpec,
+}
+
+impl UsageSpec {
+    /// Renders the usage text: the `usage:` forms followed by an
+    /// aligned two-column argument table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, form) in self.forms.iter().enumerate() {
+            let head = if i == 0 { "usage:" } else { "      " };
+            out.push_str(&format!("{head} {} {form}\n", self.tool));
+        }
+        let label = |a: &ArgHelp| match a.value {
+            Some(v) => format!("{} {v}", a.name),
+            None => a.name.to_owned(),
+        };
+        let width = self.args.iter().map(|a| label(a).len()).max().unwrap_or(0);
+        for a in self.args {
+            for (i, line) in a.help.split('\n').enumerate() {
+                if i == 0 {
+                    out.push_str(&format!("  {:<width$}  {line}\n", label(a)));
+                } else {
+                    out.push_str(&format!("  {:<width$}  {line}\n", ""));
+                }
+            }
+        }
+        // Callers print with `eprintln!`; drop the trailing newline.
+        out.pop();
+        out
+    }
+
+    /// Checks that the argument table and the parser spec agree: every
+    /// flag is documented without a value placeholder, every option
+    /// with one, and nothing is documented that the parser rejects.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first mismatch.
+    pub fn check(&self) -> Result<(), String> {
+        for &f in self.spec.flags {
+            match self.args.iter().find(|a| a.name == f) {
+                None => return Err(format!("{}: flag `{f}` is undocumented", self.tool)),
+                Some(a) if a.value.is_some() => {
+                    return Err(format!("{}: flag `{f}` documented with a value", self.tool))
+                }
+                Some(_) => {}
+            }
+        }
+        for &v in self.spec.values {
+            match self.args.iter().find(|a| a.name == v) {
+                None => return Err(format!("{}: option `{v}` is undocumented", self.tool)),
+                Some(a) if a.value.is_none() => {
+                    return Err(format!("{}: option `{v}` documented as a flag", self.tool))
+                }
+                Some(_) => {}
+            }
+        }
+        for a in self.args {
+            if !self.spec.flags.contains(&a.name) && !self.spec.values.contains(&a.name) {
+                return Err(format!(
+                    "{}: `{}` documented but not parsed",
+                    self.tool, a.name
+                ));
+            }
+        }
+        if self.forms.is_empty() {
+            return Err(format!("{}: no usage forms", self.tool));
+        }
+        Ok(())
+    }
+}
+
+/// Test support for the binaries: asserts the usage table matches the
+/// parser spec ([`UsageSpec::check`]), that the rendered text mentions
+/// the tool and every argument, and that the spec rejects argument
+/// misuse ([`assert_spec_rejects_misuse`]).
+pub fn assert_usage_consistent(u: &UsageSpec) {
+    if let Err(m) = u.check() {
+        panic!("{m}");
+    }
+    let text = u.render();
+    assert!(text.starts_with("usage: "), "{}: bad header", u.tool);
+    assert!(text.contains(u.tool), "{}: tool name missing", u.tool);
+    for a in u.args {
+        assert!(text.contains(a.name), "{}: `{}` not rendered", u.tool, a.name);
+    }
+    assert_spec_rejects_misuse(&u.spec);
+}
+
 /// Test support for the binaries: asserts that `spec` rejects every
 /// repeated flag, every repeated option, and every option that would
 /// otherwise swallow a `--`-prefixed token as its value.  Each
@@ -338,6 +453,101 @@ mod tests {
         assert_eq!(p.engine().unwrap(), EngineKind::Interpreter);
         let p = parse_args(&v(&["bfs", "--engine", "jit"]), &ENGINE_SPEC).expect("parses");
         assert!(p.engine().is_err());
+    }
+
+    #[test]
+    fn usage_spec_renders_aligned_help() {
+        const U: UsageSpec = UsageSpec {
+            tool: "ferrum-x",
+            forms: &["<workload> [options]", "--catalog [--json]"],
+            args: &[
+                ArgHelp {
+                    name: "--json",
+                    value: None,
+                    help: "emit JSON",
+                },
+                ArgHelp {
+                    name: "--catalog",
+                    value: None,
+                    help: "self-check across\nevery workload",
+                },
+                ArgHelp {
+                    name: "--samples",
+                    value: Some("<n>"),
+                    help: "fault budget",
+                },
+            ],
+            spec: ArgSpec {
+                flags: &["--json", "--catalog"],
+                values: &["--samples"],
+                positional: true,
+            },
+        };
+        U.check().expect("consistent");
+        let text = U.render();
+        assert!(text.starts_with("usage: ferrum-x <workload> [options]\n"));
+        assert!(text.contains("       ferrum-x --catalog [--json]\n"));
+        assert!(text.contains("--samples <n>  fault budget"));
+        // The multi-line help continues at the help column.
+        let cont = text
+            .lines()
+            .find(|l| l.contains("every workload"))
+            .expect("continuation");
+        assert_eq!(
+            cont.find("every workload"),
+            text.lines()
+                .find(|l| l.contains("self-check across"))
+                .and_then(|l| l.find("self-check across"))
+        );
+        assert_usage_consistent(&U);
+    }
+
+    #[test]
+    fn usage_spec_check_finds_drift() {
+        const SPEC_ONLY: ArgSpec = ArgSpec {
+            flags: &["--json"],
+            values: &[],
+            positional: false,
+        };
+        // Undocumented flag.
+        let u = UsageSpec {
+            tool: "t",
+            forms: &["x"],
+            args: &[],
+            spec: SPEC_ONLY,
+        };
+        assert!(u.check().unwrap_err().contains("undocumented"));
+        // Documented but unparsed argument.
+        let u = UsageSpec {
+            tool: "t",
+            forms: &["x"],
+            args: &[
+                ArgHelp {
+                    name: "--json",
+                    value: None,
+                    help: "j",
+                },
+                ArgHelp {
+                    name: "--ghost",
+                    value: None,
+                    help: "g",
+                },
+            ],
+            spec: SPEC_ONLY,
+        };
+        assert!(u.check().unwrap_err().contains("not parsed"));
+        // Flag documented as an option.
+        let u = UsageSpec {
+            tool: "t",
+            forms: &["x"],
+            args: &[ArgHelp {
+                name: "--json",
+                value: Some("<v>"),
+                help: "j",
+            }],
+            spec: SPEC_ONLY,
+        };
+        assert!(u.check().unwrap_err().contains("with a value"));
     }
 
     #[test]

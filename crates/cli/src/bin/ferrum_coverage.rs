@@ -30,17 +30,56 @@ use ferrum::report::{
     render_static_coverage,
 };
 use ferrum::{CampaignConfig, CoverageMap, Pipeline, StaticVerdict, Technique};
-use ferrum_cli::args::{parse_args, usage_exit, ArgSpec};
+use ferrum_cli::args::{parse_args, usage_exit, ArgHelp, ArgSpec, UsageSpec};
 use ferrum_cli::catalog::{catalog_exit, catalog_selfcheck, CheckLine};
 use ferrum_faultsim::campaign::{run_campaign, run_campaign_pruned, Outcome};
 use ferrum_workloads::catalog::{workload, Scale, Workload};
 
-const USAGE: &str = "usage: ferrum-coverage <workload> [--technique ferrum|hybrid|ir-eddi] [--samples N] [--seed S] [--scale test|paper] [--sites] [--json]\n       ferrum-coverage --catalog [--json]";
-
-const SPEC: ArgSpec = ArgSpec {
-    flags: &["--json", "--sites", "--catalog"],
-    values: &["--technique", "--samples", "--seed", "--scale"],
-    positional: true,
+const USAGE: UsageSpec = UsageSpec {
+    tool: "ferrum-coverage",
+    forms: &["<workload> [options]", "--catalog [--json]"],
+    args: &[
+        ArgHelp {
+            name: "--technique",
+            value: Some("<t>"),
+            help: "ferrum | hybrid | ir-eddi   (default: ferrum)",
+        },
+        ArgHelp {
+            name: "--samples",
+            value: Some("<n>"),
+            help: "faults for the measured campaign (default 400)",
+        },
+        ArgHelp {
+            name: "--seed",
+            value: Some("<s>"),
+            help: "campaign seed (default 0xFE44)",
+        },
+        ArgHelp {
+            name: "--scale",
+            value: Some("<s>"),
+            help: "test | paper   (default: test)",
+        },
+        ArgHelp {
+            name: "--sites",
+            value: None,
+            help: "include the per-site verdict lists in the output",
+        },
+        ArgHelp {
+            name: "--json",
+            value: None,
+            help: "emit the report as JSON instead of text",
+        },
+        ArgHelp {
+            name: "--catalog",
+            value: None,
+            help: "self-check across every bundled workload: the pruned\ncampaign must be outcome-identical to the serial\nengine, every sound verdict must agree with\ninjection, and the FERRUM prune rate must clear 20%",
+        },
+    ],
+    spec: ArgSpec {
+        flags: &["--json", "--sites", "--catalog"],
+        values: &["--technique", "--samples", "--seed", "--scale"],
+        positional: true,
+    },
 };
 
 struct Options {
@@ -184,7 +223,7 @@ fn catalog_check(
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (parsed, opts) = match parse_args(&args, &SPEC).and_then(|p| {
+    let (parsed, opts) = match parse_args(&args, &USAGE.spec).and_then(|p| {
         let opts = Options {
             technique: p.technique_core(Technique::Ferrum)?,
             samples: p.samples(400)?,
@@ -196,7 +235,7 @@ fn main() -> ExitCode {
         Ok((p, opts))
     }) {
         Ok(r) => r,
-        Err(e) => return usage_exit(USAGE, &e),
+        Err(e) => return usage_exit(&USAGE.render(), &e),
     };
 
     if parsed.flag("--catalog") {
@@ -207,7 +246,7 @@ fn main() -> ExitCode {
     }
     match parsed.positional.as_deref() {
         Some(n) => run_one(n, &opts),
-        None => usage_exit(USAGE, &ferrum_cli::args::ArgError::Help),
+        None => usage_exit(&USAGE.render(), &ferrum_cli::args::ArgError::Help),
     }
 }
 
@@ -215,6 +254,6 @@ fn main() -> ExitCode {
 mod spec_tests {
     #[test]
     fn spec_rejects_duplicate_and_swallowed_arguments() {
-        ferrum_cli::args::assert_spec_rejects_misuse(&super::SPEC);
+        ferrum_cli::args::assert_usage_consistent(&super::USAGE);
     }
 }

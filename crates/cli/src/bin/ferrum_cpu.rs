@@ -23,18 +23,47 @@ use std::process::ExitCode;
 
 use ferrum::json::{Json, ToJson};
 use ferrum::{DecodedCpu, Pipeline, Technique};
-use ferrum_cli::args::{parse_args, usage_exit, ArgError, ArgSpec};
+use ferrum_cli::args::{parse_args, usage_exit, ArgError, ArgHelp, ArgSpec, UsageSpec};
 use ferrum_cli::catalog::{catalog_exit, catalog_selfcheck, CheckLine};
 use ferrum_cpu::run::{Cpu, Profile};
 use ferrum_faultsim::EngineKind;
 use ferrum_workloads::catalog::{workload, Scale, Workload};
 
-const USAGE: &str = "usage: ferrum-cpu <workload> [--technique ferrum|hybrid|ir-eddi|none] [--scale test|paper] [--engine interpreter|decoded] [--json]\n       ferrum-cpu --selfcheck [--json]";
-
-const SPEC: ArgSpec = ArgSpec {
-    flags: &["--json", "--selfcheck"],
-    values: &["--technique", "--scale", "--engine"],
-    positional: true,
+const USAGE: UsageSpec = UsageSpec {
+    tool: "ferrum-cpu",
+    forms: &["<workload> [options]", "--selfcheck [--json]"],
+    args: &[
+        ArgHelp {
+            name: "--technique",
+            value: Some("<t>"),
+            help: "ferrum | hybrid | ir-eddi | none  (default: ferrum)",
+        },
+        ArgHelp {
+            name: "--scale",
+            value: Some("<s>"),
+            help: "test | paper   (default: test)",
+        },
+        ArgHelp {
+            name: "--engine",
+            value: Some("<e>"),
+            help: "interpreter | decoded   (default: interpreter)",
+        },
+        ArgHelp {
+            name: "--json",
+            value: None,
+            help: "emit the run result as JSON instead of text",
+        },
+        ArgHelp {
+            name: "--selfcheck",
+            value: None,
+            help: "engine-identity sweep: every bundled workload x\nevery technique, asserting that the decode-once\nflattened engine reproduces the reference\ninterpreter byte-for-byte",
+        },
+    ],
+    spec: ArgSpec {
+        flags: &["--json", "--selfcheck"],
+        values: &["--technique", "--scale", "--engine"],
+        positional: true,
+    },
 };
 
 const TECHNIQUES: [Technique; 4] = [
@@ -138,9 +167,9 @@ fn run_one(name: &str, technique: Technique, scale: Scale, engine: EngineKind, j
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let parsed = match parse_args(&args, &SPEC) {
+    let parsed = match parse_args(&args, &USAGE.spec) {
         Ok(p) => p,
-        Err(e) => return usage_exit(USAGE, &e),
+        Err(e) => return usage_exit(&USAGE.render(), &e),
     };
     let json = parsed.flag("--json");
     if parsed.flag("--selfcheck") {
@@ -151,11 +180,11 @@ fn main() -> ExitCode {
         .and_then(|t| Ok((t, parsed.scale()?, parsed.engine()?)))
     {
         Ok(o) => o,
-        Err(e) => return usage_exit(USAGE, &e),
+        Err(e) => return usage_exit(&USAGE.render(), &e),
     };
     match parsed.positional.as_deref() {
         Some(n) => run_one(n, opts.0, opts.1, opts.2, json),
-        None => usage_exit(USAGE, &ArgError::Help),
+        None => usage_exit(&USAGE.render(), &ArgError::Help),
     }
 }
 
@@ -163,6 +192,6 @@ fn main() -> ExitCode {
 mod spec_tests {
     #[test]
     fn spec_rejects_duplicate_and_swallowed_arguments() {
-        ferrum_cli::args::assert_spec_rejects_misuse(&super::SPEC);
+        ferrum_cli::args::assert_usage_consistent(&super::USAGE);
     }
 }

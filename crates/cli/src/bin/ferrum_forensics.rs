@@ -40,25 +40,79 @@ use ferrum::{
     explain_unknown_sites, run_campaign_forensic, CampaignConfig, CoverageMap, ForensicConfig,
     Outcome, Pipeline, Technique,
 };
-use ferrum_cli::args::{parse_args, usage_exit, ArgError, ArgSpec, ParsedArgs};
+use ferrum_cli::args::{parse_args, usage_exit, ArgError, ArgHelp, ArgSpec, ParsedArgs, UsageSpec};
 use ferrum_cli::catalog::{catalog_exit, catalog_selfcheck, CheckLine};
 use ferrum_faultsim::campaign::run_campaign;
 use ferrum_workloads::catalog::{workload, Scale, Workload};
 
-const USAGE: &str = "usage: ferrum-forensics <workload> [--technique ferrum|hybrid|ir-eddi|none] [--samples N] [--seed S] [--scale test|paper] [--outcome sdc|detected|crash|timeout|benign|all] [--records N] [--show N] [--no-bisect] [--json]\n       ferrum-forensics --catalog [--json]";
-
-const SPEC: ArgSpec = ArgSpec {
-    flags: &["--json", "--catalog", "--no-bisect"],
-    values: &[
-        "--technique",
-        "--samples",
-        "--seed",
-        "--scale",
-        "--outcome",
-        "--records",
-        "--show",
+const USAGE: UsageSpec = UsageSpec {
+    tool: "ferrum-forensics",
+    forms: &["<workload> [options]", "--catalog [--json]"],
+    args: &[
+        ArgHelp {
+            name: "--technique",
+            value: Some("<t>"),
+            help: "ferrum | hybrid | ir-eddi | none   (default: ferrum)",
+        },
+        ArgHelp {
+            name: "--samples",
+            value: Some("<n>"),
+            help: "faults for the campaign (default 400)",
+        },
+        ArgHelp {
+            name: "--seed",
+            value: Some("<s>"),
+            help: "campaign seed (default 0xFE44)",
+        },
+        ArgHelp {
+            name: "--scale",
+            value: Some("<s>"),
+            help: "test | paper   (default: test)",
+        },
+        ArgHelp {
+            name: "--outcome",
+            value: Some("<o>"),
+            help: "sdc | detected | crash | timeout | benign | all\n-- which campaign outcomes to replay (default: sdc)",
+        },
+        ArgHelp {
+            name: "--records",
+            value: Some("<n>"),
+            help: "cap on fully analyzed records (default 64)",
+        },
+        ArgHelp {
+            name: "--show",
+            value: Some("<n>"),
+            help: "print the first n full incident records (default 3)",
+        },
+        ArgHelp {
+            name: "--no-bisect",
+            value: None,
+            help: "skip kill-window bisection (faster)",
+        },
+        ArgHelp {
+            name: "--json",
+            value: None,
+            help: "emit the report as JSON instead of text",
+        },
+        ArgHelp {
+            name: "--catalog",
+            value: None,
+            help: "self-check across every bundled workload under\nFERRUM and IR-EDDI: the forensic campaign must be\noutcome-identical to the serial engine, every record\nmust locate its divergence at the injected site, and\nevery bisected kill window must contain the injection",
+        },
     ],
-    positional: true,
+    spec: ArgSpec {
+        flags: &["--json", "--catalog", "--no-bisect"],
+        values: &[
+            "--technique",
+            "--samples",
+            "--seed",
+            "--scale",
+            "--outcome",
+            "--records",
+            "--show",
+        ],
+        positional: true,
+    },
 };
 
 struct Options {
@@ -260,13 +314,13 @@ fn catalog_check(
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let parsed = match parse_args(&args, &SPEC) {
+    let parsed = match parse_args(&args, &USAGE.spec) {
         Ok(p) => p,
-        Err(e) => return usage_exit(USAGE, &e),
+        Err(e) => return usage_exit(&USAGE.render(), &e),
     };
     let opts = match options(&parsed) {
         Ok(o) => o,
-        Err(e) => return usage_exit(USAGE, &e),
+        Err(e) => return usage_exit(&USAGE.render(), &e),
     };
 
     if parsed.flag("--catalog") {
@@ -277,7 +331,7 @@ fn main() -> ExitCode {
     }
     match parsed.positional.as_deref() {
         Some(n) => run_one(n, &opts),
-        None => usage_exit(USAGE, &ArgError::Help),
+        None => usage_exit(&USAGE.render(), &ArgError::Help),
     }
 }
 
@@ -285,6 +339,6 @@ fn main() -> ExitCode {
 mod spec_tests {
     #[test]
     fn spec_rejects_duplicate_and_swallowed_arguments() {
-        ferrum_cli::args::assert_spec_rejects_misuse(&super::SPEC);
+        ferrum_cli::args::assert_usage_consistent(&super::USAGE);
     }
 }

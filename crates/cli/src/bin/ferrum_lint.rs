@@ -20,19 +20,38 @@ use std::process::ExitCode;
 use ferrum::json::ToJson;
 use ferrum::report::render_lint_report;
 use ferrum_asm::analysis::lint::{lint_program, lint_program_with, LintReport};
-use ferrum_cli::args::{parse_args, usage_exit, ArgError, ArgSpec};
+use ferrum_cli::args::{parse_args, usage_exit, ArgError, ArgHelp, ArgSpec, UsageSpec};
 use ferrum_cli::catalog::{catalog_exit, catalog_selfcheck, CheckLine};
 use ferrum_cli::lint_listing;
 use ferrum_eddi::ferrum::Ferrum;
 use ferrum_eddi::hybrid::HybridAsmEddi;
 use ferrum_workloads::catalog::Scale;
 
-const USAGE: &str = "usage: ferrum-lint <input.s | -> [--technique ferrum|ferrum-zmm|scalar] [--json]\n       ferrum-lint --catalog [--json]";
-
-const SPEC: ArgSpec = ArgSpec {
-    flags: &["--json", "--catalog"],
-    values: &["--technique"],
-    positional: true,
+const USAGE: UsageSpec = UsageSpec {
+    tool: "ferrum-lint",
+    forms: &["<input.s | -> [options]", "--catalog [--json]"],
+    args: &[
+        ArgHelp {
+            name: "--technique",
+            value: Some("<t>"),
+            help: "ferrum | ferrum-zmm | scalar   (default: ferrum)",
+        },
+        ArgHelp {
+            name: "--json",
+            value: None,
+            help: "emit the report as JSON instead of text",
+        },
+        ArgHelp {
+            name: "--catalog",
+            value: None,
+            help: "self-check: protect every bundled workload under\nFERRUM and the hybrid baseline, lint each result",
+        },
+    ],
+    spec: ArgSpec {
+        flags: &["--json", "--catalog"],
+        values: &["--technique"],
+        positional: true,
+    },
 };
 
 fn emit(rep: &LintReport, label: &str, json: bool) {
@@ -75,11 +94,11 @@ fn catalog_check(w: &ferrum_workloads::Workload) -> Result<Vec<CheckLine>, Strin
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (parsed, technique) = match parse_args(&args, &SPEC)
+    let (parsed, technique) = match parse_args(&args, &USAGE.spec)
         .and_then(|p| p.technique_cli().map(|t| (p, t)))
     {
         Ok(r) => r,
-        Err(e) => return usage_exit(USAGE, &e),
+        Err(e) => return usage_exit(&USAGE.render(), &e),
     };
     let json = parsed.flag("--json");
 
@@ -88,7 +107,7 @@ fn main() -> ExitCode {
     }
 
     let Some(input) = parsed.positional else {
-        return usage_exit(USAGE, &ArgError::Help);
+        return usage_exit(&USAGE.render(), &ArgError::Help);
     };
     let text = if input == "-" {
         let mut buf = String::new();
@@ -127,6 +146,6 @@ fn main() -> ExitCode {
 mod spec_tests {
     #[test]
     fn spec_rejects_duplicate_and_swallowed_arguments() {
-        ferrum_cli::args::assert_spec_rejects_misuse(&super::SPEC);
+        ferrum_cli::args::assert_usage_consistent(&super::USAGE);
     }
 }

@@ -14,40 +14,74 @@
 use std::io::Read;
 use std::process::ExitCode;
 
-use ferrum_cli::args::{parse_args, usage_exit, ArgError, ArgSpec};
+use ferrum_cli::args::{parse_args, usage_exit, ArgError, ArgHelp, ArgSpec, UsageSpec};
 use ferrum_cli::protect_listing;
 use ferrum_faultsim::campaign::{run_campaign, CampaignConfig};
 
-const USAGE: &str = "usage: ferrum-protect <input.s | -> [-o out.s] [--technique ferrum|ferrum-zmm|scalar] [--run] [--campaign N] [--stats]";
-
-const SPEC: ArgSpec = ArgSpec {
-    flags: &["--run", "--stats", "--emit-gnu"],
-    values: &["-o", "--technique", "--campaign"],
-    positional: true,
+const USAGE: UsageSpec = UsageSpec {
+    tool: "ferrum-protect",
+    forms: &["<input.s | -> [options]"],
+    args: &[
+        ArgHelp {
+            name: "-o",
+            value: Some("<file>"),
+            help: "write the protected listing (default: stdout)",
+        },
+        ArgHelp {
+            name: "--technique",
+            value: Some("<t>"),
+            help: "ferrum | ferrum-zmm | scalar   (default: ferrum)",
+        },
+        ArgHelp {
+            name: "--run",
+            value: None,
+            help: "simulate the protected program and print its output",
+        },
+        ArgHelp {
+            name: "--campaign",
+            value: Some("<n>"),
+            help: "run an n-fault campaign and print the outcome counts",
+        },
+        ArgHelp {
+            name: "--stats",
+            value: None,
+            help: "print static instruction counts before/after",
+        },
+        ArgHelp {
+            name: "--emit-gnu",
+            value: None,
+            help: "write GNU-assembler output (assemble with\n`gcc -no-pie out.s` and run on real x86-64)",
+        },
+    ],
+    spec: ArgSpec {
+        flags: &["--run", "--stats", "--emit-gnu"],
+        values: &["-o", "--technique", "--campaign"],
+        positional: true,
+    },
 };
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let parsed = match parse_args(&args, &SPEC) {
+    let parsed = match parse_args(&args, &USAGE.spec) {
         Ok(p) => p,
-        Err(e) => return usage_exit(USAGE, &e),
+        Err(e) => return usage_exit(&USAGE.render(), &e),
     };
     let technique = match parsed.technique_cli() {
         Ok(t) => t,
-        Err(e) => return usage_exit(USAGE, &e),
+        Err(e) => return usage_exit(&USAGE.render(), &e),
     };
     let campaign: Option<usize> = match parsed.value("--campaign").map(str::parse) {
         None => None,
         Some(Ok(n)) => Some(n),
         Some(Err(_)) => {
             return usage_exit(
-                USAGE,
+                &USAGE.render(),
                 &ArgError::Message("`--campaign` needs a fault count".into()),
             )
         }
     };
     let Some(input) = parsed.positional.clone() else {
-        return usage_exit(USAGE, &ArgError::Help);
+        return usage_exit(&USAGE.render(), &ArgError::Help);
     };
     let out_path = parsed.value("-o").map(str::to_owned);
     let do_run = parsed.flag("--run");
@@ -142,6 +176,6 @@ fn main() -> ExitCode {
 mod spec_tests {
     #[test]
     fn spec_rejects_duplicate_and_swallowed_arguments() {
-        ferrum_cli::args::assert_spec_rejects_misuse(&super::SPEC);
+        ferrum_cli::args::assert_usage_consistent(&super::USAGE);
     }
 }

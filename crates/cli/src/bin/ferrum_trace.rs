@@ -32,19 +32,53 @@ use ferrum::report::{render_attribution_table, render_latency_histogram};
 use ferrum::{
     attribute_overhead, CampaignConfig, CampaignResult, Pipeline, SnapshotPolicy, Technique,
 };
-use ferrum_cli::args::{parse_args, usage_exit, ArgError, ArgSpec};
+use ferrum_cli::args::{parse_args, usage_exit, ArgError, ArgHelp, ArgSpec, UsageSpec};
 use ferrum_cli::catalog::{catalog_exit, catalog_selfcheck, CheckLine};
 use ferrum_faultsim::campaign::run_campaign_snapshot_on;
 use ferrum_faultsim::EngineKind;
 use ferrum_trace::{EventKind, RingSink};
 use ferrum_workloads::catalog::{workload, Scale, Workload};
 
-const USAGE: &str = "usage: ferrum-trace <workload> [--samples N] [--seed S] [--scale test|paper] [--engine interpreter|decoded] [--json]\n       ferrum-trace --catalog [--json]";
-
-const SPEC: ArgSpec = ArgSpec {
-    flags: &["--json", "--catalog"],
-    values: &["--samples", "--seed", "--scale", "--engine"],
-    positional: true,
+const USAGE: UsageSpec = UsageSpec {
+    tool: "ferrum-trace",
+    forms: &["<workload> [options]", "--catalog [--json]"],
+    args: &[
+        ArgHelp {
+            name: "--samples",
+            value: Some("<n>"),
+            help: "faults per campaign (default 400)",
+        },
+        ArgHelp {
+            name: "--seed",
+            value: Some("<s>"),
+            help: "campaign seed (default 0xFE44)",
+        },
+        ArgHelp {
+            name: "--scale",
+            value: Some("<s>"),
+            help: "test | paper   (default: test)",
+        },
+        ArgHelp {
+            name: "--engine",
+            value: Some("<e>"),
+            help: "interpreter | decoded   (default: interpreter;\noutcomes are byte-identical, only throughput moves)",
+        },
+        ArgHelp {
+            name: "--json",
+            value: None,
+            help: "emit the report as JSON instead of text",
+        },
+        ArgHelp {
+            name: "--catalog",
+            value: None,
+            help: "self-check across every bundled workload: the\nper-mechanism executed-instruction (and cycle) counts\nmust sum exactly to the protected-minus-baseline\ndelta, and campaign outcomes must be identical with\nand without a trace sink installed",
+        },
+    ],
+    spec: ArgSpec {
+        flags: &["--json", "--catalog"],
+        values: &["--samples", "--seed", "--scale", "--engine"],
+        positional: true,
+    },
 };
 
 struct Options {
@@ -213,7 +247,7 @@ fn catalog_check(
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (parsed, opts) = match parse_args(&args, &SPEC).and_then(|p| {
+    let (parsed, opts) = match parse_args(&args, &USAGE.spec).and_then(|p| {
         let opts = Options {
             samples: p.samples(400)?,
             seed: p.seed(0xFE44)?,
@@ -224,7 +258,7 @@ fn main() -> ExitCode {
         Ok((p, opts))
     }) {
         Ok(r) => r,
-        Err(e) => return usage_exit(USAGE, &e),
+        Err(e) => return usage_exit(&USAGE.render(), &e),
     };
 
     if parsed.flag("--catalog") {
@@ -235,7 +269,7 @@ fn main() -> ExitCode {
     }
     match parsed.positional.as_deref() {
         Some(n) => run_one(n, &opts),
-        None => usage_exit(USAGE, &ArgError::Help),
+        None => usage_exit(&USAGE.render(), &ArgError::Help),
     }
 }
 
@@ -243,6 +277,6 @@ fn main() -> ExitCode {
 mod spec_tests {
     #[test]
     fn spec_rejects_duplicate_and_swallowed_arguments() {
-        ferrum_cli::args::assert_spec_rejects_misuse(&super::SPEC);
+        ferrum_cli::args::assert_usage_consistent(&super::USAGE);
     }
 }

@@ -49,6 +49,10 @@ pub use pipeline::Pipeline;
 pub use ferrum_asm::analysis::coverage::{
     CoverageMap, FunctionCoverage, SiteCoverage, StaticVerdict, VerdictCounts,
 };
+pub use ferrum_asm::analysis::summary::{
+    function_hash, EscapeFootprint, EscapeRollup, FunctionSummary, SiteSummary, SummaryMap,
+    UnitSummary,
+};
 pub use ferrum_asm::provenance::Mechanism;
 pub use ferrum_cpu::cost::CostModel;
 pub use ferrum_cpu::decoded::{DecodedCpu, DecodedMachine};
@@ -58,6 +62,10 @@ pub use ferrum_eddi::Technique;
 pub use ferrum_faultsim::campaign::{
     CampaignConfig, CampaignResult, CampaignStats, DetectionLatency, Outcome, SnapshotPolicy,
     WorkerStats,
+};
+pub use ferrum_faultsim::compose::{
+    compose, run_campaign_incremental, run_campaign_stratified, CampaignCache, ComposedFunction,
+    ComposedMap, ComposedSite, FunctionShard, ShardDraw,
 };
 pub use ferrum_faultsim::engine::{Engine, EngineKind, EngineMachine};
 pub use ferrum_faultsim::forensics::{

@@ -11,6 +11,7 @@ use ferrum_eddi::Technique;
 use ferrum_faultsim::campaign::{
     CampaignResult, CampaignStats, DetectionLatency, Outcome, WorkerStats,
 };
+use ferrum_faultsim::compose::ComposedMap;
 use ferrum_faultsim::forensics::{
     CheckerEscape, Divergence, EscapeReason, ForensicRecord, ForensicsReport, KillWindow,
     TaintSample, TaintTimeline, UnknownSiteExplanation,
@@ -416,6 +417,8 @@ impl ToJson for CampaignStats {
             ("detection_latency", self.latency.to_json()),
             ("pruned_sites", self.pruned_sites.to_json()),
             ("prune_rate", self.prune_rate().to_json()),
+            ("reused_sites", self.reused_sites.to_json()),
+            ("reuse_rate", self.reuse_rate().to_json()),
         ])
     }
 }
@@ -591,6 +594,63 @@ pub fn predicted_vs_measured_to_json(map: &CoverageMap, campaign: &CampaignResul
         ("sdc_ci95_hi", sdc_hi.to_json()),
         ("prune_rate", campaign.stats.prune_rate().to_json()),
     ])
+}
+
+/// Serialises a [`ComposedMap`] (see docs/compose-schema.md): the
+/// whole-program composed verdicts next to the local rollups, with the
+/// per-function lift counts.
+pub fn composition_to_json(map: &ComposedMap) -> Json {
+    let functions = map
+        .functions
+        .iter()
+        .map(|f| {
+            Json::obj(vec![
+                ("name", f.name.to_json()),
+                ("sites", f.sites.len().to_json()),
+                ("call_sites", f.call_sites.to_json()),
+                ("local", f.local.to_json()),
+                ("composed", f.composed.to_json()),
+                ("lifted", f.lifted.to_json()),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("local", map.local_rollup().to_json()),
+        ("composed", map.composed_rollup().to_json()),
+        ("lifted", map.lifted().to_json()),
+        ("functions", Json::Arr(functions)),
+    ])
+}
+
+/// Renders the composed verdict map: per-function local vs composed
+/// unknown counts and the units the caller-side lift decided.
+pub fn render_composition(name: &str, map: &ComposedMap) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("composed coverage: {name}\n"));
+    out.push_str(&format!(
+        "{:<24}{:>7}{:>10}{:>15}{:>18}{:>8}\n",
+        "function", "sites", "callers", "local unknown", "composed unknown", "lifted"
+    ));
+    for f in &map.functions {
+        out.push_str(&format!(
+            "{:<24}{:>7}{:>10}{:>15}{:>18}{:>8}\n",
+            f.name,
+            f.sites.len(),
+            f.call_sites,
+            f.local.unknown,
+            f.composed.unknown,
+            f.lifted,
+        ));
+    }
+    let (l, c) = (map.local_rollup(), map.composed_rollup());
+    out.push_str(&format!(
+        "composition lifted {} of {} locally-unknown units ({:.1}% -> {:.1}% decided)\n",
+        map.lifted(),
+        l.unknown,
+        l.decided_fraction() * 100.0,
+        c.decided_fraction() * 100.0,
+    ));
+    out
 }
 
 /// Renders a forensics report: coverage of the analysis itself (how

@@ -37,7 +37,7 @@
 //! `ferrum-cpu --selfcheck` catalog sweep pin the contract.
 
 use ferrum_asm::flags::{Cc, FlagBit, Flags};
-use ferrum_asm::inst::{AluOp, DestClass, Inst, ShiftAmount, ShiftOp, UnaryOp};
+use ferrum_asm::inst::{AluOp, DestClass, Inst, RegMasks, ShiftAmount, ShiftOp, UnaryOp};
 use ferrum_asm::operand::{MemRef, Operand};
 use ferrum_asm::provenance::Provenance;
 use ferrum_asm::reg::{Gpr, Reg, Width, Xmm, Ymm, Zmm};
@@ -272,6 +272,10 @@ struct DInst {
     /// True when the injectable destination is RFLAGS.
     is_flags: bool,
     fault: DFault,
+    /// Compact src/out register touch sets ([`Inst::reg_masks`]),
+    /// decoded once — consumed by the fault-propagation summary builder
+    /// and by the masked golden-trace convergence compare.
+    masks: RegMasks,
     /// Index into the fused-group table when this instruction leads a
     /// superinstruction; `u32::MAX` otherwise.
     fuse: u32,
@@ -322,17 +326,52 @@ pub struct DecodedCpu {
     cpu: Cpu,
     code: Vec<DInst>,
     fused: Vec<DFused>,
+    /// GPRs any instruction writes or any fault can corrupt (bit per
+    /// [`Gpr::index`](ferrum_asm::reg::Gpr::index)).  Registers outside
+    /// this mask keep their load-time value in every run of the
+    /// program, so state compares may skip them.
+    touched_gpr: u16,
+    /// SIMD registers any instruction writes or any fault can corrupt.
+    touched_simd: u16,
 }
 
 impl DecodedCpu {
     /// Lowers `cpu`'s loaded image into a flattened program.
     pub fn new(cpu: &Cpu) -> DecodedCpu {
         let (code, fused) = lower(cpu);
+        let mut touched_gpr = 0u16;
+        let mut touched_simd = 0u16;
+        for d in &code {
+            touched_gpr |= d.masks.out_gpr;
+            touched_simd |= d.masks.out_simd;
+            match d.fault {
+                DFault::Gpr(r) => touched_gpr |= 1 << r.gpr.index(),
+                DFault::Pair(_) => {
+                    touched_gpr |= (1 << Gpr::Rax.index()) | (1 << Gpr::Rdx.index());
+                }
+                DFault::Simd { idx, .. } => touched_simd |= 1 << idx,
+                DFault::Flags | DFault::None => {}
+            }
+        }
         DecodedCpu {
             cpu: cpu.clone(),
             code,
             fused,
+            touched_gpr,
+            touched_simd,
         }
+    }
+
+    /// The decoded src/out register masks of the instruction at `pc`.
+    pub fn masks_at(&self, pc: usize) -> RegMasks {
+        self.code[pc].masks
+    }
+
+    /// Program-level `(gpr, simd)` union of every instruction's output
+    /// mask and every fault destination — the registers a run of this
+    /// program can ever modify.
+    pub fn touched_registers(&self) -> (u16, u16) {
+        (self.touched_gpr, self.touched_simd)
     }
 
     /// The underlying interpreter-facing [`Cpu`].
@@ -695,6 +734,7 @@ fn lower_inst(li: &LoadedInst, cost: &CostModel) -> DInst {
         eligible: eligible_dest_bits(inst).unwrap_or(0) as u16,
         is_flags: matches!(inst.dest_class(), DestClass::Rflags),
         fault,
+        masks: inst.reg_masks(),
         fuse: NO_FUSE,
     }
 }
@@ -1293,12 +1333,38 @@ pub struct DecodedMachine<'a> {
 /// so the memory walk (watermark-bounded, see
 /// [`Memory::same_contents`](crate::mem::Memory::same_contents)) is the
 /// last resort.
-fn states_converged(a: &State, b: &State) -> bool {
-    a.pc == b.pc
-        && a.regs == b.regs
-        && a.call_stack == b.call_stack
-        && a.output == b.output
-        && a.mem.same_contents(&b.mem)
+///
+/// Register files are compared only within the program's touched masks
+/// (`touched_gpr`/`touched_simd`): every state this compare ever sees
+/// descends from the same loaded image's [`State::new`] initial
+/// register file, and only instruction write-backs (⊆ the decoded out
+/// masks) and injected faults (⊆ the decoded fault destinations) can
+/// change a register — so registers outside the masks are equal in
+/// both states by construction, and skipping them (in particular the
+/// untouched bulk of the sixteen 512-bit SIMD registers) keeps the
+/// compare proportional to what the program actually uses.  RFLAGS is
+/// always compared: flag writes are not part of the masks.
+fn states_converged(a: &State, b: &State, touched_gpr: u16, touched_simd: u16) -> bool {
+    if a.pc != b.pc || a.regs.flags != b.regs.flags {
+        return false;
+    }
+    let mut g = touched_gpr;
+    while g != 0 {
+        let r = Gpr::from_index(g.trailing_zeros() as usize);
+        if a.regs.read64(r) != b.regs.read64(r) {
+            return false;
+        }
+        g &= g - 1;
+    }
+    let mut s = touched_simd;
+    while s != 0 {
+        let i = s.trailing_zeros() as u8;
+        if a.regs.read_zmm(Zmm::new(i)) != b.regs.read_zmm(Zmm::new(i)) {
+            return false;
+        }
+        s &= s - 1;
+    }
+    a.call_stack == b.call_stack && a.output == b.output && a.mem.same_contents(&b.mem)
 }
 
 impl<'a> DecodedMachine<'a> {
@@ -1500,7 +1566,14 @@ impl<'a> DecodedMachine<'a> {
             if self.stop.is_some() {
                 break;
             }
-            if self.dyn_insts == cp.dyn_insts() && states_converged(&self.st, cp.state()) {
+            if self.dyn_insts == cp.dyn_insts()
+                && states_converged(
+                    &self.st,
+                    cp.state(),
+                    self.dc.touched_gpr,
+                    self.dc.touched_simd,
+                )
+            {
                 return RunResult {
                     stop: golden.stop,
                     output: golden.output.clone(),
@@ -1884,6 +1957,55 @@ mod tests {
             for raw in [3u16, 130] {
                 let f = FaultSpec::new(idx, raw);
                 assert_eq!(dc.run(Some(f)), cpu.run(Some(f)), "idx {idx} raw {raw}");
+            }
+        }
+    }
+
+    #[test]
+    fn register_writes_stay_within_decoded_out_masks() {
+        // The masked convergence compare is sound only if executing one
+        // instruction never changes a register outside its decoded out
+        // mask (flags aside).  Walk every dynamic instruction of
+        // programs covering most DOp arms and check exactly that.
+        for cpu in [loopy_cpu(), check_idiom_cpu(true), check_idiom_cpu(false)] {
+            let dc = DecodedCpu::new(&cpu);
+            let (tg, ts) = dc.touched_registers();
+            let mut m = DecodedMachine::new(&dc);
+            loop {
+                let pc = m.state().pc;
+                let masks = dc.masks_at(pc);
+                let before = m.state().regs.clone();
+                let ev = m.step();
+                let after = &m.state().regs;
+                for g in ferrum_asm::reg::ALL_GPRS {
+                    if masks.out_gpr & (1 << g.index()) == 0 {
+                        assert_eq!(
+                            before.read64(g),
+                            after.read64(g),
+                            "pc {pc} wrote {g:?} outside its out mask"
+                        );
+                    }
+                }
+                for i in 0u8..16 {
+                    if masks.out_simd & (1 << i) == 0 {
+                        assert_eq!(
+                            before.read_zmm(Zmm::new(i)),
+                            after.read_zmm(Zmm::new(i)),
+                            "pc {pc} wrote zmm{i} outside its out mask"
+                        );
+                    }
+                }
+                if let StepEvent::Stop(_) = ev {
+                    break;
+                }
+            }
+            // Program-level union covers every out mask and every fault
+            // destination, so the masked compare never skips a register
+            // a run could have modified.
+            for pc in 0..cpu.image().insts.len() {
+                let mk = dc.masks_at(pc);
+                assert_eq!(mk.out_gpr & !tg, 0, "pc {pc} out-gpr outside union");
+                assert_eq!(mk.out_simd & !ts, 0, "pc {pc} out-simd outside union");
             }
         }
     }

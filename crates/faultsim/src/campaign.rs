@@ -223,6 +223,9 @@ pub struct CampaignStats {
     /// Faults booked from a static [`CoverageMap`] verdict instead of
     /// being executed (see [`run_campaign_pruned`]).
     pub pruned_sites: usize,
+    /// Faults replayed from an incremental-campaign cache instead of
+    /// being executed (see [`crate::compose::run_campaign_incremental`]).
+    pub reused_sites: usize,
     /// Execution engine the campaign ran on.  Purely informational —
     /// outcome records are engine-independent per seed; only the
     /// throughput counters above reflect the choice.
@@ -268,6 +271,16 @@ impl CampaignStats {
             0.0
         } else {
             self.pruned_sites as f64 / self.injections as f64
+        }
+    }
+
+    /// Fraction of injections replayed from an incremental-campaign
+    /// cache instead of executed.
+    pub fn reuse_rate(&self) -> f64 {
+        if self.injections == 0 {
+            0.0
+        } else {
+            self.reused_sites as f64 / self.injections as f64
         }
     }
 }

@@ -22,6 +22,7 @@
 //! root-cause analysis of IR-level EDDI's coverage loss (§IV-B1).
 
 pub mod campaign;
+pub mod compose;
 pub mod crossval;
 pub mod engine;
 pub mod forensics;
@@ -33,6 +34,11 @@ pub use campaign::{
     run_campaign_parallel, run_campaign_parallel_on, run_campaign_pruned, run_campaign_pruned_on,
     run_campaign_snapshot, run_campaign_snapshot_on, run_double_campaign, run_double_campaign_on,
     CampaignConfig, CampaignResult, CampaignStats, Outcome, SnapshotPolicy,
+};
+pub use compose::{
+    compose, run_campaign_incremental, run_campaign_incremental_on, run_campaign_stratified,
+    run_campaign_stratified_on, CampaignCache, ComposedFunction, ComposedMap, ComposedSite,
+    FunctionShard, ShardDraw,
 };
 pub use engine::{Engine, EngineKind, EngineMachine};
 pub use forensics::{

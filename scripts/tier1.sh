@@ -38,4 +38,7 @@ cargo run --release --offline -q -p ferrum-cli --bin ferrum-coverage -- --catalo
 echo "== tier1: ferrum-forensics --catalog (replay==serial + every SDC explained self-check)"
 cargo run --release --offline -q -p ferrum-cli --bin ferrum-forensics -- --catalog --samples 200
 
+echo "== tier1: ferrum-compose --catalog (composed verdicts sound + incremental==stratified self-check)"
+cargo run --release --offline -q -p ferrum-cli --bin ferrum-compose -- --catalog --samples 200
+
 echo "== tier1: OK"
