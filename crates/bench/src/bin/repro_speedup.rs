@@ -32,14 +32,26 @@
 //! re-run on the edited program; the speedup column is wall-clock
 //! full/incremental.
 //!
+//! A sixth table prices the campaign flight recorder
+//! (`ferrum::FlightRecorder`): the fastest configuration (decode-once
+//! engine, single-thread snapshot executor) runs with no recorder and
+//! again with the full NDJSON event stream serialized to a null sink,
+//! so the column measures probe + serialization cost with disk IO
+//! excluded.  Outcome records must be identical (the recorder is
+//! observation-only) and the overhead column backs the <2%
+//! telemetry-cost claim in EXPERIMENTS.md.
+//!
 //! `--samples N --seed S --scale test|paper --threads T` as usual;
 //! defaults to 1000 samples and all available cores.
 
+use std::sync::Arc;
 use std::time::Instant;
 
+use ferrum::flight::NdjsonSink;
 use ferrum::{
-    run_campaign_incremental, run_campaign_stratified, CampaignConfig, CoverageMap, DecodedCpu,
-    Engine, Pipeline, SnapshotPolicy, Technique,
+    install_flight_recorder, program_signature, run_campaign_incremental, run_campaign_stratified,
+    uninstall_flight_recorder, CampaignConfig, CoverageMap, DecodedCpu, Engine, FlightRecorder,
+    Pipeline, SnapshotPolicy, Technique,
 };
 use ferrum_asm::inst::Inst;
 use ferrum_asm::program::AsmInst;
@@ -283,6 +295,79 @@ fn main() {
     println!(
         "geomean speedup: {:.2}x",
         (log_speedup_sum / n.max(1) as f64).exp()
+    );
+
+    println!();
+    println!("flight-recorder overhead (FERRUM-protected, decoded engine, snapshot executor, 1 thread, NDJSON to null sink)");
+    println!(
+        "{:<14}{:>14}{:>14}{:>10}{:>9}",
+        "benchmark", "off i/s", "on i/s", "overhead", "match"
+    );
+    let mut log_ratio_sum = 0.0;
+    let mut n_overhead = 0usize;
+    for w in all_workloads() {
+        let module = w.build(cfg.scale);
+        let prog = pipeline
+            .protect(&module, Technique::Ferrum)
+            .expect("protects");
+        let hash = program_signature(&prog);
+        let cpu = pipeline.load(&prog).expect("loads");
+        let decoded = DecodedCpu::new(&cpu);
+        let profile = cpu.profile();
+        let campaign_cfg = CampaignConfig {
+            samples: cfg.samples,
+            seed: cfg.seed,
+        };
+        let run = |recorded: bool| {
+            if recorded {
+                install_flight_recorder(Arc::new(
+                    FlightRecorder::new(Arc::new(NdjsonSink::new(Box::new(std::io::sink()))))
+                        .with_labels(w.name, "ferrum")
+                        .with_program_hash(hash),
+                ));
+            }
+            let r = run_campaign_snapshot_on(
+                Engine::Decoded(&decoded),
+                &profile,
+                campaign_cfg,
+                1,
+                SnapshotPolicy::default(),
+            );
+            if recorded {
+                uninstall_flight_recorder();
+            }
+            r
+        };
+        // Interleaved best-of-five per configuration: each timed
+        // campaign lasts only tens of milliseconds at paper scale, so
+        // a single scheduler interrupt shows up as whole percentage
+        // points and would swamp the percent-level effect being
+        // priced.
+        let off = run(false);
+        let on = run(true);
+        let mut off_ips = off.stats.injections_per_sec;
+        let mut on_ips = on.stats.injections_per_sec;
+        for _ in 0..4 {
+            off_ips = off_ips.max(run(false).stats.injections_per_sec);
+            on_ips = on_ips.max(run(true).stats.injections_per_sec);
+        }
+        let identical = off == on;
+        let ratio = on_ips / off_ips;
+        log_ratio_sum += ratio.ln();
+        n_overhead += 1;
+        println!(
+            "{:<14}{:>14.0}{:>14.0}{:>9.2}%{:>9}",
+            w.name,
+            off_ips,
+            on_ips,
+            (1.0 - ratio) * 100.0,
+            if identical { "yes" } else { "NO" }
+        );
+        assert!(identical, "{}: recording changed outcomes", w.name);
+    }
+    println!(
+        "geomean overhead: {:.2}%",
+        (1.0 - (log_ratio_sum / n_overhead.max(1) as f64).exp()) * 100.0
     );
 
     println!();

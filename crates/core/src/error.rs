@@ -11,6 +11,16 @@ pub enum Error {
     Pass(ferrum_eddi::PassError),
     /// Loading the program into the simulator failed.
     Load(ferrum_cpu::image::LoadError),
+    /// A tool-level failure outside the compile/protect/load pipeline:
+    /// event-sink IO, a malformed or mismatched resume journal, ...
+    Tool(String),
+}
+
+impl Error {
+    /// Wraps a tool-level message.
+    pub fn msg(m: impl Into<String>) -> Error {
+        Error::Tool(m.into())
+    }
 }
 
 impl fmt::Display for Error {
@@ -19,6 +29,7 @@ impl fmt::Display for Error {
             Error::Compile(e) => write!(f, "compile error: {e}"),
             Error::Pass(e) => write!(f, "protection error: {e}"),
             Error::Load(e) => write!(f, "load error: {e}"),
+            Error::Tool(m) => write!(f, "{m}"),
         }
     }
 }
@@ -29,6 +40,7 @@ impl std::error::Error for Error {
             Error::Compile(e) => Some(e),
             Error::Pass(e) => Some(e),
             Error::Load(e) => Some(e),
+            Error::Tool(_) => None,
         }
     }
 }

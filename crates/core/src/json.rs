@@ -90,6 +90,49 @@ impl Json {
         out
     }
 
+    /// Serializes on a single line with no whitespace — the NDJSON
+    /// form: one value per line, so a stream stays parseable line by
+    /// line even when truncated mid-file (see docs/events-schema.md).
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Num(v) => write_f64(out, *v),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(a) => {
+                out.push('[');
+                for (i, v) in a.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(m) => {
+                out.push('{');
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, depth: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -147,7 +190,7 @@ fn indent(out: &mut String, depth: usize) {
     }
 }
 
-fn write_f64(out: &mut String, v: f64) {
+pub(crate) fn write_f64(out: &mut String, v: f64) {
     if v.is_finite() {
         // `{}` on a finite f64 always yields a valid JSON number
         // (e.g. "1", "0.5", "1e300").
@@ -158,7 +201,7 @@ fn write_f64(out: &mut String, v: f64) {
     }
 }
 
-fn write_escaped(out: &mut String, s: &str) {
+pub(crate) fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -505,5 +548,21 @@ mod tests {
         assert_eq!(parse("-3").unwrap(), Json::Int(-3));
         assert_eq!(parse("0.25").unwrap(), Json::Num(0.25));
         assert_eq!(parse("1e3").unwrap(), Json::Num(1000.0));
+    }
+
+    #[test]
+    fn compact_is_one_line_and_round_trips() {
+        let v = Json::obj(vec![
+            ("s", Json::Str("a\"b\n".into())),
+            ("n", Json::Num(0.5)),
+            ("a", Json::Arr(vec![Json::Int(1), Json::Null, Json::Bool(true)])),
+            ("e", Json::Arr(Vec::new())),
+            ("o", Json::obj(Vec::new())),
+        ]);
+        let line = v.to_string_compact();
+        assert!(!line.contains('\n'), "NDJSON lines must be newline-free");
+        assert!(!line.contains(": "), "no pretty separators");
+        assert_eq!(parse(&line).unwrap(), v);
+        assert_eq!(parse(&v.to_string_pretty()).unwrap(), v);
     }
 }

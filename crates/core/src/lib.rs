@@ -37,6 +37,7 @@
 pub mod attribution;
 pub mod error;
 pub mod experiment;
+pub mod flight;
 pub mod json;
 pub mod pipeline;
 pub mod report;
@@ -68,6 +69,12 @@ pub use ferrum_faultsim::compose::{
     ComposedMap, ComposedSite, FunctionShard, ShardDraw,
 };
 pub use ferrum_faultsim::engine::{Engine, EngineKind, EngineMachine};
+pub use ferrum_faultsim::flight::{
+    install as install_flight_recorder, program_signature, resume_campaign_from_journal,
+    uninstall as uninstall_flight_recorder, CampaignEvent, CampaignFingerprint, FlightEvent,
+    FlightPolicy, FlightRecorder, FlightSink, JournalSnapshot, MemorySink, OutcomeTallies,
+    ProgressSnapshot, ShardRecord, TeeSink,
+};
 pub use ferrum_faultsim::forensics::{
     explain_unknown_sites, forensic_replay, run_campaign_forensic, CheckerEscape, Divergence,
     EscapeReason, ForensicConfig, ForensicRecord, ForensicsReport, KillWindow, TaintTimeline,

@@ -12,6 +12,7 @@ use ferrum_faultsim::campaign::{
     CampaignResult, CampaignStats, DetectionLatency, Outcome, WorkerStats,
 };
 use ferrum_faultsim::compose::ComposedMap;
+use ferrum_faultsim::flight::{CampaignFingerprint, ProgressSnapshot};
 use ferrum_faultsim::forensics::{
     CheckerEscape, Divergence, EscapeReason, ForensicRecord, ForensicsReport, KillWindow,
     TaintSample, TaintTimeline, UnknownSiteExplanation,
@@ -240,6 +241,79 @@ pub fn render_telemetry_table(reports: &[WorkloadReport]) -> String {
     out
 }
 
+/// Header for the live campaign progress table streamed by
+/// `ferrum-campaign` (one [`render_progress_row`] per
+/// [`ProgressSnapshot`]).
+pub fn render_progress_header() -> String {
+    format!(
+        "{:<14}{:>6}{:>7}{:>9}{:>7}{:>9}{:>9}{:>12}{:>10}  {}\n",
+        "done", "%", "sdc", "detected", "crash", "timeout", "benign", "inj/s", "eta", "sdc 95% CI"
+    )
+}
+
+/// One row of the live campaign progress table: completion, running
+/// outcome tallies, rolling injections/sec, ETA, and the Wilson
+/// interval on SDC probability.
+pub fn render_progress_row(p: &ProgressSnapshot) -> String {
+    let pct = if p.total == 0 {
+        100.0
+    } else {
+        100.0 * p.done as f64 / p.total as f64
+    };
+    let eta = match p.eta_nanos {
+        Some(n) => format!("{:.1}s", n as f64 / 1e9),
+        None => "-".to_owned(),
+    };
+    format!(
+        "{:<14}{:>6.1}{:>7}{:>9}{:>7}{:>9}{:>9}{:>12.0}{:>10}  [{:.4}, {:.4}]\n",
+        format!("{}/{}", p.done, p.total),
+        pct,
+        p.tallies.sdc,
+        p.tallies.detected,
+        p.tallies.crash,
+        p.tallies.timeout,
+        p.tallies.benign,
+        p.rate,
+        eta,
+        p.sdc_ci.0,
+        p.sdc_ci.1
+    )
+}
+
+/// Renders the end-of-campaign flight summary: fingerprint, shard
+/// layout, and final throughput — the `ferrum-campaign` footer.
+pub fn render_flight_summary(fp: &CampaignFingerprint, result: &CampaignResult) -> String {
+    let s = &result.stats;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "campaign {}/{} [{}:{}] seed {:#x}: {} injections in {:.1} ms ({:.0} inj/s, {} threads)\n",
+        if fp.workload.is_empty() { "?" } else { &fp.workload },
+        if fp.technique.is_empty() { "?" } else { &fp.technique },
+        fp.executor,
+        fp.engine.label(),
+        fp.seed,
+        s.injections,
+        s.wall_nanos as f64 / 1e6,
+        s.injections_per_sec,
+        s.threads
+    ));
+    out.push_str(&format!(
+        "outcomes: {} sdc / {} detected / {} crash / {} timeout / {} benign (sdc p = {:.4})\n",
+        result.sdc, result.detected, result.crash, result.timeout, result.benign,
+        result.sdc_prob()
+    ));
+    if s.pruned_sites > 0 || s.reused_sites > 0 {
+        out.push_str(&format!(
+            "pruned: {} ({:.1}%)   reused: {} ({:.1}%)\n",
+            s.pruned_sites,
+            s.prune_rate() * 100.0,
+            s.reused_sites,
+            s.reuse_rate() * 100.0
+        ));
+    }
+    out
+}
+
 /// Renders a `ferrum-lint` report for terminal consumption: one line
 /// per finding (`contract  function/block[index]: explanation`) plus a
 /// summary line, mirroring compiler-diagnostic conventions.
@@ -291,16 +365,7 @@ impl ToJson for LintReport {
 
 impl ToJson for Outcome {
     fn to_json(&self) -> Json {
-        Json::Str(
-            match self {
-                Outcome::Sdc => "Sdc",
-                Outcome::Detected => "Detected",
-                Outcome::Crash => "Crash",
-                Outcome::Timeout => "Timeout",
-                Outcome::Benign => "Benign",
-            }
-            .to_owned(),
-        )
+        Json::Str(self.variant().to_owned())
     }
 }
 

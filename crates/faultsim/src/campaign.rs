@@ -42,6 +42,7 @@ use ferrum_cpu::run::{Cpu, Profile};
 use ferrum_cpu::snapshot::Snapshot;
 
 use crate::engine::{Engine, EngineKind};
+use crate::flight::{self, Booking};
 
 /// Classified result of one injected fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -77,6 +78,23 @@ impl Outcome {
             Outcome::Timeout => "timeout",
             Outcome::Benign => "benign",
         }
+    }
+
+    /// The variant name used by the JSON schemas
+    /// (docs/campaign-schema.md records, docs/events-schema.md).
+    pub fn variant(self) -> &'static str {
+        match self {
+            Outcome::Sdc => "Sdc",
+            Outcome::Detected => "Detected",
+            Outcome::Crash => "Crash",
+            Outcome::Timeout => "Timeout",
+            Outcome::Benign => "Benign",
+        }
+    }
+
+    /// Parses a [`Outcome::variant`] name back; `None` otherwise.
+    pub fn parse(s: &str) -> Option<Outcome> {
+        Outcome::ALL.into_iter().find(|o| o.variant() == s)
     }
 }
 
@@ -140,14 +158,12 @@ impl DetectionLatency {
     }
 
     /// Nearest-rank percentile for `p` in `0.0..=100.0`; `None` when no
-    /// detections were observed.
+    /// detections were observed.  Delegates to the shared
+    /// [`crate::stats::percentile_nearest_rank`] definition so latency
+    /// reporting, forensic summaries, and flight-recorder snapshots
+    /// agree on what a percentile is.
     pub fn percentile(&self, p: f64) -> Option<u64> {
-        let n = self.samples.len();
-        if n == 0 {
-            return None;
-        }
-        let rank = ((p / 100.0) * n as f64).ceil() as usize;
-        Some(self.samples[rank.clamp(1, n) - 1])
+        crate::stats::percentile_nearest_rank(&self.samples, p)
     }
 
     /// Median detection latency.
@@ -434,20 +450,23 @@ pub fn run_campaign_on(engine: Engine<'_>, profile: &Profile, cfg: CampaignConfi
     let _span = ferrum_trace::span("campaign.serial");
     let t0 = Instant::now();
     let mut result = CampaignResult::default();
+    flight::campaign_started("serial", engine.kind(), cfg, profile, cfg.samples);
     if cfg.samples == 0 {
         finish_stats(&mut result, t0, 1, engine.kind());
+        flight::campaign_finished(&result);
         return result;
     }
     assert!(!profile.sites.is_empty(), "no injectable sites");
     let golden = &profile.result.output;
     let mut latencies = Vec::new();
-    for fault in sample_faults(profile, cfg) {
+    for (i, fault) in sample_faults(profile, cfg).into_iter().enumerate() {
         let run = engine.run(Some(fault));
         result.stats.steps_executed += run.dyn_insts;
         let o = classify(run.stop, &run.output, golden);
         if o == Outcome::Detected {
             latencies.push(detection_latency(run.dyn_insts, fault.dyn_index));
         }
+        flight::injection(0, i, fault, o, run.dyn_insts, Booking::Executed);
         result.record(fault, o);
     }
     result.stats.per_worker = vec![WorkerStats {
@@ -457,6 +476,7 @@ pub fn run_campaign_on(engine: Engine<'_>, profile: &Profile, cfg: CampaignConfi
     result.stats.latency = DetectionLatency::from_samples(latencies);
     finish_stats(&mut result, t0, 1, engine.kind());
     ferrum_trace::counter("campaign.injections", result.total() as u64);
+    flight::campaign_finished(&result);
     result
 }
 
@@ -500,14 +520,16 @@ pub fn run_campaign_pruned_on(
     let _span = ferrum_trace::span("campaign.pruned");
     let t0 = Instant::now();
     let mut result = CampaignResult::default();
+    flight::campaign_started("pruned", engine.kind(), cfg, profile, cfg.samples);
     if cfg.samples == 0 {
         finish_stats(&mut result, t0, 1, engine.kind());
+        flight::campaign_finished(&result);
         return result;
     }
     assert!(!profile.sites.is_empty(), "no injectable sites");
     let golden = &profile.result.output;
     let mut latencies = Vec::new();
-    for fault in sample_faults(profile, cfg) {
+    for (i, fault) in sample_faults(profile, cfg).into_iter().enumerate() {
         // Sites are recorded in dynamic order, so dyn_index is sorted.
         let verdict = profile
             .sites
@@ -517,10 +539,12 @@ pub fn run_campaign_pruned_on(
         match verdict {
             Some(StaticVerdict::Masked) => {
                 result.stats.pruned_sites += 1;
+                flight::injection(0, i, fault, Outcome::Benign, 0, Booking::Pruned);
                 result.record(fault, Outcome::Benign);
             }
             Some(StaticVerdict::Detected) => {
                 result.stats.pruned_sites += 1;
+                flight::injection(0, i, fault, Outcome::Detected, 0, Booking::Pruned);
                 result.record(fault, Outcome::Detected);
             }
             _ => {
@@ -530,6 +554,7 @@ pub fn run_campaign_pruned_on(
                 if o == Outcome::Detected {
                     latencies.push(detection_latency(run.dyn_insts, fault.dyn_index));
                 }
+                flight::injection(0, i, fault, o, run.dyn_insts, Booking::Executed);
                 result.record(fault, o);
             }
         }
@@ -542,6 +567,7 @@ pub fn run_campaign_pruned_on(
     finish_stats(&mut result, t0, 1, engine.kind());
     ferrum_trace::counter("campaign.injections", result.total() as u64);
     ferrum_trace::counter("campaign.pruned", result.stats.pruned_sites as u64);
+    flight::campaign_finished(&result);
     result
 }
 
@@ -572,8 +598,10 @@ pub fn run_campaign_parallel_on(
     let _span = ferrum_trace::span("campaign.parallel");
     let t0 = Instant::now();
     let mut result = CampaignResult::default();
+    flight::campaign_started("parallel", engine.kind(), cfg, profile, cfg.samples);
     if cfg.samples == 0 {
         finish_stats(&mut result, t0, threads.max(1), engine.kind());
+        flight::campaign_finished(&result);
         return result;
     }
     assert!(!profile.sites.is_empty(), "no injectable sites");
@@ -581,7 +609,7 @@ pub fn run_campaign_parallel_on(
     let faults = sample_faults(profile, cfg);
     let threads = threads.max(1).min(faults.len());
     let next = AtomicUsize::new(0);
-    let worker = |_t: usize| {
+    let worker = |t: usize| {
         let mut local: Vec<(usize, Outcome, Option<u64>)> = Vec::new();
         let mut steps = 0u64;
         loop {
@@ -594,6 +622,7 @@ pub fn run_campaign_parallel_on(
             let o = classify(run.stop, &run.output, golden);
             let lat = (o == Outcome::Detected)
                 .then(|| detection_latency(run.dyn_insts, fault.dyn_index));
+            flight::injection(t, i, fault, o, run.dyn_insts, Booking::Executed);
             local.push((i, o, lat));
         }
     };
@@ -623,6 +652,7 @@ pub fn run_campaign_parallel_on(
     result.stats.latency = DetectionLatency::from_samples(latencies);
     finish_stats(&mut result, t0, threads, engine.kind());
     ferrum_trace::counter("campaign.injections", result.total() as u64);
+    flight::campaign_finished(&result);
     result
 }
 
@@ -684,8 +714,10 @@ pub fn run_campaign_snapshot_on(
     let _span = ferrum_trace::span("campaign.snapshot");
     let t0 = Instant::now();
     let mut result = CampaignResult::default();
+    flight::campaign_started("snapshot", engine.kind(), cfg, profile, cfg.samples);
     if cfg.samples == 0 {
         finish_stats(&mut result, t0, threads.max(1), engine.kind());
+        flight::campaign_finished(&result);
         return result;
     }
     assert!(!profile.sites.is_empty(), "no injectable sites");
@@ -748,7 +780,7 @@ pub fn run_campaign_snapshot_on(
     let snapshots = &snapshots;
     let order = &order;
     let faults = &faults;
-    let worker = || {
+    let worker = |t: usize| {
         let mut local: Vec<(usize, Outcome, Option<u64>)> = Vec::new();
         let (mut steps, mut saved) = (0u64, 0u64);
         let mut hits = 0usize;
@@ -791,6 +823,7 @@ pub fn run_campaign_snapshot_on(
             // distribution is engine-independent.
             let lat = (o == Outcome::Detected)
                 .then(|| detection_latency(run.dyn_insts, fault.dyn_index));
+            flight::injection(t, orig, fault, o, run.dyn_insts, Booking::Executed);
             local.push((orig, o, lat));
         }
     };
@@ -800,7 +833,7 @@ pub fn run_campaign_snapshot_on(
     let mut per_worker = Vec::with_capacity(threads);
     let mut steps_saved = 0u64;
     std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads).map(|_| scope.spawn(worker)).collect();
+        let handles: Vec<_> = (0..threads).map(|t| scope.spawn(move || worker(t))).collect();
         for h in handles {
             let (local, steps, saved) = h.join().expect("campaign worker panicked");
             steps_saved += saved;
@@ -832,6 +865,7 @@ pub fn run_campaign_snapshot_on(
         result.stats.snapshot_hits as u64,
     );
     ferrum_trace::counter("campaign.snapshot.steps_saved", result.stats.steps_saved);
+    flight::campaign_finished(&result);
     result
 }
 
@@ -855,15 +889,17 @@ pub fn run_double_campaign_on(
     let _span = ferrum_trace::span("campaign.double");
     let t0 = Instant::now();
     let mut result = CampaignResult::default();
+    flight::campaign_started("double", engine.kind(), cfg, profile, cfg.samples);
     if cfg.samples == 0 {
         finish_stats(&mut result, t0, 1, engine.kind());
+        flight::campaign_finished(&result);
         return result;
     }
     assert!(!profile.sites.is_empty(), "no injectable sites");
     let golden = &profile.result.output;
     let mut rng = Rng64::seed_from_u64(cfg.seed);
     let mut latencies = Vec::new();
-    for _ in 0..cfg.samples {
+    for i in 0..cfg.samples {
         let a = profile.sites[rng.gen_range(0..profile.sites.len())];
         let b = profile.sites[rng.gen_range(0..profile.sites.len())];
         let fa = FaultSpec::new(a.dyn_index, rng.gen_below(u64::from(a.bits)) as u16);
@@ -878,6 +914,7 @@ pub fn run_double_campaign_on(
                 fa.dyn_index.min(fb.dyn_index),
             ));
         }
+        flight::injection(0, i, fa, o, run.dyn_insts, Booking::Executed);
         result.record(fa, o);
     }
     result.stats.per_worker = vec![WorkerStats {
@@ -887,6 +924,7 @@ pub fn run_double_campaign_on(
     result.stats.latency = DetectionLatency::from_samples(latencies);
     finish_stats(&mut result, t0, 1, engine.kind());
     ferrum_trace::counter("campaign.injections", result.total() as u64);
+    flight::campaign_finished(&result);
     result
 }
 
@@ -915,7 +953,19 @@ pub fn exhaustive_campaign_on(
     let t0 = Instant::now();
     let golden = &profile.result.output;
     let mut result = CampaignResult::default();
+    let total = profile.sites.len() * usize::from(bits_per_site);
+    flight::campaign_started(
+        "exhaustive",
+        engine.kind(),
+        CampaignConfig {
+            samples: total,
+            seed: 0,
+        },
+        profile,
+        total,
+    );
     let mut latencies = Vec::new();
+    let mut index = 0usize;
     for site in &profile.sites {
         for k in 0..bits_per_site {
             // Spread raw bits across this site's own destination width.
@@ -933,6 +983,8 @@ pub fn exhaustive_campaign_on(
             if o == Outcome::Detected {
                 latencies.push(detection_latency(run.dyn_insts, fault.dyn_index));
             }
+            flight::injection(0, index, fault, o, run.dyn_insts, Booking::Executed);
+            index += 1;
             result.record(fault, o);
         }
     }
@@ -943,6 +995,7 @@ pub fn exhaustive_campaign_on(
     result.stats.latency = DetectionLatency::from_samples(latencies);
     finish_stats(&mut result, t0, 1, engine.kind());
     ferrum_trace::counter("campaign.injections", result.total() as u64);
+    flight::campaign_finished(&result);
     result
 }
 

@@ -58,6 +58,7 @@ use crate::campaign::{
     Outcome, WorkerStats,
 };
 use crate::engine::Engine;
+use crate::flight::{self, Booking};
 
 /// The program's entry function: its final register state is
 /// architecturally unobservable (the harness compares only the output
@@ -449,16 +450,29 @@ fn run_incremental_on(
         samples: cfg.samples,
         shards: Vec::new(),
     };
+    let executor = if cache.is_some() { "incremental" } else { "stratified" };
     if cfg.samples == 0 {
+        flight::campaign_started(executor, engine.kind(), cfg, profile, 0);
         finish_stats(&mut result, t0, 1, engine.kind());
+        flight::campaign_finished(&result);
         return (result, new_cache);
     }
     assert!(!profile.sites.is_empty(), "no injectable sites");
     let cache = cache.filter(|c| c.seed == cfg.seed && c.samples == cfg.samples);
     let part = partition_sites(program, profile);
     let total_sites = profile.sites.len();
+    // Quotas are proportional-with-floor, so the true total can exceed
+    // cfg.samples; the recorder needs the real figure for shard layout
+    // and progress denominators.
+    let total: usize = part
+        .functions
+        .iter()
+        .map(|(_, _, s)| quota(cfg.samples, s.len(), total_sites))
+        .sum();
+    flight::campaign_started(executor, engine.kind(), cfg, profile, total);
     let golden = &profile.result.output;
     let mut latencies = Vec::new();
+    let mut index = 0usize;
     for (name, hash, site_indices) in &part.functions {
         let n = quota(cfg.samples, site_indices.len(), total_sites);
         let cached = cache.and_then(|c| {
@@ -476,7 +490,10 @@ fn run_incremental_on(
                 result.stats.reused_sites += shard.draws.len();
                 for d in &shard.draws {
                     let dyn_index = profile.sites[site_indices[d.local_site as usize]].dyn_index;
-                    result.record(FaultSpec::new(dyn_index, d.raw_bit), d.outcome);
+                    let fault = FaultSpec::new(dyn_index, d.raw_bit);
+                    flight::injection(0, index, fault, d.outcome, 0, Booking::Reused);
+                    index += 1;
+                    result.record(fault, d.outcome);
                 }
                 shard.draws.clone()
             }
@@ -491,6 +508,8 @@ fn run_incremental_on(
                     if o == Outcome::Detected {
                         latencies.push(detection_latency(run.dyn_insts, fault.dyn_index));
                     }
+                    flight::injection(0, index, fault, o, run.dyn_insts, Booking::Executed);
+                    index += 1;
                     result.record(fault, o);
                     ShardDraw {
                         local_site: k as u32,
@@ -500,6 +519,7 @@ fn run_incremental_on(
                 })
                 .collect(),
         };
+        flight::function_shard(name, *hash, site_indices.len(), draws.len(), cached.is_some());
         new_cache.shards.push(FunctionShard {
             name: name.clone(),
             hash: *hash,
@@ -507,14 +527,20 @@ fn run_incremental_on(
             draws,
         });
     }
+    // `injections` counts everything the campaign booked — replayed
+    // shards included — matching every other executor (and the
+    // campaign-schema invariant that per-worker injections sum to
+    // `stats.injections`).  The executed-only figure is recoverable as
+    // `injections - reused_sites`.
     result.stats.per_worker = vec![WorkerStats {
-        injections: result.total() - result.stats.reused_sites,
+        injections: result.total(),
         steps_executed: result.stats.steps_executed,
     }];
     result.stats.latency = DetectionLatency::from_samples(latencies);
     finish_stats(&mut result, t0, 1, engine.kind());
     ferrum_trace::counter("campaign.injections", result.total() as u64);
     ferrum_trace::counter("campaign.reused", result.stats.reused_sites as u64);
+    flight::campaign_finished(&result);
     (result, new_cache)
 }
 

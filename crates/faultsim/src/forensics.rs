@@ -56,6 +56,7 @@ use crate::campaign::{
     DetectionLatency, Outcome, WorkerStats,
 };
 use crate::engine::{Engine, EngineMachine};
+use crate::flight;
 
 /// Why a checker that executed after the injection failed to fire — or,
 /// at record level, why the whole protection scheme let the fault
@@ -379,12 +380,11 @@ impl ForensicsReport {
     }
 }
 
-fn summary<T: Copy + Ord>(mut v: Vec<T>) -> Option<(T, T, T)> {
-    if v.is_empty() {
-        return None;
-    }
-    v.sort_unstable();
-    Some((v[0], v[v.len() / 2], v[v.len() - 1]))
+fn summary<T: Copy + Ord>(v: Vec<T>) -> Option<(T, T, T)> {
+    // Shared nearest-rank definition — keeps forensic medians,
+    // detection-latency percentiles, and flight-recorder snapshots on
+    // one percentile convention.
+    crate::stats::min_median_max(v)
 }
 
 /// A statically-`Unknown` coverage site whose sampled fault produced an
@@ -866,14 +866,16 @@ pub fn run_campaign_forensic_on(
     let t0 = Instant::now();
     let mut result = CampaignResult::default();
     let mut report = ForensicsReport::default();
+    flight::campaign_started("forensic", engine.kind(), cfg, profile, cfg.samples);
     if cfg.samples == 0 {
         finish_stats(&mut result, t0, 1, engine.kind());
+        flight::campaign_finished(&result);
         return (result, report);
     }
     assert!(!profile.sites.is_empty(), "no injectable sites");
     let golden = &profile.result.output;
     let mut latencies = Vec::new();
-    for fault in sample_faults(profile, cfg) {
+    for (i, fault) in sample_faults(profile, cfg).into_iter().enumerate() {
         let run = engine.run(Some(fault));
         result.stats.steps_executed += run.dyn_insts;
         let o = classify(run.stop, &run.output, golden);
@@ -888,6 +890,7 @@ pub fn run_campaign_forensic_on(
                     .push(forensic_replay_on(engine, profile, fault, o, fcfg));
             }
         }
+        flight::injection(0, i, fault, o, run.dyn_insts, flight::Booking::Executed);
         result.record(fault, o);
     }
     result.stats.per_worker = vec![WorkerStats {
@@ -898,6 +901,7 @@ pub fn run_campaign_forensic_on(
     finish_stats(&mut result, t0, 1, engine.kind());
     ferrum_trace::counter("campaign.injections", result.total() as u64);
     ferrum_trace::counter("forensics.replays", report.records.len() as u64);
+    flight::campaign_finished(&result);
     report.finish();
     (result, report)
 }

@@ -25,6 +25,7 @@ pub mod campaign;
 pub mod compose;
 pub mod crossval;
 pub mod engine;
+pub mod flight;
 pub mod forensics;
 pub mod rootcause;
 pub mod stats;
@@ -41,6 +42,11 @@ pub use compose::{
     FunctionShard, ShardDraw,
 };
 pub use engine::{Engine, EngineKind, EngineMachine};
+pub use flight::{
+    program_signature, resume_campaign_from_journal, CampaignEvent, CampaignFingerprint,
+    FlightEvent, FlightPolicy, FlightRecorder, FlightSink, JournalSnapshot, MemorySink,
+    OutcomeTallies, ProgressSnapshot, ShardRecord, TeeSink,
+};
 pub use forensics::{
     explain_unknown_sites, forensic_replay, forensic_replay_on, run_campaign_forensic,
     run_campaign_forensic_on, CheckerEscape, Divergence, EscapeReason, ForensicConfig,
@@ -48,4 +54,4 @@ pub use forensics::{
     UnknownSiteExplanation,
 };
 pub use rootcause::{attribute_sdcs, breakdown_by_kind, KindBreakdown, RootCauseReport};
-pub use stats::{sdc_coverage, wilson_interval};
+pub use stats::{min_median_max, percentile_nearest_rank, sdc_coverage, wilson_interval};

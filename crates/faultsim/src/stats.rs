@@ -36,6 +36,35 @@ pub fn runtime_overhead(raw: u64, prot: u64) -> f64 {
     (prot as f64 - raw as f64) / raw as f64
 }
 
+/// Nearest-rank percentile over a **sorted** slice: the smallest
+/// element with at least `p`% of the data at or below it
+/// (`rank = ⌈p/100 · n⌉`, clamped to the valid range).  `None` on an
+/// empty slice.
+///
+/// This is the single percentile definition shared by
+/// detection-latency reporting, forensic kill-window summaries, and
+/// flight-recorder progress snapshots — keeping the three from
+/// drifting apart.
+pub fn percentile_nearest_rank<T: Copy>(sorted: &[T], p: f64) -> Option<T> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let n = sorted.len();
+    let rank = ((p / 100.0) * n as f64).ceil() as usize;
+    Some(sorted[rank.clamp(1, n) - 1])
+}
+
+/// `(min, median, max)` of a sample, or `None` when empty.  The median
+/// is the nearest-rank 50th percentile (lower middle for even sizes),
+/// matching [`percentile_nearest_rank`].
+pub fn min_median_max<T: Copy + Ord>(mut v: Vec<T>) -> Option<(T, T, T)> {
+    if v.is_empty() {
+        return None;
+    }
+    v.sort_unstable();
+    Some((v[0], v[v.len().div_ceil(2) - 1], v[v.len() - 1]))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

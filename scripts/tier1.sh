@@ -41,4 +41,7 @@ cargo run --release --offline -q -p ferrum-cli --bin ferrum-forensics -- --catal
 echo "== tier1: ferrum-compose --catalog (composed verdicts sound + incremental==stratified self-check)"
 cargo run --release --offline -q -p ferrum-cli --bin ferrum-compose -- --catalog --samples 200
 
+echo "== tier1: ferrum-campaign --catalog (event-stream consistency + recorder purity + resume identity self-check)"
+cargo run --release --offline -q -p ferrum-cli --bin ferrum-campaign -- --catalog --samples 200
+
 echo "== tier1: OK"
