@@ -29,6 +29,15 @@
 //! the paper folds into FERRUM: redundant-reload elimination and jump
 //! threading, run on assembly before protection.
 //!
+//! The naive shape above is the [`opt::OptLevel::O0`] default.  At
+//! [`opt::OptLevel::O1`] ([`compile_opt`]) the backend additionally runs
+//! linear-scan register allocation ([`regalloc`], driven by
+//! `ferrum_mir::liveness::MirLiveness`) and a global assembly pass
+//! bundle ([`opt`]): available-loads forwarding, cmp/branch fusion,
+//! dead-store elimination, and a dead-code sweep.  That pipeline is what
+//! makes IR-level duplication decay after lowering — the paper's second
+//! root cause — measurable at realistic strength.
+//!
 //! ## Example
 //!
 //! ```
@@ -47,7 +56,10 @@
 
 pub mod frame;
 pub mod lower;
+pub mod opt;
 pub mod peephole;
+pub mod regalloc;
 
 pub use frame::Frame;
-pub use lower::{compile, CompileError};
+pub use lower::{compile, compile_opt, compile_with_stats, CompileError};
+pub use opt::{OptLevel, PassStats, ProgramMeta};

@@ -15,6 +15,8 @@ use ferrum_mir::types::Ty;
 use ferrum_mir::value::Value;
 
 use crate::frame::{Frame, SlotKind};
+use crate::opt::{optimize, OptLevel, PassStats, ProgramMeta};
+use crate::regalloc::{allocate, Allocation};
 
 /// Compilation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,6 +52,28 @@ impl std::error::Error for CompileError {}
 /// or [`CompileError::TooManyArgs`] for calls with more than six
 /// arguments.
 pub fn compile(m: &Module) -> Result<AsmProgram, CompileError> {
+    compile_opt(m, OptLevel::O0)
+}
+
+/// Compiles at the requested optimization level.  `OptLevel::O0` is
+/// byte-identical to [`compile`]; `OptLevel::O1` runs linear-scan
+/// register allocation during lowering and the assembly pass bundle
+/// ([`crate::opt`]) afterwards.
+///
+/// # Errors
+///
+/// Same conditions as [`compile`].
+pub fn compile_opt(m: &Module, opt: OptLevel) -> Result<AsmProgram, CompileError> {
+    compile_with_stats(m, opt).map(|(p, _)| p)
+}
+
+/// [`compile_opt`] plus the per-pass statistics of the `-O1` pipeline
+/// (all-zero at `-O0`).
+///
+/// # Errors
+///
+/// Same conditions as [`compile`].
+pub fn compile_with_stats(m: &Module, opt: OptLevel) -> Result<(AsmProgram, PassStats), CompileError> {
     let _span = ferrum_trace::span("backend.compile");
     if let Err(errs) = ferrum_mir::verify::verify_module(m) {
         return Err(CompileError::InvalidModule(
@@ -61,11 +85,24 @@ pub fn compile(m: &Module) -> Result<AsmProgram, CompileError> {
         prog.data
             .push(DataObject::new(g.name.clone(), g.words.clone()));
     }
+    let mut stats = PassStats::default();
     for f in &m.functions {
-        prog.functions.push(lower_function(m, f)?);
+        let alloc = match opt {
+            OptLevel::O0 => None,
+            OptLevel::O1 => Some(allocate(f)),
+        };
+        if let Some(a) = &alloc {
+            stats.regalloc_candidates += a.candidates;
+            stats.regalloc_allocated += a.allocated;
+        }
+        prog.functions.push(lower_function(m, f, alloc.as_ref())?);
+    }
+    if opt == OptLevel::O1 {
+        let meta = ProgramMeta::from_module(m);
+        stats.absorb(&optimize(&mut prog, &meta));
     }
     ferrum_trace::counter("backend.static_insts", prog.static_inst_count() as u64);
-    Ok(prog)
+    Ok((prog, stats))
 }
 
 /// Width at which a MIR type's arithmetic executes.
@@ -96,6 +133,9 @@ struct Lowerer<'a> {
     m: &'a Module,
     f: &'a Function,
     frame: Frame,
+    /// `-O1` register assignment; `None` reproduces the naive `-O0`
+    /// slot-per-value lowering byte for byte.
+    alloc: Option<&'a Allocation>,
     out: AsmFunction,
     cur: usize,
 }
@@ -132,23 +172,38 @@ impl<'a> Lowerer<'a> {
                     prov,
                 );
             }
-            Value::Inst(id) => match self.frame.slot(*id) {
-                SlotKind::Result(off) => self.emit(
-                    Inst::Mov {
-                        w: Width::W64,
-                        src: Operand::Mem(self.slot_mem(off)),
-                        dst: Operand::Reg(Reg::q(reg)),
-                    },
-                    prov,
-                ),
-                SlotKind::AllocaBase(off) => self.emit(
-                    Inst::Lea {
-                        mem: self.slot_mem(off),
-                        dst: Reg::q(reg),
-                    },
-                    prov,
-                ),
-            },
+            Value::Inst(id) => {
+                if let Some(r) = self.alloc.and_then(|a| a.reg(*id)) {
+                    if r != reg {
+                        self.emit(
+                            Inst::Mov {
+                                w: Width::W64,
+                                src: Operand::Reg(Reg::q(r)),
+                                dst: Operand::Reg(Reg::q(reg)),
+                            },
+                            prov,
+                        );
+                    }
+                    return;
+                }
+                match self.frame.slot(*id) {
+                    SlotKind::Result(off) => self.emit(
+                        Inst::Mov {
+                            w: Width::W64,
+                            src: Operand::Mem(self.slot_mem(off)),
+                            dst: Operand::Reg(Reg::q(reg)),
+                        },
+                        prov,
+                    ),
+                    SlotKind::AllocaBase(off) => self.emit(
+                        Inst::Lea {
+                            mem: self.slot_mem(off),
+                            dst: Reg::q(reg),
+                        },
+                        prov,
+                    ),
+                }
+            }
             Value::Global(g) => {
                 let name = &self.m.globals[g.index()].name;
                 self.emit(
@@ -162,8 +217,22 @@ impl<'a> Lowerer<'a> {
         }
     }
 
-    /// Spills the 64-bit view of `reg` into `id`'s result slot.
+    /// Spills the 64-bit view of `reg` into `id`'s home: its assigned
+    /// register at `-O1`, its result slot otherwise.
     fn spill(&mut self, id: InstId, reg: Gpr, prov: Provenance) {
+        if let Some(r) = self.alloc.and_then(|a| a.reg(id)) {
+            if r != reg {
+                self.emit(
+                    Inst::Mov {
+                        w: Width::W64,
+                        src: Operand::Reg(Reg::q(reg)),
+                        dst: Operand::Reg(Reg::q(r)),
+                    },
+                    prov,
+                );
+            }
+            return;
+        }
         let off = self.frame.result_offset(id);
         self.emit(
             Inst::Mov {
@@ -402,7 +471,18 @@ impl<'a> Lowerer<'a> {
                 // invisible at IR level.
                 match cond {
                     Value::Inst(id) => {
-                        if let SlotKind::Result(off) = self.frame.slot(*id) {
+                        if let Some(r) = self.alloc.and_then(|a| a.reg(*id)) {
+                            // The condition lives in a register: test it
+                            // directly, no slot re-test needed.
+                            self.emit(
+                                Inst::Test {
+                                    w: Width::W64,
+                                    src: Operand::Reg(Reg::q(r)),
+                                    dst: Operand::Reg(Reg::q(r)),
+                                },
+                                p,
+                            );
+                        } else if let SlotKind::Result(off) = self.frame.slot(*id) {
                             self.emit(
                                 Inst::Cmp {
                                     w: Width::W64,
@@ -592,7 +672,11 @@ impl<'a> Lowerer<'a> {
     }
 }
 
-fn lower_function(m: &Module, f: &Function) -> Result<AsmFunction, CompileError> {
+fn lower_function(
+    m: &Module,
+    f: &Function,
+    alloc: Option<&Allocation>,
+) -> Result<AsmFunction, CompileError> {
     let frame = Frame::layout(f);
     let mut out = AsmFunction::new(f.name.clone());
     // Prologue block.
@@ -641,6 +725,7 @@ fn lower_function(m: &Module, f: &Function) -> Result<AsmFunction, CompileError>
         m,
         f,
         frame,
+        alloc,
         out,
         cur: 0,
     };

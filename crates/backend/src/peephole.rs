@@ -131,7 +131,7 @@ fn eliminate_redundant_reloads(f: &mut AsmFunction) -> (usize, usize) {
     (removed, forwarded)
 }
 
-fn eliminate_fallthrough_jumps(f: &mut AsmFunction) -> usize {
+pub(crate) fn eliminate_fallthrough_jumps(f: &mut AsmFunction) -> usize {
     let mut removed = 0;
     let next_labels: Vec<Option<String>> = (0..f.blocks.len())
         .map(|i| f.blocks.get(i + 1).map(|b| b.label.clone()))

@@ -16,8 +16,11 @@ fn main() {
     let cfg = ferrum_bench::parse_eval_config(&args);
     let pipeline = Pipeline::new();
     eprintln!(
-        "# Fig. 10 reproduction — {} faults/config, seed {}, {:?} scale",
-        cfg.samples, cfg.seed, cfg.scale
+        "# Fig. 10 reproduction — {} faults/config, seed {}, {:?} scale, {}",
+        cfg.samples,
+        cfg.seed,
+        cfg.scale,
+        cfg.opt.label()
     );
     let mut reports = Vec::new();
     for w in all_workloads() {

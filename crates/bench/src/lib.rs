@@ -25,7 +25,7 @@ use ferrum::{EvalConfig, Scale};
 
 pub mod harness;
 
-/// Parses the common `--samples`, `--seed`, `--scale` flags.
+/// Parses the common `--samples`, `--seed`, `--scale`, `--opt` flags.
 pub fn parse_eval_config(args: &[String]) -> EvalConfig {
     let mut cfg = EvalConfig::default();
     let mut it = args.iter();
@@ -49,6 +49,11 @@ pub fn parse_eval_config(args: &[String]) -> EvalConfig {
                     };
                 }
             }
+            "--opt" => {
+                if let Some(v) = it.next().and_then(|s| ferrum::OptLevel::parse(s)) {
+                    cfg.opt = v;
+                }
+            }
             _ => {}
         }
     }
@@ -69,8 +74,12 @@ mod tests {
         assert_eq!(cfg.samples, 250);
         assert_eq!(cfg.seed, 7);
         assert_eq!(cfg.scale, Scale::Test);
+        assert_eq!(cfg.opt, ferrum::OptLevel::O0);
         let cfg = parse_eval_config(&[]);
         assert_eq!(cfg.samples, 1000);
         assert_eq!(cfg.scale, Scale::Paper);
+
+        let args: Vec<String> = ["--opt", "1"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(parse_eval_config(&args).opt, ferrum::OptLevel::O1);
     }
 }

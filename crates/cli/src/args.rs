@@ -136,6 +136,18 @@ impl ParsedArgs {
         }
     }
 
+    /// `--opt 0|1`, the backend optimization level.  `None` means the
+    /// flag was absent, which catalog self-checking tools interpret as
+    /// "run every level".
+    pub fn opt_level(&self) -> Result<Option<ferrum_backend::OptLevel>, ArgError> {
+        match self.value("--opt") {
+            None => Ok(None),
+            Some(s) => ferrum_backend::OptLevel::parse(s)
+                .map(Some)
+                .ok_or_else(|| ArgError::Message(format!("unknown opt level `{s}` (0 | 1)"))),
+        }
+    }
+
     /// `--technique` as a pipeline [`Technique`] (the workload-driven
     /// tools), defaulting to `default`.
     pub fn technique_core(&self, default: Technique) -> Result<Technique, ArgError> {

@@ -8,6 +8,7 @@
 //!   --samples <n>     sampled faults (default 400)
 //!   --seed <s>        campaign seed (default 0xFE44)
 //!   --scale <s>       test | paper   (default: test)
+//!   --opt <l>         backend optimization level 0 | 1   (default: 0)
 //!   --engine <e>      interpreter | decoded   (default: interpreter)
 //!   --executor <x>    serial | parallel | snapshot   (default: serial)
 //!   --threads <n>     worker threads for parallel/snapshot (default 4)
@@ -78,6 +79,11 @@ const USAGE: UsageSpec = UsageSpec {
             help: "test | paper   (default: test)",
         },
         ArgHelp {
+            name: "--opt",
+            value: Some("<l>"),
+            help: "backend optimization level 0 | 1   (default: 0;\n--catalog: both levels)",
+        },
+        ArgHelp {
             name: "--engine",
             value: Some("<e>"),
             help: "interpreter | decoded   (default: interpreter)",
@@ -125,6 +131,7 @@ const USAGE: UsageSpec = UsageSpec {
             "--samples",
             "--seed",
             "--scale",
+            "--opt",
             "--engine",
             "--executor",
             "--threads",
@@ -158,6 +165,7 @@ struct Options {
     samples: usize,
     seed: u64,
     scale: Scale,
+    opt: Option<ferrum::OptLevel>,
     engine: EngineKind,
     executor: Executor,
     threads: usize,
@@ -260,7 +268,7 @@ fn run_one(name: &str, opts: &Options) -> ExitCode {
         None
     };
 
-    let pipeline = Pipeline::new();
+    let pipeline = Pipeline::new().with_opt_level(opts.opt.unwrap_or_default());
     let module = w.build(opts.scale);
     let run = (|| {
         let prog = pipeline.protect(&module, opts.technique)?;
@@ -435,6 +443,7 @@ fn catalog_check(
     w: &Workload,
     opts: &Options,
 ) -> Result<Vec<CheckLine>, ferrum::Error> {
+    let opt = pipeline.opt_level();
     let module = w.build(opts.scale);
     let cfg = CampaignConfig {
         samples: opts.samples,
@@ -516,6 +525,7 @@ fn catalog_check(
                 json: Json::obj(vec![
                     ("workload", w.name.to_json()),
                     ("technique", technique_label(technique).to_json()),
+                    ("opt", opt.to_json()),
                     ("engine", engine.label().to_json()),
                     ("events", events.len().to_json()),
                     ("shards", a.shards_completed.to_json()),
@@ -525,10 +535,11 @@ fn catalog_check(
                     ),
                 ]),
                 text: format!(
-                    "{}/{} [{}]: {} events, {} shards — {}",
+                    "{}/{} [{}/{}]: {} events, {} shards — {}",
                     w.name,
                     technique_label(technique),
                     engine.label(),
+                    opt.label(),
                     events.len(),
                     a.shards_completed,
                     if ok {
@@ -565,6 +576,7 @@ fn main() -> ExitCode {
             samples: p.samples(400)?,
             seed: p.seed(0xFE44)?,
             scale: p.scale()?,
+            opt: p.opt_level()?,
             engine: p.engine()?,
             executor,
             threads,
@@ -580,9 +592,14 @@ fn main() -> ExitCode {
     };
 
     if parsed.flag("--catalog") {
-        let pipeline = Pipeline::new();
+        let levels = ferrum_cli::catalog::catalog_levels(opts.opt);
         return catalog_exit(catalog_selfcheck("ferrum-campaign", opts.json, |w| {
-            catalog_check(&pipeline, w, &opts)
+            let mut lines = Vec::new();
+            for &o in &levels {
+                let pipeline = Pipeline::new().with_opt_level(o);
+                lines.extend(catalog_check(&pipeline, w, &opts)?);
+            }
+            Ok::<_, ferrum::Error>(lines)
         }));
     }
     match parsed.positional.as_deref() {

@@ -7,6 +7,7 @@
 //!   --samples <n>     faults for the stratified campaign (default 400)
 //!   --seed <s>        campaign seed (default 0xFE44)
 //!   --scale <s>       test | paper   (default: test)
+//!   --opt <l>         backend optimization level 0 | 1   (default: 0)
 //!   --json            emit the report as JSON instead of text
 //!   --catalog         self-check across every bundled workload: no
 //!                     composed Masked/Detected verdict may be
@@ -64,6 +65,11 @@ const USAGE: UsageSpec = UsageSpec {
             help: "test | paper   (default: test)",
         },
         ArgHelp {
+            name: "--opt",
+            value: Some("<l>"),
+            help: "backend optimization level 0 | 1   (default: 0;\n--catalog: both levels)",
+        },
+        ArgHelp {
             name: "--json",
             value: None,
             help: "emit the report as JSON instead of text",
@@ -76,7 +82,7 @@ const USAGE: UsageSpec = UsageSpec {
     ],
     spec: ArgSpec {
         flags: &["--json", "--catalog"],
-        values: &["--technique", "--samples", "--seed", "--scale"],
+        values: &["--technique", "--samples", "--seed", "--scale", "--opt"],
         positional: true,
     },
 };
@@ -86,6 +92,7 @@ struct Options {
     samples: usize,
     seed: u64,
     scale: Scale,
+    opt: Option<ferrum::OptLevel>,
     json: bool,
 }
 
@@ -125,7 +132,7 @@ fn run_one(name: &str, opts: &Options) -> ExitCode {
         eprintln!("ferrum-compose: unknown workload `{name}`");
         return ExitCode::FAILURE;
     };
-    let pipeline = Pipeline::new();
+    let pipeline = Pipeline::new().with_opt_level(opts.opt.unwrap_or_default());
     let module = w.build(opts.scale);
     let cfg = CampaignConfig {
         samples: opts.samples,
@@ -200,6 +207,7 @@ fn catalog_check(
     w: &Workload,
     opts: &Options,
 ) -> Result<Vec<CheckLine>, ferrum::Error> {
+    let opt = pipeline.opt_level();
     let module = w.build(opts.scale);
     let prog = pipeline.protect(&module, Technique::Ferrum)?;
     let coverage = CoverageMap::analyze(&prog);
@@ -225,6 +233,7 @@ fn catalog_check(
         ok,
         json: Json::obj(vec![
             ("workload", w.name.to_json()),
+            ("opt", opt.to_json()),
             ("total_sites", coverage.total_sites().to_json()),
             ("lifted", composed.lifted().to_json()),
             ("contradicted", contradicted.to_json()),
@@ -232,8 +241,9 @@ fn catalog_check(
             ("reuse_rate", incremental.stats.reuse_rate().to_json()),
         ]),
         text: format!(
-            "{}: {} sites, {} lifted; composed verdicts {}; incremental {} (reuse {:.1}%)",
+            "{} [{}]: {} sites, {} lifted; composed verdicts {}; incremental {} (reuse {:.1}%)",
             w.name,
+            opt.label(),
             coverage.total_sites(),
             composed.lifted(),
             if contradicted == 0 {
@@ -255,6 +265,7 @@ fn main() -> ExitCode {
             samples: p.samples(400)?,
             seed: p.seed(0xFE44)?,
             scale: p.scale()?,
+            opt: p.opt_level()?,
             json: p.flag("--json"),
         };
         Ok((p, opts))
@@ -264,9 +275,14 @@ fn main() -> ExitCode {
     };
 
     if parsed.flag("--catalog") {
-        let pipeline = Pipeline::new();
+        let levels = ferrum_cli::catalog::catalog_levels(opts.opt);
         return catalog_exit(catalog_selfcheck("ferrum-compose", opts.json, |w| {
-            catalog_check(&pipeline, w, &opts)
+            let mut lines = Vec::new();
+            for &o in &levels {
+                let pipeline = Pipeline::new().with_opt_level(o);
+                lines.extend(catalog_check(&pipeline, w, &opts)?);
+            }
+            Ok::<_, ferrum::Error>(lines)
         }));
     }
     match parsed.positional.as_deref() {

@@ -60,6 +60,11 @@ const USAGE: UsageSpec = UsageSpec {
             help: "test | paper   (default: test)",
         },
         ArgHelp {
+            name: "--opt",
+            value: Some("<l>"),
+            help: "backend optimization level 0 | 1   (default: 0;\n--catalog: both levels)",
+        },
+        ArgHelp {
             name: "--sites",
             value: None,
             help: "include the per-site verdict lists in the output",
@@ -77,7 +82,7 @@ const USAGE: UsageSpec = UsageSpec {
     ],
     spec: ArgSpec {
         flags: &["--json", "--sites", "--catalog"],
-        values: &["--technique", "--samples", "--seed", "--scale"],
+        values: &["--technique", "--samples", "--seed", "--scale", "--opt"],
         positional: true,
     },
 };
@@ -87,6 +92,7 @@ struct Options {
     samples: usize,
     seed: u64,
     scale: Scale,
+    opt: Option<ferrum::OptLevel>,
     sites: bool,
     json: bool,
 }
@@ -105,7 +111,7 @@ fn run_one(name: &str, opts: &Options) -> ExitCode {
         eprintln!("ferrum-coverage: unknown workload `{name}`");
         return ExitCode::FAILURE;
     };
-    let pipeline = Pipeline::new();
+    let pipeline = Pipeline::new().with_opt_level(opts.opt.unwrap_or_default());
     let module = w.build(opts.scale);
     let (map, campaign) = match (|| {
         let prog = pipeline.protect(&module, opts.technique)?;
@@ -167,6 +173,7 @@ fn catalog_check(
     w: &Workload,
     opts: &Options,
 ) -> Result<Vec<CheckLine>, ferrum::Error> {
+    let opt = pipeline.opt_level();
     let module = w.build(opts.scale);
     let prog = pipeline.protect(&module, Technique::Ferrum)?;
     let map = CoverageMap::analyze(&prog);
@@ -201,6 +208,7 @@ fn catalog_check(
         ok: identical && prune_ok && sound,
         json: Json::obj(vec![
             ("workload", w.name.to_json()),
+            ("opt", opt.to_json()),
             ("total_sites", map.total_sites().to_json()),
             ("decided_fraction", rollup.decided_fraction().to_json()),
             ("prune_rate", pruned.stats.prune_rate().to_json()),
@@ -208,8 +216,9 @@ fn catalog_check(
             ("verdicts_sound", Json::Bool(sound)),
         ]),
         text: format!(
-            "{}: {} sites, {:.1}% decided, prune rate {:.1}% ({} of {}); pruned outcomes {}; verdicts {}",
+            "{} [{}]: {} sites, {:.1}% decided, prune rate {:.1}% ({} of {}); pruned outcomes {}; verdicts {}",
             w.name,
+            opt.label(),
             map.total_sites(),
             rollup.decided_fraction() * 100.0,
             pruned.stats.prune_rate() * 100.0,
@@ -229,6 +238,7 @@ fn main() -> ExitCode {
             samples: p.samples(400)?,
             seed: p.seed(0xFE44)?,
             scale: p.scale()?,
+            opt: p.opt_level()?,
             sites: p.flag("--sites"),
             json: p.flag("--json"),
         };
@@ -239,9 +249,14 @@ fn main() -> ExitCode {
     };
 
     if parsed.flag("--catalog") {
-        let pipeline = Pipeline::new();
+        let levels = ferrum_cli::catalog::catalog_levels(opts.opt);
         return catalog_exit(catalog_selfcheck("ferrum-coverage", opts.json, |w| {
-            catalog_check(&pipeline, w, &opts)
+            let mut lines = Vec::new();
+            for &o in &levels {
+                let pipeline = Pipeline::new().with_opt_level(o);
+                lines.extend(catalog_check(&pipeline, w, &opts)?);
+            }
+            Ok::<_, ferrum::Error>(lines)
         }));
     }
     match parsed.positional.as_deref() {

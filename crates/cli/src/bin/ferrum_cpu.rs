@@ -49,6 +49,11 @@ const USAGE: UsageSpec = UsageSpec {
             help: "interpreter | decoded   (default: interpreter)",
         },
         ArgHelp {
+            name: "--opt",
+            value: Some("<l>"),
+            help: "backend optimization level 0 | 1   (default: 0;\n--selfcheck: both levels)",
+        },
+        ArgHelp {
             name: "--json",
             value: None,
             help: "emit the run result as JSON instead of text",
@@ -61,7 +66,7 @@ const USAGE: UsageSpec = UsageSpec {
     ],
     spec: ArgSpec {
         flags: &["--json", "--selfcheck"],
-        values: &["--technique", "--scale", "--engine"],
+        values: &["--technique", "--scale", "--engine", "--opt"],
         positional: true,
     },
 };
@@ -73,8 +78,13 @@ const TECHNIQUES: [Technique; 4] = [
     Technique::Ferrum,
 ];
 
-fn load(w: &Workload, technique: Technique, scale: Scale) -> Result<Cpu, ferrum::Error> {
-    let pipeline = Pipeline::new();
+fn load(
+    w: &Workload,
+    technique: Technique,
+    scale: Scale,
+    opt: ferrum::OptLevel,
+) -> Result<Cpu, ferrum::Error> {
+    let pipeline = Pipeline::new().with_opt_level(opt);
     let module = w.build(scale);
     let prog = pipeline.protect(&module, technique)?;
     pipeline.load(&prog)
@@ -89,10 +99,10 @@ fn profiles_match(a: &Profile, b: &Profile) -> bool {
 
 /// Engine-identity check for one workload: run + profile identity of
 /// the decoded engine against the interpreter, per technique.
-fn selfcheck(w: &Workload) -> Result<Vec<CheckLine>, ferrum::Error> {
+fn selfcheck(w: &Workload, opt: ferrum::OptLevel) -> Result<Vec<CheckLine>, ferrum::Error> {
     let mut lines = Vec::new();
     for technique in TECHNIQUES {
-        let cpu = load(w, technique, Scale::Test)?;
+        let cpu = load(w, technique, Scale::Test, opt)?;
         let decoded = DecodedCpu::new(&cpu);
         let run_ok = decoded.run(None) == cpu.run(None);
         let (ip, dp) = (cpu.profile(), decoded.profile());
@@ -102,15 +112,17 @@ fn selfcheck(w: &Workload) -> Result<Vec<CheckLine>, ferrum::Error> {
             json: Json::obj(vec![
                 ("workload", w.name.to_json()),
                 ("technique", technique.label().to_json()),
+                ("opt", opt.to_json()),
                 ("run_identical", Json::Bool(run_ok)),
                 ("profile_identical", Json::Bool(profile_ok)),
                 ("sites", ip.sites.len().to_json()),
                 ("superinstructions", decoded.superinstructions().to_json()),
             ]),
             text: format!(
-                "{}/{}: run {}, profile {} ({} sites, {} superinstructions)",
+                "{}/{} [{}]: run {}, profile {} ({} sites, {} superinstructions)",
                 w.name,
                 technique.label(),
+                opt.label(),
                 if run_ok { "identical" } else { "DIVERGED" },
                 if profile_ok { "identical" } else { "DIVERGED" },
                 ip.sites.len(),
@@ -121,12 +133,19 @@ fn selfcheck(w: &Workload) -> Result<Vec<CheckLine>, ferrum::Error> {
     Ok(lines)
 }
 
-fn run_one(name: &str, technique: Technique, scale: Scale, engine: EngineKind, json: bool) -> ExitCode {
+fn run_one(
+    name: &str,
+    technique: Technique,
+    scale: Scale,
+    engine: EngineKind,
+    opt: ferrum::OptLevel,
+    json: bool,
+) -> ExitCode {
     let Some(w) = workload(name) else {
         eprintln!("ferrum-cpu: unknown workload `{name}`");
         return ExitCode::FAILURE;
     };
-    let cpu = match load(&w, technique, scale) {
+    let cpu = match load(&w, technique, scale, opt) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("ferrum-cpu: {name}: {e}");
@@ -173,17 +192,31 @@ fn main() -> ExitCode {
     };
     let json = parsed.flag("--json");
     if parsed.flag("--selfcheck") {
-        return catalog_exit(catalog_selfcheck("ferrum-cpu", json, selfcheck));
+        let levels = match parsed.opt_level() {
+            Ok(o) => ferrum_cli::catalog::catalog_levels(o),
+            Err(e) => return usage_exit(&USAGE.render(), &e),
+        };
+        return catalog_exit(catalog_selfcheck("ferrum-cpu", json, |w| {
+            let mut lines = Vec::new();
+            for &o in &levels {
+                lines.extend(selfcheck(w, o)?);
+            }
+            Ok::<_, ferrum::Error>(lines)
+        }));
     }
-    let opts = match parsed
-        .technique_core(Technique::Ferrum)
-        .and_then(|t| Ok((t, parsed.scale()?, parsed.engine()?)))
-    {
+    let opts = match parsed.technique_core(Technique::Ferrum).and_then(|t| {
+        Ok((
+            t,
+            parsed.scale()?,
+            parsed.engine()?,
+            parsed.opt_level()?.unwrap_or_default(),
+        ))
+    }) {
         Ok(o) => o,
         Err(e) => return usage_exit(&USAGE.render(), &e),
     };
     match parsed.positional.as_deref() {
-        Some(n) => run_one(n, opts.0, opts.1, opts.2, json),
+        Some(n) => run_one(n, opts.0, opts.1, opts.2, opts.3, json),
         None => usage_exit(&USAGE.render(), &ArgError::Help),
     }
 }

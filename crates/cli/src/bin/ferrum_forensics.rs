@@ -7,6 +7,7 @@
 //!   --samples <n>     faults for the campaign (default 400)
 //!   --seed <s>        campaign seed (default 0xFE44)
 //!   --scale <s>       test | paper   (default: test)
+//!   --opt <l>         backend optimization level 0 | 1   (default: 0)
 //!   --outcome <o>     sdc | detected | crash | timeout | benign | all
 //!                     — which campaign outcomes to replay (default: sdc)
 //!   --records <n>     cap on fully analyzed records (default 64)
@@ -70,6 +71,11 @@ const USAGE: UsageSpec = UsageSpec {
             help: "test | paper   (default: test)",
         },
         ArgHelp {
+            name: "--opt",
+            value: Some("<l>"),
+            help: "backend optimization level 0 | 1   (default: 0;\n--catalog: both levels)",
+        },
+        ArgHelp {
             name: "--outcome",
             value: Some("<o>"),
             help: "sdc | detected | crash | timeout | benign | all\n-- which campaign outcomes to replay (default: sdc)",
@@ -107,6 +113,7 @@ const USAGE: UsageSpec = UsageSpec {
             "--samples",
             "--seed",
             "--scale",
+            "--opt",
             "--outcome",
             "--records",
             "--show",
@@ -120,6 +127,7 @@ struct Options {
     samples: usize,
     seed: u64,
     scale: Scale,
+    opt: Option<ferrum::OptLevel>,
     fcfg: ForensicConfig,
     show: usize,
     json: bool,
@@ -158,6 +166,7 @@ fn options(p: &ParsedArgs) -> Result<Options, ArgError> {
         samples: p.samples(400)?,
         seed: p.seed(0xFE44)?,
         scale: p.scale()?,
+        opt: p.opt_level()?,
         fcfg: ForensicConfig {
             outcomes: parse_outcomes(p)?,
             max_records: records,
@@ -183,7 +192,7 @@ fn run_one(name: &str, opts: &Options) -> ExitCode {
         eprintln!("ferrum-forensics: unknown workload `{name}`");
         return ExitCode::FAILURE;
     };
-    let pipeline = Pipeline::new();
+    let pipeline = Pipeline::new().with_opt_level(opts.opt.unwrap_or_default());
     let module = w.build(opts.scale);
     let cfg = CampaignConfig {
         samples: opts.samples,
@@ -252,6 +261,7 @@ fn check_one(
     technique: Technique,
     opts: &Options,
 ) -> Result<CheckLine, ferrum::Error> {
+    let opt = pipeline.opt_level();
     let module = w.build(opts.scale);
     let prog = pipeline.protect(&module, technique)?;
     let cpu = pipeline.load(&prog)?;
@@ -281,6 +291,7 @@ fn check_one(
         json: Json::obj(vec![
             ("workload", w.name.to_json()),
             ("technique", label.to_json()),
+            ("opt", opt.to_json()),
             ("sdc", forensic.sdc.to_json()),
             ("analyzed", report.analyzed().to_json()),
             ("outcomes_identical", Json::Bool(identical)),
@@ -289,8 +300,9 @@ fn check_one(
             ("kill_windows_sound", Json::Bool(windows_ok)),
         ]),
         text: format!(
-            "{}/{label}: {} SDC, {} analyzed ({} classified); outcomes {}; divergences {}; kill windows {}",
+            "{}/{label} [{}]: {} SDC, {} analyzed ({} classified); outcomes {}; divergences {}; kill windows {}",
             w.name,
+            opt.label(),
             forensic.sdc,
             report.analyzed(),
             report.classified(),
@@ -324,9 +336,14 @@ fn main() -> ExitCode {
     };
 
     if parsed.flag("--catalog") {
-        let pipeline = Pipeline::new();
+        let levels = ferrum_cli::catalog::catalog_levels(opts.opt);
         return catalog_exit(catalog_selfcheck("ferrum-forensics", opts.json, |w| {
-            catalog_check(&pipeline, w, &opts)
+            let mut lines = Vec::new();
+            for &o in &levels {
+                let pipeline = Pipeline::new().with_opt_level(o);
+                lines.extend(catalog_check(&pipeline, w, &opts)?);
+            }
+            Ok::<_, ferrum::Error>(lines)
         }));
     }
     match parsed.positional.as_deref() {

@@ -37,6 +37,11 @@ const USAGE: UsageSpec = UsageSpec {
             help: "ferrum | ferrum-zmm | scalar   (default: ferrum)",
         },
         ArgHelp {
+            name: "--opt",
+            value: Some("<l>"),
+            help: "backend optimization level for --catalog\n0 | 1   (default: both levels)",
+        },
+        ArgHelp {
             name: "--json",
             value: None,
             help: "emit the report as JSON instead of text",
@@ -49,7 +54,7 @@ const USAGE: UsageSpec = UsageSpec {
     ],
     spec: ArgSpec {
         flags: &["--json", "--catalog"],
-        values: &["--technique"],
+        values: &["--technique", "--opt"],
         positional: true,
     },
 };
@@ -65,16 +70,19 @@ fn emit(rep: &LintReport, label: &str, json: bool) {
 /// Protects every catalog workload under FERRUM (manifest-driven) and
 /// the hybrid baseline and lints each result — one [`CheckLine`] per
 /// technique, driven by the shared [`catalog_selfcheck`] loop.
-fn catalog_check(w: &ferrum_workloads::Workload) -> Result<Vec<CheckLine>, String> {
+fn catalog_check(
+    w: &ferrum_workloads::Workload,
+    opt: ferrum_backend::OptLevel,
+) -> Result<Vec<CheckLine>, String> {
     let m = w.build(Scale::Test);
-    let asm = ferrum_backend::compile(&m).map_err(|e| format!("compile failed: {e}"))?;
+    let asm = ferrum_backend::compile_opt(&m, opt).map_err(|e| format!("compile failed: {e}"))?;
     let ferrum_rep = Ferrum::new()
         .protect_with_manifest(&asm)
         .map(|(prot, manifests)| lint_program_with(&prot, &manifests))
         .map_err(|e| format!("ferrum pass failed: {e}"))?;
     let hybrid_rep = HybridAsmEddi::new()
-        .protect(&m)
-        .map(|prot| lint_program(&prot))
+        .protect_opt(&m, opt)
+        .map(|(prot, _)| lint_program(&prot))
         .map_err(|e| format!("hybrid pass failed: {e}"))?;
     Ok([("ferrum", ferrum_rep), ("hybrid", hybrid_rep)]
         .into_iter()
@@ -82,11 +90,21 @@ fn catalog_check(w: &ferrum_workloads::Workload) -> Result<Vec<CheckLine>, Strin
             ok: rep.is_clean(),
             json: rep.to_json(),
             text: if rep.is_clean() {
-                format!("{}/{label}: clean ({} insts)", w.name, rep.insts_scanned)
+                format!(
+                    "{}/{label} [{}]: clean ({} insts)",
+                    w.name,
+                    opt.label(),
+                    rep.insts_scanned
+                )
             } else {
-                format!("{}/{label}: {}", w.name, render_lint_report(&rep))
-                    .trim_end()
-                    .to_owned()
+                format!(
+                    "{}/{label} [{}]: {}",
+                    w.name,
+                    opt.label(),
+                    render_lint_report(&rep)
+                )
+                .trim_end()
+                .to_owned()
             },
         })
         .collect())
@@ -103,7 +121,17 @@ fn main() -> ExitCode {
     let json = parsed.flag("--json");
 
     if parsed.flag("--catalog") {
-        return catalog_exit(catalog_selfcheck("ferrum-lint", json, catalog_check));
+        let levels = match parsed.opt_level() {
+            Ok(o) => ferrum_cli::catalog::catalog_levels(o),
+            Err(e) => return usage_exit(&USAGE.render(), &e),
+        };
+        return catalog_exit(catalog_selfcheck("ferrum-lint", json, |w| {
+            let mut lines = Vec::new();
+            for &o in &levels {
+                lines.extend(catalog_check(w, o)?);
+            }
+            Ok::<_, String>(lines)
+        }));
     }
 
     let Some(input) = parsed.positional else {

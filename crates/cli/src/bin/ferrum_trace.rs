@@ -7,6 +7,7 @@
 //!   --samples <n>   faults per campaign (default 400)
 //!   --seed <s>      campaign seed (default 0xFE44)
 //!   --scale <s>     test | paper   (default: test)
+//!   --opt <l>       backend optimization level 0 | 1   (default: 0)
 //!   --engine <e>    interpreter | decoded   (default: interpreter;
 //!                   outcomes are byte-identical, only throughput moves)
 //!   --json          emit the report as JSON instead of text
@@ -59,6 +60,11 @@ const USAGE: UsageSpec = UsageSpec {
             help: "test | paper   (default: test)",
         },
         ArgHelp {
+            name: "--opt",
+            value: Some("<l>"),
+            help: "backend optimization level 0 | 1   (default: 0;\n--catalog: both levels)",
+        },
+        ArgHelp {
             name: "--engine",
             value: Some("<e>"),
             help: "interpreter | decoded   (default: interpreter;\noutcomes are byte-identical, only throughput moves)",
@@ -76,7 +82,7 @@ const USAGE: UsageSpec = UsageSpec {
     ],
     spec: ArgSpec {
         flags: &["--json", "--catalog"],
-        values: &["--samples", "--seed", "--scale", "--engine"],
+        values: &["--samples", "--seed", "--scale", "--opt", "--engine"],
         positional: true,
     },
 };
@@ -85,6 +91,7 @@ struct Options {
     samples: usize,
     seed: u64,
     scale: Scale,
+    opt: Option<ferrum::OptLevel>,
     engine: EngineKind,
     json: bool,
 }
@@ -138,7 +145,7 @@ fn run_one(name: &str, opts: &Options) -> ExitCode {
         eprintln!("ferrum-trace: unknown workload `{name}`");
         return ExitCode::FAILURE;
     };
-    let pipeline = Pipeline::new();
+    let pipeline = Pipeline::new().with_opt_level(opts.opt.unwrap_or_default());
     let module = w.build(opts.scale);
 
     let sink = Arc::new(RingSink::new(64 * 1024));
@@ -214,6 +221,7 @@ fn catalog_check(
     w: &Workload,
     opts: &Options,
 ) -> Result<Vec<CheckLine>, ferrum::Error> {
+    let opt = pipeline.opt_level();
     let module = w.build(opts.scale);
     let att = attribute_overhead(pipeline, &module)?;
     let exact = att.reconciles();
@@ -230,13 +238,15 @@ fn catalog_check(
         ok: exact && transparent,
         json: Json::obj(vec![
             ("workload", w.name.to_json()),
+            ("opt", opt.to_json()),
             ("protection_insts", att.protection_insts().to_json()),
             ("mechanism_sum_exact", Json::Bool(exact)),
             ("trace_transparent", Json::Bool(transparent)),
         ]),
         text: format!(
-            "{}: mechanism sum {} ({} prot insts, +{:.1}% cycles); trace on/off outcomes {}",
+            "{} [{}]: mechanism sum {} ({} prot insts, +{:.1}% cycles); trace on/off outcomes {}",
             w.name,
+            opt.label(),
             if exact { "exact" } else { "MISMATCH" },
             att.protection_insts(),
             att.cycle_overhead() * 100.0,
@@ -252,6 +262,7 @@ fn main() -> ExitCode {
             samples: p.samples(400)?,
             seed: p.seed(0xFE44)?,
             scale: p.scale()?,
+            opt: p.opt_level()?,
             engine: p.engine()?,
             json: p.flag("--json"),
         };
@@ -262,9 +273,14 @@ fn main() -> ExitCode {
     };
 
     if parsed.flag("--catalog") {
-        let pipeline = Pipeline::new();
+        let levels = ferrum_cli::catalog::catalog_levels(opts.opt);
         return catalog_exit(catalog_selfcheck("ferrum-trace", opts.json, |w| {
-            catalog_check(&pipeline, w, &opts)
+            let mut lines = Vec::new();
+            for &o in &levels {
+                let pipeline = Pipeline::new().with_opt_level(o);
+                lines.extend(catalog_check(&pipeline, w, &opts)?);
+            }
+            Ok::<_, ferrum::Error>(lines)
         }));
     }
     match parsed.positional.as_deref() {

@@ -10,8 +10,19 @@ use std::fmt::Display;
 use std::process::ExitCode;
 
 use ferrum::json::Json;
+use ferrum_backend::OptLevel;
 use ferrum_workloads::catalog::all_workloads;
 use ferrum_workloads::Workload;
+
+/// The optimization levels a `--catalog` self-check should cover:
+/// exactly the one `--opt` asked for, or every level when the flag was
+/// absent — protection soundness must hold on optimized output too.
+pub fn catalog_levels(opt: Option<OptLevel>) -> Vec<OptLevel> {
+    match opt {
+        Some(o) => vec![o],
+        None => vec![OptLevel::O0, OptLevel::O1],
+    }
+}
 
 /// One printable result from a catalog check.  A workload may produce
 /// several (e.g. `ferrum-lint` emits one per technique).

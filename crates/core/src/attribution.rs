@@ -100,7 +100,10 @@ pub fn attribute_overhead(
     module: &Module,
 ) -> Result<OverheadAttribution, Error> {
     let _span = ferrum_trace::span("attribution");
-    let mut baseline = ferrum_backend::compile(module)?;
+    // The baseline must compile at the pipeline's opt level, or the
+    // exact-sum reconciliation would attribute optimizer savings to
+    // protection mechanisms.
+    let mut baseline = ferrum_backend::compile_opt(module, pipeline.opt_level())?;
     if pipeline.ferrum_config().peephole {
         ferrum_backend::peephole::run(&mut baseline);
     }

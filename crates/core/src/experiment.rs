@@ -1,6 +1,7 @@
 //! The paper's evaluation loop: per-benchmark SDC coverage (Fig. 10),
 //! runtime overhead (Fig. 11), and root-cause attribution (§IV-B1).
 
+use ferrum_backend::{OptLevel, PassStats};
 use ferrum_eddi::Technique;
 use ferrum_faultsim::campaign::{
     run_campaign_snapshot, CampaignConfig, CampaignResult, SnapshotPolicy,
@@ -20,6 +21,11 @@ pub struct EvalConfig {
     pub seed: u64,
     /// Problem-size scale.
     pub scale: Scale,
+    /// Backend optimization level.  The config is authoritative:
+    /// [`evaluate_workload`] compiles every technique at this level
+    /// regardless of the pipeline's own setting, so a single `--opt`
+    /// flag steers the whole evaluation.
+    pub opt: OptLevel,
 }
 
 impl Default for EvalConfig {
@@ -28,6 +34,7 @@ impl Default for EvalConfig {
             samples: 1000,
             seed: 0xFE44,
             scale: Scale::Paper,
+            opt: OptLevel::O0,
         }
     }
 }
@@ -53,6 +60,9 @@ pub struct TechniqueReport {
     pub campaign: CampaignResult,
     /// SDCs attributed to instruction provenance.
     pub rootcause: RootCauseReport,
+    /// Backend pass statistics for this technique's compile
+    /// (all-zero at `-O0`).
+    pub pass_stats: PassStats,
 }
 
 /// Everything measured for one benchmark.
@@ -66,6 +76,10 @@ pub struct WorkloadReport {
     pub raw_static_insts: usize,
     /// Unprotected SDC probability.
     pub raw_sdc_prob: f64,
+    /// Optimization level every program in this report was compiled at.
+    pub opt: OptLevel,
+    /// Backend pass statistics for the unprotected compile.
+    pub raw_pass_stats: PassStats,
     /// One report per protected technique, in
     /// [`Technique::PROTECTED`] order.
     pub techniques: Vec<TechniqueReport>,
@@ -90,8 +104,9 @@ pub fn evaluate_workload(
 ) -> Result<WorkloadReport, Error> {
     let module = w.build(cfg.scale);
     let golden = w.oracle(cfg.scale);
+    let pipeline = &pipeline.clone().with_opt_level(cfg.opt);
 
-    let raw_prog = pipeline.protect(&module, Technique::None)?;
+    let (raw_prog, raw_pass_stats) = pipeline.protect_with_pass_stats(&module, Technique::None)?;
     let raw_cpu = pipeline.load(&raw_prog)?;
     let raw_profile = raw_cpu.profile();
     assert_eq!(
@@ -117,7 +132,7 @@ pub fn evaluate_workload(
 
     let mut techniques = Vec::new();
     for (k, t) in Technique::PROTECTED.into_iter().enumerate() {
-        let prog = pipeline.protect(&module, t)?;
+        let (prog, pass_stats) = pipeline.protect_with_pass_stats(&module, t)?;
         let cpu = pipeline.load(&prog)?;
         let profile = cpu.profile();
         assert_eq!(
@@ -146,6 +161,7 @@ pub fn evaluate_workload(
             dyn_insts: profile.result.dyn_insts,
             campaign,
             rootcause,
+            pass_stats,
         });
     }
     Ok(WorkloadReport {
@@ -153,6 +169,8 @@ pub fn evaluate_workload(
         raw_cycles,
         raw_static_insts: raw_prog.static_inst_count(),
         raw_sdc_prob,
+        opt: cfg.opt,
+        raw_pass_stats,
         techniques,
     })
 }
@@ -170,6 +188,7 @@ mod tests {
             samples: 400,
             seed: 99,
             scale: Scale::Test,
+            ..EvalConfig::default()
         };
         let report = evaluate_workload(&pipeline, &w, cfg).expect("evaluates");
 

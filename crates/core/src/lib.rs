@@ -55,6 +55,7 @@ pub use ferrum_asm::analysis::summary::{
     UnitSummary,
 };
 pub use ferrum_asm::provenance::Mechanism;
+pub use ferrum_backend::{OptLevel, PassStats};
 pub use ferrum_cpu::cost::CostModel;
 pub use ferrum_cpu::decoded::{DecodedCpu, DecodedMachine};
 pub use ferrum_cpu::outcome::{RunResult, StopReason};

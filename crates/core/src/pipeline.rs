@@ -1,6 +1,7 @@
 //! Compile → protect → load.
 
 use ferrum_asm::program::AsmProgram;
+use ferrum_backend::{OptLevel, PassStats};
 use ferrum_cpu::cost::CostModel;
 use ferrum_cpu::run::Cpu;
 use ferrum_eddi::ferrum::{Ferrum, FerrumConfig};
@@ -17,6 +18,7 @@ pub struct Pipeline {
     cost: CostModel,
     step_limit: u64,
     ferrum_cfg: FerrumConfig,
+    opt: OptLevel,
 }
 
 impl Default for Pipeline {
@@ -32,7 +34,21 @@ impl Pipeline {
             cost: CostModel::default(),
             step_limit: 50_000_000,
             ferrum_cfg: FerrumConfig::default(),
+            opt: OptLevel::O0,
         }
+    }
+
+    /// Selects the backend optimization level used by every
+    /// [`Pipeline::protect`] compilation (default [`OptLevel::O0`],
+    /// the paper's naive lowering).
+    pub fn with_opt_level(mut self, opt: OptLevel) -> Pipeline {
+        self.opt = opt;
+        self
+    }
+
+    /// The backend optimization level this pipeline compiles at.
+    pub fn opt_level(&self) -> OptLevel {
+        self.opt
     }
 
     /// Overrides the cycle cost model used by [`Pipeline::load`].
@@ -64,22 +80,45 @@ impl Pipeline {
     ///
     /// Propagates compilation and protection failures.
     pub fn protect(&self, module: &Module, technique: Technique) -> Result<AsmProgram, Error> {
+        self.protect_with_pass_stats(module, technique)
+            .map(|(p, _)| p)
+    }
+
+    /// [`Pipeline::protect`] plus the backend's per-pass statistics
+    /// (all-zero at `-O0`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation and protection failures.
+    pub fn protect_with_pass_stats(
+        &self,
+        module: &Module,
+        technique: Technique,
+    ) -> Result<(AsmProgram, PassStats), Error> {
         Ok(match technique {
-            Technique::None => ferrum_backend::compile(module)?,
+            Technique::None => ferrum_backend::compile_with_stats(module, self.opt)?,
             Technique::IrEddi => {
+                // The paper's root cause 2 in action: IR-level shadows
+                // ride through register allocation and forwarding like
+                // any other code, and merge with their masters.
                 let (protected, shadows) = IrEddi::new().protect_tracked(module);
-                let mut asm = ferrum_backend::compile(&protected)?;
+                let (mut asm, stats) = ferrum_backend::compile_with_stats(&protected, self.opt)?;
                 ferrum_eddi::ir_eddi::retag_shadows(
                     &mut asm,
                     &shadows,
                     ferrum_asm::provenance::TechniqueTag::IrEddi,
                 );
-                asm
+                (asm, stats)
             }
-            Technique::HybridAsmEddi => HybridAsmEddi::new().protect(module)?,
+            Technique::HybridAsmEddi => {
+                let (asm, stats) = HybridAsmEddi::new().protect_opt(module, self.opt)?;
+                (asm, stats)
+            }
             Technique::Ferrum => {
-                let asm = ferrum_backend::compile(module)?;
-                Ferrum::with_config(self.ferrum_cfg).protect(&asm)?
+                // Assembly-level protection runs *after* the optimizer,
+                // so its coverage is indifferent to the opt level.
+                let (asm, stats) = ferrum_backend::compile_with_stats(module, self.opt)?;
+                (Ferrum::with_config(self.ferrum_cfg).protect(&asm)?, stats)
             }
         })
     }

@@ -1041,6 +1041,31 @@ impl ToJson for UnknownSiteExplanation {
     }
 }
 
+impl ToJson for ferrum_backend::OptLevel {
+    fn to_json(&self) -> Json {
+        Json::Str(self.label().to_owned())
+    }
+}
+
+impl ToJson for ferrum_backend::PassStats {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("regalloc_candidates", self.regalloc_candidates.to_json()),
+            ("regalloc_allocated", self.regalloc_allocated.to_json()),
+            ("loads_forwarded", self.loads_forwarded.to_json()),
+            ("loads_removed", self.loads_removed.to_json()),
+            ("exprs_forwarded", self.exprs_forwarded.to_json()),
+            ("exprs_removed", self.exprs_removed.to_json()),
+            ("stores_removed", self.stores_removed.to_json()),
+            ("branches_fused", self.branches_fused.to_json()),
+            ("fused_insts_removed", self.fused_insts_removed.to_json()),
+            ("dead_removed", self.dead_removed.to_json()),
+            ("jumps_removed", self.jumps_removed.to_json()),
+            ("insts_removed", self.insts_removed().to_json()),
+        ])
+    }
+}
+
 impl ToJson for TechniqueReport {
     fn to_json(&self) -> Json {
         Json::obj(vec![
@@ -1053,6 +1078,7 @@ impl ToJson for TechniqueReport {
             ("dyn_insts", self.dyn_insts.to_json()),
             ("campaign", self.campaign.to_json()),
             ("rootcause", self.rootcause.to_json()),
+            ("pass_stats", self.pass_stats.to_json()),
         ])
     }
 }
@@ -1064,6 +1090,8 @@ impl ToJson for WorkloadReport {
             ("raw_cycles", self.raw_cycles.to_json()),
             ("raw_static_insts", self.raw_static_insts.to_json()),
             ("raw_sdc_prob", self.raw_sdc_prob.to_json()),
+            ("opt", self.opt.to_json()),
+            ("raw_pass_stats", self.raw_pass_stats.to_json()),
             ("techniques", self.techniques.to_json()),
         ])
     }
@@ -1092,6 +1120,7 @@ mod tests {
             samples: 150,
             seed: 5,
             scale: Scale::Test,
+            ..EvalConfig::default()
         };
         let report = evaluate_workload(&pipeline, &w, cfg).expect("evaluates");
         let cov = render_coverage_table(std::slice::from_ref(&report));
@@ -1111,6 +1140,7 @@ mod tests {
             samples: 120,
             seed: 5,
             scale: Scale::Test,
+            ..EvalConfig::default()
         };
         let report = evaluate_workload(&pipeline, &w, cfg).expect("evaluates");
         let chart = render_bars(
@@ -1135,6 +1165,7 @@ mod tests {
             samples: 100,
             seed: 6,
             scale: Scale::Test,
+            ..EvalConfig::default()
         };
         let report = evaluate_workload(&pipeline, &w, cfg).expect("evaluates");
         let json = to_json(std::slice::from_ref(&report));
@@ -1164,6 +1195,7 @@ mod tests {
             samples: 120,
             seed: 11,
             scale: Scale::Test,
+            ..EvalConfig::default()
         };
         let report = evaluate_workload(&pipeline, &w, cfg).expect("evaluates");
         let table = render_throughput_table(std::slice::from_ref(&report));
@@ -1195,6 +1227,7 @@ mod tests {
             samples: 150,
             seed: 8,
             scale: Scale::Test,
+            ..EvalConfig::default()
         };
         let report = evaluate_workload(&pipeline, &w, cfg).expect("evaluates");
         let ferrum = report.technique(Technique::Ferrum).unwrap();

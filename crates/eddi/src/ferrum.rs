@@ -210,7 +210,23 @@ impl Ferrum {
     ///
     /// Backend failures surface as [`PassError::Invalid`].
     pub fn protect_module(&self, m: &Module) -> Result<AsmProgram, PassError> {
-        let asm = ferrum_backend::compile(m).map_err(|e| PassError::Invalid(e.to_string()))?;
+        self.protect_module_opt(m, ferrum_backend::OptLevel::O0)
+    }
+
+    /// [`Ferrum::protect_module`] compiling at the given optimization
+    /// level.  FERRUM protects the *optimized* output, so its coverage
+    /// is independent of the level.
+    ///
+    /// # Errors
+    ///
+    /// Backend failures surface as [`PassError::Invalid`].
+    pub fn protect_module_opt(
+        &self,
+        m: &Module,
+        opt: ferrum_backend::OptLevel,
+    ) -> Result<AsmProgram, PassError> {
+        let asm =
+            ferrum_backend::compile_opt(m, opt).map_err(|e| PassError::Invalid(e.to_string()))?;
         self.protect(&asm)
     }
 

@@ -38,12 +38,28 @@ impl HybridAsmEddi {
     /// Propagates backend failures as [`PassError::Invalid`] and
     /// assembly-shape problems as [`PassError::Unsupported`].
     pub fn protect(&self, m: &Module) -> Result<AsmProgram, PassError> {
+        self.protect_opt(m, ferrum_backend::OptLevel::O0).map(|(p, _)| p)
+    }
+
+    /// [`HybridAsmEddi::protect`] compiling at the given optimization
+    /// level; returns the backend's pass statistics alongside.  The
+    /// scalar duplication runs on the *optimized* output, so — unlike
+    /// pure IR-level EDDI — coverage does not decay with `-O1`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`HybridAsmEddi::protect`].
+    pub fn protect_opt(
+        &self,
+        m: &Module,
+        opt: ferrum_backend::OptLevel,
+    ) -> Result<(AsmProgram, ferrum_backend::PassStats), PassError> {
         let _span = ferrum_trace::span("eddi.hybrid.protect");
         let (sig, shadows) = SignaturePass::new().protect_tracked(m);
-        let mut asm =
-            ferrum_backend::compile(&sig).map_err(|e| PassError::Invalid(e.to_string()))?;
+        let (mut asm, stats) = ferrum_backend::compile_with_stats(&sig, opt)
+            .map_err(|e| PassError::Invalid(e.to_string()))?;
         crate::ir_eddi::retag_shadows(&mut asm, &shadows, TechniqueTag::HybridAsmEddi);
-        self.protect_asm(&asm)
+        Ok((self.protect_asm(&asm)?, stats))
     }
 
     /// Applies only the assembly-level scalar duplication (callers that
@@ -90,9 +106,17 @@ fn protect_function(f: &mut AsmFunction) -> Result<(), PassError> {
                     what: "SIMD instruction in input program".into(),
                 });
             }
-            if !site || is_flags || ai.prov.is_protection() {
+            if !site || is_flags {
                 // Flags sites are covered by the IR-level signature
                 // prepass (Table I: comparison/branch at IR).
+                //
+                // Protection-tagged GPR sites are NOT exempt: on
+                // optimized input the backend may route master dataflow
+                // through a lowered signature shadow (value numbering
+                // picks whichever register already holds the value), so
+                // "faults in protection code are always caught by its
+                // own check" only holds for `-O0` output.  Duplicating
+                // those sites too keeps every GPR write checked.
                 out.push(ai.clone());
                 continue;
             }

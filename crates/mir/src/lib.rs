@@ -64,6 +64,7 @@ pub mod builder;
 pub mod func;
 pub mod inst;
 pub mod interp;
+pub mod liveness;
 pub mod module;
 pub mod printer;
 pub mod types;
@@ -72,6 +73,7 @@ pub mod verify;
 
 pub use func::{BlockId, Function, MirBlock};
 pub use inst::{BinOp, ICmpPred, InstId, MirInst};
+pub use liveness::MirLiveness;
 pub use module::{Global, Module};
 pub use types::Ty;
 pub use value::Value;

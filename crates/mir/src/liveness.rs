@@ -1,0 +1,197 @@
+//! Block-level backward liveness of MIR values.
+//!
+//! The mirror of `ferrum_asm::analysis::liveness::Liveness`, one layer
+//! up: where the assembly analysis tracks register bytes, this one
+//! tracks SSA-ish [`InstId`] values across the MIR control-flow graph.
+//! The optimizing backend's linear-scan register allocator is driven by
+//! these facts, and the fuzzer's generator consults them to emit
+//! programs whose values are genuinely live across interesting control
+//! flow (loops, diamonds) instead of dying in their defining block.
+//!
+//! Allocas are deliberately *not* tracked: an alloca's "value" is a
+//! frame address, it is materialised by `lea` at each use, and its
+//! storage is communicated through loads and stores, not through the
+//! value graph.
+
+use std::collections::BTreeSet;
+
+use crate::func::{BlockId, Function};
+use crate::inst::{InstId, MirInst};
+use crate::value::Value;
+
+/// Per-block live-in/live-out sets of instruction results.
+#[derive(Debug, Clone)]
+pub struct MirLiveness {
+    live_in: Vec<BTreeSet<u32>>,
+    live_out: Vec<BTreeSet<u32>>,
+}
+
+fn uses_of(inst: &MirInst, f: &mut impl FnMut(InstId)) {
+    for v in inst.operands() {
+        if let Value::Inst(id) = v {
+            f(*id);
+        }
+    }
+}
+
+impl MirLiveness {
+    /// Computes liveness for `f` by backward fixpoint over the block
+    /// graph.
+    pub fn compute(f: &Function) -> MirLiveness {
+        let n = f.blocks.len();
+        let allocas: BTreeSet<u32> = f
+            .insts()
+            .filter_map(|i| match i {
+                MirInst::Alloca { id, .. } => Some(id.0),
+                _ => None,
+            })
+            .collect();
+        let mut gen_use: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); n];
+        let mut def: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); n];
+        for (bi, b) in f.blocks.iter().enumerate() {
+            for inst in &b.insts {
+                uses_of(inst, &mut |id| {
+                    if !allocas.contains(&id.0) && !def[bi].contains(&id.0) {
+                        gen_use[bi].insert(id.0);
+                    }
+                });
+                if let Some(id) = inst.result() {
+                    def[bi].insert(id.0);
+                }
+            }
+        }
+        let succs: Vec<Vec<usize>> = (0..n)
+            .map(|bi| {
+                f.successors(BlockId(bi as u32))
+                    .into_iter()
+                    .map(BlockId::index)
+                    .collect()
+            })
+            .collect();
+        let mut live_in = vec![BTreeSet::new(); n];
+        let mut live_out = vec![BTreeSet::new(); n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for bi in (0..n).rev() {
+                let mut out = BTreeSet::new();
+                for &s in &succs[bi] {
+                    out.extend(live_in[s].iter().copied());
+                }
+                let mut inn = out.clone();
+                inn.retain(|id| !def[bi].contains(id));
+                inn.extend(gen_use[bi].iter().copied());
+                if out != live_out[bi] || inn != live_in[bi] {
+                    live_out[bi] = out;
+                    live_in[bi] = inn;
+                    changed = true;
+                }
+            }
+        }
+        MirLiveness { live_in, live_out }
+    }
+
+    /// Values live on entry to block `bi`.
+    pub fn live_in(&self, bi: usize) -> &BTreeSet<u32> {
+        &self.live_in[bi]
+    }
+
+    /// Values live on exit from block `bi`.
+    pub fn live_out(&self, bi: usize) -> &BTreeSet<u32> {
+        &self.live_out[bi]
+    }
+
+    /// True when `id` is live across at least one block boundary.
+    pub fn crosses_blocks(&self, id: InstId) -> bool {
+        self.live_in.iter().any(|s| s.contains(&id.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::Ty;
+
+    #[test]
+    fn straight_line_values_die_in_their_block() {
+        let mut b = FunctionBuilder::new("f", &[], None);
+        let x = b.iconst(Ty::I64, 1);
+        let y = b.iconst(Ty::I64, 2);
+        let s = b.add(Ty::I64, x, y);
+        b.print(s);
+        b.ret(None);
+        let f = b.finish();
+        let lv = MirLiveness::compute(&f);
+        assert!(lv.live_in(0).is_empty());
+        assert!(lv.live_out(0).is_empty());
+        if let Some(id) = s.as_inst() {
+            assert!(!lv.crosses_blocks(id));
+        }
+    }
+
+    #[test]
+    fn value_used_across_a_diamond_is_live_through_both_arms() {
+        let mut b = FunctionBuilder::new("f", &[Ty::I64], Some(Ty::I64));
+        let t = b.create_block("t");
+        let e = b.create_block("e");
+        let j = b.create_block("j");
+        let x = b.add(Ty::I64, b.arg(0), b.arg(0));
+        let zero = b.iconst(Ty::I64, 0);
+        let c = b.icmp(crate::inst::ICmpPred::Sgt, Ty::I64, x, zero);
+        b.br(c, t, e);
+        b.switch_to(t);
+        b.jmp(j);
+        b.switch_to(e);
+        b.jmp(j);
+        b.switch_to(j);
+        // `x` is consumed only at the join: it must be live through
+        // both arms.
+        b.ret(Some(x));
+        let f = b.finish();
+        let lv = MirLiveness::compute(&f);
+        let xid = x.as_inst().unwrap();
+        for bi in 1..=3 {
+            assert!(lv.live_in(bi).contains(&xid.0), "block {bi}");
+        }
+        assert!(lv.crosses_blocks(xid));
+        assert!(lv.live_out(3).is_empty());
+    }
+
+    #[test]
+    fn loop_carried_alloca_traffic_is_not_value_liveness() {
+        // Loop state flows through an alloca slot; the per-iteration
+        // load result must be live only inside the body.
+        let mut b = FunctionBuilder::new("f", &[], None);
+        let header = b.create_block("header");
+        let body = b.create_block("body");
+        let exit = b.create_block("exit");
+        let pi = b.alloca(Ty::I64);
+        let zero = b.iconst(Ty::I64, 0);
+        b.store(Ty::I64, zero, pi);
+        b.jmp(header);
+        b.switch_to(header);
+        let i = b.load(Ty::I64, pi);
+        let bound = b.iconst(Ty::I64, 4);
+        let c = b.icmp(crate::inst::ICmpPred::Slt, Ty::I64, i, bound);
+        b.br(c, body, exit);
+        b.switch_to(body);
+        let one = b.iconst(Ty::I64, 1);
+        let next = b.add(Ty::I64, i, one);
+        b.store(Ty::I64, next, pi);
+        b.jmp(header);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        let lv = MirLiveness::compute(&f);
+        let iid = i.as_inst().unwrap();
+        // `i` is defined in the header and consumed in the body.
+        assert!(lv.live_out(1).contains(&iid.0));
+        assert!(lv.live_in(2).contains(&iid.0));
+        assert!(!lv.live_in(1).contains(&iid.0), "not loop-carried");
+        // The alloca address is not tracked as a live value.
+        if let Some(pid) = pi.as_inst() {
+            assert!(!lv.live_in(2).contains(&pid.0));
+        }
+    }
+}

@@ -35,6 +35,7 @@ fn full_evaluation_is_reproducible() {
         samples: 150,
         seed: 123,
         scale: Scale::Test,
+        ..EvalConfig::default()
     };
     let a = evaluate_workload(&pipeline, &w, cfg).expect("evaluates");
     let b = evaluate_workload(&pipeline, &w, cfg).expect("evaluates");

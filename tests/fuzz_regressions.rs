@@ -1,0 +1,61 @@
+//! Pinned differential-fuzzer regressions.
+//!
+//! Every divergence the `ferrum-fuzz` harness has ever surfaced is
+//! minimized to its seed and pinned here, so the exact program that
+//! broke a layer once is re-checked on every tier-1 run — much
+//! cheaper than re-fuzzing, and immune to generator drift hiding the
+//! shape (the generator is seeded and deterministic by contract).
+
+use ferrum_fuzz::{check_program, generate_module, run_fuzz, FuzzConfig};
+use ferrum_mir::interp::Interp;
+
+/// Regression: loop counters must live in slots ordinary statements
+/// can never store through.  An early generator drew the induction
+/// slot from the general pool, so a nested statement inside the body
+/// could reset it every iteration — seed 65 spun until the step
+/// limit.  The pinned seed must now terminate (and pass the whole
+/// stack).
+#[test]
+fn seed_65_terminates_with_isolated_loop_counters() {
+    let (m, _) = generate_module(65);
+    ferrum_mir::verify::verify_module(&m).expect("verifies");
+    Interp::new(&m).run().expect("seed 65 must terminate");
+    let (_, _, divergences) = check_program(65, 10);
+    assert!(divergences.is_empty(), "{divergences:#?}");
+}
+
+/// The head of the tier-1 fuzz window (seeds 42..92) stays clean.
+/// `scripts/tier1.sh` sweeps 200 programs from the same base seed;
+/// this is the fast in-process guard for `cargo test` alone.
+#[test]
+fn tier1_seed_window_head_is_clean() {
+    let report = run_fuzz(
+        &FuzzConfig {
+            programs: 50,
+            base_seed: 42,
+            campaign_samples: 8,
+        },
+        |_, _| {},
+    );
+    assert_eq!(report.programs, 50);
+    assert!(report.is_clean(), "{:#?}", report.divergences);
+}
+
+/// The structurally heaviest programs in the first 200 seeds — most
+/// basic blocks in `main`, i.e. deepest loop/diamond nesting — get
+/// the full oracle stack individually.  These are the shapes most
+/// likely to shake out pass-pipeline CFG bugs, so they stay pinned
+/// even if the uniform sweep above shrinks.
+#[test]
+fn heaviest_cfg_seeds_run_clean() {
+    let mut shapes: Vec<(usize, u64)> = (42..242)
+        .map(|seed| (generate_module(seed).1.blocks, seed))
+        .collect();
+    shapes.sort_unstable();
+    shapes.reverse();
+    for &(blocks, seed) in shapes.iter().take(3) {
+        assert!(blocks > 8, "seed {seed}: generator lost CFG diversity");
+        let (_, _, divergences) = check_program(seed, 10);
+        assert!(divergences.is_empty(), "seed {seed}: {divergences:#?}");
+    }
+}

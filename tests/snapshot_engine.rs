@@ -18,9 +18,13 @@ use ferrum_faultsim::campaign::{
 use ferrum_workloads::{all_workloads, workload, Scale};
 
 fn load(name: &str, t: Technique) -> (Cpu, Profile) {
+    load_opt(name, t, ferrum::OptLevel::O0)
+}
+
+fn load_opt(name: &str, t: Technique, opt: ferrum::OptLevel) -> (Cpu, Profile) {
     let w = workload(name).expect("in catalog");
     let module = w.build(Scale::Test);
-    let pipeline = Pipeline::new();
+    let pipeline = Pipeline::new().with_opt_level(opt);
     let prog = pipeline.protect(&module, t).expect("protects");
     let cpu = pipeline.load(&prog).expect("loads");
     let profile = cpu.profile();
@@ -104,6 +108,40 @@ fn decoded_engine_is_byte_identical_across_the_whole_catalog() {
                 &run_campaign(&cpu, &profile, cfg),
                 &format!("{}/{technique}", w.name),
             );
+        }
+    }
+}
+
+#[test]
+fn engines_and_executors_agree_on_optimized_programs() {
+    // The -O1 pass bundle rewires register flow and deletes frame
+    // round-trips; the decoded engine's superinstruction fusion and
+    // the snapshot executor must stay byte-identical on that output
+    // too, for raw and protected programs alike.
+    for name in ["needle", "kmeans"] {
+        for technique in [Technique::None, Technique::IrEddi, Technique::Ferrum] {
+            let (cpu, profile) = load_opt(name, technique, ferrum::OptLevel::O1);
+            let decoded = DecodedCpu::new(&cpu);
+            let cfg = CampaignConfig {
+                samples: 200,
+                seed: 0x01F0_2024,
+            };
+            let what = format!("{name}/{technique}@O1");
+
+            let serial = run_campaign(&cpu, &profile, cfg);
+            assert_identical(
+                &run_campaign_on(Engine::Decoded(&decoded), &profile, cfg),
+                &serial,
+                &format!("{what} decoded"),
+            );
+            for engine in [Engine::Interpreter(&cpu), Engine::Decoded(&decoded)] {
+                let kind = engine.kind().label();
+                assert_identical(
+                    &run_campaign_snapshot_on(engine, &profile, cfg, 4, SnapshotPolicy::default()),
+                    &serial,
+                    &format!("{what} snap×4/{kind}"),
+                );
+            }
         }
     }
 }
