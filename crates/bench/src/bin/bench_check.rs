@@ -1,0 +1,57 @@
+//! `bench_check` — gates a fresh `bench.json` against the committed
+//! baseline.
+//!
+//! ```text
+//! usage: bench_check <baseline.json> <current.json> [--quick]
+//! ```
+//!
+//! Thin IO wrapper over [`ferrum_bench::benchjson::compare`]: loads
+//! both documents, prints one line per violation, and exits 0 when the
+//! gate passes, 1 on violations, 2 when a document cannot be read or
+//! parsed.  `--quick` widens the tolerant (timing-ratio) bands for
+//! low-repetition runs; exact metrics are never loosened.  Normally
+//! invoked through `scripts/bench_check.sh`, which regenerates the
+//! current document with the baseline's configuration.
+
+use std::process::ExitCode;
+
+use ferrum::json::{parse, Json};
+use ferrum_bench::benchjson::compare;
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse(&text).map_err(|e| format!("{path}: {e:?}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let [baseline_path, current_path] = paths.as_slice() else {
+        eprintln!("usage: bench_check <baseline.json> <current.json> [--quick]");
+        return ExitCode::from(2);
+    };
+    let (baseline, current) = match (load(baseline_path), load(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for err in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("bench_check: {err}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+    let violations = compare(&baseline, &current, quick);
+    if violations.is_empty() {
+        println!(
+            "bench_check: OK — current run within tolerance of {baseline_path}{}",
+            if quick { " (quick bands)" } else { "" }
+        );
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            println!("bench_check: FAIL {v}");
+        }
+        println!("bench_check: {} violation(s)", violations.len());
+        ExitCode::from(1)
+    }
+}

@@ -42,12 +42,18 @@
 //! telemetry-cost claim in EXPERIMENTS.md.
 //!
 //! `--samples N --seed S --scale test|paper --threads T` as usual;
-//! defaults to 1000 samples and all available cores.
+//! defaults to 1000 samples and all available cores.  `--json-out
+//! <path>` additionally serializes every table into the schema-stable
+//! `bench.json` artifact (`ferrum_bench::benchjson`) that
+//! `scripts/bench_check.sh` gates against the committed baseline in
+//! `results/bench.json`; `--reps N` sets the best-of repetition count
+//! for the timing-sensitive recorder table (default 5).
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use ferrum::flight::NdjsonSink;
+use ferrum::json::{Json, ToJson};
 use ferrum::{
     install_flight_recorder, program_signature, run_campaign_incremental, run_campaign_stratified,
     uninstall_flight_recorder, CampaignConfig, CoverageMap, DecodedCpu, Engine, FlightRecorder,
@@ -106,16 +112,23 @@ fn multi_function_module(helpers: usize, chain: usize) -> Module {
     module
 }
 
+/// `--flag <value>` lookup for the tool-specific options.
+fn arg_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cfg = ferrum_bench::parse_eval_config(&args);
-    let threads = args
-        .iter()
-        .position(|a| a == "--threads")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
+    let threads = arg_value(&args, "--threads")
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    let json_out: Option<String> = arg_value(&args, "--json-out");
+    let reps: usize = arg_value(&args, "--reps").unwrap_or(5).max(1);
     let pipeline = Pipeline::new();
+    let mut tables: Vec<(&str, Json)> = Vec::new();
 
     eprintln!(
         "# campaign-engine speedup — {} faults, seed {}, {:?} scale, {} threads",
@@ -127,6 +140,7 @@ fn main() {
         "benchmark", "serial i/s", "steal i/s", "snap i/s", "speedup", "hit-rate", "steps-saved", "balance", "match"
     );
 
+    let mut snapshot_rows = Vec::new();
     for w in all_workloads() {
         let module = w.build(cfg.scale);
         let prog = pipeline
@@ -170,7 +184,19 @@ fn main() {
             if identical { "yes" } else { "NO" }
         );
         assert!(identical, "{}: engines diverge", w.name);
+        snapshot_rows.push(Json::obj(vec![
+            ("workload", w.name.to_json()),
+            ("serial_ips", serial.stats.injections_per_sec.to_json()),
+            ("steal_ips", stealing.stats.injections_per_sec.to_json()),
+            ("snap_ips", snap.stats.injections_per_sec.to_json()),
+            ("speedup_threads", speedup.to_json()),
+            ("hit_rate", snap.stats.snapshot_hit_rate().to_json()),
+            ("steps_saved", snap.stats.steps_saved_ratio().to_json()),
+            ("balance", snap.stats.worker_balance().to_json()),
+            ("identical", Json::Bool(identical)),
+        ]));
     }
+    tables.push(("snapshot", Json::Arr(snapshot_rows)));
 
     println!();
     println!("detection latency (FERRUM-protected, snapshot engine)");
@@ -178,6 +204,7 @@ fn main() {
         "{:<14}{:>10}{:>8}{:>8}{:>8}{:>9}",
         "benchmark", "detected", "p50", "p95", "max", "balance"
     );
+    let mut latency_rows = Vec::new();
     for w in all_workloads() {
         let module = w.build(cfg.scale);
         let prog = pipeline
@@ -205,7 +232,17 @@ fn main() {
             lat.max().map_or_else(|| "-".into(), |v| v.to_string()),
             snap.stats.worker_balance(),
         );
+        let opt_count = |v: Option<u64>| v.map_or(Json::Null, |n| n.to_json());
+        latency_rows.push(Json::obj(vec![
+            ("workload", w.name.to_json()),
+            ("detected", lat.count().to_json()),
+            ("p50", opt_count(lat.p50())),
+            ("p95", opt_count(lat.p95())),
+            ("max", opt_count(lat.max())),
+            ("balance", snap.stats.worker_balance().to_json()),
+        ]));
     }
+    tables.push(("latency", Json::Arr(latency_rows)));
 
     println!();
     println!("coverage-pruned executor vs serial (FERRUM-protected)");
@@ -213,6 +250,7 @@ fn main() {
         "{:<14}{:>12}{:>12}{:>9}{:>12}{:>13}{:>9}",
         "benchmark", "serial i/s", "pruned i/s", "speedup", "prune-rate", "steps-saved", "match"
     );
+    let mut pruned_rows = Vec::new();
     for w in all_workloads() {
         let module = w.build(cfg.scale);
         let prog = pipeline
@@ -241,7 +279,20 @@ fn main() {
             if identical { "yes" } else { "NO" }
         );
         assert!(identical, "{}: pruned engine diverges", w.name);
+        pruned_rows.push(Json::obj(vec![
+            ("workload", w.name.to_json()),
+            ("serial_ips", serial.stats.injections_per_sec.to_json()),
+            ("pruned_ips", pruned.stats.injections_per_sec.to_json()),
+            (
+                "speedup",
+                (pruned.stats.injections_per_sec / serial.stats.injections_per_sec).to_json(),
+            ),
+            ("prune_rate", pruned.stats.prune_rate().to_json()),
+            ("steps_saved", steps_saved.to_json()),
+            ("identical", Json::Bool(identical)),
+        ]));
     }
+    tables.push(("pruned", Json::Arr(pruned_rows)));
 
     println!();
     println!("decode-once flattened engine vs interpreter (FERRUM-protected, snapshot executor, 1 thread)");
@@ -251,6 +302,7 @@ fn main() {
     );
     let mut log_speedup_sum = 0.0;
     let mut n = 0usize;
+    let mut decoded_rows = Vec::new();
     for w in all_workloads() {
         let module = w.build(cfg.scale);
         let prog = pipeline
@@ -291,11 +343,24 @@ fn main() {
             if identical { "yes" } else { "NO" }
         );
         assert!(identical, "{}: decoded engine diverges", w.name);
+        decoded_rows.push(Json::obj(vec![
+            ("workload", w.name.to_json()),
+            ("interp_ips", interp.stats.injections_per_sec.to_json()),
+            ("decoded_ips", fast.stats.injections_per_sec.to_json()),
+            ("speedup", speedup.to_json()),
+            ("superinstructions", decoded.superinstructions().to_json()),
+            ("identical", Json::Bool(identical)),
+        ]));
     }
-    println!(
-        "geomean speedup: {:.2}x",
-        (log_speedup_sum / n.max(1) as f64).exp()
-    );
+    let geomean_speedup = (log_speedup_sum / n.max(1) as f64).exp();
+    println!("geomean speedup: {geomean_speedup:.2}x");
+    tables.push((
+        "decoded",
+        Json::obj(vec![
+            ("rows", Json::Arr(decoded_rows)),
+            ("geomean_speedup", geomean_speedup.to_json()),
+        ]),
+    ));
 
     println!();
     println!("flight-recorder overhead (FERRUM-protected, decoded engine, snapshot executor, 1 thread, NDJSON to null sink)");
@@ -305,6 +370,7 @@ fn main() {
     );
     let mut log_ratio_sum = 0.0;
     let mut n_overhead = 0usize;
+    let mut recorder_rows = Vec::new();
     for w in all_workloads() {
         let module = w.build(cfg.scale);
         let prog = pipeline
@@ -338,7 +404,7 @@ fn main() {
             }
             r
         };
-        // Interleaved best-of-five per configuration: each timed
+        // Interleaved best-of-`reps` per configuration: each timed
         // campaign lasts only tens of milliseconds at paper scale, so
         // a single scheduler interrupt shows up as whole percentage
         // points and would swamp the percent-level effect being
@@ -347,7 +413,7 @@ fn main() {
         let on = run(true);
         let mut off_ips = off.stats.injections_per_sec;
         let mut on_ips = on.stats.injections_per_sec;
-        for _ in 0..4 {
+        for _ in 1..reps {
             off_ips = off_ips.max(run(false).stats.injections_per_sec);
             on_ips = on_ips.max(run(true).stats.injections_per_sec);
         }
@@ -364,11 +430,23 @@ fn main() {
             if identical { "yes" } else { "NO" }
         );
         assert!(identical, "{}: recording changed outcomes", w.name);
+        recorder_rows.push(Json::obj(vec![
+            ("workload", w.name.to_json()),
+            ("off_ips", off_ips.to_json()),
+            ("on_ips", on_ips.to_json()),
+            ("overhead_pct", ((1.0 - ratio) * 100.0).to_json()),
+            ("identical", Json::Bool(identical)),
+        ]));
     }
-    println!(
-        "geomean overhead: {:.2}%",
-        (1.0 - (log_ratio_sum / n_overhead.max(1) as f64).exp()) * 100.0
-    );
+    let geomean_overhead = (1.0 - (log_ratio_sum / n_overhead.max(1) as f64).exp()) * 100.0;
+    println!("geomean overhead: {geomean_overhead:.2}%");
+    tables.push((
+        "recorder",
+        Json::obj(vec![
+            ("rows", Json::Arr(recorder_rows)),
+            ("geomean_overhead_pct", geomean_overhead.to_json()),
+        ]),
+    ));
 
     println!();
     println!("incremental campaign after a single-function edit (FERRUM-protected, multi-function program)");
@@ -386,6 +464,7 @@ fn main() {
     };
     let (_, cache) = run_campaign_stratified(&base_cpu, &base_profile, campaign_cfg, &base);
     let names: Vec<String> = base.functions.iter().map(|f| f.name.clone()).collect();
+    let mut incremental_rows = Vec::new();
     for name in &names {
         let mut edited = base.clone();
         edited
@@ -416,5 +495,45 @@ fn main() {
             if identical { "yes" } else { "NO" }
         );
         assert!(identical, "{name}: incremental run diverges from full re-run");
+        incremental_rows.push(Json::obj(vec![
+            ("edited", name.to_json()),
+            ("full_ms", (t_full.as_secs_f64() * 1e3).to_json()),
+            ("incr_ms", (t_inc.as_secs_f64() * 1e3).to_json()),
+            ("reinjected", (inc.total() - inc.stats.reused_sites).to_json()),
+            ("reused", inc.stats.reused_sites.to_json()),
+            (
+                "speedup_wall",
+                (t_full.as_secs_f64() / t_inc.as_secs_f64().max(1e-9)).to_json(),
+            ),
+            ("identical", Json::Bool(identical)),
+        ]));
+    }
+    tables.push(("incremental", Json::Arr(incremental_rows)));
+
+    if let Some(path) = json_out {
+        let doc = Json::obj(vec![
+            ("schema", Json::Str(ferrum_bench::benchjson::SCHEMA.into())),
+            (
+                "config",
+                Json::obj(vec![
+                    ("samples", cfg.samples.to_json()),
+                    ("seed", cfg.seed.to_json()),
+                    (
+                        "scale",
+                        match cfg.scale {
+                            ferrum::Scale::Test => "test",
+                            ferrum::Scale::Paper => "paper",
+                        }
+                        .to_json(),
+                    ),
+                    ("threads", threads.to_json()),
+                    ("reps", reps.to_json()),
+                ]),
+            ),
+            ("tables", Json::obj(tables.clone())),
+        ]);
+        std::fs::write(&path, doc.to_string_pretty() + "\n")
+            .unwrap_or_else(|e| panic!("--json-out {path}: {e}"));
+        eprintln!("# wrote {path}");
     }
 }

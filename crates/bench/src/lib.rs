@@ -23,6 +23,7 @@
 
 use ferrum::{EvalConfig, Scale};
 
+pub mod benchjson;
 pub mod harness;
 
 /// Parses the common `--samples`, `--seed`, `--scale`, `--opt` flags.

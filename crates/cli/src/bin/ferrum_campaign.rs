@@ -40,9 +40,9 @@ use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use ferrum::flight::{journal_from_ndjson, parse_events, NdjsonSink};
+use ferrum::flight::{journal_from_ndjson, parse_events, NdjsonSink, StallTracker};
 use ferrum::json::{Json, ToJson};
-use ferrum::report::{render_flight_summary, render_progress_header, render_progress_row};
+use ferrum::report::{render_flight_summary, render_progress_header, render_progress_row_flagged};
 use ferrum::{
     install_flight_recorder, program_signature, resume_campaign_from_journal,
     uninstall_flight_recorder, CampaignConfig, CampaignEvent, CampaignFingerprint, CampaignResult,
@@ -185,13 +185,19 @@ fn technique_label(t: Technique) -> &'static str {
 }
 
 /// Live TTY sink: header on campaign start, one row per progress
-/// snapshot.  Purely observational, like every flight sink.
+/// snapshot, stalled workers (heartbeats silent for more than twice
+/// their observed cadence) flagged on the row.  Purely observational,
+/// like every flight sink.
 struct LiveProgress {
     started: AtomicBool,
+    tracker: std::sync::Mutex<StallTracker>,
 }
 
 impl FlightSink for LiveProgress {
     fn record_event(&self, ev: &FlightEvent) {
+        if let Ok(mut t) = self.tracker.lock() {
+            t.observe(ev);
+        }
         match &ev.event {
             CampaignEvent::Started { fingerprint, total, shards, .. }
                 if !self.started.swap(true, Ordering::Relaxed) =>
@@ -206,7 +212,13 @@ impl FlightSink for LiveProgress {
                 );
                 print!("{}", render_progress_header());
             }
-            CampaignEvent::Progress(p) => print!("{}", render_progress_row(p)),
+            CampaignEvent::Progress(p) => {
+                let stalled = self
+                    .tracker
+                    .lock()
+                    .map_or_else(|_| Vec::new(), |t| t.stalled(ev.nanos));
+                print!("{}", render_progress_row_flagged(p, &stalled));
+            }
             _ => {}
         }
     }
@@ -219,6 +231,7 @@ fn build_sinks(opts: &Options) -> Result<Option<Arc<dyn FlightSink>>, String> {
     if !opts.json {
         sinks.push(Arc::new(LiveProgress {
             started: AtomicBool::new(false),
+            tracker: std::sync::Mutex::new(StallTracker::new()),
         }));
     }
     if let Some(path) = &opts.events {

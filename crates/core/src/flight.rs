@@ -21,7 +21,7 @@ use std::sync::Mutex;
 use ferrum_faultsim::campaign::Outcome;
 use ferrum_faultsim::flight::{
     CampaignEvent, CampaignFingerprint, FlightEvent, FlightSink, JournalSnapshot, OutcomeTallies,
-    ProgressSnapshot, ShardRecord,
+    ProgressSnapshot, ShardRecord, Stage,
 };
 use ferrum_faultsim::EngineKind;
 use ferrum_cpu::fault::FaultSpec;
@@ -171,6 +171,18 @@ pub fn event_to_json(ev: &FlightEvent) -> Json {
             fields.push(("draws", draws.to_json()));
             fields.push(("reused", Json::Bool(*reused)));
         }
+        CampaignEvent::StageTiming {
+            worker,
+            stage,
+            nanos,
+            count,
+        } => {
+            fields.push(("type", Json::Str("stage_timing".into())));
+            fields.push(("worker", worker.to_json()));
+            fields.push(("stage", Json::Str(stage.label().to_owned())));
+            fields.push(("stage_nanos", nanos.to_json()));
+            fields.push(("count", count.to_json()));
+        }
         CampaignEvent::Finished {
             tallies,
             wall_nanos,
@@ -301,6 +313,12 @@ pub fn event_from_json(v: &Json) -> Option<FlightEvent> {
             sites: get_usize(v, "sites")?,
             draws: get_usize(v, "draws")?,
             reused: matches!(v.get("reused")?, Json::Bool(true)),
+        },
+        "stage_timing" => CampaignEvent::StageTiming {
+            worker: get_usize(v, "worker")?,
+            stage: Stage::parse(v.get("stage")?.as_str()?)?,
+            nanos: get_u64(v, "stage_nanos")?,
+            count: get_u64(v, "count")?,
         },
         "finished" => CampaignEvent::Finished {
             tallies: tallies_from_json(v.get("tallies")?)?,
@@ -485,6 +503,20 @@ pub fn event_to_ndjson(ev: &FlightEvent) -> String {
                 ",\"hash\":\"{hash}\",\"sites\":{sites},\"draws\":{draws},\"reused\":{reused}"
             );
         }
+        CampaignEvent::StageTiming {
+            worker,
+            stage,
+            nanos,
+            count,
+        } => {
+            let _ = write!(
+                out,
+                "\"stage_timing\",\"worker\":{worker},\"stage\":\"{}\",\"stage_nanos\":{},\"count\":{}",
+                stage.label(),
+                *nanos as i64,
+                *count as i64
+            );
+        }
         CampaignEvent::Finished {
             tallies,
             wall_nanos,
@@ -575,6 +607,81 @@ impl FlightSink for NdjsonSink {
             let _ = writeln!(out, "{line}");
             let _ = out.flush();
         }
+    }
+}
+
+/// Per-worker liveness tracking over a flight-event stream.
+///
+/// Heartbeats arrive at a roughly fixed per-worker cadence
+/// (`FlightPolicy::heartbeat_every` injections), so a worker whose
+/// heartbeats stop is either finished or wedged on a pathological
+/// fault.  The tracker learns each worker's cadence from its observed
+/// inter-heartbeat gaps (the maximum gap, so bursty-but-live workers
+/// are not flagged) and reports a worker *stalled* once it has been
+/// silent for more than twice that cadence.  Workers with fewer than
+/// two heartbeats have no cadence yet and are never flagged.
+#[derive(Debug, Default)]
+pub struct StallTracker {
+    workers: Vec<Option<WorkerBeat>>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct WorkerBeat {
+    /// Stream timestamp of the most recent heartbeat.
+    last_nanos: u64,
+    /// Largest observed gap between consecutive heartbeats; `None`
+    /// until a second heartbeat establishes a cadence.
+    cadence_nanos: Option<u64>,
+}
+
+impl StallTracker {
+    /// An empty tracker (no workers observed yet).
+    pub fn new() -> StallTracker {
+        StallTracker::default()
+    }
+
+    /// Feeds one event from the stream.  Only heartbeats move the
+    /// tracker; a campaign start resets it (worker indices are
+    /// per-campaign).
+    pub fn observe(&mut self, ev: &FlightEvent) {
+        match &ev.event {
+            CampaignEvent::Started { .. } => self.workers.clear(),
+            CampaignEvent::Heartbeat { worker, .. } => {
+                if self.workers.len() <= *worker {
+                    self.workers.resize(*worker + 1, None);
+                }
+                let slot = &mut self.workers[*worker];
+                *slot = Some(match *slot {
+                    None => WorkerBeat {
+                        last_nanos: ev.nanos,
+                        cadence_nanos: None,
+                    },
+                    Some(prev) => {
+                        let gap = ev.nanos.saturating_sub(prev.last_nanos);
+                        WorkerBeat {
+                            last_nanos: ev.nanos,
+                            cadence_nanos: Some(prev.cadence_nanos.map_or(gap, |c| c.max(gap))),
+                        }
+                    }
+                });
+            }
+            _ => {}
+        }
+    }
+
+    /// Workers silent for more than twice their observed cadence as of
+    /// stream time `now_nanos`, ascending.
+    pub fn stalled(&self, now_nanos: u64) -> Vec<usize> {
+        self.workers
+            .iter()
+            .enumerate()
+            .filter_map(|(w, beat)| {
+                let beat = (*beat)?;
+                let cadence = beat.cadence_nanos?;
+                (now_nanos.saturating_sub(beat.last_nanos) > cadence.saturating_mul(2))
+                    .then_some(w)
+            })
+            .collect()
     }
 }
 
@@ -685,6 +792,16 @@ mod tests {
             },
             FlightEvent {
                 seq: 6,
+                nanos: 38,
+                event: CampaignEvent::StageTiming {
+                    worker: 1,
+                    stage: Stage::Replay,
+                    nanos: 1234,
+                    count: 2,
+                },
+            },
+            FlightEvent {
+                seq: 7,
                 nanos: 40,
                 event: CampaignEvent::Finished {
                     tallies,
@@ -705,7 +822,7 @@ mod tests {
         // workers yet).
         let mut events = sample_events();
         events.push(FlightEvent {
-            seq: 7,
+            seq: 8,
             nanos: 50,
             event: CampaignEvent::Progress(ProgressSnapshot {
                 done: 0,
@@ -775,6 +892,44 @@ mod tests {
         assert_eq!(j.completed(), 2);
         assert!(j.finished);
         assert!(journal_from_ndjson("").is_err());
+    }
+
+    #[test]
+    fn stall_tracker_flags_silent_workers_only_after_a_cadence_exists() {
+        let beat = |seq: u64, nanos: u64, worker: usize| FlightEvent {
+            seq,
+            nanos,
+            event: CampaignEvent::Heartbeat {
+                worker,
+                injections: 1,
+                steps: 1,
+            },
+        };
+        let mut t = StallTracker::new();
+        // One heartbeat establishes presence but no cadence: a worker
+        // that reported once and went quiet is indistinguishable from
+        // one that finished its shard.
+        t.observe(&beat(0, 100, 0));
+        assert_eq!(t.stalled(10_000), Vec::<usize>::new());
+        // A second heartbeat fixes worker 0's cadence at 400ns.
+        t.observe(&beat(1, 500, 0));
+        assert_eq!(t.stalled(1_300), Vec::<usize>::new()); // exactly 2x: not yet
+        assert_eq!(t.stalled(1_301), vec![0]); // past 2x: stalled
+        // Worker 1 beats at a slower cadence and stays live longer.
+        t.observe(&beat(2, 200, 1));
+        t.observe(&beat(3, 1_200, 1));
+        assert_eq!(t.stalled(1_301), vec![0]);
+        assert_eq!(t.stalled(3_300), vec![0, 1]);
+        // Cadence is the max observed gap: a fast beat after a slow
+        // one must not shrink the allowance.
+        t.observe(&beat(4, 1_250, 1));
+        assert_eq!(t.stalled(3_250), vec![0]);
+        // A beat from worker 0 clears its flag.
+        t.observe(&beat(5, 3_000, 0));
+        assert_eq!(t.stalled(3_250), Vec::<usize>::new());
+        // A new campaign resets everything.
+        t.observe(&sample_events()[0]);
+        assert_eq!(t.stalled(1 << 40), Vec::<usize>::new());
     }
 
     #[test]

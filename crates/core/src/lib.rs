@@ -40,12 +40,14 @@ pub mod experiment;
 pub mod flight;
 pub mod json;
 pub mod pipeline;
+pub mod profile;
 pub mod report;
 
 pub use attribution::{attribute_overhead, OverheadAttribution};
 pub use error::Error;
 pub use experiment::{evaluate_workload, EvalConfig, TechniqueReport, WorkloadReport};
 pub use pipeline::Pipeline;
+pub use profile::{diff_profile, DiffProfile, SiteOverhead};
 
 pub use ferrum_asm::analysis::coverage::{
     CoverageMap, FunctionCoverage, SiteCoverage, StaticVerdict, VerdictCounts,
@@ -60,6 +62,7 @@ pub use ferrum_cpu::cost::CostModel;
 pub use ferrum_cpu::decoded::{DecodedCpu, DecodedMachine};
 pub use ferrum_cpu::outcome::{RunResult, StopReason};
 pub use ferrum_cpu::run::{MechCount, MechCounts};
+pub use ferrum_cpu::{PcCount, PcProfile};
 pub use ferrum_eddi::Technique;
 pub use ferrum_faultsim::campaign::{
     CampaignConfig, CampaignResult, CampaignStats, DetectionLatency, Outcome, SnapshotPolicy,
@@ -74,7 +77,7 @@ pub use ferrum_faultsim::flight::{
     install as install_flight_recorder, program_signature, resume_campaign_from_journal,
     uninstall as uninstall_flight_recorder, CampaignEvent, CampaignFingerprint, FlightEvent,
     FlightPolicy, FlightRecorder, FlightSink, JournalSnapshot, MemorySink, OutcomeTallies,
-    ProgressSnapshot, ShardRecord, TeeSink,
+    ProgressSnapshot, ShardRecord, Stage, TeeSink,
 };
 pub use ferrum_faultsim::forensics::{
     explain_unknown_sites, forensic_replay, run_campaign_forensic, CheckerEscape, Divergence,

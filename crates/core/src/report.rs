@@ -7,6 +7,7 @@ use ferrum_asm::provenance::Mechanism;
 use ferrum_cpu::differential::DiffLoc;
 use ferrum_cpu::fault::FaultSpec;
 use ferrum_cpu::run::MechCounts;
+use ferrum_cpu::{Image, PcCount, PcProfile};
 use ferrum_eddi::Technique;
 use ferrum_faultsim::campaign::{
     CampaignResult, CampaignStats, DetectionLatency, Outcome, WorkerStats,
@@ -23,6 +24,7 @@ use ferrum_faultsim::stats::wilson_interval;
 use crate::attribution::OverheadAttribution;
 use crate::experiment::{TechniqueReport, WorkloadReport};
 use crate::json::{Json, ToJson};
+use crate::profile::{DiffProfile, SiteOverhead};
 
 /// Renders Fig. 10's data: SDC coverage per benchmark × technique.
 pub fn render_coverage_table(reports: &[WorkloadReport]) -> String {
@@ -278,6 +280,20 @@ pub fn render_progress_row(p: &ProgressSnapshot) -> String {
         p.sdc_ci.0,
         p.sdc_ci.1
     )
+}
+
+/// A progress row with stalled-worker flags: [`render_progress_row`]
+/// plus a trailing `!! stalled: w2,w5` marker when
+/// [`StallTracker::stalled`](crate::flight::StallTracker::stalled)
+/// reports silent workers.
+pub fn render_progress_row_flagged(p: &ProgressSnapshot, stalled: &[usize]) -> String {
+    let mut row = render_progress_row(p);
+    if !stalled.is_empty() {
+        let names: Vec<String> = stalled.iter().map(|w| format!("w{w}")).collect();
+        row.pop();
+        row.push_str(&format!("  !! stalled: {}\n", names.join(",")));
+    }
+    row
 }
 
 /// Renders the end-of-campaign flight summary: fingerprint, shard
@@ -1097,6 +1113,233 @@ impl ToJson for WorkloadReport {
     }
 }
 
+/// Renders the exact-profile hot-spot table: the `n` hottest pcs by
+/// cycles, with their function, provenance, and share of total cycles.
+pub fn render_hotspots(name: &str, image: &Image, pcs: &PcProfile, n: usize) -> String {
+    let total = pcs.total();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{name}: exact profile ({} dyn insts / {} cycles)\n",
+        total.insts, total.cycles
+    ));
+    out.push_str(&format!(
+        "{:<8}{:<20}{:>12}{:>12}{:>9}  {}\n",
+        "pc", "function", "dyn insts", "cycles", "share", "provenance"
+    ));
+    for (pc, c) in pcs.hottest_pcs().into_iter().take(n) {
+        let share = if total.cycles == 0 {
+            0.0
+        } else {
+            c.cycles as f64 / total.cycles as f64 * 100.0
+        };
+        out.push_str(&format!(
+            "{:<8}{:<20}{:>12}{:>12}{:>8.1}%  {}\n",
+            pc,
+            image.func_name(pc),
+            c.insts,
+            c.cycles,
+            share,
+            image.insts[pc].prov,
+        ));
+    }
+    out
+}
+
+/// Renders the per-function rollup of an exact profile, descending by
+/// cycles.
+pub fn render_function_profile(image: &Image, pcs: &PcProfile) -> String {
+    let total = pcs.total();
+    let mut rows: Vec<(usize, PcCount)> = pcs
+        .funcs
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.insts > 0)
+        .map(|(fi, c)| (fi, *c))
+        .collect();
+    rows.sort_by(|a, b| b.1.cycles.cmp(&a.1.cycles).then(a.0.cmp(&b.0)));
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<20}{:>12}{:>12}{:>9}\n",
+        "function", "dyn insts", "cycles", "share"
+    ));
+    for (fi, c) in rows {
+        let share = if total.cycles == 0 {
+            0.0
+        } else {
+            c.cycles as f64 / total.cycles as f64 * 100.0
+        };
+        out.push_str(&format!(
+            "{:<20}{:>12}{:>12}{:>8.1}%\n",
+            image.funcs[fi].name, c.insts, c.cycles, share
+        ));
+    }
+    out
+}
+
+/// Renders the differential per-site overhead table: the `n` sites with
+/// the most protection cycles, each with its own work, overhead, and
+/// dominant mechanism — the pc-granular refinement of
+/// [`render_attribution_table`].
+pub fn render_diff_sites(name: &str, d: &DiffProfile, n: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{name}: {} per-site overhead (baseline {} cycles, protected {} cycles, +{:.1}%)\n",
+        d.technique,
+        d.attribution.baseline_cycles,
+        d.attribution.protected_cycles,
+        d.attribution.cycle_overhead() * 100.0,
+    ));
+    out.push_str(&format!(
+        "{:<24}{:>12}{:>14}{:>14}{:>9}  {}\n",
+        "site", "work-cyc", "overhead-ins", "overhead-cyc", "share", "dominant"
+    ));
+    let prot_total = d.attribution.protection_cycles();
+    for s in d.top_sites(n) {
+        let share = if prot_total == 0 {
+            0.0
+        } else {
+            s.overhead_cycles() as f64 / prot_total as f64 * 100.0
+        };
+        out.push_str(&format!(
+            "{:<24}{:>12}{:>14}{:>14}{:>8.1}%  {}\n",
+            s.label(),
+            s.work.cycles,
+            s.overhead_insts(),
+            s.overhead_cycles(),
+            share,
+            s.dominant_mechanism().map_or("-", Mechanism::label),
+        ));
+    }
+    out.push_str(&format!(
+        "site sum over {} site(s): {} insts / {} cycles ({})\n",
+        d.sites.len(),
+        d.site_mech_totals().total_insts(),
+        d.site_mech_totals().total_cycles(),
+        if d.sites_reconcile() {
+            "reconciles exactly with mechanism totals"
+        } else {
+            "DOES NOT RECONCILE"
+        }
+    ));
+    out
+}
+
+/// Serialises an exact profile per `docs/profile-schema.md`: totals,
+/// non-zero pcs in hot-spot order, per-function rollup, and folded
+/// stacks.
+pub fn pc_profile_to_json(image: &Image, pcs: &PcProfile) -> Json {
+    let total = pcs.total();
+    let hot = pcs
+        .hottest_pcs()
+        .into_iter()
+        .map(|(pc, c)| {
+            Json::obj(vec![
+                ("pc", pc.to_json()),
+                ("func", Json::Str(image.func_name(pc).to_owned())),
+                ("prov", Json::Str(image.insts[pc].prov.to_string())),
+                ("insts", c.insts.to_json()),
+                ("cycles", c.cycles.to_json()),
+            ])
+        })
+        .collect();
+    let funcs = pcs
+        .funcs
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.insts > 0)
+        .map(|(fi, c)| {
+            Json::obj(vec![
+                ("func", Json::Str(image.funcs[fi].name.clone())),
+                ("insts", c.insts.to_json()),
+                ("cycles", c.cycles.to_json()),
+            ])
+        })
+        .collect();
+    let stacks = pcs
+        .stacks
+        .iter()
+        .map(|(stack, c)| {
+            let names: Vec<&str> = stack
+                .iter()
+                .map(|&f| image.funcs[f as usize].name.as_str())
+                .collect();
+            Json::obj(vec![
+                ("stack", Json::Str(names.join(";"))),
+                ("insts", c.insts.to_json()),
+                ("cycles", c.cycles.to_json()),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        (
+            "total",
+            Json::obj(vec![
+                ("insts", total.insts.to_json()),
+                ("cycles", total.cycles.to_json()),
+            ]),
+        ),
+        ("pcs", Json::Arr(hot)),
+        ("funcs", Json::Arr(funcs)),
+        ("stacks", Json::Arr(stacks)),
+    ])
+}
+
+impl ToJson for SiteOverhead {
+    fn to_json(&self) -> Json {
+        let mechs = self
+            .mech
+            .iter()
+            .filter(|(_, c)| c.insts > 0)
+            .map(|(m, c)| {
+                (
+                    m.label().to_owned(),
+                    Json::obj(vec![
+                        ("insts", c.insts.to_json()),
+                        ("cycles", c.cycles.to_json()),
+                    ]),
+                )
+            })
+            .collect();
+        Json::obj(vec![
+            ("site", Json::Str(self.label())),
+            ("func", self.func.to_json()),
+            (
+                "anchor_pc",
+                self.anchor_pc.map_or(Json::Null, |pc| pc.to_json()),
+            ),
+            (
+                "ir_index",
+                self.ir_index.map_or(Json::Null, |i| u64::from(i).to_json()),
+            ),
+            (
+                "work",
+                Json::obj(vec![
+                    ("insts", self.work.insts.to_json()),
+                    ("cycles", self.work.cycles.to_json()),
+                ]),
+            ),
+            ("overhead_insts", self.overhead_insts().to_json()),
+            ("overhead_cycles", self.overhead_cycles().to_json()),
+            (
+                "dominant",
+                self.dominant_mechanism().map_or(Json::Null, |m| m.to_json()),
+            ),
+            ("mechanisms", Json::Obj(mechs)),
+        ])
+    }
+}
+
+impl ToJson for DiffProfile {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("technique", self.technique.to_json()),
+            ("attribution", self.attribution.to_json()),
+            ("sites_reconcile", Json::Bool(self.sites_reconcile())),
+            ("sites", self.sites.to_json()),
+        ])
+    }
+}
+
 /// Serialises the full evaluation to pretty JSON (machine-readable
 /// artifact for downstream analysis; the campaign `records` are
 /// omitted via the type's fields being aggregate counts plus records —
@@ -1111,6 +1354,56 @@ mod tests {
     use crate::experiment::{evaluate_workload, EvalConfig};
     use crate::Pipeline;
     use ferrum_workloads::{workload, Scale};
+
+    #[test]
+    fn profile_renderers_and_json_cover_the_diff() {
+        use crate::profile::diff_profile;
+        let pipeline = Pipeline::new();
+        let module = workload("needle").expect("exists").build(Scale::Test);
+        let d = diff_profile(&pipeline, &module, crate::Technique::Ferrum).expect("diffs");
+        let table = render_diff_sites("needle", &d, 10);
+        assert!(table.contains("per-site overhead"), "{table}");
+        assert!(table.contains("reconciles exactly"), "{table}");
+        assert!(table.lines().count() <= 13, "{table}");
+        let j = d.to_json();
+        assert_eq!(j.get("sites_reconcile"), Some(&Json::Bool(true)));
+        assert!(!j.get("sites").unwrap().as_array().unwrap().is_empty());
+        // Hot-spot rendering over the protected profile.
+        let protected = pipeline
+            .protect(&module, crate::Technique::Ferrum)
+            .unwrap();
+        let cpu = pipeline.load(&protected).unwrap();
+        let hot = render_hotspots("needle", cpu.image(), &d.protected_pcs, 5);
+        assert!(hot.contains("exact profile"), "{hot}");
+        assert_eq!(hot.lines().count(), 7, "{hot}");
+        let funcs = render_function_profile(cpu.image(), &d.protected_pcs);
+        assert!(funcs.contains("main"), "{funcs}");
+        let pj = pc_profile_to_json(cpu.image(), &d.protected_pcs);
+        assert_eq!(
+            pj.get("total").unwrap().get("cycles").unwrap().as_u64(),
+            Some(d.attribution.protected_cycles)
+        );
+    }
+
+    #[test]
+    fn flagged_progress_row_marks_stalled_workers() {
+        let p = ProgressSnapshot {
+            done: 2,
+            total: 4,
+            tallies: Default::default(),
+            sdc_ci: (0.0, 1.0),
+            rate: 100.0,
+            worker_rates: vec![50.0, 50.0],
+            eta_nanos: None,
+            pruned: 0,
+            reused: 0,
+            elapsed_nanos: 10,
+        };
+        assert_eq!(render_progress_row_flagged(&p, &[]), render_progress_row(&p));
+        let flagged = render_progress_row_flagged(&p, &[1, 3]);
+        assert!(flagged.ends_with("!! stalled: w1,w3\n"), "{flagged}");
+        assert!(flagged.starts_with(render_progress_row(&p).trim_end_matches('\n')));
+    }
 
     #[test]
     fn tables_render_with_averages() {

@@ -89,6 +89,157 @@ impl Default for CostModel {
     }
 }
 
+/// The cost class of an instruction — one per [`CostModel`] field.
+///
+/// This is the **single source of truth** for per-class pricing: both
+/// the interpreter (priced per step via [`CostModel::cost_tagged`]) and
+/// the decoded engine (which bakes the same `cost_tagged` result into
+/// each lowered instruction) bottom out in
+/// [`CostClass::classify`] + [`CostModel::of_class`], so a cost-model
+/// edit cannot desynchronise the engines — there is exactly one
+/// instruction→class match and one class→cycles table in the codebase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CostClass {
+    /// Register/immediate moves, `lea`, `setcc`, extensions, `cqo`.
+    RegMove,
+    /// Memory load (any memory source).
+    MemLoad,
+    /// Memory store (memory destination).
+    MemStore,
+    /// Integer ALU on registers.
+    Alu,
+    /// Integer multiply.
+    Mul,
+    /// Integer divide.
+    Div,
+    /// Unconditional jump.
+    Jmp,
+    /// Conditional jump.
+    Jcc,
+    /// Call and return.
+    Call,
+    /// Push/pop.
+    PushPop,
+    /// GPR↔SIMD moves and lane inserts/extracts.
+    SimdMove,
+    /// SIMD xor.
+    SimdLogic,
+    /// SIMD test.
+    SimdTest,
+    /// `nop`.
+    Nop,
+}
+
+impl CostClass {
+    /// Every class, in [`CostModel`] field order.
+    pub const ALL: [CostClass; 14] = [
+        CostClass::RegMove,
+        CostClass::MemLoad,
+        CostClass::MemStore,
+        CostClass::Alu,
+        CostClass::Mul,
+        CostClass::Div,
+        CostClass::Jmp,
+        CostClass::Jcc,
+        CostClass::Call,
+        CostClass::PushPop,
+        CostClass::SimdMove,
+        CostClass::SimdLogic,
+        CostClass::SimdTest,
+        CostClass::Nop,
+    ];
+
+    /// Stable lowercase label (tables, JSON).
+    pub fn label(self) -> &'static str {
+        match self {
+            CostClass::RegMove => "reg_move",
+            CostClass::MemLoad => "mem_load",
+            CostClass::MemStore => "mem_store",
+            CostClass::Alu => "alu",
+            CostClass::Mul => "mul",
+            CostClass::Div => "div",
+            CostClass::Jmp => "jmp",
+            CostClass::Jcc => "jcc",
+            CostClass::Call => "call",
+            CostClass::PushPop => "push_pop",
+            CostClass::SimdMove => "simd_move",
+            CostClass::SimdLogic => "simd_logic",
+            CostClass::SimdTest => "simd_test",
+            CostClass::Nop => "nop",
+        }
+    }
+
+    /// The cost class of `inst` — the only instruction→class match in
+    /// the codebase.
+    pub fn classify(inst: &Inst) -> CostClass {
+        let mem_src = |op: &Operand| matches!(op, Operand::Mem(_));
+        match inst {
+            Inst::Mov { src, dst, .. } => {
+                if mem_src(src) {
+                    CostClass::MemLoad
+                } else if mem_src(dst) {
+                    CostClass::MemStore
+                } else {
+                    CostClass::RegMove
+                }
+            }
+            Inst::Movsx { src, .. } | Inst::Movzx { src, .. } => {
+                if mem_src(src) {
+                    CostClass::MemLoad
+                } else {
+                    CostClass::RegMove
+                }
+            }
+            Inst::Lea { .. } => CostClass::RegMove,
+            Inst::Alu { src, dst, .. } => {
+                if mem_src(src) {
+                    CostClass::MemLoad
+                } else if mem_src(dst) {
+                    CostClass::MemStore
+                } else {
+                    CostClass::Alu
+                }
+            }
+            Inst::Imul { .. } => CostClass::Mul,
+            Inst::Unary { dst, .. } | Inst::Shift { dst, .. } => {
+                if mem_src(dst) {
+                    CostClass::MemStore
+                } else {
+                    CostClass::Alu
+                }
+            }
+            Inst::Cqo { .. } => CostClass::RegMove,
+            Inst::Idiv { .. } => CostClass::Div,
+            Inst::Cmp { src, dst, .. } | Inst::Test { src, dst, .. } => {
+                if mem_src(src) || mem_src(dst) {
+                    CostClass::MemLoad
+                } else {
+                    CostClass::Alu
+                }
+            }
+            Inst::Setcc { .. } => CostClass::RegMove,
+            Inst::Jmp { .. } => CostClass::Jmp,
+            Inst::Jcc { .. } => CostClass::Jcc,
+            Inst::Call { .. } | Inst::Ret => CostClass::Call,
+            Inst::Push { .. } | Inst::Pop { .. } => CostClass::PushPop,
+            // Vector-port execution: charged simd_move even with a
+            // memory source (see the module docs on under-utilisation).
+            Inst::MovqToXmm { .. } | Inst::Pinsrq { .. } => CostClass::SimdMove,
+            Inst::MovqFromXmm { .. }
+            | Inst::Pextrq { .. }
+            | Inst::Vinserti128 { .. }
+            | Inst::Vinserti64x4 { .. } => CostClass::SimdMove,
+            Inst::Vpxor { .. } | Inst::Vpxor128 { .. } | Inst::Vpxor512 { .. } => {
+                CostClass::SimdLogic
+            }
+            Inst::Vptest { .. } | Inst::Vptest128 { .. } | Inst::Vptest512 { .. } => {
+                CostClass::SimdTest
+            }
+            Inst::Nop => CostClass::Nop,
+        }
+    }
+}
+
 impl CostModel {
     /// Cycles charged for one execution of `inst` carrying provenance
     /// `prov`: the base class cost, discounted for protection code.
@@ -103,66 +254,27 @@ impl CostModel {
 
     /// Cycles charged for executing `inst` once.
     pub fn cost(&self, inst: &Inst) -> u64 {
-        let mem_src = |op: &Operand| matches!(op, Operand::Mem(_));
-        match inst {
-            Inst::Mov { src, dst, .. } => {
-                if mem_src(src) {
-                    self.mem_load
-                } else if mem_src(dst) {
-                    self.mem_store
-                } else {
-                    self.reg_move
-                }
-            }
-            Inst::Movsx { src, .. } | Inst::Movzx { src, .. } => {
-                if mem_src(src) {
-                    self.mem_load
-                } else {
-                    self.reg_move
-                }
-            }
-            Inst::Lea { .. } => self.reg_move,
-            Inst::Alu { src, dst, .. } => {
-                if mem_src(src) {
-                    self.mem_load
-                } else if mem_src(dst) {
-                    self.mem_store
-                } else {
-                    self.alu
-                }
-            }
-            Inst::Imul { .. } => self.mul,
-            Inst::Unary { dst, .. } | Inst::Shift { dst, .. } => {
-                if mem_src(dst) {
-                    self.mem_store
-                } else {
-                    self.alu
-                }
-            }
-            Inst::Cqo { .. } => self.reg_move,
-            Inst::Idiv { .. } => self.div,
-            Inst::Cmp { src, dst, .. } | Inst::Test { src, dst, .. } => {
-                if mem_src(src) || mem_src(dst) {
-                    self.mem_load
-                } else {
-                    self.alu
-                }
-            }
-            Inst::Setcc { .. } => self.reg_move,
-            Inst::Jmp { .. } => self.jmp,
-            Inst::Jcc { .. } => self.jcc,
-            Inst::Call { .. } | Inst::Ret => self.call,
-            Inst::Push { .. } | Inst::Pop { .. } => self.push_pop,
-            // Vector-port execution: charged simd_move even with a
-            // memory source (see the module docs on under-utilisation).
-            Inst::MovqToXmm { .. } | Inst::Pinsrq { .. } => self.simd_move,
-            Inst::MovqFromXmm { .. }
-            | Inst::Pextrq { .. }
-            | Inst::Vinserti128 { .. }
-            | Inst::Vinserti64x4 { .. } => self.simd_move,
-            Inst::Vpxor { .. } | Inst::Vpxor128 { .. } | Inst::Vpxor512 { .. } => self.simd_logic,
-            Inst::Vptest { .. } | Inst::Vptest128 { .. } | Inst::Vptest512 { .. } => self.simd_test,
-            Inst::Nop => self.nop,
+        self.of_class(CostClass::classify(inst))
+    }
+
+    /// The cycles this model charges for one cost class — the only
+    /// class→cycles table in the codebase.
+    pub fn of_class(&self, class: CostClass) -> u64 {
+        match class {
+            CostClass::RegMove => self.reg_move,
+            CostClass::MemLoad => self.mem_load,
+            CostClass::MemStore => self.mem_store,
+            CostClass::Alu => self.alu,
+            CostClass::Mul => self.mul,
+            CostClass::Div => self.div,
+            CostClass::Jmp => self.jmp,
+            CostClass::Jcc => self.jcc,
+            CostClass::Call => self.call,
+            CostClass::PushPop => self.push_pop,
+            CostClass::SimdMove => self.simd_move,
+            CostClass::SimdLogic => self.simd_logic,
+            CostClass::SimdTest => self.simd_test,
+            CostClass::Nop => self.nop,
         }
     }
 }

@@ -48,6 +48,7 @@ use crate::fault::FaultSpec;
 use crate::image::{Image, LoadedInst, TargetRef};
 use crate::machine::RegFile;
 use crate::outcome::{CrashKind, RunResult, StopReason};
+use crate::profile::ProfileBuilder;
 use crate::run::{Cpu, MechCounts, Profile, ProvCounts, SiteInfo};
 use crate::snapshot::Snapshot;
 
@@ -464,12 +465,14 @@ impl DecodedCpu {
         let mut sites = Vec::new();
         let mut prov_counts = ProvCounts::default();
         let mut mech_counts = MechCounts::default();
+        let mut pcs = ProfileBuilder::new(self.cpu.image());
         loop {
             if n >= self.cpu.step_limit() {
                 return Profile {
                     sites,
                     prov_counts,
                     mech_counts,
+                    pcs: pcs.finish(),
                     result: RunResult {
                         stop: StopReason::Timeout,
                         output: st.output,
@@ -500,12 +503,19 @@ impl DecodedCpu {
             if let Some(m) = d.prov.mechanism() {
                 mech_counts.add(m, d.cost);
             }
+            pcs.record(pc, d.cost);
+            match d.op {
+                DOp::Call { t } => pcs.enter(t),
+                DOp::Ret => pcs.leave(),
+                _ => {}
+            }
             n += 1;
             if let StepEvent::Stop(stop) = ev {
                 return Profile {
                     sites,
                     prov_counts,
                     mech_counts,
+                    pcs: pcs.finish(),
                     result: RunResult {
                         stop,
                         output: st.output,
@@ -1742,7 +1752,48 @@ mod tests {
         assert_eq!(a.sites, b.sites);
         assert_eq!(a.prov_counts, b.prov_counts);
         assert_eq!(a.mech_counts, b.mech_counts);
+        assert_eq!(a.pcs, b.pcs, "per-pc profiles must be byte-identical");
         assert_eq!(a.result, b.result);
+    }
+
+    #[test]
+    fn baked_costs_come_from_the_shared_class_table() {
+        // Satellite invariant: the decoded engine's baked per-inst and
+        // summed fused costs must be exactly what the interpreter's
+        // CostModel::cost_tagged computes from the shared CostClass
+        // table — a cost-model edit cannot desynchronise the engines.
+        for cpu in [loopy_cpu(), check_idiom_cpu(true), check_idiom_cpu(false)] {
+            let dc = DecodedCpu::new(&cpu);
+            let model = cpu.cost_model();
+            for (pc, li) in cpu.image().insts.iter().enumerate() {
+                let class = crate::cost::CostClass::classify(&li.inst);
+                assert_eq!(model.cost(&li.inst), model.of_class(class));
+                assert_eq!(
+                    dc.code[pc].cost,
+                    model.cost_tagged(&li.inst, li.prov),
+                    "pc {pc} baked cost diverged from the interpreter's"
+                );
+            }
+            for (pc, d) in dc.code.iter().enumerate() {
+                if d.fuse != NO_FUSE {
+                    let g = &dc.fused[d.fuse as usize];
+                    let sum: u64 = (pc..pc + usize::from(g.len)).map(|i| dc.code[i].cost).sum();
+                    assert_eq!(g.cost, sum, "fused group at {pc} mis-sums its cost");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_pc_profiles_are_byte_identical_with_calls_and_checkers() {
+        for cpu in [loopy_cpu(), check_idiom_cpu(true), check_idiom_cpu(false)] {
+            let dc = DecodedCpu::new(&cpu);
+            let a = cpu.profile();
+            let b = dc.profile();
+            assert_eq!(a.pcs, b.pcs);
+            // Folded output (the user-facing rendering) is identical too.
+            assert_eq!(a.pcs.folded(cpu.image()), b.pcs.folded(dc.image()));
+        }
     }
 
     #[test]

@@ -57,6 +57,17 @@ impl fmt::Display for LoadError {
 
 impl std::error::Error for LoadError {}
 
+/// One function's contiguous span of flattened instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncSpan {
+    /// Function name.
+    pub name: String,
+    /// Index of the function's first instruction.
+    pub start: usize,
+    /// One past the function's last instruction.
+    pub end: usize,
+}
+
 /// A loaded, executable program image.
 #[derive(Debug, Clone)]
 pub struct Image {
@@ -68,6 +79,9 @@ pub struct Image {
     pub globals_image: Vec<u8>,
     /// Base address of each global, by name.
     pub symbol_bases: HashMap<String, u64>,
+    /// Function spans in layout order (ascending, contiguous) — the
+    /// static side of per-function profile rollups.
+    pub funcs: Vec<FuncSpan>,
 }
 
 impl Image {
@@ -89,13 +103,20 @@ impl Image {
         // First pass: assign indices to every instruction and record the
         // index of each label (block labels and function entries).
         let mut label_index: HashMap<&str, usize> = HashMap::new();
+        let mut funcs = Vec::with_capacity(p.functions.len());
         let mut idx = 0usize;
         for f in &p.functions {
             label_index.insert(f.name.as_str(), idx);
+            let start = idx;
             for b in &f.blocks {
                 label_index.insert(b.label.as_str(), idx);
                 idx += b.insts.len();
             }
+            funcs.push(FuncSpan {
+                name: f.name.clone(),
+                start,
+                end: idx,
+            });
         }
         let entry = *label_index
             .get("main")
@@ -130,6 +151,7 @@ impl Image {
             entry,
             globals_image,
             symbol_bases,
+            funcs,
         })
     }
 
@@ -141,6 +163,19 @@ impl Image {
     /// True if the image is empty.
     pub fn is_empty(&self) -> bool {
         self.insts.is_empty()
+    }
+
+    /// Index (into [`Image::funcs`]) of the function containing `pc`.
+    /// Spans are contiguous and ascending, so this is a binary search.
+    pub fn func_of(&self, pc: usize) -> Option<usize> {
+        let i = self.funcs.partition_point(|f| f.end <= pc);
+        (i < self.funcs.len() && self.funcs[i].start <= pc).then_some(i)
+    }
+
+    /// The name of the function containing `pc`, or `"?"`.
+    pub fn func_name(&self, pc: usize) -> &str {
+        self.func_of(pc)
+            .map_or("?", |i| self.funcs[i].name.as_str())
     }
 }
 
@@ -218,6 +253,26 @@ mod tests {
         assert_eq!(img.entry, 0);
         assert_eq!(img.len(), 2);
         assert!(!img.is_empty());
+    }
+
+    #[test]
+    fn function_spans_cover_the_image_contiguously() {
+        let p = single_block_main(vec![Inst::Nop, Inst::Nop]);
+        let img = Image::load(&p).unwrap();
+        assert!(!img.funcs.is_empty());
+        let mut next = 0;
+        for f in &img.funcs {
+            assert_eq!(f.start, next, "spans must be contiguous");
+            assert!(f.end >= f.start);
+            next = f.end;
+        }
+        assert_eq!(next, img.len(), "spans must cover every instruction");
+        for pc in 0..img.len() {
+            let fi = img.func_of(pc).expect("every pc is inside a function");
+            assert!(img.funcs[fi].start <= pc && pc < img.funcs[fi].end);
+        }
+        assert_eq!(img.func_of(img.len()), None);
+        assert_eq!(img.func_name(img.entry), "main");
     }
 
     #[test]

@@ -55,16 +55,18 @@ pub mod image;
 pub mod machine;
 pub mod mem;
 pub mod outcome;
+pub mod profile;
 pub mod run;
 pub mod snapshot;
 pub mod trace;
 
-pub use cost::CostModel;
+pub use cost::{CostClass, CostModel};
 pub use decoded::{DecodedCpu, DecodedMachine};
 pub use differential::{diff_regs, first_divergence, DiffLoc, MemDivergence, RegDiff};
 pub use fault::FaultSpec;
-pub use image::Image;
+pub use image::{FuncSpan, Image};
 pub use outcome::{CrashKind, RunResult, StopReason};
+pub use profile::{PcCount, PcProfile, ProfileBuilder};
 pub use run::{Cpu, Profile, SiteInfo};
 pub use snapshot::{Machine, Snapshot};
 pub use trace::{Trace, TraceEntry, WroteValue};

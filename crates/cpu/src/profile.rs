@@ -1,0 +1,283 @@
+//! Exact per-pc / per-function execution profiles.
+//!
+//! Both engines collect these during [`Cpu::profile`](crate::run::Cpu::profile)
+//! and [`DecodedCpu::profile`](crate::decoded::DecodedCpu::profile): every
+//! dynamic instruction bumps the executed-instruction and cycle counters
+//! of its flat pc, of the function containing that pc, and of the
+//! current call stack (for folded flamegraph output).  The counts are
+//! **exact**, not sampled — the simulator sees every instruction — and
+//! byte-identical across the interpreter and the decoded engine, which
+//! makes the profile itself a cross-engine oracle: any divergence in
+//! dispatch order, cycle pricing, or call/ret tracking shows up as a
+//! profile mismatch long before it corrupts a campaign.
+//!
+//! The collection path is one slot bump per instruction: the folded
+//! stack's accumulator slot is re-resolved only on call/ret, so the
+//! fault-free golden walk stays linear in the dynamic instruction
+//! count.
+
+use std::collections::HashMap;
+
+use crate::image::Image;
+
+/// Executed-instruction and cycle totals for one profile bucket
+/// (a pc, a function, or a call stack).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PcCount {
+    /// Dynamic (executed) instructions.
+    pub insts: u64,
+    /// Cycle-proxy cost those instructions accrued (provenance
+    /// discount included).
+    pub cycles: u64,
+}
+
+impl PcCount {
+    fn bump(&mut self, cycles: u64) {
+        self.insts += 1;
+        self.cycles += cycles;
+    }
+}
+
+/// An exact execution profile at pc, function, and call-stack
+/// granularity.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PcProfile {
+    /// Per-pc totals, indexed by flat pc (same length as
+    /// [`Image::insts`]).
+    pub pcs: Vec<PcCount>,
+    /// Per-function rollup, indexed like [`Image::funcs`].
+    pub funcs: Vec<PcCount>,
+    /// Folded call stacks (outermost function first, as indices into
+    /// [`Image::funcs`]) with the totals charged while that exact stack
+    /// was live.  Sorted by stack for deterministic output.
+    pub stacks: Vec<(Vec<u32>, PcCount)>,
+}
+
+impl PcProfile {
+    /// Whole-program totals (equal to the run's `dyn_insts`/`cycles`).
+    pub fn total(&self) -> PcCount {
+        let mut t = PcCount::default();
+        for c in &self.pcs {
+            t.insts += c.insts;
+            t.cycles += c.cycles;
+        }
+        t
+    }
+
+    /// Non-zero pcs as `(pc, counts)`, descending by cycles (ties by
+    /// ascending pc) — the hot-spot table order.
+    pub fn hottest_pcs(&self) -> Vec<(usize, PcCount)> {
+        let mut v: Vec<(usize, PcCount)> = self
+            .pcs
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.insts > 0)
+            .map(|(pc, c)| (pc, *c))
+            .collect();
+        v.sort_by(|a, b| b.1.cycles.cmp(&a.1.cycles).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// The profile in standard flamegraph folded-stack format, one
+    /// `outer;inner <cycles>` line per distinct call stack, sorted by
+    /// stack.
+    pub fn folded(&self, image: &Image) -> String {
+        let mut out = String::new();
+        for (stack, c) in &self.stacks {
+            let names: Vec<&str> = stack
+                .iter()
+                .map(|&f| image.funcs[f as usize].name.as_str())
+                .collect();
+            out.push_str(&names.join(";"));
+            out.push(' ');
+            out.push_str(&c.cycles.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Streaming collector both engines drive during their `profile` walk.
+///
+/// The engines call [`ProfileBuilder::record`] once per dynamic
+/// instruction (with the instruction's flat pc and charged cycles) and
+/// [`ProfileBuilder::enter`]/[`ProfileBuilder::leave`] when that
+/// instruction was a resolved call / a non-final `ret` — keeping the
+/// call-stack model identical to the executed one.
+#[derive(Debug)]
+pub struct ProfileBuilder {
+    pcs: Vec<PcCount>,
+    funcs: Vec<PcCount>,
+    /// pc → owning function index, precomputed so `record` is O(1).
+    func_of_pc: Vec<u32>,
+    /// Accumulators per distinct call stack.
+    stacks: Vec<(Vec<u32>, PcCount)>,
+    stack_slots: HashMap<Vec<u32>, usize>,
+    /// The live call stack as function indices (outermost first).
+    fstack: Vec<u32>,
+    /// Slot in `stacks` for the live stack, re-resolved on call/ret.
+    cur_slot: usize,
+}
+
+impl ProfileBuilder {
+    /// A collector positioned at `image`'s entry point.
+    pub fn new(image: &Image) -> ProfileBuilder {
+        let mut func_of_pc = vec![0u32; image.insts.len()];
+        for (fi, f) in image.funcs.iter().enumerate() {
+            for slot in &mut func_of_pc[f.start..f.end] {
+                *slot = fi as u32;
+            }
+        }
+        let entry_func = image.func_of(image.entry).unwrap_or(0) as u32;
+        let mut b = ProfileBuilder {
+            pcs: vec![PcCount::default(); image.insts.len()],
+            funcs: vec![PcCount::default(); image.funcs.len()],
+            func_of_pc,
+            stacks: Vec::new(),
+            stack_slots: HashMap::new(),
+            fstack: vec![entry_func],
+            cur_slot: 0,
+        };
+        b.cur_slot = b.resolve_slot();
+        b
+    }
+
+    fn resolve_slot(&mut self) -> usize {
+        if let Some(&s) = self.stack_slots.get(&self.fstack) {
+            return s;
+        }
+        let s = self.stacks.len();
+        self.stacks.push((self.fstack.clone(), PcCount::default()));
+        self.stack_slots.insert(self.fstack.clone(), s);
+        s
+    }
+
+    /// Charges one executed instruction at `pc` costing `cycles`.
+    #[inline]
+    pub fn record(&mut self, pc: usize, cycles: u64) {
+        self.pcs[pc].bump(cycles);
+        if let Some(f) = self.funcs.get_mut(self.func_of_pc[pc] as usize) {
+            f.bump(cycles);
+        }
+        self.stacks[self.cur_slot].1.bump(cycles);
+    }
+
+    /// The just-recorded instruction was a call resolved to flat index
+    /// `target` (a function entry): push the callee.
+    pub fn enter(&mut self, target: usize) {
+        self.fstack.push(self.func_of_pc[target]);
+        self.cur_slot = self.resolve_slot();
+    }
+
+    /// The just-recorded instruction was a `ret`: pop back to the
+    /// caller.  The final `ret` of `main` (which stops the run) leaves
+    /// the stack untouched.
+    pub fn leave(&mut self) {
+        if self.fstack.len() > 1 {
+            self.fstack.pop();
+            self.cur_slot = self.resolve_slot();
+        }
+    }
+
+    /// Finishes the walk, sorting folded stacks deterministically.
+    pub fn finish(self) -> PcProfile {
+        let mut stacks = self.stacks;
+        stacks.sort_by(|a, b| a.0.cmp(&b.0));
+        PcProfile {
+            pcs: self.pcs,
+            funcs: self.funcs,
+            stacks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::run::Cpu;
+    use ferrum_mir::builder::FunctionBuilder;
+    use ferrum_mir::module::Module;
+    use ferrum_mir::types::Ty;
+
+    fn call_heavy_cpu() -> Cpu {
+        let mut callee = FunctionBuilder::new("mul3", &[Ty::I64], Some(Ty::I64));
+        let three = callee.iconst(Ty::I64, 3);
+        let r = callee.mul(Ty::I64, callee.arg(0), three);
+        callee.ret(Some(r));
+        let mut main = FunctionBuilder::new("main", &[], None);
+        let x = main.iconst(Ty::I64, 14);
+        let a = main.call("mul3", vec![x], Some(Ty::I64)).unwrap();
+        let b = main.call("mul3", vec![a], Some(Ty::I64)).unwrap();
+        main.print(b);
+        main.ret(None);
+        let m = Module::from_functions(vec![main.finish(), callee.finish()]);
+        let asm = ferrum_backend::compile(&m).unwrap();
+        Cpu::load(&asm).unwrap()
+    }
+
+    #[test]
+    fn pc_totals_reconcile_with_run_result() {
+        let cpu = call_heavy_cpu();
+        let prof = cpu.profile();
+        let total = prof.pcs.total();
+        assert_eq!(total.insts, prof.result.dyn_insts);
+        assert_eq!(total.cycles, prof.result.cycles);
+        let func_insts: u64 = prof.pcs.funcs.iter().map(|c| c.insts).sum();
+        let func_cycles: u64 = prof.pcs.funcs.iter().map(|c| c.cycles).sum();
+        assert_eq!(func_insts, prof.result.dyn_insts);
+        assert_eq!(func_cycles, prof.result.cycles);
+        let stack_insts: u64 = prof.pcs.stacks.iter().map(|(_, c)| c.insts).sum();
+        let stack_cycles: u64 = prof.pcs.stacks.iter().map(|(_, c)| c.cycles).sum();
+        assert_eq!(stack_insts, prof.result.dyn_insts);
+        assert_eq!(stack_cycles, prof.result.cycles);
+    }
+
+    #[test]
+    fn per_function_rollup_matches_pc_spans() {
+        let cpu = call_heavy_cpu();
+        let prof = cpu.profile();
+        let image = cpu.image();
+        for (fi, f) in image.funcs.iter().enumerate() {
+            let span_insts: u64 = prof.pcs.pcs[f.start..f.end].iter().map(|c| c.insts).sum();
+            let span_cycles: u64 = prof.pcs.pcs[f.start..f.end].iter().map(|c| c.cycles).sum();
+            assert_eq!(span_insts, prof.pcs.funcs[fi].insts, "{}", f.name);
+            assert_eq!(span_cycles, prof.pcs.funcs[fi].cycles, "{}", f.name);
+        }
+    }
+
+    #[test]
+    fn folded_stacks_track_calls() {
+        let cpu = call_heavy_cpu();
+        let prof = cpu.profile();
+        let folded = prof.pcs.folded(cpu.image());
+        // The program calls mul3 from main twice, so both the bare
+        // "main" frame and the "main;mul3" stack accrue cycles.
+        let lines: Vec<&str> = folded.lines().collect();
+        assert!(lines.iter().any(|l| l.starts_with("main ")), "{folded}");
+        assert!(
+            lines.iter().any(|l| l.starts_with("main;mul3 ")),
+            "{folded}"
+        );
+        // Folded values are cycles and sum to the run total.
+        let sum: u64 = lines
+            .iter()
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(sum, prof.result.cycles);
+    }
+
+    #[test]
+    fn hottest_pcs_are_sorted_and_nonzero() {
+        let cpu = call_heavy_cpu();
+        let prof = cpu.profile();
+        let hot = prof.pcs.hottest_pcs();
+        assert!(!hot.is_empty());
+        for w in hot.windows(2) {
+            assert!(w[0].1.cycles >= w[1].1.cycles);
+        }
+        assert!(hot.iter().all(|(_, c)| c.insts > 0));
+        // mul3's entry executes twice.
+        let image = cpu.image();
+        let mul3 = image.funcs.iter().find(|f| f.name == "mul3").unwrap();
+        assert_eq!(prof.pcs.pcs[mul3.start].insts, 2);
+    }
+}

@@ -7,8 +7,9 @@ use ferrum_asm::provenance::{Mechanism, Provenance};
 use crate::cost::CostModel;
 use crate::exec::{eligible_dest_bits, step, State, StepEvent};
 use crate::fault::FaultSpec;
-use crate::image::{Image, LoadError};
+use crate::image::{Image, LoadError, TargetRef};
 use crate::outcome::{RunResult, StopReason};
+use crate::profile::{PcProfile, ProfileBuilder};
 
 /// A loaded program ready for repeated simulation.
 #[derive(Debug, Clone)]
@@ -88,8 +89,15 @@ impl MechCounts {
     }
 
     pub(crate) fn add(&mut self, m: Mechanism, cycles: u64) {
+        self.add_counts(m, 1, cycles);
+    }
+
+    /// Accumulates pre-aggregated totals into mechanism `m` (used by
+    /// differential profilers that fold per-pc counts back into
+    /// per-mechanism totals).
+    pub fn add_counts(&mut self, m: Mechanism, insts: u64, cycles: u64) {
         let c = &mut self.counts[Self::index(m)];
-        c.insts += 1;
+        c.insts += insts;
         c.cycles += cycles;
     }
 
@@ -119,6 +127,9 @@ pub struct Profile {
     /// Executed-instruction and cycle totals per protection mechanism
     /// (all zero for unprotected programs).
     pub mech_counts: MechCounts,
+    /// Exact per-pc / per-function / folded-stack counts
+    /// (byte-identical across engines).
+    pub pcs: PcProfile,
     /// The fault-free run result (golden output, baseline cycles).
     pub result: RunResult,
 }
@@ -199,12 +210,14 @@ impl Cpu {
         let mut sites = Vec::new();
         let mut prov_counts = ProvCounts::default();
         let mut mech_counts = MechCounts::default();
+        let mut pcs = ProfileBuilder::new(&self.image);
         loop {
             if n >= self.step_limit {
                 return Profile {
                     sites,
                     prov_counts,
                     mech_counts,
+                    pcs: pcs.finish(),
                     result: RunResult {
                         stop: StopReason::Timeout,
                         output: st.output,
@@ -236,12 +249,19 @@ impl Cpu {
             if let Some(m) = li.prov.mechanism() {
                 mech_counts.add(m, step_cycles);
             }
+            pcs.record(pc, step_cycles);
+            match (&li.inst, li.target) {
+                (ferrum_asm::inst::Inst::Call { .. }, TargetRef::Index(t)) => pcs.enter(t),
+                (ferrum_asm::inst::Inst::Ret, _) => pcs.leave(),
+                _ => {}
+            }
             n += 1;
             if let StepEvent::Stop(stop) = ev {
                 return Profile {
                     sites,
                     prov_counts,
                     mech_counts,
+                    pcs: pcs.finish(),
                     result: RunResult {
                         stop,
                         output: st.output,

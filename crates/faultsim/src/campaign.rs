@@ -42,7 +42,7 @@ use ferrum_cpu::run::{Cpu, Profile};
 use ferrum_cpu::snapshot::Snapshot;
 
 use crate::engine::{Engine, EngineKind};
-use crate::flight::{self, Booking};
+use crate::flight::{self, Booking, Stage, StageClock};
 
 /// Classified result of one injected fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -460,7 +460,9 @@ pub fn run_campaign_on(engine: Engine<'_>, profile: &Profile, cfg: CampaignConfi
     let golden = &profile.result.output;
     let mut latencies = Vec::new();
     for (i, fault) in sample_faults(profile, cfg).into_iter().enumerate() {
+        let clock = StageClock::start();
         let run = engine.run(Some(fault));
+        clock.stop(0, Stage::Injection);
         result.stats.steps_executed += run.dyn_insts;
         let o = classify(run.stop, &run.output, golden);
         if o == Outcome::Detected {
@@ -548,7 +550,9 @@ pub fn run_campaign_pruned_on(
                 result.record(fault, Outcome::Detected);
             }
             _ => {
+                let clock = StageClock::start();
                 let run = engine.run(Some(fault));
+                clock.stop(0, Stage::Injection);
                 result.stats.steps_executed += run.dyn_insts;
                 let o = classify(run.stop, &run.output, golden);
                 if o == Outcome::Detected {
@@ -617,7 +621,9 @@ pub fn run_campaign_parallel_on(
             let Some(&fault) = faults.get(i) else {
                 return (local, steps);
             };
+            let clock = StageClock::start();
             let run = engine.run(Some(fault));
+            clock.stop(t, Stage::Injection);
             steps += run.dyn_insts;
             let o = classify(run.stop, &run.output, golden);
             let lat = (o == Outcome::Detected)
@@ -757,7 +763,9 @@ pub fn run_campaign_snapshot_on(
             && m.dyn_insts().is_multiple_of(interval)
             && snapshots.len() < policy.max_snapshots
         {
+            let clock = StageClock::start();
             snapshots.push(m.snapshot());
+            clock.stop(0, Stage::SnapshotCapture);
         }
         // Advance to the next snapshot boundary (or the horizon) in
         // one call — the decoded engine covers the span in its tight
@@ -767,7 +775,10 @@ pub fn run_campaign_snapshot_on(
         } else {
             horizon
         };
-        if m.advance_to(next.min(horizon)).is_some() {
+        let clock = StageClock::start();
+        let stopped = m.advance_to(next.min(horizon)).is_some();
+        clock.stop(0, Stage::GoldenRun);
+        if stopped {
             // Golden run ended before the last injection index — the
             // remaining faults land past program end and classify as
             // whatever the resumed (fault-free) tail produces.
@@ -813,8 +824,12 @@ pub fn run_campaign_snapshot_on(
                 }
                 None => &entry,
             };
+            let clock = StageClock::start();
             machine.restore(start);
+            clock.stop(t, Stage::SnapshotRestore);
+            let clock = StageClock::start();
             let run = machine.run_converging(&[fault], snapshots, &profile.result);
+            clock.stop(t, Stage::Replay);
             steps += run.dyn_insts - start.dyn_insts();
             let o = classify(run.stop, &run.output, golden);
             // `Machine::restore` preserves the golden-prefix dynamic
@@ -904,7 +919,9 @@ pub fn run_double_campaign_on(
         let b = profile.sites[rng.gen_range(0..profile.sites.len())];
         let fa = FaultSpec::new(a.dyn_index, rng.gen_below(u64::from(a.bits)) as u16);
         let fb = FaultSpec::new(b.dyn_index, rng.gen_below(u64::from(b.bits)) as u16);
+        let clock = StageClock::start();
         let run = engine.run_multi(&[fa, fb]);
+        clock.stop(0, Stage::Injection);
         result.stats.steps_executed += run.dyn_insts;
         let o = classify(run.stop, &run.output, golden);
         if o == Outcome::Detected {
@@ -977,7 +994,9 @@ pub fn exhaustive_campaign_on(
             // still permutes `0..w` per site.)
             let raw = (u32::from(k) * BIT_STRIDE % site.bits.max(1)) as u16;
             let fault = FaultSpec::new(site.dyn_index, raw);
+            let clock = StageClock::start();
             let run = engine.run(Some(fault));
+            clock.stop(0, Stage::Injection);
             result.stats.steps_executed += run.dyn_insts;
             let o = classify(run.stop, &run.output, golden);
             if o == Outcome::Detected {

@@ -18,6 +18,8 @@ use ferrum_cpu::outcome::{RunResult, StopReason};
 use ferrum_cpu::run::{Cpu, Profile};
 use ferrum_cpu::snapshot::{Machine, Snapshot};
 
+use crate::flight;
+
 /// Which execution engine a campaign runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EngineKind {
@@ -58,7 +60,9 @@ impl EngineKind {
         match self {
             EngineKind::Interpreter => f(Engine::Interpreter(cpu)),
             EngineKind::Decoded => {
+                let clock = flight::StageClock::start();
                 let decoded = DecodedCpu::new(cpu);
+                clock.stop(0, flight::Stage::Decode);
                 f(Engine::Decoded(&decoded))
             }
         }
@@ -161,10 +165,13 @@ impl<'a> Engine<'a> {
 
     /// Profiles the fault-free run (byte-identical across engines).
     pub fn profile(&self) -> Profile {
-        match self {
+        let clock = flight::StageClock::start();
+        let p = match self {
             Engine::Interpreter(c) => c.profile(),
             Engine::Decoded(d) => d.profile(),
-        }
+        };
+        clock.stop(0, flight::Stage::GoldenRun);
+        p
     }
 
     /// A steppable machine at the program entry point.

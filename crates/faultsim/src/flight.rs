@@ -202,6 +202,72 @@ pub struct ShardRecord {
     pub records: Vec<(FaultSpec, Outcome)>,
 }
 
+/// One harness execution stage, as timed by the campaign executors.
+///
+/// Stage probes are gated on an installed recorder: an un-instrumented
+/// campaign never reads the clock for them.  Decode runs during engine
+/// binding — *before* the executor emits its started event — so the
+/// recorder credits pre-start stage observations to the next campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Decoding the loaded image into the flattened engine's arrays
+    /// (engine binding, before the campaign's started event).
+    Decode,
+    /// The fault-free golden walk (profile or snapshot-prefix pass).
+    GoldenRun,
+    /// Capturing architectural snapshots on the golden walk.
+    SnapshotCapture,
+    /// Restoring a worker's machine from a snapshot.
+    SnapshotRestore,
+    /// Faulted executions run whole from the entry state.
+    Injection,
+    /// Faulted replays resumed from a snapshot (including the
+    /// convergence stitch where the engine has one).
+    Replay,
+}
+
+impl Stage {
+    /// All stages, in reporting order.
+    pub const ALL: [Stage; 6] = [
+        Stage::Decode,
+        Stage::GoldenRun,
+        Stage::SnapshotCapture,
+        Stage::SnapshotRestore,
+        Stage::Injection,
+        Stage::Replay,
+    ];
+
+    /// Stable text label (reports, NDJSON).
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Decode => "decode",
+            Stage::GoldenRun => "golden-run",
+            Stage::SnapshotCapture => "snapshot-capture",
+            Stage::SnapshotRestore => "snapshot-restore",
+            Stage::Injection => "injection",
+            Stage::Replay => "replay",
+        }
+    }
+
+    /// Parses a [`Stage::label`] back into the enum.
+    pub fn parse(s: &str) -> Option<Stage> {
+        Stage::ALL.iter().copied().find(|st| st.label() == s)
+    }
+
+    fn index(self) -> usize {
+        Stage::ALL
+            .iter()
+            .position(|&s| s == self)
+            .expect("stage in ALL")
+    }
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// One structured campaign event.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CampaignEvent {
@@ -254,6 +320,21 @@ pub enum CampaignEvent {
         draws: usize,
         /// True when the shard was replayed from a cache.
         reused: bool,
+    },
+    /// Cumulative wall-clock one worker spent in one execution stage,
+    /// emitted once per active `(worker, stage)` pair just before the
+    /// finished event.  Stage timings observed before the started
+    /// event (decode happens during engine binding) are credited to
+    /// worker 0 of the campaign that starts next.
+    StageTiming {
+        /// Worker index (0 for serial executors and pre-start stages).
+        worker: usize,
+        /// The execution stage.
+        stage: Stage,
+        /// Cumulative wall-clock nanoseconds spent in the stage.
+        nanos: u64,
+        /// Number of timed entries into the stage.
+        count: u64,
     },
     /// Campaign ended; final tallies mirror the returned result.
     Finished {
@@ -437,6 +518,13 @@ struct RecState {
     pruned: usize,
     reused: usize,
     workers: Vec<WorkerState>,
+    /// Cumulative `(nanos, count)` per stage, per worker (indexed by
+    /// [`Stage::index`]).
+    stage_times: Vec<[(u64, u64); Stage::ALL.len()]>,
+    /// Stage observations made while no campaign is active — decode
+    /// runs during engine binding, before the started event — drained
+    /// into the next campaign's worker 0.
+    pending_stages: Vec<(Stage, u64)>,
     global_window: RateWindow,
     since_progress: usize,
     seq: u64,
@@ -570,6 +658,7 @@ impl FlightRecorder {
             program_hash: self.program_hash,
         };
         let n_shards = shards.len();
+        let pending = std::mem::take(&mut st.pending_stages);
         *st = RecState {
             active: true,
             fingerprint: Some(fingerprint.clone()),
@@ -583,6 +672,11 @@ impl FlightRecorder {
             heartbeat_every,
             ..RecState::default()
         };
+        // Pre-start stage observations (decode during engine binding)
+        // belong to this campaign's worker 0.
+        for (stage, nanos) in pending {
+            Self::book_stage(&mut st, 0, stage, nanos);
+        }
         self.emit(
             &mut st,
             0,
@@ -736,6 +830,29 @@ impl FlightRecorder {
         }
     }
 
+    fn book_stage(st: &mut RecState, worker: usize, stage: Stage, nanos: u64) {
+        if st.stage_times.len() <= worker {
+            st.stage_times
+                .resize(worker + 1, [(0, 0); Stage::ALL.len()]);
+        }
+        let slot = &mut st.stage_times[worker][stage.index()];
+        slot.0 += nanos;
+        slot.1 += 1;
+    }
+
+    fn on_stage(&self, worker: usize, stage: Stage, nanos: u64) {
+        let Ok(mut st) = self.state.lock() else {
+            return;
+        };
+        if st.active {
+            Self::book_stage(&mut st, worker, stage, nanos);
+        } else if st.pending_stages.len() < 1024 {
+            // Buffered for the next campaign (bounded so stray probes
+            // with no campaign following cannot grow without limit).
+            st.pending_stages.push((stage, nanos));
+        }
+    }
+
     fn on_function_shard(&self, name: &str, hash: u64, sites: usize, draws: usize, reused: bool) {
         let Ok(mut st) = self.state.lock() else {
             return;
@@ -765,6 +882,26 @@ impl FlightRecorder {
             return;
         }
         let now = Self::elapsed(&st);
+        // Stage timings drain first: one event per active
+        // (worker, stage) pair, in worker then Stage::ALL order.
+        let stage_times = std::mem::take(&mut st.stage_times);
+        for (worker, stages) in stage_times.into_iter().enumerate() {
+            for stage in Stage::ALL {
+                let (nanos, count) = stages[stage.index()];
+                if count > 0 {
+                    self.emit(
+                        &mut st,
+                        now,
+                        CampaignEvent::StageTiming {
+                            worker,
+                            stage,
+                            nanos,
+                            count,
+                        },
+                    );
+                }
+            }
+        }
         // Always end on a fresh snapshot so consumers can equate the
         // final snapshot with the campaign stats (even for zero-sample
         // campaigns that never crossed a progress boundary).
@@ -886,6 +1023,32 @@ pub(crate) fn injection(
 /// Probe: a stratified/incremental per-function shard finished.
 pub(crate) fn function_shard(name: &str, hash: u64, sites: usize, draws: usize, reused: bool) {
     with_recorder(|r| r.on_function_shard(name, hash, sites, draws, reused));
+}
+
+/// Probe: `worker` spent `nanos` wall-clock in `stage` once.
+pub(crate) fn stage_time(worker: usize, stage: Stage, nanos: u64) {
+    with_recorder(|r| r.on_stage(worker, stage, nanos));
+}
+
+/// Wall-clock guard for stage timing.  Reads the clock only when a
+/// recorder is installed, so campaigns running without one never pay
+/// for stage timestamps.
+#[derive(Debug)]
+pub(crate) struct StageClock(Option<Instant>);
+
+impl StageClock {
+    /// Starts timing (a no-op without an installed recorder).
+    pub(crate) fn start() -> StageClock {
+        StageClock(enabled().then(Instant::now))
+    }
+
+    /// Stops timing and books the elapsed wall-clock into `stage` for
+    /// `worker`.
+    pub(crate) fn stop(self, worker: usize, stage: Stage) {
+        if let Some(t) = self.0 {
+            stage_time(worker, stage, t.elapsed().as_nanos() as u64);
+        }
+    }
 }
 
 /// Probe: the executor finished; `result` is what it returns.
@@ -1136,6 +1299,7 @@ mod tests {
             sites: Vec::new(),
             prov_counts: Default::default(),
             mech_counts: Default::default(),
+            pcs: Default::default(),
             result: RunResult {
                 stop: StopReason::MainReturned,
                 output: Vec::new(),
@@ -1372,6 +1536,93 @@ mod tests {
         assert_eq!(j.completed(), 4);
         assert!(!j.finished);
         assert!(JournalSnapshot::from_events(&[wrap(0, shard(0))]).is_none(), "no started event");
+    }
+
+    #[test]
+    fn stage_labels_round_trip() {
+        for s in Stage::ALL {
+            assert_eq!(Stage::parse(s.label()), Some(s));
+        }
+        assert_eq!(Stage::parse("warp-drive"), None);
+        let mut labels: Vec<&str> = Stage::ALL.iter().map(|s| s.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), Stage::ALL.len());
+    }
+
+    #[test]
+    fn stage_timings_aggregate_and_drain_before_finished() {
+        let sink = Arc::new(MemorySink::new());
+        let rec = FlightRecorder::new(sink.clone());
+        // Decode runs during engine binding, before the started event:
+        // it must be credited to the campaign that starts next.
+        rec.on_stage(0, Stage::Decode, 500);
+        let cfg = CampaignConfig { samples: 4, seed: 1 };
+        rec.on_started("snapshot", EngineKind::Decoded, cfg, &empty_profile(), 4);
+        rec.on_stage(0, Stage::GoldenRun, 1000);
+        rec.on_stage(1, Stage::Replay, 300);
+        rec.on_stage(1, Stage::Replay, 200);
+        let mut done = CampaignResult::default();
+        for i in 0..4u64 {
+            rec.on_injection(
+                (i % 2) as usize,
+                i as usize,
+                FaultSpec::new(i, 0),
+                Outcome::Benign,
+                10,
+                Booking::Executed,
+            );
+            done.record(FaultSpec::new(i, 0), Outcome::Benign);
+        }
+        rec.on_finished(&done);
+
+        let events = sink.events();
+        let stages: Vec<(usize, Stage, u64, u64)> = events
+            .iter()
+            .filter_map(|e| match e.event {
+                CampaignEvent::StageTiming {
+                    worker,
+                    stage,
+                    nanos,
+                    count,
+                } => Some((worker, stage, nanos, count)),
+                _ => None,
+            })
+            .collect();
+        // Same-worker same-stage observations aggregate; emission is
+        // worker-major in Stage::ALL order.
+        assert_eq!(
+            stages,
+            vec![
+                (0, Stage::Decode, 500, 1),
+                (0, Stage::GoldenRun, 1000, 1),
+                (1, Stage::Replay, 500, 2),
+            ]
+        );
+        // The drain sits between the last injection-driven event and
+        // the closing progress + finished pair.
+        let first_stage = events
+            .iter()
+            .position(|e| matches!(e.event, CampaignEvent::StageTiming { .. }))
+            .expect("stage events present");
+        assert!(matches!(
+            events[first_stage + 3].event,
+            CampaignEvent::Progress(_)
+        ));
+        assert!(matches!(
+            events[first_stage + 4].event,
+            CampaignEvent::Finished { .. }
+        ));
+        // A second campaign starts clean: no stale stage state.
+        rec.on_started("serial", EngineKind::Interpreter, cfg, &empty_profile(), 4);
+        rec.on_finished(&CampaignResult::default());
+        let second: Vec<FlightEvent> = sink.events().split_off(events.len());
+        assert!(
+            !second
+                .iter()
+                .any(|e| matches!(e.event, CampaignEvent::StageTiming { .. })),
+            "no stage probes fired in the second campaign"
+        );
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //! -O1 × {interp, decoded} engines ──┼──  identical printed output
 //! {ir-eddi, hybrid, ferrum} × {-O0, -O1}, fault-free ──┘
 //!
-//! plus: O1(O1(p)) == O1(p)            (idempotence)
+//! plus: per-pc profiles byte-identical across engines (profile oracle)
+//!       O1(O1(p)) == O1(p)            (idempotence)
 //!       Δsize == PassStats claims      (stat exactness)
 //!       manifests ∩ regalloc pool = ∅  (reservation discipline)
 //!       lint(ferrum|hybrid) clean      (protection contracts)
@@ -162,6 +163,30 @@ pub fn check_program(seed: u64, campaign_samples: usize) -> (u64, u64, Vec<Diver
         c.check("engine-identity", decoded.output == run.output && decoded.stop == run.stop, || {
             format!("[{}] decoded engine disagrees with interpreter engine", opt.label())
         });
+        // Exact profiles are a stronger identity oracle than output
+        // comparison: both engines must charge every dynamic
+        // instruction to the same pc, function, and call stack.
+        let iprof = cpu.profile();
+        let dprof = DecodedCpu::new(&cpu).profile();
+        c.check(
+            "profile-identity",
+            iprof.pcs == dprof.pcs && iprof.mech_counts == dprof.mech_counts,
+            || format!("[{}] per-pc profiles diverge between engines", opt.label()),
+        );
+        c.check(
+            "profile-totals",
+            iprof.pcs.total().insts == iprof.result.dyn_insts
+                && iprof.pcs.total().cycles == iprof.result.cycles,
+            || {
+                format!(
+                    "[{}] pc totals {:?} disagree with golden run ({} insts / {} cycles)",
+                    opt.label(),
+                    iprof.pcs.total(),
+                    iprof.result.dyn_insts,
+                    iprof.result.cycles
+                )
+            },
+        );
         programs.push((opt, prog));
     }
 

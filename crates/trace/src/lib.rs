@@ -151,6 +151,16 @@ impl RingSink {
             .map(|e| e.value)
             .sum()
     }
+
+    /// Number of retained closed spans with this name.  Lets a test
+    /// pin that a probe fired exactly once per call (a duration alone
+    /// cannot distinguish one slow span from many fast ones).
+    pub fn span_count(&self, name: &str) -> u64 {
+        self.events()
+            .iter()
+            .filter(|e| e.kind == EventKind::SpanEnd && e.name == name)
+            .count() as u64
+    }
 }
 
 impl TraceSink for RingSink {
@@ -373,6 +383,8 @@ mod tests {
         assert!(!enabled());
         counter("t.count", 100); // dropped: no sink
         assert_eq!(ring.counter_total("t.count"), 5);
+        assert_eq!(ring.span_count("t.span"), 1);
+        assert_eq!(ring.span_count("t.other"), 0);
         let kinds: Vec<EventKind> = ring.events().iter().map(|e| e.kind).collect();
         assert!(kinds.contains(&EventKind::SpanStart));
         assert!(kinds.contains(&EventKind::SpanEnd));

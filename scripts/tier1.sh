@@ -44,7 +44,13 @@ cargo run --release --offline -q -p ferrum-cli --bin ferrum-compose -- --catalog
 echo "== tier1: ferrum-campaign --catalog (event-stream consistency + recorder purity + resume identity self-check)"
 cargo run --release --offline -q -p ferrum-cli --bin ferrum-campaign -- --catalog --samples 200
 
+echo "== tier1: ferrum-profile --catalog (cross-engine profile identity + per-site overhead reconciliation)"
+cargo run --release --offline -q -p ferrum-cli --bin ferrum-profile -- --catalog
+
 echo "== tier1: ferrum-fuzz (200-program differential sweep over the pinned seed window)"
 cargo run --release --offline -q -p ferrum-cli --bin ferrum-fuzz -- --programs 200 --seed 42
+
+echo "== tier1: bench_check.sh --quick (bench.json regression gate vs committed baseline)"
+sh scripts/bench_check.sh --quick
 
 echo "== tier1: OK"

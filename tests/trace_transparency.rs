@@ -1,10 +1,13 @@
 //! Tracing is observational by contract: campaign results must be
 //! byte-identical whether a recording sink, a no-op sink, or no sink at
-//! all is installed — with or without the `trace` cargo feature.  The
-//! single test keeps all global-sink manipulation in one place so
-//! nothing races on the process-wide sink.
+//! all is installed — with or without the `trace` cargo feature.  Every
+//! test that touches the process-wide sink holds [`SINK_LOCK`] so the
+//! install/uninstall sequences cannot interleave.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+/// Serializes global-sink manipulation across tests in this binary.
+static SINK_LOCK: Mutex<()> = Mutex::new(());
 
 use ferrum::{CampaignConfig, Pipeline, SnapshotPolicy, Technique};
 use ferrum_faultsim::campaign::{run_campaign, run_campaign_snapshot, CampaignResult};
@@ -13,6 +16,7 @@ use ferrum_workloads::{workload, Scale};
 
 #[test]
 fn campaigns_are_identical_with_and_without_trace_sinks() {
+    let _guard = SINK_LOCK.lock().expect("sink lock");
     let pipeline = Pipeline::new();
     let module = workload("bfs").expect("exists").build(Scale::Test);
     let prog = pipeline.protect(&module, Technique::Ferrum).expect("protects");
@@ -72,6 +76,35 @@ fn campaigns_are_identical_with_and_without_trace_sinks() {
     if cfg!(feature = "trace") {
         assert!(ring.counter_total("campaign.injections") >= 400);
         assert!(ring.span_nanos("campaign.serial") > 0);
+    } else {
+        assert!(ring.events().is_empty());
+    }
+}
+
+#[test]
+fn differential_profiling_is_identical_with_and_without_trace_sinks() {
+    let _guard = SINK_LOCK.lock().expect("sink lock");
+    let pipeline = Pipeline::new();
+    let module = workload("needle").expect("exists").build(Scale::Test);
+
+    // Reference: no sink installed.
+    assert!(!ferrum_trace::enabled());
+    let bare = ferrum::diff_profile(&pipeline, &module, Technique::Ferrum).expect("profiles");
+    assert!(bare.sites_reconcile());
+
+    // Recording sink installed: result byte-identical, and with the
+    // feature compiled in the profiler's span fired exactly once.
+    let ring = Arc::new(RingSink::new(8192));
+    ferrum_trace::install(ring.clone());
+    let traced = ferrum::diff_profile(&pipeline, &module, Technique::Ferrum).expect("profiles");
+    ferrum_trace::uninstall();
+
+    assert_eq!(traced.sites, bare.sites, "per-site attribution diverged");
+    assert_eq!(traced.baseline_pcs, bare.baseline_pcs, "baseline profile diverged");
+    assert_eq!(traced.protected_pcs, bare.protected_pcs, "protected profile diverged");
+    if cfg!(feature = "trace") {
+        assert_eq!(ring.span_count("diff-profile"), 1);
+        assert!(ring.span_nanos("diff-profile") > 0);
     } else {
         assert!(ring.events().is_empty());
     }
